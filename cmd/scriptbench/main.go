@@ -1,0 +1,62 @@
+// Command scriptbench runs the full experiment suite — one experiment per
+// figure or comparative claim of the paper (DESIGN.md's E1–E14 index) — and
+// prints each result table. EXPERIMENTS.md records a reference run.
+//
+// Usage:
+//
+//	scriptbench [-only E05] [-timeout 5m]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/scriptabs/goscript/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("scriptbench", flag.ContinueOnError)
+	only := fs.String("only", "", "run only the experiment with this ID (e.g. E05)")
+	timeout := fs.Duration("timeout", 5*time.Minute, "overall time budget")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	fmt.Fprintln(out, "goscript experiment suite — Francez & Hailpern, \"Script: A Communication Abstraction Mechanism\" (PODC 1983)")
+	fmt.Fprintln(out)
+	failures := 0
+	ran := 0
+	for _, entry := range experiments.Suite() {
+		if *only != "" && !strings.EqualFold(entry.ID, *only) {
+			continue
+		}
+		tbl := entry.Run(ctx)
+		ran++
+		fmt.Fprintln(out, tbl.Render())
+		if tbl.Err != nil || strings.Contains(tbl.Verdict, "FAIL") {
+			failures++
+		}
+	}
+	if ran == 0 {
+		return fmt.Errorf("no experiment matches -only=%s", *only)
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d experiment(s) failed", failures)
+	}
+	fmt.Fprintf(out, "all %d experiments passed\n", ran)
+	return nil
+}

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestRunOnlyFilter runs a single fast experiment end to end through the
+// command's own entry point.
+func TestRunOnlyFilter(t *testing.T) {
+	tmp, err := os.CreateTemp(t.TempDir(), "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tmp.Close()
+	if err := run([]string{"-only", "E02", "-timeout", "60s"}, tmp); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(tmp.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(data)
+	if !strings.Contains(out, "E02") || !strings.Contains(out, "PASS") {
+		t.Fatalf("output missing expected content:\n%s", out)
+	}
+	if strings.Contains(out, "E03") {
+		t.Fatal("-only filter leaked other experiments")
+	}
+}
+
+func TestRunUnknownOnly(t *testing.T) {
+	tmp, err := os.CreateTemp(t.TempDir(), "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tmp.Close()
+	if err := run([]string{"-only", "E99"}, tmp); err == nil {
+		t.Fatal("unknown experiment ID must fail")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-bogus"}, os.Stdout); err == nil {
+		t.Fatal("bad flag must fail")
+	}
+}

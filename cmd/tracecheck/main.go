@@ -1,0 +1,133 @@
+// Command tracecheck verifies a recorded script trace (JSON, as written by
+// trace.WriteJSON) against the runtime's semantic invariants — the
+// Section V verification workflow as a standalone tool.
+//
+// Usage:
+//
+//	tracecheck trace.json             # check a recorded trace
+//	tracecheck -timeline trace.json   # also print the Figure-1-style timeline
+//	tracecheck -gen star -o trace.json   # record a sample trace to check
+//
+// Exit status 1 when the trace violates any invariant.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+
+	"github.com/scriptabs/goscript/internal/conform"
+	"github.com/scriptabs/goscript/internal/core"
+	"github.com/scriptabs/goscript/internal/ids"
+	"github.com/scriptabs/goscript/internal/patterns"
+	"github.com/scriptabs/goscript/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("tracecheck", flag.ContinueOnError)
+	timeline := fs.Bool("timeline", false, "print the trace as a timeline")
+	gen := fs.String("gen", "", "generate a sample trace instead of reading one: star | pipeline")
+	genOut := fs.String("o", "", "with -gen: write the generated trace to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var events []trace.Event
+	switch {
+	case *gen != "":
+		var err error
+		events, err = generate(*gen)
+		if err != nil {
+			return err
+		}
+		if *genOut != "" {
+			f, err := os.Create(*genOut)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			if err := trace.WriteJSON(f, events); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "wrote %d events to %s\n", len(events), *genOut)
+		}
+	case fs.NArg() == 1:
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		events, err = trace.ReadJSON(f)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("usage: tracecheck [-timeline] trace.json | tracecheck -gen star [-o out.json]")
+	}
+
+	if *timeline {
+		var log trace.Log
+		for _, e := range events {
+			log.Record(e)
+		}
+		fmt.Fprint(out, log.Timeline())
+	}
+
+	violations := conform.CheckSemantics(events)
+	if len(violations) == 0 {
+		fmt.Fprintf(out, "%d events: all semantic invariants hold\n", len(events))
+		return nil
+	}
+	for _, v := range violations {
+		fmt.Fprintf(out, "violation: %s\n", v)
+	}
+	return fmt.Errorf("%d violation(s)", len(violations))
+}
+
+// generate runs one performance of a sample script under a tracer.
+func generate(shape string) ([]trace.Event, error) {
+	const n = 3
+	var def core.Definition
+	switch shape {
+	case "star":
+		def = patterns.StarBroadcast(n)
+	case "pipeline":
+		def = patterns.PipelineBroadcast(n)
+	default:
+		return nil, fmt.Errorf("unknown -gen shape %q (want star or pipeline)", shape)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	var log trace.Log
+	in := core.NewInstance(def, core.WithTracer(&log))
+	defer in.Close()
+	var wg sync.WaitGroup
+	for i := 1; i <= n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, _ = in.Enroll(ctx, core.Enrollment{
+				PID: ids.PID(fmt.Sprintf("P%d", i)), Role: ids.Member(patterns.RoleRecipient, i),
+			})
+		}()
+	}
+	if _, err := in.Enroll(ctx, core.Enrollment{
+		PID: "T", Role: ids.Role(patterns.RoleSender), Args: []any{"x"},
+	}); err != nil {
+		return nil, err
+	}
+	wg.Wait()
+	return log.Events(), nil
+}

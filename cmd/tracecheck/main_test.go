@@ -1,0 +1,82 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/scriptabs/goscript/internal/ids"
+	"github.com/scriptabs/goscript/internal/trace"
+)
+
+func TestGenerateAndCheckRoundTrip(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "trace.json")
+	var buf bytes.Buffer
+	if err := run([]string{"-gen", "star", "-o", out}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "all semantic invariants hold") {
+		t.Fatalf("output: %s", buf.String())
+	}
+	buf.Reset()
+	if err := run([]string{"-timeline", out}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"time", "performance 1", "all semantic invariants hold"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("output missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+func TestDetectsBadTrace(t *testing.T) {
+	bad := []trace.Event{
+		{Seq: 1, Kind: trace.KindPerfStart, Script: "s", Performance: 1},
+		{Seq: 2, Kind: trace.KindStart, Script: "s", Performance: 1, Role: ids.Role("a")},
+		{Seq: 3, Kind: trace.KindStart, Script: "s", Performance: 1, Role: ids.Role("a")},
+	}
+	path := filepath.Join(t.TempDir(), "bad.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteJSON(f, bad); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	var buf bytes.Buffer
+	if err := run([]string{path}, &buf); err == nil {
+		t.Fatal("bad trace must fail")
+	}
+	if !strings.Contains(buf.String(), "role-filled-once") {
+		t.Fatalf("output: %s", buf.String())
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(nil, &buf); err == nil {
+		t.Error("no args must fail")
+	}
+	if err := run([]string{"-gen", "hexagon"}, &buf); err == nil {
+		t.Error("unknown shape must fail")
+	}
+	if err := run([]string{"/nonexistent/trace.json"}, &buf); err == nil {
+		t.Error("missing file must fail")
+	}
+	if err := run([]string{"-bogus"}, &buf); err == nil {
+		t.Error("bad flag must fail")
+	}
+}
+
+func TestPipelineGenerate(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-gen", "pipeline"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "all semantic invariants hold") {
+		t.Fatalf("output: %s", buf.String())
+	}
+}

@@ -1,0 +1,125 @@
+package script_test
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	script "github.com/scriptabs/goscript"
+)
+
+// ExampleNew shows the full lifecycle: define a script, enroll processes,
+// collect results.
+func ExampleNew() {
+	def := script.New("greet").
+		Role("asker", func(rc script.Ctx) error {
+			if err := rc.Send(script.Role("answerer"), "ping"); err != nil {
+				return err
+			}
+			v, err := rc.Recv(script.Role("answerer"))
+			rc.SetResult(0, v)
+			return err
+		}).
+		Role("answerer", func(rc script.Ctx) error {
+			if _, err := rc.Recv(script.Role("asker")); err != nil {
+				return err
+			}
+			return rc.Send(script.Role("asker"), "pong")
+		}).
+		MustBuild()
+
+	in := script.NewInstance(def)
+	defer in.Close()
+	ctx := context.Background()
+
+	go func() {
+		_, _ = in.Enroll(ctx, script.Enrollment{PID: "B", Role: script.Role("answerer")})
+	}()
+	res, err := in.Enroll(ctx, script.Enrollment{PID: "A", Role: script.Role("asker")})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(res.Values[0])
+	// Output: pong
+}
+
+// ExampleInstance_Enroll_partners shows partners-named enrollment: the
+// asker insists that a specific process plays the answerer.
+func ExampleInstance_Enroll_partners() {
+	def := script.New("pair").
+		Role("a", func(rc script.Ctx) error { return rc.Send(script.Role("b"), "hi") }).
+		Role("b", func(rc script.Ctx) error {
+			v, err := rc.Recv(script.Role("a"))
+			rc.SetResult(0, v)
+			return err
+		}).
+		MustBuild()
+	in := script.NewInstance(def)
+	defer in.Close()
+	ctx := context.Background()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _ = in.Enroll(ctx, script.Enrollment{
+			PID:  "alice",
+			Role: script.Role("a"),
+			With: map[script.RoleRef]script.PIDSet{script.Role("b"): script.Partners("bob")},
+		})
+	}()
+	res, err := in.Enroll(ctx, script.Enrollment{PID: "bob", Role: script.Role("b")})
+	wg.Wait()
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(res.Values[0])
+	// Output: hi
+}
+
+// ExampleCtx_Select shows the guarded alternative: a merge role accepts
+// from whichever producer is ready.
+func ExampleCtx_Select() {
+	def := script.New("merge").
+		Role("sink", func(rc script.Ctx) error {
+			var got []string
+			for len(got) < 2 {
+				sel, err := rc.Select(
+					script.RecvFrom(script.Member("src", 1)),
+					script.RecvFrom(script.Member("src", 2)),
+				)
+				if err != nil {
+					return err
+				}
+				got = append(got, sel.Val.(string))
+			}
+			sort.Strings(got)
+			rc.SetResult(0, fmt.Sprint(got))
+			return nil
+		}).
+		Family("src", 2, func(rc script.Ctx) error {
+			return rc.Send(script.Role("sink"), fmt.Sprintf("item-%d", rc.Index()))
+		}).
+		MustBuild()
+	in := script.NewInstance(def)
+	defer in.Close()
+	ctx := context.Background()
+	for i := 1; i <= 2; i++ {
+		i := i
+		go func() {
+			_, _ = in.Enroll(ctx, script.Enrollment{
+				PID: script.PID(fmt.Sprintf("P%d", i)), Role: script.Member("src", i),
+			})
+		}()
+	}
+	res, err := in.Enroll(ctx, script.Enrollment{PID: "S", Role: script.Role("sink")})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(res.Values[0])
+	// Output: [item-1 item-2]
+}

@@ -1,0 +1,121 @@
+// Lockmanager: the paper's replicated-database example (Figure 5) as a
+// running system — k lock-manager processes, contending readers and
+// writers, and a live membership change that hands a manager's lock table
+// to its replacement (the "separate script" the paper mentions).
+//
+//	go run ./examples/lockmanager
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"github.com/scriptabs/goscript/internal/core"
+	"github.com/scriptabs/goscript/internal/ids"
+	"github.com/scriptabs/goscript/internal/locktable"
+	"github.com/scriptabs/goscript/internal/patterns"
+)
+
+const k = 3 // replicas holding copies of the database
+
+func main() {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	strat := patterns.OneReadAllWrite()
+	lockInst := core.NewInstance(patterns.LockManager(k, strat))
+	defer lockInst.Close()
+	memberInst := core.NewInstance(patterns.MembershipChange())
+	defer memberInst.Close()
+
+	// Manager processes: each owns a lock table that survives across
+	// performances and across membership changes.
+	mctx, stopManagers := context.WithCancel(ctx)
+	var managers sync.WaitGroup
+	runManager := func(runCtx context.Context, pid ids.PID, slot int, table any) {
+		managers.Add(1)
+		go func() {
+			defer managers.Done()
+			if err := patterns.RunManager(runCtx, lockInst, pid, slot, table); err != nil {
+				log.Printf("%s: %v", pid, err)
+			}
+		}()
+	}
+	tables := make([]any, k+1)
+	mgr2Ctx, stopMgr2 := context.WithCancel(mctx)
+	for i := 1; i <= k; i++ {
+		tables[i] = strat.NewTable()
+		runCtx := mctx
+		if i == 2 {
+			runCtx = mgr2Ctx // mgr-2 will leave during phase 2
+		}
+		runManager(runCtx, ids.PID(fmt.Sprintf("mgr-%d", i)), i, tables[i])
+	}
+
+	// A writer takes the item; a reader is denied; the writer releases.
+	must := func(g bool, err error) bool {
+		if err != nil {
+			log.Fatal(err)
+		}
+		return g
+	}
+	fmt.Println("== phase 1: one lock to read, all locks to write")
+	fmt.Printf("writer locks accounts/alice: granted=%v\n",
+		must(patterns.RequestLock(ctx, lockInst, "W", "writer-1", "accounts/alice", true)))
+	fmt.Printf("reader locks accounts/alice: granted=%v (writer holds it)\n",
+		must(patterns.RequestLock(ctx, lockInst, "R", "reader-1", "accounts/alice", false)))
+	if err := patterns.ReleaseLock(ctx, lockInst, "W", "writer-1", "accounts/alice", true); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("reader retries after release:  granted=%v\n",
+		must(patterns.RequestLock(ctx, lockInst, "R", "reader-1", "accounts/alice", false)))
+
+	if err := patterns.ReleaseLock(ctx, lockInst, "R", "reader-1", "accounts/alice", false); err != nil {
+		log.Fatal(err)
+	}
+
+	// Membership change: mgr-2 leaves; mgr-9 joins, inheriting mgr-2's
+	// table — the paper: "the lock tables are preserved by such a change".
+	// writer-1 takes the write lock at ALL managers first; after the
+	// change, a reader probing slot 2 must still be denied. (A fresh table
+	// at slot 2 would wrongly grant that read.)
+	fmt.Println("\n== phase 2: membership change (mgr-2 leaves, mgr-9 joins)")
+	fmt.Printf("writer locks accounts/alice at all %d managers: granted=%v\n", k,
+		must(patterns.RequestLock(ctx, lockInst, "W", "writer-1", "accounts/alice", true)))
+	stopMgr2() // mgr-2 stops offering manager[2]
+	joinDone := make(chan any, 1)
+	go func() {
+		inherited, err := patterns.Join(ctx, memberInst, "mgr-9")
+		if err != nil {
+			log.Fatal(err)
+		}
+		joinDone <- inherited
+	}()
+	if err := patterns.Leave(ctx, memberInst, "mgr-2", tables[2], "mgr-9 replaces mgr-2"); err != nil {
+		log.Fatal(err)
+	}
+	inherited := <-joinDone
+	fmt.Println("mgr-9 inherited mgr-2's lock table")
+	runManager(mctx, "mgr-9", 2, inherited) // mgr-9 takes over slot 2
+
+	// The read quorum is 1, but every manager — including mgr-9 with the
+	// inherited table — must deny while writer-1 holds the write lock.
+	fmt.Printf("reader probes accounts/alice: granted=%v (write lock survived the change)\n",
+		must(patterns.RequestLock(ctx, lockInst, "R", "reader-1", "accounts/alice", false)))
+	if t, ok := inherited.(*locktable.Table); ok {
+		fmt.Printf("mgr-9's inherited table holds %d locked item(s)\n", t.Len())
+	}
+	if err := patterns.ReleaseLock(ctx, lockInst, "W", "writer-1", "accounts/alice", true); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("reader retries after the writer releases: granted=%v\n",
+		must(patterns.RequestLock(ctx, lockInst, "R", "reader-1", "accounts/alice", false)))
+
+	stopManagers()
+	lockInst.Close()
+	managers.Wait()
+	fmt.Println("\ndone")
+}

@@ -1,0 +1,85 @@
+// Quickstart: define a broadcast script, enroll a sender and three
+// recipients, and run two performances — entirely through the public API.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	script "github.com/scriptabs/goscript"
+)
+
+func main() {
+	// The script localizes the communication pattern: a sender role and a
+	// family of three recipient roles. Only the script body knows the
+	// broadcast is a star; enrolling processes just supply and receive
+	// values.
+	def := script.New("broadcast").
+		Role("sender", func(rc script.Ctx) error {
+			for i := 1; i <= 3; i++ {
+				if err := rc.Send(script.Member("recipient", i), rc.Arg(0)); err != nil {
+					return err
+				}
+			}
+			return nil
+		}).
+		Family("recipient", 3, func(rc script.Ctx) error {
+			v, err := rc.Recv(script.Role("sender"))
+			if err != nil {
+				return err
+			}
+			rc.SetResult(0, v)
+			return nil
+		}).
+		Initiation(script.DelayedInitiation).
+		Termination(script.DelayedTermination).
+		MustBuild()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	in := script.NewInstance(def)
+	defer in.Close()
+
+	// Three recipient processes enroll repeatedly; each Enroll call is one
+	// participation in one performance.
+	var wg sync.WaitGroup
+	for i := 1; i <= 3; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for round := 1; round <= 2; round++ {
+				res, err := in.Enroll(ctx, script.Enrollment{
+					PID:  script.PID(fmt.Sprintf("listener-%d", i)),
+					Role: script.Member("recipient", i),
+				})
+				if err != nil {
+					log.Printf("listener-%d: %v", i, err)
+					return
+				}
+				fmt.Printf("performance %d: listener-%d received %v\n",
+					res.Performance, i, res.Values[0])
+			}
+		}()
+	}
+
+	// The sender enrolls twice; the successive-activations rule keeps the
+	// two performances apart, so round 1 delivers "hello" and round 2
+	// delivers "world" — never a mix.
+	for _, msg := range []string{"hello", "world"} {
+		if _, err := in.Enroll(ctx, script.Enrollment{
+			PID:  "announcer",
+			Role: script.Role("sender"),
+			Args: []any{msg},
+		}); err != nil {
+			log.Fatalf("announcer: %v", err)
+		}
+	}
+	wg.Wait()
+}

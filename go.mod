@@ -1,0 +1,3 @@
+module github.com/scriptabs/goscript
+
+go 1.22

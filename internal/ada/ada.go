@@ -1,0 +1,509 @@
+// Package ada is a Go substrate for the Ada 83 tasking model, sufficient
+// for Section IV of the paper: tasks, entries with FIFO caller queues
+// (Ada services "repeated enrollments … in order of arrival"), the
+// rendezvous (an entry call blocks until the accept body completes and
+// returns the out parameters), entry families, selective wait with guards,
+// an else part, the terminate alternative with collective-termination
+// detection, and the E'COUNT attribute.
+//
+// Unlike CSP, callers name the callee but acceptors do not name callers —
+// the asymmetry the paper exploits for its "server script" with
+// partners-unnamed enrollment (Figure 8's reverse broadcast).
+//
+// All task coordination uses one program-wide lock; this is a
+// simulator-grade substrate aiming at faithful semantics, not scalability.
+package ada
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+)
+
+// Errors reported by the tasking runtime.
+var (
+	// ErrTerminated reports that a selective wait chose its terminate
+	// alternative: the task should complete (collective termination).
+	ErrTerminated = errors.New("ada: terminate alternative selected")
+	// ErrProgramError mirrors Ada's PROGRAM_ERROR: a selective wait whose
+	// guards are all closed and which has no else part.
+	ErrProgramError = errors.New("ada: all alternatives closed and no else part")
+	// ErrTaskingError mirrors Ada's TASKING_ERROR: an entry call on a task
+	// that has already completed.
+	ErrTaskingError = errors.New("ada: entry call on completed task")
+	// ErrNotStarted reports use of the program before Start.
+	ErrNotStarted = errors.New("ada: program not started")
+)
+
+// Program is a set of tasks elaborated together. Declare all tasks and
+// entries, then Start the program; Wait joins the tasks.
+type Program struct {
+	mu          sync.Mutex
+	cond        *sync.Cond
+	ctx         context.Context
+	tasks       []*Task
+	started     bool
+	runningTask int // tasks whose bodies have not returned
+	quiescent   int // tasks parked on a terminate alternative
+	externals   int // registered external callers not yet Done
+	terminating bool
+	errs        []error
+	wg          sync.WaitGroup
+	declErrs    []string
+}
+
+// NewProgram creates an empty program.
+func NewProgram() *Program {
+	p := &Program{}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+// Body is the sequence of statements of a task.
+type Body func(t *Task) error
+
+// Task declares a task with the given name and body. Declare entries on the
+// returned task before Start. The body may be nil at declaration time and
+// supplied later with SetBody — tasks often need their entries in scope
+// inside their own bodies.
+func (p *Program) Task(name string, body Body) *Task {
+	t := &Task{prog: p, name: name, body: body}
+	if name == "" {
+		p.declErrs = append(p.declErrs, "task name is empty")
+	}
+	p.tasks = append(p.tasks, t)
+	return t
+}
+
+// Start elaborates and activates all declared tasks. The context bounds the
+// whole program: cancellation aborts blocked rendezvous.
+func (p *Program) Start(ctx context.Context) error {
+	p.mu.Lock()
+	if p.started {
+		p.mu.Unlock()
+		return errors.New("ada: program already started")
+	}
+	if len(p.declErrs) > 0 {
+		p.mu.Unlock()
+		return fmt.Errorf("ada: invalid program: %s", p.declErrs[0])
+	}
+	if len(p.tasks) == 0 {
+		p.mu.Unlock()
+		return errors.New("ada: program has no tasks")
+	}
+	for _, t := range p.tasks {
+		if t.body == nil {
+			p.mu.Unlock()
+			return fmt.Errorf("ada: invalid program: task %s: nil body", t.name)
+		}
+	}
+	p.started = true
+	p.ctx = ctx
+	p.runningTask = len(p.tasks)
+	p.mu.Unlock()
+
+	// Wake all waiters when the program context ends.
+	stop := context.AfterFunc(ctx, func() {
+		p.mu.Lock()
+		p.cond.Broadcast()
+		p.mu.Unlock()
+	})
+
+	for _, t := range p.tasks {
+		t := t
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			err := runTaskBody(t)
+			p.mu.Lock()
+			t.done = true
+			p.runningTask--
+			if err != nil && !errors.Is(err, ErrTerminated) {
+				p.errs = append(p.errs, fmt.Errorf("task %s: %w", t.name, err))
+			}
+			p.failQueuedCallsLocked(t)
+			p.checkTerminationLocked()
+			p.cond.Broadcast()
+			p.mu.Unlock()
+		}()
+	}
+	go func() {
+		p.wg.Wait()
+		stop()
+	}()
+	return nil
+}
+
+// Wait blocks until every task has completed and returns their joined
+// errors. A task that exited via the terminate alternative is not an error.
+func (p *Program) Wait() error {
+	p.mu.Lock()
+	if !p.started {
+		p.mu.Unlock()
+		return ErrNotStarted
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return errors.Join(p.errs...)
+}
+
+// Run is Start followed by Wait.
+func (p *Program) Run(ctx context.Context) error {
+	if err := p.Start(ctx); err != nil {
+		return err
+	}
+	return p.Wait()
+}
+
+// Caller registers an external caller (a goroutine outside the program,
+// such as a script enroller in the paper's Ada translation) so that
+// collective termination waits for it. Release it with Done.
+type Caller struct {
+	prog *Program
+	once sync.Once
+}
+
+// ExternalCaller registers a new external caller.
+func (p *Program) ExternalCaller() *Caller {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.externals++
+	return &Caller{prog: p}
+}
+
+// Done unregisters the caller; idempotent.
+func (c *Caller) Done() {
+	c.once.Do(func() {
+		p := c.prog
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		p.externals--
+		p.checkTerminationLocked()
+		p.cond.Broadcast()
+	})
+}
+
+// checkTerminationLocked triggers collective termination when every live
+// task is parked on a terminate alternative and no external caller remains.
+func (p *Program) checkTerminationLocked() {
+	if p.terminating {
+		return
+	}
+	if p.runningTask == p.quiescent && p.externals == 0 {
+		p.terminating = true
+	}
+}
+
+// failQueuedCallsLocked rejects the queued calls of a completed task.
+func (p *Program) failQueuedCallsLocked(t *Task) {
+	for _, e := range t.entries {
+		for _, c := range e.queue {
+			c.deliver(nil, ErrTaskingError)
+		}
+		e.queue = nil
+	}
+}
+
+func runTaskBody(t *Task) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("ada: task body panicked: %v", r)
+		}
+	}()
+	return t.body(t)
+}
+
+// Task is one Ada task.
+type Task struct {
+	prog    *Program
+	name    string
+	body    Body
+	entries []*Entry
+	done    bool
+}
+
+// Name returns the task name.
+func (t *Task) Name() string { return t.name }
+
+// SetBody assigns the task's body; it must be called before the program
+// starts.
+func (t *Task) SetBody(body Body) { t.body = body }
+
+// Completed reports whether the task's body has returned.
+func (t *Task) Completed() bool {
+	t.prog.mu.Lock()
+	defer t.prog.mu.Unlock()
+	return t.done
+}
+
+// Context returns the program context.
+func (t *Task) Context() context.Context { return t.prog.ctx }
+
+// Entry declares a (scalar) entry on the task.
+func (t *Task) Entry(name string) *Entry {
+	e := &Entry{task: t, name: name, index: -1}
+	t.entries = append(t.entries, e)
+	return e
+}
+
+// EntryFamily declares an entry family with members 1..n (Ada's
+// "entry start(role_index)(…)", which the paper's translation uses for the
+// supervisor's start/stop entries).
+func (t *Task) EntryFamily(name string, n int) []*Entry {
+	out := make([]*Entry, 0, n)
+	for i := 1; i <= n; i++ {
+		e := &Entry{task: t, name: name, index: i}
+		t.entries = append(t.entries, e)
+		out = append(out, e)
+	}
+	return out
+}
+
+// Entry is a task entry with a FIFO queue of callers.
+type Entry struct {
+	task  *Task
+	name  string
+	index int
+	queue []*call
+}
+
+// Name returns the entry name, with the family index when applicable.
+func (e *Entry) Name() string {
+	if e.index < 0 {
+		return e.task.name + "." + e.name
+	}
+	return e.task.name + "." + e.name + "(" + strconv.Itoa(e.index) + ")"
+}
+
+// Count is the E'COUNT attribute: the number of queued callers.
+func (e *Entry) Count() int {
+	p := e.task.prog
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(e.queue)
+}
+
+type callResult struct {
+	outs []any
+	err  error
+}
+
+type call struct {
+	ins  []any
+	done chan callResult
+}
+
+func (c *call) deliver(outs []any, err error) {
+	c.done <- callResult{outs: outs, err: err}
+}
+
+// Call performs an entry call: it queues behind earlier callers and blocks
+// until the rendezvous completes, returning the accept body's out
+// parameters. An error from the accept body propagates to the caller
+// (Ada: an exception in the rendezvous is raised in both tasks).
+func (e *Entry) Call(ctx context.Context, ins ...any) ([]any, error) {
+	p := e.task.prog
+	p.mu.Lock()
+	if !p.started {
+		p.mu.Unlock()
+		return nil, ErrNotStarted
+	}
+	if e.task.done {
+		p.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s", ErrTaskingError, e.Name())
+	}
+	c := &call{ins: ins, done: make(chan callResult, 1)}
+	e.queue = append(e.queue, c)
+	p.cond.Broadcast()
+	p.mu.Unlock()
+
+	select {
+	case r := <-c.done:
+		return r.outs, r.err
+	case <-ctx.Done():
+		// Withdraw if still queued; if already being serviced, the
+		// rendezvous must complete (Ada: an entry call in rendezvous
+		// cannot be cancelled).
+		p.mu.Lock()
+		for i, qc := range e.queue {
+			if qc == c {
+				e.queue = append(e.queue[:i], e.queue[i+1:]...)
+				p.mu.Unlock()
+				return nil, ctx.Err()
+			}
+		}
+		p.mu.Unlock()
+		r := <-c.done
+		return r.outs, r.err
+	}
+}
+
+// Handler is an accept body: it receives the caller's in parameters and
+// returns the out parameters.
+type Handler func(ins []any) ([]any, error)
+
+// Accept waits for a caller on entry e and performs the rendezvous with the
+// handler. It must be called from e's task body.
+func (t *Task) Accept(e *Entry, h Handler) error {
+	_, err := t.Select(Accepting(e, h))
+	return err
+}
+
+// Alt is one alternative of a selective wait.
+type Alt struct {
+	kind    altKind
+	guard   bool
+	entry   *Entry
+	handler Handler
+	fn      func() error
+}
+
+type altKind int
+
+const (
+	altAccept altKind = iota + 1
+	altElse
+	altTerminate
+)
+
+// Accepting builds an open accept alternative.
+func Accepting(e *Entry, h Handler) Alt {
+	return Alt{kind: altAccept, guard: true, entry: e, handler: h}
+}
+
+// When sets the alternative's guard ("when cond =>").
+func (a Alt) When(cond bool) Alt {
+	a.guard = cond
+	return a
+}
+
+// Else builds an else part, executed when no open alternative has a queued
+// caller.
+func Else(fn func() error) Alt {
+	return Alt{kind: altElse, guard: true, fn: fn}
+}
+
+// Terminate builds a terminate alternative: the task completes when every
+// other live task is likewise quiescent and no external caller remains.
+func Terminate() Alt {
+	return Alt{kind: altTerminate, guard: true}
+}
+
+// Select is the selective wait. It blocks until some open accept
+// alternative has a caller (servicing the earliest-declared ready
+// alternative, each entry FIFO), runs the else part if none is ready and an
+// else part exists, or completes via the terminate alternative. It returns
+// the index of the chosen alternative. Terminate selection returns
+// ErrTerminated, which the task body should treat as normal completion
+// (or use Serve, which does so automatically).
+func (t *Task) Select(alts ...Alt) (int, error) {
+	p := t.prog
+	var (
+		accepts []int
+		elseIdx = -1
+		termIdx = -1
+	)
+	for i, a := range alts {
+		if !a.guard {
+			continue
+		}
+		switch a.kind {
+		case altAccept:
+			if a.entry == nil || a.entry.task != t {
+				return -1, fmt.Errorf("ada: select in task %s accepts foreign entry", t.name)
+			}
+			accepts = append(accepts, i)
+		case altElse:
+			elseIdx = i
+		case altTerminate:
+			termIdx = i
+		}
+	}
+	if len(accepts) == 0 && elseIdx < 0 && termIdx < 0 {
+		return -1, ErrProgramError
+	}
+
+	p.mu.Lock()
+	registeredQuiescent := false
+	defer func() {
+		if registeredQuiescent {
+			p.quiescent--
+		}
+		p.mu.Unlock()
+	}()
+	for {
+		if err := p.ctx.Err(); err != nil {
+			return -1, err
+		}
+		for _, i := range accepts {
+			e := alts[i].entry
+			if len(e.queue) == 0 {
+				continue
+			}
+			c := e.queue[0]
+			e.queue = e.queue[1:]
+			if registeredQuiescent {
+				p.quiescent--
+				registeredQuiescent = false
+			}
+			p.mu.Unlock()
+			outs, err := runHandler(alts[i].handler, c.ins)
+			c.deliver(outs, err)
+			p.mu.Lock()
+			p.cond.Broadcast()
+			return i, err
+		}
+		if elseIdx >= 0 {
+			p.mu.Unlock()
+			err := alts[elseIdx].fn()
+			p.mu.Lock()
+			return elseIdx, err
+		}
+		if termIdx >= 0 {
+			if !registeredQuiescent {
+				registeredQuiescent = true
+				p.quiescent++
+				p.checkTerminationLocked()
+				p.cond.Broadcast()
+			}
+			if p.terminating {
+				return termIdx, ErrTerminated
+			}
+		}
+		p.cond.Wait()
+	}
+}
+
+func runHandler(h Handler, ins []any) (outs []any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("ada: accept body panicked: %v", r)
+		}
+	}()
+	if h == nil {
+		return nil, nil
+	}
+	return h(ins)
+}
+
+// Serve runs the selective wait produced by alts repeatedly until the
+// terminate alternative is selected (returns nil) or an error occurs. The
+// callback rebuilds the alternatives each iteration so guards are
+// re-evaluated, as Ada does.
+func (t *Task) Serve(alts func() []Alt) error {
+	for {
+		_, err := t.Select(alts()...)
+		switch {
+		case err == nil:
+			continue
+		case errors.Is(err, ErrTerminated):
+			return nil
+		default:
+			return err
+		}
+	}
+}

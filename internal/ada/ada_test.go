@@ -1,0 +1,491 @@
+package ada
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func progCtx(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+func TestBasicRendezvousTransfersInsAndOuts(t *testing.T) {
+	p := NewProgram()
+	server := p.Task("server", nil)
+	echo := server.Entry("echo")
+	server.body = func(tk *Task) error {
+		return tk.Accept(echo, func(ins []any) ([]any, error) {
+			return []any{ins[0].(int) * 2}, nil
+		})
+	}
+	var got any
+	p.Task("client", func(tk *Task) error {
+		outs, err := echo.Call(tk.Context(), 21)
+		if err != nil {
+			return err
+		}
+		got = outs[0]
+		return nil
+	})
+	if err := p.Run(progCtx(t)); err != nil {
+		t.Fatal(err)
+	}
+	if got != 42 {
+		t.Fatalf("out = %v, want 42", got)
+	}
+}
+
+// TestFigure8ReverseBroadcast transcribes the paper's Figure 8: the sender
+// task owns a receive entry, and the five recipients *call* the sender —
+// "a result of Ada's naming conventions".
+func TestFigure8ReverseBroadcast(t *testing.T) {
+	const n = 5
+	const data = "item-value"
+	p := NewProgram()
+	sender := p.Task("sender", nil)
+	receive := sender.Entry("receive")
+	sender.body = func(tk *Task) error {
+		completed := 0
+		for completed < n {
+			if err := tk.Accept(receive, func(ins []any) ([]any, error) {
+				completed++
+				return []any{data}, nil
+			}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var mu sync.Mutex
+	received := map[int]any{}
+	for i := 1; i <= n; i++ {
+		i := i
+		p.Task(fmt.Sprintf("r%d", i), func(tk *Task) error {
+			outs, err := receive.Call(tk.Context())
+			if err != nil {
+				return err
+			}
+			mu.Lock()
+			received[i] = outs[0]
+			mu.Unlock()
+			return nil
+		})
+	}
+	if err := p.Run(progCtx(t)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= n; i++ {
+		if received[i] != data {
+			t.Errorf("recipient %d got %v", i, received[i])
+		}
+	}
+}
+
+func TestEntryQueueIsFIFO(t *testing.T) {
+	p := NewProgram()
+	server := p.Task("server", nil)
+	e := server.Entry("e")
+	gate := make(chan struct{})
+	var served []int
+	server.body = func(tk *Task) error {
+		<-gate // let all callers queue first
+		for i := 0; i < 3; i++ {
+			if err := tk.Accept(e, func(ins []any) ([]any, error) {
+				served = append(served, ins[0].(int))
+				return nil, nil
+			}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for i := 1; i <= 3; i++ {
+		i := i
+		p.Task(fmt.Sprintf("c%d", i), func(tk *Task) error {
+			// Stagger arrivals so queue order is deterministic.
+			time.Sleep(time.Duration(i) * 20 * time.Millisecond)
+			_, err := e.Call(tk.Context(), i)
+			return err
+		})
+	}
+	go func() {
+		time.Sleep(150 * time.Millisecond)
+		close(gate)
+	}()
+	if err := p.Run(progCtx(t)); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range served {
+		if v != i+1 {
+			t.Fatalf("service order = %v, want [1 2 3]", served)
+		}
+	}
+}
+
+func TestSelectGuardsAndElse(t *testing.T) {
+	p := NewProgram()
+	server := p.Task("server", nil)
+	open := server.Entry("open")
+	closed := server.Entry("closed")
+	var tookElse, servedOpen bool
+	server.body = func(tk *Task) error {
+		// First: nothing queued; the else part must run.
+		if _, err := tk.Select(
+			Accepting(open, nil),
+			Else(func() error { tookElse = true; return nil }),
+		); err != nil {
+			return err
+		}
+		// Then: serve the open entry; the closed entry's guard is false
+		// even though a caller waits there.
+		_, err := tk.Select(
+			Accepting(closed, nil).When(false),
+			Accepting(open, func(ins []any) ([]any, error) {
+				servedOpen = true
+				return nil, nil
+			}),
+		)
+		return err
+	}
+	p.Task("clientOpen", func(tk *Task) error {
+		time.Sleep(30 * time.Millisecond)
+		_, err := open.Call(tk.Context())
+		return err
+	})
+	p.Task("clientClosed", func(tk *Task) error {
+		cctx, cancel := context.WithTimeout(tk.Context(), 300*time.Millisecond)
+		defer cancel()
+		// The closed-guard entry is never served: either the caller's
+		// timeout fires, or the server completes first and the queued call
+		// fails with TASKING_ERROR (both are correct Ada outcomes).
+		_, err := closed.Call(cctx)
+		if !errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, ErrTaskingError) {
+			return fmt.Errorf("closed-guard entry call: %v", err)
+		}
+		return nil
+	})
+	if err := p.Run(progCtx(t)); err != nil {
+		t.Fatal(err)
+	}
+	if !tookElse || !servedOpen {
+		t.Fatalf("tookElse=%v servedOpen=%v", tookElse, servedOpen)
+	}
+}
+
+func TestSelectAllClosedIsProgramError(t *testing.T) {
+	p := NewProgram()
+	server := p.Task("server", nil)
+	e := server.Entry("e")
+	server.body = func(tk *Task) error {
+		_, err := tk.Select(Accepting(e, nil).When(false))
+		if !errors.Is(err, ErrProgramError) {
+			return fmt.Errorf("select: %v", err)
+		}
+		return nil
+	}
+	if err := p.Run(progCtx(t)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCollectiveTermination(t *testing.T) {
+	// Two servers loop on select-with-terminate; one worker makes a few
+	// calls and finishes. Both servers must then terminate collectively.
+	p := NewProgram()
+	s1 := p.Task("s1", nil)
+	e1 := s1.Entry("e")
+	s1.body = func(tk *Task) error {
+		return tk.Serve(func() []Alt {
+			return []Alt{Accepting(e1, nil), Terminate()}
+		})
+	}
+	s2 := p.Task("s2", nil)
+	e2 := s2.Entry("e")
+	s2.body = func(tk *Task) error {
+		return tk.Serve(func() []Alt {
+			return []Alt{Accepting(e2, nil), Terminate()}
+		})
+	}
+	p.Task("worker", func(tk *Task) error {
+		for i := 0; i < 3; i++ {
+			if _, err := e1.Call(tk.Context()); err != nil {
+				return err
+			}
+			if _, err := e2.Call(tk.Context()); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err := p.Run(progCtx(t)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExternalCallerBlocksTermination(t *testing.T) {
+	p := NewProgram()
+	server := p.Task("server", nil)
+	e := server.Entry("e")
+	server.body = func(tk *Task) error {
+		return tk.Serve(func() []Alt {
+			return []Alt{
+				Accepting(e, func(ins []any) ([]any, error) { return []any{"ok"}, nil }),
+				Terminate(),
+			}
+		})
+	}
+	ctx := progCtx(t)
+	caller := p.ExternalCaller()
+	if err := p.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// The program must not terminate while the external caller is live.
+	done := make(chan error, 1)
+	go func() { done <- p.Wait() }()
+	select {
+	case err := <-done:
+		t.Fatalf("program terminated with live external caller: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	outs, err := e.Call(ctx, nil)
+	if err != nil || outs[0] != "ok" {
+		t.Fatalf("external call: outs=%v err=%v", outs, err)
+	}
+	caller.Done()
+	caller.Done() // idempotent
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEntryCallOnCompletedTask(t *testing.T) {
+	p := NewProgram()
+	server := p.Task("server", nil)
+	e := server.Entry("e")
+	server.body = func(tk *Task) error { return nil } // completes at once
+	p.Task("client", func(tk *Task) error {
+		// Wait for the server to be done, then call.
+		for !server.Completed() {
+			time.Sleep(time.Millisecond)
+		}
+		_, err := e.Call(tk.Context())
+		if !errors.Is(err, ErrTaskingError) {
+			return fmt.Errorf("call: %v", err)
+		}
+		return nil
+	})
+	if err := p.Run(progCtx(t)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueuedCallFailsWhenTaskCompletes(t *testing.T) {
+	p := NewProgram()
+	server := p.Task("server", nil)
+	e := server.Entry("e")
+	release := make(chan struct{})
+	server.body = func(tk *Task) error {
+		<-release
+		return nil // completes with a queued caller
+	}
+	p.Task("client", func(tk *Task) error {
+		go func() {
+			time.Sleep(30 * time.Millisecond)
+			close(release)
+		}()
+		_, err := e.Call(tk.Context())
+		if !errors.Is(err, ErrTaskingError) {
+			return fmt.Errorf("queued call: %v", err)
+		}
+		return nil
+	})
+	if err := p.Run(progCtx(t)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHandlerErrorPropagatesToBothTasks(t *testing.T) {
+	boom := errors.New("boom")
+	p := NewProgram()
+	server := p.Task("server", nil)
+	e := server.Entry("e")
+	var acceptErr error
+	server.body = func(tk *Task) error {
+		acceptErr = tk.Accept(e, func(ins []any) ([]any, error) { return nil, boom })
+		return nil // swallow so only the propagation is under test
+	}
+	var callErr error
+	p.Task("client", func(tk *Task) error {
+		_, callErr = e.Call(tk.Context())
+		return nil
+	})
+	if err := p.Run(progCtx(t)); err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(acceptErr, boom) || !errors.Is(callErr, boom) {
+		t.Fatalf("acceptErr=%v callErr=%v, want boom in both", acceptErr, callErr)
+	}
+}
+
+func TestEntryFamilyAndCount(t *testing.T) {
+	p := NewProgram()
+	sup := p.Task("sup", nil)
+	starts := sup.EntryFamily("start", 3)
+	if got := starts[1].Name(); got != "sup.start(2)" {
+		t.Errorf("family entry name = %q", got)
+	}
+	sup.body = func(tk *Task) error {
+		// Wait until the second family member has a queued caller, observe
+		// E'COUNT, then serve it.
+		for starts[1].Count() == 0 {
+			time.Sleep(time.Millisecond)
+		}
+		if starts[0].Count() != 0 || starts[2].Count() != 0 {
+			return errors.New("count leaked across family members")
+		}
+		return tk.Accept(starts[1], nil)
+	}
+	p.Task("caller", func(tk *Task) error {
+		_, err := starts[1].Call(tk.Context())
+		return err
+	})
+	if err := p.Run(progCtx(t)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAcceptForeignEntryRejected(t *testing.T) {
+	p := NewProgram()
+	a := p.Task("a", nil)
+	e := a.Entry("e")
+	a.body = func(tk *Task) error {
+		go func() { _, _ = e.Call(tk.Context()) }() // unblock not needed; error is sync
+		return nil
+	}
+	p.Task("b", func(tk *Task) error {
+		_, err := tk.Select(Accepting(e, nil))
+		if err == nil {
+			return errors.New("accepting a foreign entry must fail")
+		}
+		return nil
+	})
+	if err := p.Run(progCtx(t)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNestedRendezvous(t *testing.T) {
+	// middle's accept body calls backend — nested rendezvous must not
+	// deadlock.
+	p := NewProgram()
+	backend := p.Task("backend", nil)
+	be := backend.Entry("e")
+	backend.body = func(tk *Task) error {
+		return tk.Accept(be, func(ins []any) ([]any, error) {
+			return []any{ins[0].(int) + 1}, nil
+		})
+	}
+	middle := p.Task("middle", nil)
+	me := middle.Entry("e")
+	middle.body = func(tk *Task) error {
+		return tk.Accept(me, func(ins []any) ([]any, error) {
+			return be.Call(tk.Context(), ins[0])
+		})
+	}
+	var got any
+	p.Task("client", func(tk *Task) error {
+		outs, err := me.Call(tk.Context(), 1)
+		if err != nil {
+			return err
+		}
+		got = outs[0]
+		return nil
+	})
+	if err := p.Run(progCtx(t)); err != nil {
+		t.Fatal(err)
+	}
+	if got != 2 {
+		t.Fatalf("nested result = %v, want 2", got)
+	}
+}
+
+func TestProgramValidation(t *testing.T) {
+	ctx := context.Background()
+	if err := NewProgram().Run(ctx); err == nil {
+		t.Error("empty program must fail")
+	}
+	p := NewProgram()
+	p.Task("", func(tk *Task) error { return nil })
+	if err := p.Run(ctx); err == nil {
+		t.Error("empty task name must fail")
+	}
+	p2 := NewProgram()
+	p2.Task("t", nil)
+	if err := p2.Run(ctx); err == nil {
+		t.Error("nil body must fail")
+	}
+	p3 := NewProgram()
+	p3.Task("t", func(tk *Task) error { return nil })
+	if err := p3.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := p3.Start(ctx); err == nil {
+		t.Error("double start must fail")
+	}
+	_ = p3.Wait()
+	if err := NewProgram().Wait(); !errors.Is(err, ErrNotStarted) {
+		t.Errorf("Wait before Start: %v", err)
+	}
+}
+
+func TestCallBeforeStart(t *testing.T) {
+	p := NewProgram()
+	srv := p.Task("s", func(tk *Task) error { return nil })
+	e := srv.Entry("e")
+	if _, err := e.Call(context.Background()); !errors.Is(err, ErrNotStarted) {
+		t.Fatalf("err = %v, want ErrNotStarted", err)
+	}
+}
+
+func TestTaskPanicBecomesError(t *testing.T) {
+	p := NewProgram()
+	p.Task("t", func(tk *Task) error { panic("kaboom") })
+	err := p.Run(progCtx(t))
+	if err == nil {
+		t.Fatal("want error from panicking task")
+	}
+}
+
+func TestCancellationWithdrawsQueuedCall(t *testing.T) {
+	p := NewProgram()
+	server := p.Task("server", nil)
+	e := server.Entry("e")
+	hold := make(chan struct{})
+	server.body = func(tk *Task) error {
+		<-hold
+		return nil
+	}
+	p.Task("client", func(tk *Task) error {
+		cctx, cancel := context.WithCancel(tk.Context())
+		go func() {
+			time.Sleep(20 * time.Millisecond)
+			cancel()
+		}()
+		_, err := e.Call(cctx)
+		close(hold)
+		if !errors.Is(err, context.Canceled) {
+			return fmt.Errorf("call: %v", err)
+		}
+		return nil
+	})
+	if err := p.Run(progCtx(t)); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,38 @@
+package ada
+
+import (
+	"context"
+	"testing"
+)
+
+// BenchmarkRendezvous measures one entry call + accept round trip.
+func BenchmarkRendezvous(b *testing.B) {
+	p := NewProgram()
+	server := p.Task("server", nil)
+	e := server.Entry("echo")
+	server.SetBody(func(tk *Task) error {
+		return tk.Serve(func() []Alt {
+			return []Alt{
+				Accepting(e, func(ins []any) ([]any, error) { return ins, nil }),
+				Terminate(),
+			}
+		})
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	caller := p.ExternalCaller()
+	if err := p.Start(ctx); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Call(ctx, i); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	caller.Done()
+	if err := p.Wait(); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,235 @@
+// Package conform checks recorded execution traces against the script
+// semantics and against per-script communication specifications — a first
+// cut at the paper's Section V program: "we believe scripts will simplify
+// the specification of communication subsystems and make the verification
+// of such systems more practical."
+//
+// CheckSemantics validates the runtime invariants every execution must
+// satisfy (consecutive non-overlapping performances, roles starting and
+// finishing inside their performance, no role filled twice per
+// performance, absent roles staying absent). CheckChannels validates a
+// *specification*: the communication pattern a script promises, e.g. "the
+// star broadcast sends only sender→recipient[i]". Tests across this
+// repository run real executions through both.
+package conform
+
+import (
+	"fmt"
+
+	"github.com/scriptabs/goscript/internal/ids"
+	"github.com/scriptabs/goscript/internal/trace"
+)
+
+// Violation is one broken rule, anchored at the offending event.
+type Violation struct {
+	// Rule names the invariant ("consecutive-performances", ...).
+	Rule string
+	// Event is the offending trace event.
+	Event trace.Event
+	// Detail explains the violation.
+	Detail string
+}
+
+// Error formats the violation; Violation intentionally does not implement
+// error (it is a report entry, not a control-flow signal).
+func (v Violation) String() string {
+	return fmt.Sprintf("%s: %s (%s)", v.Rule, v.Detail, v.Event)
+}
+
+// scriptState tracks one script's lifecycle while scanning.
+type scriptState struct {
+	lastPerf int
+	open     bool
+	started  map[ids.RoleRef]bool
+	finished map[ids.RoleRef]bool
+	absent   map[ids.RoleRef]bool
+}
+
+// CheckSemantics scans events (in recorded order) and returns every
+// violation of the script runtime's invariants:
+//
+//   - performance numbers are consecutive per script, and performances of
+//     one script never overlap (the successive-activations rule);
+//   - Start, Send, Recv, Finish and Absent events carry the open
+//     performance's number;
+//   - a role starts at most once per performance, finishes only after
+//     starting, and never starts after being marked absent;
+//   - a performance ends only when every started role has finished.
+func CheckSemantics(events []trace.Event) []Violation {
+	var out []Violation
+	scripts := make(map[string]*scriptState)
+	st := func(name string) *scriptState {
+		s, ok := scripts[name]
+		if !ok {
+			s = &scriptState{}
+			scripts[name] = s
+		}
+		return s
+	}
+	add := func(rule string, e trace.Event, format string, args ...any) {
+		out = append(out, Violation{Rule: rule, Event: e, Detail: fmt.Sprintf(format, args...)})
+	}
+
+	for _, e := range events {
+		s := st(e.Script)
+		switch e.Kind {
+		case trace.KindPerfStart:
+			if s.open {
+				add("non-overlapping-performances", e,
+					"performance %d starts while %d is open", e.Performance, s.lastPerf)
+			}
+			if e.Performance != s.lastPerf+1 {
+				add("consecutive-performances", e,
+					"performance %d follows %d", e.Performance, s.lastPerf)
+			}
+			s.open = true
+			s.lastPerf = e.Performance
+			s.started = make(map[ids.RoleRef]bool)
+			s.finished = make(map[ids.RoleRef]bool)
+			s.absent = make(map[ids.RoleRef]bool)
+		case trace.KindPerfEnd:
+			if !s.open || e.Performance != s.lastPerf {
+				add("performance-end-matches-start", e,
+					"end of performance %d but open is %d", e.Performance, s.lastPerf)
+			}
+			for r := range s.started {
+				if !s.finished[r] {
+					add("all-roles-finish-before-end", e,
+						"role %s started but never finished", r)
+				}
+			}
+			s.open = false
+		case trace.KindStart:
+			if !s.inOpenPerf(e) {
+				add("event-inside-performance", e, "start outside its performance")
+				continue
+			}
+			if s.started[e.Role] {
+				add("role-filled-once", e, "role %s started twice in performance %d", e.Role, e.Performance)
+			}
+			if s.absent[e.Role] {
+				add("absent-roles-stay-absent", e, "role %s starts after being marked absent", e.Role)
+			}
+			s.started[e.Role] = true
+		case trace.KindFinish:
+			if !s.inOpenPerf(e) {
+				add("event-inside-performance", e, "finish outside its performance")
+				continue
+			}
+			if !s.started[e.Role] {
+				add("finish-after-start", e, "role %s finishes without starting", e.Role)
+			}
+			if s.finished[e.Role] {
+				add("finish-once", e, "role %s finishes twice", e.Role)
+			}
+			s.finished[e.Role] = true
+		case trace.KindAbsent:
+			if !s.inOpenPerf(e) {
+				add("event-inside-performance", e, "absent-marking outside its performance")
+				continue
+			}
+			if s.started[e.Role] {
+				add("absent-only-unfilled", e, "role %s marked absent after starting", e.Role)
+			}
+			s.absent[e.Role] = true
+		case trace.KindSend, trace.KindRecv:
+			if !s.inOpenPerf(e) {
+				add("event-inside-performance", e, "communication outside its performance")
+				continue
+			}
+			if !s.started[e.Role] {
+				add("communicate-only-started", e, "role %s communicates before starting", e.Role)
+			}
+			if s.finished[e.Role] {
+				add("communicate-only-unfinished", e, "role %s communicates after finishing", e.Role)
+			}
+		}
+	}
+	return out
+}
+
+func (s *scriptState) inOpenPerf(e trace.Event) bool {
+	return s.open && e.Performance == s.lastPerf
+}
+
+// ChannelSpec is a communication specification: Allowed reports whether the
+// script permits a send from one role to another.
+type ChannelSpec struct {
+	// Script restricts the check to events of this script ("" = all).
+	Script string
+	// Allowed is the permitted communication relation.
+	Allowed func(from, to ids.RoleRef) bool
+}
+
+// CheckChannels returns a violation for every send outside the allowed
+// relation. (Receive events mirror the sends and are not double-counted.)
+func CheckChannels(events []trace.Event, spec ChannelSpec) []Violation {
+	if spec.Allowed == nil {
+		return nil
+	}
+	var out []Violation
+	for _, e := range events {
+		if e.Kind != trace.KindSend {
+			continue
+		}
+		if spec.Script != "" && e.Script != spec.Script {
+			continue
+		}
+		if !spec.Allowed(e.Role, e.Peer) {
+			out = append(out, Violation{
+				Rule:   "allowed-channels",
+				Event:  e,
+				Detail: fmt.Sprintf("send %s -> %s not in the specification", e.Role, e.Peer),
+			})
+		}
+	}
+	return out
+}
+
+// ReceiveCountSpec requires each role matched by Match to receive exactly
+// Count messages in every performance it participates in.
+type ReceiveCountSpec struct {
+	Script string
+	Match  func(ids.RoleRef) bool
+	Count  int
+}
+
+// CheckReceiveCounts verifies per-performance receive counts, e.g. "every
+// recipient of a broadcast receives exactly once per performance".
+func CheckReceiveCounts(events []trace.Event, spec ReceiveCountSpec) []Violation {
+	if spec.Match == nil {
+		return nil
+	}
+	type key struct {
+		perf int
+		role ids.RoleRef
+	}
+	counts := make(map[key]int)
+	participated := make(map[key]trace.Event)
+	for _, e := range events {
+		if spec.Script != "" && e.Script != spec.Script {
+			continue
+		}
+		switch e.Kind {
+		case trace.KindStart:
+			if spec.Match(e.Role) {
+				participated[key{e.Performance, e.Role}] = e
+			}
+		case trace.KindRecv:
+			if spec.Match(e.Role) {
+				counts[key{e.Performance, e.Role}]++
+			}
+		}
+	}
+	var out []Violation
+	for k, e := range participated {
+		if got := counts[k]; got != spec.Count {
+			out = append(out, Violation{
+				Rule:   "receive-count",
+				Event:  e,
+				Detail: fmt.Sprintf("role %s received %d messages in performance %d, want %d", k.role, got, k.perf, spec.Count),
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,321 @@
+package conform
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/scriptabs/goscript/internal/core"
+	"github.com/scriptabs/goscript/internal/ids"
+	"github.com/scriptabs/goscript/internal/patterns"
+	"github.com/scriptabs/goscript/internal/trace"
+)
+
+// runTraced runs `rounds` performances of a broadcast script and returns
+// the trace.
+func runTraced(t *testing.T, def core.Definition, n, rounds int) []trace.Event {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	var log trace.Log
+	in := core.NewInstance(def, core.WithTracer(&log))
+	defer in.Close()
+
+	var wg sync.WaitGroup
+	for i := 1; i <= n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				if _, err := in.Enroll(ctx, core.Enrollment{
+					PID: ids.PID(fmt.Sprintf("R%d", i)), Role: ids.Member(patterns.RoleRecipient, i),
+				}); err != nil {
+					t.Errorf("recipient %d: %v", i, err)
+					return
+				}
+			}
+		}()
+	}
+	for r := 0; r < rounds; r++ {
+		if _, err := in.Enroll(ctx, core.Enrollment{
+			PID: "T", Role: ids.Role(patterns.RoleSender), Args: []any{r},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	return log.Events()
+}
+
+func noViolations(t *testing.T, vs []Violation) {
+	t.Helper()
+	for _, v := range vs {
+		t.Errorf("violation: %s", v)
+	}
+}
+
+func TestRealStarBroadcastConforms(t *testing.T) {
+	const n, rounds = 4, 6
+	events := runTraced(t, patterns.StarBroadcast(n), n, rounds)
+	noViolations(t, CheckSemantics(events))
+	noViolations(t, CheckChannels(events, ChannelSpec{
+		Script: "star_broadcast",
+		Allowed: func(from, to ids.RoleRef) bool {
+			return from == ids.Role(patterns.RoleSender) && to.Name == patterns.RoleRecipient
+		},
+	}))
+	noViolations(t, CheckReceiveCounts(events, ReceiveCountSpec{
+		Script: "star_broadcast",
+		Match:  func(r ids.RoleRef) bool { return r.Name == patterns.RoleRecipient },
+		Count:  1,
+	}))
+}
+
+func TestRealPipelineBroadcastConforms(t *testing.T) {
+	const n, rounds = 5, 4
+	events := runTraced(t, patterns.PipelineBroadcast(n), n, rounds)
+	noViolations(t, CheckSemantics(events))
+	// The pipeline's spec: sender feeds recipient 1; recipient i feeds i+1.
+	noViolations(t, CheckChannels(events, ChannelSpec{
+		Script: "pipeline_broadcast",
+		Allowed: func(from, to ids.RoleRef) bool {
+			if from == ids.Role(patterns.RoleSender) {
+				return to == ids.Member(patterns.RoleRecipient, 1)
+			}
+			return from.Name == patterns.RoleRecipient && to == ids.Member(patterns.RoleRecipient, from.Index+1)
+		},
+	}))
+	// The star's spec must FAIL against the pipeline's trace: the checker
+	// distinguishes the hidden strategies.
+	vs := CheckChannels(events, ChannelSpec{
+		Script: "pipeline_broadcast",
+		Allowed: func(from, to ids.RoleRef) bool {
+			return from == ids.Role(patterns.RoleSender)
+		},
+	})
+	if len(vs) == 0 {
+		t.Fatal("pipeline trace wrongly satisfies the star specification")
+	}
+}
+
+func TestRealTreeBroadcastConforms(t *testing.T) {
+	const n, fanout, rounds = 7, 2, 3
+	events := runTraced(t, patterns.TreeBroadcast(n, fanout), n, rounds)
+	noViolations(t, CheckSemantics(events))
+	noViolations(t, CheckChannels(events, ChannelSpec{
+		Script: "tree_broadcast",
+		Allowed: func(from, to ids.RoleRef) bool {
+			if from == ids.Role(patterns.RoleSender) {
+				return to == ids.Member(patterns.RoleRecipient, 1)
+			}
+			if from.Name != patterns.RoleRecipient || to.Name != patterns.RoleRecipient {
+				return false
+			}
+			first := fanout*(from.Index-1) + 2
+			return to.Index >= first && to.Index < first+fanout
+		},
+	}))
+}
+
+// synthetic traces -----------------------------------------------------------
+
+func ev(kind trace.Kind, script string, perf int, role ids.RoleRef) trace.Event {
+	return trace.Event{Kind: kind, Script: script, Performance: perf, Role: role}
+}
+
+func rulesOf(vs []Violation) []string {
+	var out []string
+	for _, v := range vs {
+		out = append(out, v.Rule)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestSyntheticViolations(t *testing.T) {
+	r1, r2 := ids.Role("a"), ids.Role("b")
+	tests := []struct {
+		name   string
+		events []trace.Event
+		want   string
+	}{
+		{
+			"overlapping performances",
+			[]trace.Event{
+				ev(trace.KindPerfStart, "s", 1, ids.RoleRef{}),
+				ev(trace.KindPerfStart, "s", 2, ids.RoleRef{}),
+			},
+			"non-overlapping-performances",
+		},
+		{
+			"skipped performance number",
+			[]trace.Event{
+				ev(trace.KindPerfStart, "s", 2, ids.RoleRef{}),
+			},
+			"consecutive-performances",
+		},
+		{
+			"role starts twice",
+			[]trace.Event{
+				ev(trace.KindPerfStart, "s", 1, ids.RoleRef{}),
+				ev(trace.KindStart, "s", 1, r1),
+				ev(trace.KindStart, "s", 1, r1),
+			},
+			"role-filled-once",
+		},
+		{
+			"finish without start",
+			[]trace.Event{
+				ev(trace.KindPerfStart, "s", 1, ids.RoleRef{}),
+				ev(trace.KindFinish, "s", 1, r1),
+			},
+			"finish-after-start",
+		},
+		{
+			"end with unfinished role",
+			[]trace.Event{
+				ev(trace.KindPerfStart, "s", 1, ids.RoleRef{}),
+				ev(trace.KindStart, "s", 1, r1),
+				ev(trace.KindPerfEnd, "s", 1, ids.RoleRef{}),
+			},
+			"all-roles-finish-before-end",
+		},
+		{
+			"absent role starts",
+			[]trace.Event{
+				ev(trace.KindPerfStart, "s", 1, ids.RoleRef{}),
+				ev(trace.KindAbsent, "s", 1, r2),
+				ev(trace.KindStart, "s", 1, r2),
+			},
+			"absent-roles-stay-absent",
+		},
+		{
+			"communication before start",
+			[]trace.Event{
+				ev(trace.KindPerfStart, "s", 1, ids.RoleRef{}),
+				ev(trace.KindSend, "s", 1, r1),
+			},
+			"communicate-only-started",
+		},
+		{
+			"communication after finish",
+			[]trace.Event{
+				ev(trace.KindPerfStart, "s", 1, ids.RoleRef{}),
+				ev(trace.KindStart, "s", 1, r1),
+				ev(trace.KindFinish, "s", 1, r1),
+				ev(trace.KindRecv, "s", 1, r1),
+			},
+			"communicate-only-unfinished",
+		},
+		{
+			"start outside performance",
+			[]trace.Event{
+				ev(trace.KindStart, "s", 1, r1),
+			},
+			"event-inside-performance",
+		},
+		{
+			"mismatched end",
+			[]trace.Event{
+				ev(trace.KindPerfStart, "s", 1, ids.RoleRef{}),
+				ev(trace.KindPerfEnd, "s", 7, ids.RoleRef{}),
+			},
+			"performance-end-matches-start",
+		},
+		{
+			"double finish",
+			[]trace.Event{
+				ev(trace.KindPerfStart, "s", 1, ids.RoleRef{}),
+				ev(trace.KindStart, "s", 1, r1),
+				ev(trace.KindFinish, "s", 1, r1),
+				ev(trace.KindFinish, "s", 1, r1),
+			},
+			"finish-once",
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			vs := CheckSemantics(tt.events)
+			if len(vs) == 0 {
+				t.Fatalf("no violation detected, want %s", tt.want)
+			}
+			if !strings.Contains(strings.Join(rulesOf(vs), " "), tt.want) {
+				t.Fatalf("rules %v, want %s", rulesOf(vs), tt.want)
+			}
+		})
+	}
+}
+
+func TestCleanSyntheticTraceHasNoViolations(t *testing.T) {
+	r1, r2 := ids.Role("a"), ids.Role("b")
+	events := []trace.Event{
+		ev(trace.KindPerfStart, "s", 1, ids.RoleRef{}),
+		ev(trace.KindStart, "s", 1, r1),
+		ev(trace.KindStart, "s", 1, r2),
+		{Kind: trace.KindSend, Script: "s", Performance: 1, Role: r1, Peer: r2},
+		{Kind: trace.KindRecv, Script: "s", Performance: 1, Role: r2, Peer: r1},
+		ev(trace.KindFinish, "s", 1, r1),
+		ev(trace.KindFinish, "s", 1, r2),
+		ev(trace.KindPerfEnd, "s", 1, ids.RoleRef{}),
+		ev(trace.KindPerfStart, "s", 2, ids.RoleRef{}),
+		ev(trace.KindStart, "s", 2, r1),
+		ev(trace.KindFinish, "s", 2, r1),
+		ev(trace.KindAbsent, "s", 2, r2),
+		ev(trace.KindPerfEnd, "s", 2, ids.RoleRef{}),
+	}
+	noViolations(t, CheckSemantics(events))
+}
+
+func TestTwoScriptsInterleaved(t *testing.T) {
+	// Independent scripts interleave freely; the checker tracks them apart.
+	events := []trace.Event{
+		ev(trace.KindPerfStart, "s1", 1, ids.RoleRef{}),
+		ev(trace.KindPerfStart, "s2", 1, ids.RoleRef{}),
+		ev(trace.KindStart, "s1", 1, ids.Role("a")),
+		ev(trace.KindStart, "s2", 1, ids.Role("a")),
+		ev(trace.KindFinish, "s2", 1, ids.Role("a")),
+		ev(trace.KindPerfEnd, "s2", 1, ids.RoleRef{}),
+		ev(trace.KindFinish, "s1", 1, ids.Role("a")),
+		ev(trace.KindPerfEnd, "s1", 1, ids.RoleRef{}),
+	}
+	noViolations(t, CheckSemantics(events))
+}
+
+func TestReceiveCountViolation(t *testing.T) {
+	r := ids.Member("recipient", 1)
+	events := []trace.Event{
+		ev(trace.KindPerfStart, "s", 1, ids.RoleRef{}),
+		ev(trace.KindStart, "s", 1, r),
+		// no Recv at all
+		ev(trace.KindFinish, "s", 1, r),
+		ev(trace.KindPerfEnd, "s", 1, ids.RoleRef{}),
+	}
+	vs := CheckReceiveCounts(events, ReceiveCountSpec{
+		Match: func(rr ids.RoleRef) bool { return rr.Name == "recipient" },
+		Count: 1,
+	})
+	if len(vs) != 1 || vs[0].Rule != "receive-count" {
+		t.Fatalf("violations = %v", vs)
+	}
+}
+
+func TestNilSpecsAreNoops(t *testing.T) {
+	if vs := CheckChannels(nil, ChannelSpec{}); vs != nil {
+		t.Fatal("nil Allowed must be a no-op")
+	}
+	if vs := CheckReceiveCounts(nil, ReceiveCountSpec{}); vs != nil {
+		t.Fatal("nil Match must be a no-op")
+	}
+}
+
+func TestViolationString(t *testing.T) {
+	v := Violation{Rule: "r", Event: trace.Event{Seq: 3, Kind: trace.KindSend, Script: "s"}, Detail: "d"}
+	if !strings.Contains(v.String(), "r") || !strings.Contains(v.String(), "d") {
+		t.Fatalf("String = %q", v.String())
+	}
+}

@@ -1,0 +1,263 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/scriptabs/goscript/internal/ids"
+)
+
+func TestParamBag(t *testing.T) {
+	p := &ParamBag{In: []any{"a", 2}}
+	if p.NumArgs() != 2 || p.Arg(0) != "a" || p.Arg(1) != 2 {
+		t.Fatal("In access wrong")
+	}
+	if p.Arg(-1) != nil || p.Arg(2) != nil {
+		t.Fatal("out-of-range Arg must be nil")
+	}
+	args := p.Args()
+	args[0] = "mutated"
+	if p.In[0] != "a" {
+		t.Fatal("Args must copy")
+	}
+	p.SetResult(2, "z")
+	if len(p.Out) != 3 || p.Out[2] != "z" || p.Out[0] != nil {
+		t.Fatalf("Out = %v", p.Out)
+	}
+	p.Return(1, 2, 3)
+	if len(p.Out) != 3 || p.Out[0] != 1 {
+		t.Fatalf("Return: Out = %v", p.Out)
+	}
+}
+
+func TestDefinitionIntrospection(t *testing.T) {
+	def, err := NewScript("intro").
+		Role("solo", nopBody).
+		Family("fam", 3, nopBody).
+		OpenFamily("open", nopBody).
+		CriticalSet(ids.Role("solo")).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !def.HasOpenFamilies() {
+		t.Error("HasOpenFamilies = false")
+	}
+	roles := def.Roles()
+	want := []ids.RoleRef{ids.Member("fam", 1), ids.Member("fam", 2), ids.Member("fam", 3), ids.Role("solo")}
+	if len(roles) != len(want) {
+		t.Fatalf("Roles = %v", roles)
+	}
+	for i := range want {
+		if roles[i] != want[i] {
+			t.Fatalf("Roles[%d] = %v, want %v", i, roles[i], want[i])
+		}
+	}
+	if def.FamilyExtent("fam") != 3 || def.FamilyExtent("open") != 0 ||
+		def.FamilyExtent("solo") != 0 || def.FamilyExtent("zzz") != 0 {
+		t.Error("FamilyExtent wrong")
+	}
+	if _, err := def.Body(ids.Role("solo")); err != nil {
+		t.Errorf("Body(solo): %v", err)
+	}
+	if _, err := def.Body(ids.Member("fam", 2)); err != nil {
+		t.Errorf("Body(fam[2]): %v", err)
+	}
+	if _, err := def.Body(ids.Role("ghost")); !errors.Is(err, ErrUnknownRole) {
+		t.Errorf("Body(ghost): %v", err)
+	}
+
+	closed, err := NewScript("closed").Role("a", nopBody).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if closed.HasOpenFamilies() {
+		t.Error("closed script reports open families")
+	}
+}
+
+func TestErrorStrings(t *testing.T) {
+	re := &RoleError{Script: "s", Role: ids.Member("r", 2), Err: errors.New("boom")}
+	if got := re.Error(); !strings.Contains(got, "s") || !strings.Contains(got, "r[2]") || !strings.Contains(got, "boom") {
+		t.Errorf("RoleError.Error = %q", got)
+	}
+	de := &DefinitionError{Script: "s", Reason: "bad"}
+	if got := de.Error(); !strings.Contains(got, "s") || !strings.Contains(got, "bad") {
+		t.Errorf("DefinitionError.Error = %q", got)
+	}
+}
+
+func TestInstanceDefinitionAccessor(t *testing.T) {
+	def := starBroadcastDef(t, 1, DelayedInitiation, DelayedTermination)
+	in := NewInstance(def)
+	defer in.Close()
+	if in.Definition().Name() != "broadcast" {
+		t.Error("Definition accessor wrong")
+	}
+}
+
+func TestSelectBranchConstructorsAndGetters(t *testing.T) {
+	to := ids.Role("x")
+	tests := []struct {
+		name    string
+		b       SelectBranch
+		isSend  bool
+		anyPeer bool
+		tag     string
+		val     any
+	}{
+		{"SendTo", SendTo(to, 7), true, false, "", 7},
+		{"SendTagTo", SendTagTo(to, "t", 8), true, false, "t", 8},
+		{"RecvFrom", RecvFrom(to), false, false, "", nil},
+		{"RecvTagFrom", RecvTagFrom(to, "u"), false, false, "u", nil},
+		{"RecvFromAnyone", RecvFromAnyone("v"), false, true, "v", nil},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if tt.b.IsSend() != tt.isSend {
+				t.Error("IsSend wrong")
+			}
+			peer, anyPeer := tt.b.BranchPeer()
+			if anyPeer != tt.anyPeer {
+				t.Error("anyPeer wrong")
+			}
+			if !anyPeer && peer != to {
+				t.Error("peer wrong")
+			}
+			if tt.b.BranchTag() != tt.tag {
+				t.Error("tag wrong")
+			}
+			if tt.b.BranchValue() != tt.val {
+				t.Error("value wrong")
+			}
+			if !tt.b.Enabled() {
+				t.Error("constructors must enable the branch")
+			}
+			if tt.b.When(false).Enabled() {
+				t.Error("When(false) must disable")
+			}
+		})
+	}
+}
+
+func TestRoleCtxIdentityAccessors(t *testing.T) {
+	ctx := testCtx(t)
+	type ident struct {
+		role ids.RoleRef
+		idx  int
+		pid  ids.PID
+		perf int
+		args []any
+	}
+	got := make(chan ident, 1)
+	def, err := NewScript("id").
+		Family("w", 3, func(rc Ctx) error {
+			got <- ident{rc.Role(), rc.Index(), rc.PID(), rc.Performance(), rc.Args()}
+			return nil
+		}).
+		CriticalSet(ids.Member("w", 2)).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := NewInstance(def)
+	defer in.Close()
+	if _, err := in.Enroll(ctx, Enrollment{PID: "me", Role: ids.Member("w", 2), Args: []any{9}}); err != nil {
+		t.Fatal(err)
+	}
+	id := <-got
+	if id.role != ids.Member("w", 2) || id.idx != 2 || id.pid != "me" || id.perf != 1 {
+		t.Fatalf("identity = %+v", id)
+	}
+	if len(id.args) != 1 || id.args[0] != 9 {
+		t.Fatalf("args = %v", id.args)
+	}
+}
+
+// TestSelectTaggedBranchesInBody exercises SendTagTo/RecvTagFrom/
+// RecvFromAnyone through a real performance.
+func TestSelectTaggedBranchesInBody(t *testing.T) {
+	ctx := testCtx(t)
+	def, err := NewScript("tags").
+		Role("hub", func(rc Ctx) error {
+			// Accept any "req"-tagged message, then answer via a tagged
+			// send branch.
+			sel, err := rc.Select(RecvFromAnyone("req"))
+			if err != nil {
+				return err
+			}
+			reply, err := rc.Select(SendTagTo(sel.Peer, "resp", sel.Val))
+			if err != nil {
+				return err
+			}
+			rc.Return(reply.Peer.String(), sel.Tag)
+			return nil
+		}).
+		Role("client", func(rc Ctx) error {
+			if err := rc.SendTag(ids.Role("hub"), "req", "ping"); err != nil {
+				return err
+			}
+			sel, err := rc.Select(RecvTagFrom(ids.Role("hub"), "resp"))
+			if err != nil {
+				return err
+			}
+			rc.SetResult(0, sel.Val)
+			return nil
+		}).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := NewInstance(def)
+	defer in.Close()
+	chHub := enrollAsync(ctx, in, Enrollment{PID: "H", Role: ids.Role("hub")})
+	res, err := in.Enroll(ctx, Enrollment{PID: "C", Role: ids.Role("client")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Values[0] != "ping" {
+		t.Fatalf("client echo = %v", res.Values)
+	}
+	hub := <-chHub
+	if hub.err != nil {
+		t.Fatal(hub.err)
+	}
+	if hub.res.Values[0] != "client" || hub.res.Values[1] != "req" {
+		t.Fatalf("hub observed %v", hub.res.Values)
+	}
+}
+
+// TestSelectAllBranchesOnFinishedRole covers the ErrRoleFinished select
+// path.
+func TestSelectAllBranchesOnFinishedRole(t *testing.T) {
+	ctx := testCtx(t)
+	gone := make(chan struct{})
+	def, err := NewScript("fin").
+		Role("quick", func(rc Ctx) error { return nil }).
+		Role("late", func(rc Ctx) error {
+			<-gone
+			_, err := rc.Select(RecvFrom(ids.Role("quick")))
+			if !errors.Is(err, ErrRoleFinished) {
+				return errors.New("want ErrRoleFinished from select")
+			}
+			return nil
+		}).
+		Initiation(DelayedInitiation).
+		Termination(ImmediateTermination).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := NewInstance(def)
+	defer in.Close()
+	chQ := enrollAsync(ctx, in, Enrollment{PID: "Q", Role: ids.Role("quick")})
+	chL := enrollAsync(ctx, in, Enrollment{PID: "L", Role: ids.Role("late")})
+	if out := <-chQ; out.err != nil {
+		t.Fatal(out.err)
+	}
+	close(gone)
+	if out := <-chL; out.err != nil {
+		t.Fatal(out.err)
+	}
+}

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/scriptabs/goscript/internal/ids"
+)
+
+func TestEnrollBlocDeliversToAllMembers(t *testing.T) {
+	ctx := testCtx(t)
+	def := starBroadcastDef(t, 3, DelayedInitiation, DelayedTermination)
+	in := NewInstance(def)
+	defer in.Close()
+
+	// The whole recipient array enrolls en bloc; the sender separately.
+	done := make(chan error, 1)
+	go func() {
+		_, err := in.Enroll(ctx, Enrollment{PID: "T", Role: ids.Role("sender"), Args: []any{7}})
+		done <- err
+	}()
+	results, err := in.EnrollBloc(ctx, []Enrollment{
+		{PID: "A", Role: ids.Member("recipient", 1)},
+		{PID: "B", Role: ids.Member("recipient", 2)},
+		{PID: "C", Role: ids.Member("recipient", 3)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range results {
+		if res.Values[0] != 7 {
+			t.Fatalf("member %d got %v", i, res.Values)
+		}
+		if res.Performance != 1 {
+			t.Fatalf("member %d in performance %d", i, res.Performance)
+		}
+	}
+}
+
+func TestEnrollBlocsDoNotMix(t *testing.T) {
+	// Two complete blocs compete for the same roles; the mutual constraints
+	// must keep each performance homogeneous.
+	ctx := testCtx(t)
+	def, err := NewScript("pairup").
+		Role("l", func(rc Ctx) error { return rc.Send(ids.Role("r"), string(rc.PID())) }).
+		Role("r", func(rc Ctx) error {
+			v, err := rc.Recv(ids.Role("l"))
+			rc.SetResult(0, v)
+			return err
+		}).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := NewInstance(def)
+	defer in.Close()
+
+	type blocOut struct {
+		results []Result
+		err     error
+	}
+	runBloc := func(tag string) <-chan blocOut {
+		ch := make(chan blocOut, 1)
+		go func() {
+			res, err := in.EnrollBloc(ctx, []Enrollment{
+				{PID: ids.PID(tag + "-l"), Role: ids.Role("l")},
+				{PID: ids.PID(tag + "-r"), Role: ids.Role("r")},
+			})
+			ch <- blocOut{res, err}
+		}()
+		return ch
+	}
+	// The receiver of each bloc must have heard from ITS bloc's sender:
+	// the value carries the sender's PID, which shares the bloc's tag.
+	for tag, ch := range map[string]<-chan blocOut{"one": runBloc("one"), "two": runBloc("two")} {
+		out := <-ch
+		if out.err != nil {
+			t.Fatal(out.err)
+		}
+		if got := out.results[1].Values[0]; got != tag+"-l" {
+			t.Fatalf("bloc %s receiver heard %v (blocs mixed)", tag, got)
+		}
+	}
+}
+
+func TestEnrollBlocValidation(t *testing.T) {
+	ctx := testCtx(t)
+	def := starBroadcastDef(t, 2, DelayedInitiation, DelayedTermination)
+	in := NewInstance(def)
+	defer in.Close()
+
+	if _, err := in.EnrollBloc(ctx, nil); err == nil {
+		t.Error("empty bloc must fail")
+	}
+	if _, err := in.EnrollBloc(ctx, []Enrollment{
+		{PID: "A", Role: ids.Member("recipient", 1)},
+		{PID: "A", Role: ids.Member("recipient", 2)},
+	}); err == nil {
+		t.Error("duplicate PIDs must fail")
+	}
+	if _, err := in.EnrollBloc(ctx, []Enrollment{
+		{PID: "A", Role: ids.Member("recipient", 1)},
+		{PID: "B", Role: ids.Member("recipient", 1)},
+	}); err == nil {
+		t.Error("duplicate roles must fail")
+	}
+	if _, err := in.EnrollBloc(ctx, []Enrollment{
+		{Role: ids.Member("recipient", 1)},
+	}); err == nil {
+		t.Error("empty PID must fail")
+	}
+}
+
+func TestEnrollBlocMemberErrorJoined(t *testing.T) {
+	ctx := testCtx(t)
+	boom := errors.New("boom")
+	def, err := NewScript("halffail").
+		Role("ok", func(rc Ctx) error { return nil }).
+		Role("bad", func(rc Ctx) error { return boom }).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := NewInstance(def)
+	defer in.Close()
+	results, err := in.EnrollBloc(ctx, []Enrollment{
+		{PID: "A", Role: ids.Role("ok")},
+		{PID: "B", Role: ids.Role("bad")},
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want joined boom", err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("results = %v", results)
+	}
+}
+
+func TestEnrollBlocCancellation(t *testing.T) {
+	def := starBroadcastDef(t, 2, DelayedInitiation, DelayedTermination)
+	in := NewInstance(def)
+	defer in.Close()
+	cctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		// No sender will ever come: the bloc stays pending.
+		_, err := in.EnrollBloc(cctx, []Enrollment{
+			{PID: "A", Role: ids.Member("recipient", 1)},
+			{PID: "B", Role: ids.Member("recipient", 2)},
+		})
+		done <- err
+	}()
+	time.Sleep(30 * time.Millisecond)
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

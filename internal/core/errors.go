@@ -1,0 +1,54 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/scriptabs/goscript/internal/ids"
+)
+
+// Sentinel errors of the script runtime.
+var (
+	// ErrRoleAbsent is the paper's "distinguished value": an attempt to
+	// communicate with a role that will not be filled in the current
+	// performance (the critical role set was covered without it).
+	ErrRoleAbsent = errors.New("script: role absent from this performance")
+	// ErrRoleFinished reports communication with a role whose body has
+	// already returned in the current performance.
+	ErrRoleFinished = errors.New("script: role already finished")
+	// ErrUnknownRole reports a reference to a role the script does not
+	// declare (or a family index out of range).
+	ErrUnknownRole = errors.New("script: unknown role")
+	// ErrClosed reports use of an instance after Close.
+	ErrClosed = errors.New("script: instance closed")
+	// ErrNoBranches reports a Select call with no enabled branches.
+	ErrNoBranches = errors.New("script: select has no enabled branches")
+)
+
+// RoleError wraps an error returned (or a panic raised) by a role body, so
+// the enrolling process can tell its own role's failure apart from runtime
+// errors.
+type RoleError struct {
+	Script string
+	Role   ids.RoleRef
+	Err    error
+}
+
+// Error implements error.
+func (e *RoleError) Error() string {
+	return fmt.Sprintf("script %s: role %s: %v", e.Script, e.Role, e.Err)
+}
+
+// Unwrap exposes the underlying error to errors.Is/As.
+func (e *RoleError) Unwrap() error { return e.Err }
+
+// DefinitionError reports an invalid script definition.
+type DefinitionError struct {
+	Script string
+	Reason string
+}
+
+// Error implements error.
+func (e *DefinitionError) Error() string {
+	return fmt.Sprintf("script %s: invalid definition: %s", e.Script, e.Reason)
+}

@@ -1,0 +1,489 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"github.com/scriptabs/goscript/internal/ids"
+	"github.com/scriptabs/goscript/internal/match"
+	"github.com/scriptabs/goscript/internal/rendezvous"
+	"github.com/scriptabs/goscript/internal/trace"
+)
+
+// Enrollment is a request by a process to play a role in an instance.
+type Enrollment struct {
+	// PID is the enrolling process's identity. Required.
+	PID ids.PID
+	// Role is the role (or family member) to play.
+	Role ids.RoleRef
+	// Args are the actual data parameters bound to the role's formal
+	// parameters at enrollment time.
+	Args []any
+	// With are partner constraints: for each named role, the processes
+	// acceptable in it (partners-named enrollment). Nil or empty for
+	// partners-unnamed enrollment; a multi-element set expresses
+	// "either A or B"; naming only some roles is partial naming.
+	With map[ids.RoleRef]ids.PIDSet
+}
+
+// Result reports a completed enrollment.
+type Result struct {
+	// Performance is the 1-based performance number the process took part in.
+	Performance int
+	// Role is the role that was played.
+	Role ids.RoleRef
+	// Values are the result (out) parameters set by the role body.
+	Values []any
+}
+
+// Option configures an Instance.
+type Option func(*Instance)
+
+// WithTracer attaches a tracer that observes the instance's events.
+func WithTracer(t trace.Tracer) Option {
+	return func(in *Instance) {
+		if t != nil {
+			in.tracer = t
+		}
+	}
+}
+
+// WithFairness selects how contention among enrollments is resolved:
+// match.FIFO (order of arrival, as in Ada) or match.Arbitrary with a seed
+// (no fairness, as in CSP). The default is FIFO.
+func WithFairness(f match.Fairness, seed int64) Option {
+	return func(in *Instance) {
+		in.fairness = f
+		in.seed = seed
+	}
+}
+
+// Instance is one runtime instance of a script definition. Create several
+// instances for concurrent independent performances of the same generic
+// script. An Instance must be closed when no longer needed.
+type Instance struct {
+	def      Definition
+	tracer   trace.Tracer
+	fairness match.Fairness
+	seed     int64
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	closed    bool
+	nextOffer uint64
+	pending   []*enrollState
+	active    *performance
+	perfCount int
+}
+
+type enrollPhase int
+
+const (
+	phasePending enrollPhase = iota + 1
+	phaseAssigned
+	phaseWithdrawn
+)
+
+type enrollState struct {
+	offer match.Offer
+	args  []any
+	ctx   context.Context
+	phase enrollPhase
+	perf  *performance
+	rc    *RoleCtx
+}
+
+// performance is one collective activation of the instance's roles.
+type performance struct {
+	number   int
+	fabric   *rendezvous.Fabric
+	ctx      context.Context
+	cancel   context.CancelFunc
+	assigned match.Assignment
+	finished ids.RoleSet
+	absent   ids.RoleSet
+	// membershipClosed is set when the filled roles cover a critical set
+	// (immediate initiation) or at the atomic match (delayed initiation).
+	membershipClosed bool
+	done             bool
+	// openMax tracks, per open-ended family, the largest enrolled index.
+	openMax map[string]int
+}
+
+// NewInstance creates an instance of def.
+func NewInstance(def Definition, opts ...Option) *Instance {
+	in := &Instance{
+		def:      def,
+		tracer:   trace.Nop{},
+		fairness: match.FIFO,
+	}
+	in.cond = sync.NewCond(&in.mu)
+	for _, o := range opts {
+		o(in)
+	}
+	return in
+}
+
+// Definition returns the instance's script definition.
+func (in *Instance) Definition() Definition { return in.def }
+
+// Performances returns the number of performances started so far.
+func (in *Instance) Performances() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.perfCount
+}
+
+// PendingEnrollments returns the number of enrollment offers waiting to be
+// matched or admitted.
+func (in *Instance) PendingEnrollments() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return len(in.pending)
+}
+
+// Close aborts the instance: pending enrollments fail with ErrClosed, and
+// blocked communications of a running performance fail so role bodies can
+// unwind. Close is idempotent.
+func (in *Instance) Close() {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.closed {
+		return
+	}
+	in.closed = true
+	if in.active != nil {
+		in.active.cancel()
+		in.active.fabric.Close()
+	}
+	in.cond.Broadcast()
+}
+
+// Enroll offers to play e.Role in this instance, blocks until a performance
+// admits the offer, runs the role body in the calling goroutine, and
+// returns when the process is released (at body completion under immediate
+// termination; after the whole performance under delayed termination).
+//
+// The returned Result carries the role's out parameters. A role-body error
+// is wrapped in *RoleError. Cancelling ctx withdraws a pending offer, or
+// interrupts the role's communications once it is running.
+func (in *Instance) Enroll(ctx context.Context, e Enrollment) (Result, error) {
+	if e.PID == ids.NoPID {
+		return Result{}, fmt.Errorf("script %s: enrollment has empty PID", in.def.name)
+	}
+	if err := in.def.checkRole(e.Role); err != nil {
+		return Result{}, err
+	}
+	for r := range e.With {
+		if err := in.def.checkRole(r); err != nil {
+			return Result{}, fmt.Errorf("partner constraint: %w", err)
+		}
+	}
+
+	in.mu.Lock()
+	if in.closed {
+		in.mu.Unlock()
+		return Result{}, ErrClosed
+	}
+	in.nextOffer++
+	st := &enrollState{
+		offer: match.Offer{ID: in.nextOffer, PID: e.PID, Role: e.Role, With: clonePartners(e.With)},
+		args:  append([]any(nil), e.Args...),
+		ctx:   ctx,
+		phase: phasePending,
+	}
+	in.pending = append(in.pending, st)
+	in.record(trace.Event{Kind: trace.KindEnroll, Script: in.def.name, Role: e.Role, PID: e.PID})
+
+	// Wake the coordination loop when the enroller's context ends.
+	stopWatch := context.AfterFunc(ctx, func() {
+		in.mu.Lock()
+		in.cond.Broadcast()
+		in.mu.Unlock()
+	})
+	defer stopWatch()
+
+	in.advanceLocked()
+	for st.phase == phasePending {
+		if in.closed {
+			in.removePendingLocked(st)
+			in.mu.Unlock()
+			return Result{}, ErrClosed
+		}
+		if err := ctx.Err(); err != nil {
+			in.removePendingLocked(st)
+			in.mu.Unlock()
+			return Result{}, err
+		}
+		in.cond.Wait()
+		in.advanceLocked()
+	}
+	perf, rc := st.perf, st.rc
+	in.mu.Unlock()
+
+	bodyErr := runBody(in.def.bodyFor(e.Role), rc)
+
+	in.mu.Lock()
+	in.record(trace.Event{
+		Kind: trace.KindFinish, Script: in.def.name,
+		Performance: perf.number, Role: e.Role, PID: e.PID,
+	})
+	perf.finished.Add(e.Role)
+	perf.fabric.Terminate(addrOf(e.Role))
+	if perf.membershipClosed && perf.finished.Len() == len(perf.assigned) {
+		in.finishPerformanceLocked(perf)
+	}
+	if in.def.termination == DelayedTermination {
+		for !perf.done && !in.closed {
+			in.cond.Wait()
+		}
+	}
+	in.record(trace.Event{
+		Kind: trace.KindRelease, Script: in.def.name,
+		Performance: perf.number, Role: e.Role, PID: e.PID,
+	})
+	closed := in.closed && !perf.done
+	in.mu.Unlock()
+
+	res := Result{Performance: perf.number, Role: e.Role, Values: rc.results}
+	switch {
+	case bodyErr != nil:
+		return res, &RoleError{Script: in.def.name, Role: e.Role, Err: bodyErr}
+	case closed:
+		return res, ErrClosed
+	default:
+		return res, nil
+	}
+}
+
+// runBody executes the role body, converting a panic into an error so a
+// buggy role cannot wedge the whole instance.
+func runBody(body RoleBody, rc *RoleCtx) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("role body panicked: %v", r)
+		}
+	}()
+	return body(rc)
+}
+
+func clonePartners(w map[ids.RoleRef]ids.PIDSet) map[ids.RoleRef]ids.PIDSet {
+	if len(w) == 0 {
+		return nil
+	}
+	out := make(map[ids.RoleRef]ids.PIDSet, len(w))
+	for r, s := range w {
+		if s == nil {
+			out[r] = nil
+			continue
+		}
+		cs := make(ids.PIDSet, len(s))
+		for p := range s {
+			cs[p] = struct{}{}
+		}
+		out[r] = cs
+	}
+	return out
+}
+
+// advanceLocked is the coordinator step, run by whichever enroller holds
+// the lock: start a performance if one can start, and admit joiners under
+// immediate initiation. It is idempotent. The paper's goal that a script
+// needs no additional process is met: there is no coordinator goroutine.
+func (in *Instance) advanceLocked() {
+	if in.closed {
+		return
+	}
+	if in.active == nil {
+		switch in.def.initiation {
+		case ImmediateInitiation:
+			if len(in.pending) > 0 {
+				in.startPerformanceLocked(nil)
+			}
+		default: // DelayedInitiation
+			offers := make([]match.Offer, 0, len(in.pending))
+			for _, st := range in.pending {
+				if st.ctx.Err() != nil {
+					continue // being withdrawn by its enroller
+				}
+				offers = append(offers, st.offer)
+			}
+			p := in.def.matchProblem(offers, in.fairness, in.seed+int64(in.perfCount))
+			if asg, ok := match.Find(p); ok {
+				in.startPerformanceLocked(asg)
+			}
+		}
+	}
+	if in.active != nil && in.def.initiation == ImmediateInitiation && !in.active.membershipClosed {
+		in.admitLocked(in.active)
+	}
+}
+
+// startPerformanceLocked opens performance number perfCount+1. asg is the
+// atomic assignment for delayed initiation (membership closes right away),
+// or nil for immediate initiation (membership stays open for admission).
+func (in *Instance) startPerformanceLocked(asg match.Assignment) {
+	in.perfCount++
+	ctx, cancel := context.WithCancel(context.Background())
+	p := &performance{
+		number:   in.perfCount,
+		fabric:   rendezvous.New(),
+		ctx:      ctx,
+		cancel:   cancel,
+		assigned: make(match.Assignment),
+		finished: ids.NewRoleSet(),
+		absent:   ids.NewRoleSet(),
+		openMax:  make(map[string]int),
+	}
+	in.active = p
+	in.record(trace.Event{Kind: trace.KindPerfStart, Script: in.def.name, Performance: p.number})
+	for _, r := range rolesSorted(asg) {
+		in.assignLocked(p, asg[r])
+	}
+	if asg != nil {
+		in.closeMembershipLocked(p)
+	}
+	in.cond.Broadcast()
+}
+
+// rolesSorted returns asg's roles in deterministic order.
+func rolesSorted(asg match.Assignment) []ids.RoleRef {
+	return asg.Roles().Sorted()
+}
+
+// assignLocked binds offer's enrollment into performance p.
+func (in *Instance) assignLocked(p *performance, offer match.Offer) {
+	st := in.takePendingLocked(offer.ID)
+	if st == nil {
+		return // withdrawn concurrently; cannot happen for freshly matched offers
+	}
+	r := offer.Role
+	p.assigned[r] = offer
+	if decl := in.def.decls[r.Name]; decl.family && decl.size == 0 && r.Index > p.openMax[r.Name] {
+		p.openMax[r.Name] = r.Index
+	}
+	st.phase = phaseAssigned
+	st.perf = p
+	st.rc = &RoleCtx{
+		inst: in,
+		perf: p,
+		role: r,
+		pid:  offer.PID,
+		ctx:  st.ctx,
+		args: st.args,
+	}
+	in.record(trace.Event{
+		Kind: trace.KindStart, Script: in.def.name,
+		Performance: p.number, Role: r, PID: offer.PID,
+	})
+}
+
+// admitLocked runs one admission pass for an open-membership performance
+// (immediate initiation): every pending offer that can join does, in
+// fairness order; then, if the filled roles cover a critical set,
+// membership closes ("admit then close").
+func (in *Instance) admitLocked(p *performance) {
+	for _, st := range in.admissionOrderLocked() {
+		if st.phase != phasePending {
+			continue
+		}
+		if st.ctx.Err() != nil {
+			continue // being withdrawn by its enroller
+		}
+		r := st.offer.Role
+		if p.finished.Contains(r) {
+			continue // role already played this performance; wait for next
+		}
+		if !match.CanJoin(p.assigned, st.offer) {
+			continue
+		}
+		in.assignLocked(p, st.offer)
+	}
+	if in.def.covered(p.assigned.Roles()) {
+		in.closeMembershipLocked(p)
+	}
+	in.cond.Broadcast()
+}
+
+// admissionOrderLocked returns pending offers in the fairness order.
+func (in *Instance) admissionOrderLocked() []*enrollState {
+	out := append([]*enrollState(nil), in.pending...)
+	if in.fairness == match.Arbitrary {
+		rng := newSeededRNG(in.seed + int64(in.perfCount))
+		rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	}
+	return out
+}
+
+// closeMembershipLocked freezes the performance's membership: declared
+// roles left unfilled are marked absent (Terminated(r) becomes true and
+// communication with them yields ErrRoleAbsent), and operations blocked on
+// roles that will never be filled are woken.
+func (in *Instance) closeMembershipLocked(p *performance) {
+	if p.membershipClosed {
+		return
+	}
+	p.membershipClosed = true
+	for r := range in.def.closedRoles() {
+		if _, filled := p.assigned[r]; !filled {
+			p.absent.Add(r)
+			in.record(trace.Event{
+				Kind: trace.KindAbsent, Script: in.def.name,
+				Performance: p.number, Role: r,
+			})
+			p.fabric.Terminate(addrOf(r))
+		}
+	}
+	live := make(map[rendezvous.Addr]bool, len(p.assigned))
+	for r := range p.assigned {
+		live[addrOf(r)] = true
+	}
+	p.fabric.TerminateAbsent(func(a rendezvous.Addr) bool { return live[a] })
+	// A performance whose members all finished before membership closed
+	// (possible when the closing cover arrives last) completes here.
+	if p.finished.Len() == len(p.assigned) {
+		in.finishPerformanceLocked(p)
+	}
+}
+
+// finishPerformanceLocked ends performance p and lets the next one form.
+func (in *Instance) finishPerformanceLocked(p *performance) {
+	if p.done {
+		return
+	}
+	p.done = true
+	p.cancel()
+	p.fabric.Close()
+	in.record(trace.Event{Kind: trace.KindPerfEnd, Script: in.def.name, Performance: p.number})
+	if in.active == p {
+		in.active = nil
+	}
+	in.cond.Broadcast()
+}
+
+func (in *Instance) takePendingLocked(offerID uint64) *enrollState {
+	for i, st := range in.pending {
+		if st.offer.ID == offerID {
+			in.pending = append(in.pending[:i], in.pending[i+1:]...)
+			return st
+		}
+	}
+	return nil
+}
+
+func (in *Instance) removePendingLocked(st *enrollState) {
+	for i, s := range in.pending {
+		if s == st {
+			in.pending = append(in.pending[:i], in.pending[i+1:]...)
+			break
+		}
+	}
+	st.phase = phaseWithdrawn
+}
+
+func (in *Instance) record(e trace.Event) {
+	in.tracer.Record(e)
+}
+
+func addrOf(r ids.RoleRef) rendezvous.Addr { return rendezvous.Addr(r.String()) }

@@ -1,0 +1,406 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"github.com/scriptabs/goscript/internal/ids"
+	"github.com/scriptabs/goscript/internal/rendezvous"
+	"github.com/scriptabs/goscript/internal/trace"
+)
+
+// RoleCtx is the view a role body has of its performance: its identity and
+// data parameters, synchronous communication with the other roles, the
+// paper's Terminated predicate, and enrollment into other scripts (nested
+// enrollment, Section V).
+//
+// A RoleCtx is used by exactly one goroutine — the enroller's — and must
+// not be retained after the body returns.
+var _ Ctx = (*RoleCtx)(nil)
+
+type RoleCtx struct {
+	inst    *Instance
+	perf    *performance
+	role    ids.RoleRef
+	pid     ids.PID
+	ctx     context.Context
+	args    []any
+	results []any
+}
+
+// Context returns the enrolling process's context; communications abort
+// when it is cancelled.
+func (rc *RoleCtx) Context() context.Context { return rc.ctx }
+
+// Role returns the role this body is playing.
+func (rc *RoleCtx) Role() ids.RoleRef { return rc.role }
+
+// Index returns the family index of the role, or ids.ScalarIndex for a
+// scalar role.
+func (rc *RoleCtx) Index() int { return rc.role.Index }
+
+// PID returns the identity of the enrolled process.
+func (rc *RoleCtx) PID() ids.PID { return rc.pid }
+
+// Performance returns the 1-based performance number.
+func (rc *RoleCtx) Performance() int { return rc.perf.number }
+
+// NumArgs returns the number of actual data parameters supplied at
+// enrollment.
+func (rc *RoleCtx) NumArgs() int { return len(rc.args) }
+
+// Arg returns the i-th actual data parameter, or nil when out of range.
+func (rc *RoleCtx) Arg(i int) any {
+	if i < 0 || i >= len(rc.args) {
+		return nil
+	}
+	return rc.args[i]
+}
+
+// Args returns a copy of the actual data parameters.
+func (rc *RoleCtx) Args() []any { return append([]any(nil), rc.args...) }
+
+// SetResult sets the i-th result (out) parameter, growing the result list
+// as needed. Results are delivered to the enrolling process when it is
+// released.
+func (rc *RoleCtx) SetResult(i int, v any) {
+	for len(rc.results) <= i {
+		rc.results = append(rc.results, nil)
+	}
+	rc.results[i] = v
+}
+
+// Return replaces the whole result list.
+func (rc *RoleCtx) Return(values ...any) { rc.results = values }
+
+// Send transfers v synchronously to role `to` (untagged).
+func (rc *RoleCtx) Send(to ids.RoleRef, v any) error { return rc.SendTag(to, "", v) }
+
+// SendTag transfers v synchronously to role `to` under a message tag.
+// Tags distinguish message kinds the way CSP constructors do.
+func (rc *RoleCtx) SendTag(to ids.RoleRef, tag string, v any) error {
+	if err := rc.precheck(to); err != nil {
+		return err
+	}
+	err := rc.perf.fabric.Send(rc.ctx, addrOf(rc.role), addrOf(to), rendezvous.Tag(tag), v)
+	if err != nil {
+		return rc.mapCommErr(to, err)
+	}
+	rc.inst.record(trace.Event{
+		Kind: trace.KindSend, Script: rc.inst.def.name, Performance: rc.perf.number,
+		Role: rc.role, Peer: to, PID: rc.pid, Detail: tag,
+	})
+	return nil
+}
+
+// Recv receives the next untagged message from role `from`.
+func (rc *RoleCtx) Recv(from ids.RoleRef) (any, error) { return rc.RecvTag(from, "") }
+
+// RecvTag receives the next message with the given tag from role `from`.
+func (rc *RoleCtx) RecvTag(from ids.RoleRef, tag string) (any, error) {
+	if err := rc.precheck(from); err != nil {
+		return nil, err
+	}
+	v, err := rc.perf.fabric.Recv(rc.ctx, addrOf(rc.role), addrOf(from), rendezvous.Tag(tag))
+	if err != nil {
+		return nil, rc.mapCommErr(from, err)
+	}
+	rc.inst.record(trace.Event{
+		Kind: trace.KindRecv, Script: rc.inst.def.name, Performance: rc.perf.number,
+		Role: rc.role, Peer: from, PID: rc.pid, Detail: tag,
+	})
+	return v, nil
+}
+
+// RecvAny receives the next message addressed to this role from any role,
+// with any tag. It returns the sending role, the tag, and the value. This
+// is the anonymous reception the paper attributes to Ada's accept (and to
+// Francez's extension of CSP).
+func (rc *RoleCtx) RecvAny() (ids.RoleRef, string, any, error) {
+	out, err := rc.perf.fabric.RecvAny(rc.ctx, addrOf(rc.role))
+	if err != nil {
+		return ids.RoleRef{}, "", nil, rc.mapCommErr(ids.RoleRef{}, err)
+	}
+	from, perr := ids.ParseRoleRef(string(out.Peer))
+	if perr != nil {
+		return ids.RoleRef{}, "", nil, fmt.Errorf("script: bad peer address %q: %w", out.Peer, perr)
+	}
+	rc.inst.record(trace.Event{
+		Kind: trace.KindRecv, Script: rc.inst.def.name, Performance: rc.perf.number,
+		Role: rc.role, Peer: from, PID: rc.pid, Detail: string(out.Tag),
+	})
+	return from, string(out.Tag), out.Val, nil
+}
+
+// SelectBranch is one alternative of a guarded Select — the script-level
+// analogue of CSP's alternative command with input/output guards.
+type SelectBranch struct {
+	dir     rendezvous.Dir
+	peer    ids.RoleRef
+	anyPeer bool
+	tag     string
+	val     any
+	guard   bool
+}
+
+// SendTo builds an enabled send branch (untagged).
+func SendTo(to ids.RoleRef, v any) SelectBranch {
+	return SelectBranch{dir: rendezvous.DirSend, peer: to, val: v, guard: true}
+}
+
+// SendTagTo builds an enabled tagged send branch.
+func SendTagTo(to ids.RoleRef, tag string, v any) SelectBranch {
+	return SelectBranch{dir: rendezvous.DirSend, peer: to, tag: tag, val: v, guard: true}
+}
+
+// RecvFrom builds an enabled receive branch (untagged).
+func RecvFrom(from ids.RoleRef) SelectBranch {
+	return SelectBranch{dir: rendezvous.DirRecv, peer: from, guard: true}
+}
+
+// RecvTagFrom builds an enabled tagged receive branch.
+func RecvTagFrom(from ids.RoleRef, tag string) SelectBranch {
+	return SelectBranch{dir: rendezvous.DirRecv, peer: from, tag: tag, guard: true}
+}
+
+// RecvFromAnyone builds an enabled receive branch accepting any sender with
+// the given tag ("" accepts only the untagged kind).
+func RecvFromAnyone(tag string) SelectBranch {
+	return SelectBranch{dir: rendezvous.DirRecv, anyPeer: true, tag: tag, guard: true}
+}
+
+// When returns the branch with its boolean guard set: a false guard
+// disables the branch, as in guarded commands.
+func (b SelectBranch) When(cond bool) SelectBranch {
+	b.guard = cond
+	return b
+}
+
+// IsSend reports whether the branch is a send (output guard).
+func (b SelectBranch) IsSend() bool { return b.dir == rendezvous.DirSend }
+
+// BranchPeer returns the branch's counterpart role, and whether the branch
+// accepts any peer instead.
+func (b SelectBranch) BranchPeer() (peer ids.RoleRef, anyPeer bool) {
+	return b.peer, b.anyPeer
+}
+
+// BranchTag returns the branch's message tag.
+func (b SelectBranch) BranchTag() string { return b.tag }
+
+// BranchValue returns the value a send branch offers (nil for receives).
+func (b SelectBranch) BranchValue() any { return b.val }
+
+// Enabled reports the boolean guard.
+func (b SelectBranch) Enabled() bool { return b.guard }
+
+// Selected reports the outcome of a Select.
+type Selected struct {
+	// Index is the position of the committed branch in the Select call.
+	Index int
+	// Peer is the counterpart role.
+	Peer ids.RoleRef
+	// Tag is the message tag.
+	Tag string
+	// Val is the received value for a receive branch, nil for a send.
+	Val any
+}
+
+// Select blocks until exactly one enabled branch commits. Branches whose
+// boolean guard is false are ignored; branches naming an absent role are
+// disabled (the paper's distinguished-value rule applied to guards). If no
+// branch remains, Select fails with ErrNoBranches (all guards false) or
+// ErrRoleAbsent / ErrRoleFinished (all communication partners gone) —
+// CSP's rule that a repetitive command exits when all guards fail.
+func (rc *RoleCtx) Select(branches ...SelectBranch) (Selected, error) {
+	type mapping struct {
+		orig int
+		br   rendezvous.Branch
+	}
+	var (
+		enabled     []mapping
+		guardsTrue  int
+		sawFinished bool
+		sawAbsent   bool
+	)
+	for i, b := range branches {
+		if !b.guard {
+			continue
+		}
+		guardsTrue++
+		if !b.anyPeer {
+			switch rc.availability(b.peer) {
+			case peerAbsent:
+				sawAbsent = true
+				continue
+			case peerFinished:
+				sawFinished = true
+				continue
+			case peerUnknown:
+				return Selected{}, fmt.Errorf("%w: %s", ErrUnknownRole, b.peer)
+			}
+		}
+		enabled = append(enabled, mapping{orig: i, br: rendezvous.Branch{
+			Dir: b.dir, Peer: addrOf(b.peer), AnyPeer: b.anyPeer,
+			Tag: rendezvous.Tag(b.tag), Val: b.val,
+		}})
+	}
+	if guardsTrue == 0 {
+		return Selected{}, ErrNoBranches
+	}
+	if len(enabled) == 0 {
+		if sawFinished && !sawAbsent {
+			return Selected{}, ErrRoleFinished
+		}
+		return Selected{}, ErrRoleAbsent
+	}
+	fabricBranches := make([]rendezvous.Branch, len(enabled))
+	for i, m := range enabled {
+		fabricBranches[i] = m.br
+	}
+	out, err := rc.perf.fabric.Do(rc.ctx, addrOf(rc.role), fabricBranches)
+	if err != nil {
+		return Selected{}, rc.mapCommErr(ids.RoleRef{}, err)
+	}
+	m := enabled[out.Index]
+	peer, perr := ids.ParseRoleRef(string(out.Peer))
+	if perr != nil {
+		return Selected{}, fmt.Errorf("script: bad peer address %q: %w", out.Peer, perr)
+	}
+	kind := trace.KindSend
+	if m.br.Dir == rendezvous.DirRecv {
+		kind = trace.KindRecv
+	}
+	rc.inst.record(trace.Event{
+		Kind: kind, Script: rc.inst.def.name, Performance: rc.perf.number,
+		Role: rc.role, Peer: peer, PID: rc.pid, Detail: string(out.Tag),
+	})
+	return Selected{Index: m.orig, Peer: peer, Tag: string(out.Tag), Val: out.Val}, nil
+}
+
+// Terminated is the paper's r.terminated predicate: true if role r has
+// finished its body in this performance, or if r will not be filled
+// (membership has closed without it). Before the critical role set is
+// covered, Terminated is false for all unfilled roles.
+func (rc *RoleCtx) Terminated(r ids.RoleRef) bool {
+	rc.inst.mu.Lock()
+	defer rc.inst.mu.Unlock()
+	if rc.perf.finished.Contains(r) {
+		return true
+	}
+	if _, filled := rc.perf.assigned[r]; filled {
+		return false
+	}
+	return rc.perf.membershipClosed
+}
+
+// Filled reports whether role r is filled (enrolled) in this performance.
+func (rc *RoleCtx) Filled(r ids.RoleRef) bool {
+	rc.inst.mu.Lock()
+	defer rc.inst.mu.Unlock()
+	_, ok := rc.perf.assigned[r]
+	return ok
+}
+
+// FamilySize returns the extent of the named role family in this
+// performance: the declared size for fixed families, or the largest
+// enrolled index so far for open-ended families (final once membership
+// closes). It returns 0 for unknown names and scalar roles.
+func (rc *RoleCtx) FamilySize(name string) int {
+	decl, ok := rc.inst.def.decls[name]
+	if !ok || !decl.family {
+		return 0
+	}
+	if decl.size > 0 {
+		return decl.size
+	}
+	rc.inst.mu.Lock()
+	defer rc.inst.mu.Unlock()
+	return rc.perf.openMax[name]
+}
+
+// EnrollIn enrolls from inside a role body into another script instance
+// (nested enrollment) or into another instance of the same script
+// (recursive scripts) — Section V. The enrollment runs in this goroutine,
+// so the paper's continuation property is preserved transitively. If
+// e.PID is empty it defaults to the enclosing process's PID.
+//
+// Enrolling into the *same* instance from a role body deadlocks under
+// delayed policies (the current performance cannot end while the body
+// waits); it is allowed, but callers should pass a cancellable context.
+func (rc *RoleCtx) EnrollIn(other *Instance, e Enrollment) (Result, error) {
+	if e.PID == ids.NoPID {
+		e.PID = rc.pid
+	}
+	return other.Enroll(rc.ctx, e)
+}
+
+type peerState int
+
+const (
+	peerOK peerState = iota + 1
+	peerAbsent
+	peerFinished
+	peerUnknown
+)
+
+// availability classifies role r for communication purposes.
+func (rc *RoleCtx) availability(r ids.RoleRef) peerState {
+	if err := rc.inst.def.checkRole(r); err != nil {
+		return peerUnknown
+	}
+	rc.inst.mu.Lock()
+	defer rc.inst.mu.Unlock()
+	if rc.perf.finished.Contains(r) {
+		return peerFinished
+	}
+	if _, filled := rc.perf.assigned[r]; filled {
+		return peerOK
+	}
+	if rc.perf.membershipClosed {
+		return peerAbsent
+	}
+	return peerOK // unfilled but membership open: callers may block on it
+}
+
+// precheck validates the target role before a point-to-point operation.
+func (rc *RoleCtx) precheck(to ids.RoleRef) error {
+	switch rc.availability(to) {
+	case peerUnknown:
+		return fmt.Errorf("%w: %s", ErrUnknownRole, to)
+	case peerAbsent:
+		return fmt.Errorf("%w: %s", ErrRoleAbsent, to)
+	case peerFinished:
+		return fmt.Errorf("%w: %s", ErrRoleFinished, to)
+	default:
+		return nil
+	}
+}
+
+// mapCommErr converts fabric errors into script-level errors.
+func (rc *RoleCtx) mapCommErr(peer ids.RoleRef, err error) error {
+	switch {
+	case errors.Is(err, rendezvous.ErrPeerTerminated):
+		if peer.Name != "" {
+			rc.inst.mu.Lock()
+			_, wasFilled := rc.perf.assigned[peer]
+			rc.inst.mu.Unlock()
+			if wasFilled {
+				return fmt.Errorf("%w: %s", ErrRoleFinished, peer)
+			}
+			return fmt.Errorf("%w: %s", ErrRoleAbsent, peer)
+		}
+		return ErrRoleFinished
+	case errors.Is(err, rendezvous.ErrClosed):
+		return ErrClosed
+	default:
+		return err
+	}
+}
+
+// newSeededRNG returns a deterministic PRNG for fairness shuffles.
+func newSeededRNG(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

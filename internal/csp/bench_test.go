@@ -1,0 +1,40 @@
+package csp
+
+import (
+	"context"
+	"testing"
+)
+
+// BenchmarkPingPong measures message round trips between two CSP processes
+// inside one parallel command.
+func BenchmarkPingPong(b *testing.B) {
+	rounds := b.N
+	sys := NewSystem().
+		Process("P", func(p *Proc) error {
+			for i := 0; i < rounds; i++ {
+				if err := p.Send("Q", i); err != nil {
+					return err
+				}
+				if _, err := p.Recv("Q"); err != nil {
+					return err
+				}
+			}
+			return nil
+		}).
+		Process("Q", func(p *Proc) error {
+			for i := 0; i < rounds; i++ {
+				v, err := p.Recv("P")
+				if err != nil {
+					return err
+				}
+				if err := p.Send("P", v); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	b.ResetTimer()
+	if err := sys.Run(context.Background()); err != nil {
+		b.Fatal(err)
+	}
+}

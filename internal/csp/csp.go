@@ -1,0 +1,332 @@
+// Package csp is a Go substrate for Hoare's Communicating Sequential
+// Processes, sufficient for Section IV of the paper: named processes
+// composed in a parallel command, synchronous input/output commands
+// ("P!x" / "P?y") with message constructors (tags), process arrays whose
+// members know their indices, and guarded alternative and repetitive
+// commands with boolean parts and input *or* output guards (the paper's
+// Figure 6 uses output guards in the transmitter).
+//
+// The distributed termination convention is implemented: a guard whose
+// named partner has terminated fails, and a repetitive command exits
+// normally when every guard has failed — which is how the paper's CSP
+// supervisor (Figure 7) resets between performances.
+package csp
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+
+	"github.com/scriptabs/goscript/internal/rendezvous"
+)
+
+// Tag is a message constructor name, as in "P!lock(data, id)". The empty
+// tag is the anonymous constructor.
+type Tag = rendezvous.Tag
+
+// Errors reported by CSP commands.
+var (
+	// ErrAllGuardsFalse reports an alternative command whose boolean guard
+	// parts are all false — a failure in CSP.
+	ErrAllGuardsFalse = errors.New("csp: all guards false")
+	// ErrAllGuardsFailed reports an alternative command whose guards are
+	// all false or name terminated processes — also a failure. (In a
+	// repetitive command this is normal loop exit, not an error.)
+	ErrAllGuardsFailed = errors.New("csp: all guards failed")
+	// ErrUnknownProcess reports a communication naming a process that is
+	// not part of the parallel command.
+	ErrUnknownProcess = errors.New("csp: unknown process")
+)
+
+// Name returns the name of member i of process array base, "base[i]".
+func Name(base string, i int) string {
+	return base + "[" + strconv.Itoa(i) + "]"
+}
+
+// Body is the program of one process.
+type Body func(p *Proc) error
+
+// Option configures a System.
+type Option func(*System)
+
+// WithRandomMatching resolves communication non-determinism with a seeded
+// random choice instead of FIFO order — CSP assumes no fairness.
+func WithRandomMatching(seed int64) Option {
+	return func(s *System) { s.fabricOpts = append(s.fabricOpts, rendezvous.WithRandomMatching(seed)) }
+}
+
+// System is one parallel command [P1 || P2 || ... || Pn]. Declare all
+// processes, then Run.
+type System struct {
+	fabricOpts []rendezvous.Option
+	procs      []*Proc
+	names      map[string]bool
+	errs       []string
+}
+
+// NewSystem creates an empty parallel command.
+func NewSystem(opts ...Option) *System {
+	s := &System{names: make(map[string]bool)}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// Process declares a named process.
+func (s *System) Process(name string, body Body) *System {
+	s.declare(name, -1, body)
+	return s
+}
+
+// ProcessArray declares an array of n processes named Name(base, 1..n);
+// each learns its index from Proc.Index.
+func (s *System) ProcessArray(base string, n int, body Body) *System {
+	if n < 1 {
+		s.errs = append(s.errs, fmt.Sprintf("process array %s: size %d < 1", base, n))
+		return s
+	}
+	for i := 1; i <= n; i++ {
+		s.declare(Name(base, i), i, body)
+	}
+	return s
+}
+
+func (s *System) declare(name string, index int, body Body) {
+	switch {
+	case name == "":
+		s.errs = append(s.errs, "process name is empty")
+	case body == nil:
+		s.errs = append(s.errs, fmt.Sprintf("process %s: nil body", name))
+	case s.names[name]:
+		s.errs = append(s.errs, fmt.Sprintf("process %s declared twice", name))
+	default:
+		s.names[name] = true
+		s.procs = append(s.procs, &Proc{name: name, index: index, body: body})
+	}
+}
+
+// Run executes the parallel command to completion and returns the joined
+// errors of all failing processes (nil if every process terminated
+// normally). The context bounds the whole command; cancellation aborts
+// blocked communications.
+func (s *System) Run(ctx context.Context) error {
+	if len(s.errs) > 0 {
+		return fmt.Errorf("csp: invalid system: %s", s.errs[0])
+	}
+	if len(s.procs) == 0 {
+		return errors.New("csp: empty parallel command")
+	}
+	fabric := rendezvous.New(s.fabricOpts...)
+	defer fabric.Close()
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, len(s.procs))
+	for _, p := range s.procs {
+		p := p
+		p.sys = s
+		p.ctx = ctx
+		p.fabric = fabric
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			err := runProcBody(p)
+			// Terminating the address implements the distributed
+			// termination convention for the remaining processes.
+			fabric.Terminate(rendezvous.Addr(p.name))
+			if err != nil {
+				errCh <- fmt.Errorf("process %s: %w", p.name, err)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	var all []error
+	for err := range errCh {
+		all = append(all, err)
+	}
+	return errors.Join(all...)
+}
+
+func runProcBody(p *Proc) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("csp: process body panicked: %v", r)
+		}
+	}()
+	return p.body(p)
+}
+
+// Proc is one process of a running parallel command.
+type Proc struct {
+	sys    *System
+	name   string
+	index  int
+	body   Body
+	ctx    context.Context
+	fabric *rendezvous.Fabric
+}
+
+// Name returns the process's full name (including array index).
+func (p *Proc) Name() string { return p.name }
+
+// Index returns the array index (1-based), or -1 for a scalar process.
+func (p *Proc) Index() int { return p.index }
+
+// Context returns the parallel command's context.
+func (p *Proc) Context() context.Context { return p.ctx }
+
+func (p *Proc) checkPeer(dst string) error {
+	if !p.sys.names[dst] {
+		return fmt.Errorf("%w: %s", ErrUnknownProcess, dst)
+	}
+	return nil
+}
+
+// Send is the output command "dst!v" with the anonymous constructor.
+func (p *Proc) Send(dst string, v any) error { return p.SendTagged(dst, "", v) }
+
+// SendTagged is the output command "dst!tag(v)".
+func (p *Proc) SendTagged(dst string, tag Tag, v any) error {
+	if err := p.checkPeer(dst); err != nil {
+		return err
+	}
+	return p.fabric.Send(p.ctx, rendezvous.Addr(p.name), rendezvous.Addr(dst), tag, v)
+}
+
+// Recv is the input command "src?x" with the anonymous constructor.
+func (p *Proc) Recv(src string) (any, error) { return p.RecvTagged(src, "") }
+
+// RecvTagged is the input command "src?tag(x)".
+func (p *Proc) RecvTagged(src string, tag Tag) (any, error) {
+	if err := p.checkPeer(src); err != nil {
+		return nil, err
+	}
+	return p.fabric.Recv(p.ctx, rendezvous.Addr(p.name), rendezvous.Addr(src), tag)
+}
+
+// RecvAny accepts a message from any process with any constructor — the
+// extended naming convention of Francez [2] that the paper's supervisor
+// translation relies on ("the script supervisor must address all other
+// processes"). It returns the sender's name, the constructor, and the value.
+func (p *Proc) RecvAny() (string, Tag, any, error) {
+	out, err := p.fabric.RecvAny(p.ctx, rendezvous.Addr(p.name))
+	if err != nil {
+		return "", "", nil, err
+	}
+	return string(out.Peer), out.Tag, out.Val, nil
+}
+
+// Guard is one alternative of a guarded command: a boolean part, a
+// communication part, and a body run with the communicated value (nil for
+// an output guard).
+type Guard struct {
+	when bool
+	dir  rendezvous.Dir
+	peer string
+	any  bool
+	tag  Tag
+	val  any
+	body func(v any) error
+}
+
+// On builds an input guard "src?tag(x) → body(x)".
+func On(src string, tag Tag, body func(v any) error) Guard {
+	return Guard{when: true, dir: rendezvous.DirRecv, peer: src, tag: tag, body: body}
+}
+
+// OnAny builds an input guard accepting the given constructor from any
+// process: "?tag(x) → body(x)" (extended naming).
+func OnAny(tag Tag, body func(v any) error) Guard {
+	return Guard{when: true, dir: rendezvous.DirRecv, any: true, tag: tag, body: body}
+}
+
+// OnSend builds an output guard "dst!tag(v) → body(nil)". Output guards in
+// alternative commands follow the generalized CSP the paper's Figure 6 uses.
+func OnSend(dst string, tag Tag, v any, body func(v any) error) Guard {
+	return Guard{when: true, dir: rendezvous.DirSend, peer: dst, tag: tag, val: v, body: body}
+}
+
+// When sets the boolean part of the guard.
+func (g Guard) When(cond bool) Guard {
+	g.when = cond
+	return g
+}
+
+// Alt is the alternative command [g1 □ g2 □ ...]: exactly one guard whose
+// boolean part is true and whose partner is alive commits, and its body
+// runs. Alt fails with ErrAllGuardsFalse or ErrAllGuardsFailed when no
+// guard can ever commit.
+func (p *Proc) Alt(guards ...Guard) error {
+	_, err := p.alt(guards)
+	return err
+}
+
+// alt returns the index of the committed guard.
+func (p *Proc) alt(guards []Guard) (int, error) {
+	type mapping struct {
+		orig int
+		br   rendezvous.Branch
+	}
+	var enabled []mapping
+	trueGuards := 0
+	for i, g := range guards {
+		if !g.when {
+			continue
+		}
+		trueGuards++
+		if !g.any {
+			if err := p.checkPeer(g.peer); err != nil {
+				return -1, err
+			}
+		}
+		enabled = append(enabled, mapping{orig: i, br: rendezvous.Branch{
+			Dir: g.dir, Peer: rendezvous.Addr(g.peer), AnyPeer: g.any,
+			Tag: g.tag, Val: g.val,
+		}})
+	}
+	if trueGuards == 0 {
+		return -1, ErrAllGuardsFalse
+	}
+	brs := make([]rendezvous.Branch, len(enabled))
+	for i, m := range enabled {
+		brs[i] = m.br
+	}
+	out, err := p.fabric.Do(p.ctx, rendezvous.Addr(p.name), brs)
+	if err != nil {
+		if errors.Is(err, rendezvous.ErrPeerTerminated) {
+			return -1, ErrAllGuardsFailed
+		}
+		return -1, err
+	}
+	g := guards[enabled[out.Index].orig]
+	if g.body != nil {
+		if err := g.body(out.Val); err != nil {
+			return -1, err
+		}
+	}
+	return enabled[out.Index].orig, nil
+}
+
+// Rep is the repetitive command *[g1 □ g2 □ ...]: it executes the
+// alternative command until it fails, then terminates normally (the
+// distributed termination convention: the loop exits when all partners
+// named by true guards have terminated, or all boolean parts are false).
+//
+// The boolean parts are re-evaluated each iteration through the eval
+// callback, which must rebuild the guard list from current state.
+func (p *Proc) Rep(eval func() []Guard) error {
+	for {
+		err := p.Alt(eval()...)
+		switch {
+		case err == nil:
+			continue
+		case errors.Is(err, ErrAllGuardsFalse), errors.Is(err, ErrAllGuardsFailed):
+			return nil
+		default:
+			return err
+		}
+	}
+}

@@ -1,0 +1,408 @@
+package csp
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func runSys(t *testing.T, s *System) error {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	return s.Run(ctx)
+}
+
+func TestSendRecvBetweenProcesses(t *testing.T) {
+	var got any
+	s := NewSystem().
+		Process("P", func(p *Proc) error {
+			return p.Send("Q", 42)
+		}).
+		Process("Q", func(p *Proc) error {
+			v, err := p.Recv("P")
+			got = v
+			return err
+		})
+	if err := runSys(t, s); err != nil {
+		t.Fatal(err)
+	}
+	if got != 42 {
+		t.Fatalf("Q received %v, want 42", got)
+	}
+}
+
+func TestTaggedConstructorsKeepMessageKindsApart(t *testing.T) {
+	var lock, release any
+	s := NewSystem().
+		Process("client", func(p *Proc) error {
+			if err := p.SendTagged("manager", "lock", "item-1"); err != nil {
+				return err
+			}
+			return p.SendTagged("manager", "release", "item-1")
+		}).
+		Process("manager", func(p *Proc) error {
+			// Receive the release-tagged message first by constructor, then
+			// the lock-tagged one: tags must discriminate.
+			var err error
+			if lock, err = p.RecvTagged("client", "lock"); err != nil {
+				return err
+			}
+			release, err = p.RecvTagged("client", "release")
+			return err
+		})
+	if err := runSys(t, s); err != nil {
+		t.Fatal(err)
+	}
+	if lock != "item-1" || release != "item-1" {
+		t.Fatalf("lock=%v release=%v", lock, release)
+	}
+}
+
+// TestFigure6BroadcastInCSP transcribes the paper's Figure 6: a transmitter
+// with a sent[] array and output guards in a repetitive command, and five
+// recipients each doing "transmitter?y".
+func TestFigure6BroadcastInCSP(t *testing.T) {
+	const n = 5
+	const x = "the-value"
+	var mu sync.Mutex
+	received := map[int]any{}
+
+	s := NewSystem().
+		Process("transmitter", func(p *Proc) error {
+			sent := make([]bool, n+1)
+			return p.Rep(func() []Guard {
+				guards := make([]Guard, 0, n)
+				for k := 1; k <= n; k++ {
+					k := k
+					guards = append(guards,
+						OnSend(Name("recipient", k), "", x, func(any) error {
+							sent[k] = true
+							return nil
+						}).When(!sent[k]))
+				}
+				return guards
+			})
+		}).
+		ProcessArray("recipient", n, func(p *Proc) error {
+			v, err := p.Recv("transmitter")
+			if err != nil {
+				return err
+			}
+			mu.Lock()
+			received[p.Index()] = v
+			mu.Unlock()
+			return nil
+		})
+	if err := runSys(t, s); err != nil {
+		t.Fatal(err)
+	}
+	for k := 1; k <= n; k++ {
+		if received[k] != x {
+			t.Errorf("recipient[%d] got %v, want %q", k, received[k], x)
+		}
+	}
+}
+
+func TestRepTerminationConvention(t *testing.T) {
+	// A consumer loops on inputs from two producers; when both terminate,
+	// the repetitive command must exit normally.
+	var sum, count int
+	s := NewSystem().
+		Process("prod1", func(p *Proc) error {
+			for i := 0; i < 3; i++ {
+				if err := p.Send("cons", 1); err != nil {
+					return err
+				}
+			}
+			return nil
+		}).
+		Process("prod2", func(p *Proc) error {
+			for i := 0; i < 2; i++ {
+				if err := p.Send("cons", 10); err != nil {
+					return err
+				}
+			}
+			return nil
+		}).
+		Process("cons", func(p *Proc) error {
+			return p.Rep(func() []Guard {
+				return []Guard{
+					On("prod1", "", func(v any) error { sum += v.(int); count++; return nil }),
+					On("prod2", "", func(v any) error { sum += v.(int); count++; return nil }),
+				}
+			})
+		})
+	if err := runSys(t, s); err != nil {
+		t.Fatal(err)
+	}
+	if sum != 23 || count != 5 {
+		t.Fatalf("sum=%d count=%d, want 23/5", sum, count)
+	}
+}
+
+func TestAltAllGuardsFalse(t *testing.T) {
+	s := NewSystem().
+		Process("P", func(p *Proc) error {
+			err := p.Alt(On("Q", "", nil).When(false))
+			if !errors.Is(err, ErrAllGuardsFalse) {
+				return fmt.Errorf("alt: %v", err)
+			}
+			return nil
+		}).
+		Process("Q", func(p *Proc) error { return nil })
+	if err := runSys(t, s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAltFailsWhenAllPartnersTerminated(t *testing.T) {
+	s := NewSystem().
+		Process("P", func(p *Proc) error {
+			// Q terminates immediately; the guard must fail, not block.
+			for {
+				err := p.Alt(On("Q", "", nil))
+				if err == nil {
+					continue // raced with Q's send? no sends exist
+				}
+				if !errors.Is(err, ErrAllGuardsFailed) {
+					return fmt.Errorf("alt: %v", err)
+				}
+				return nil
+			}
+		}).
+		Process("Q", func(p *Proc) error { return nil })
+	if err := runSys(t, s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecvAnyReportsSenderAndTag(t *testing.T) {
+	var from string
+	var tag Tag
+	var val any
+	s := NewSystem().
+		Process("server", func(p *Proc) error {
+			var err error
+			from, tag, val, err = p.RecvAny()
+			return err
+		}).
+		Process("client", func(p *Proc) error {
+			return p.SendTagged("server", "start_s", "args")
+		})
+	if err := runSys(t, s); err != nil {
+		t.Fatal(err)
+	}
+	if from != "client" || tag != "start_s" || val != "args" {
+		t.Fatalf("from=%q tag=%q val=%v", from, tag, val)
+	}
+}
+
+func TestUnknownProcess(t *testing.T) {
+	s := NewSystem().
+		Process("P", func(p *Proc) error {
+			if err := p.Send("ghost", 1); !errors.Is(err, ErrUnknownProcess) {
+				return fmt.Errorf("send: %v", err)
+			}
+			if _, err := p.Recv("ghost"); !errors.Is(err, ErrUnknownProcess) {
+				return fmt.Errorf("recv: %v", err)
+			}
+			if err := p.Alt(On("ghost", "", nil)); !errors.Is(err, ErrUnknownProcess) {
+				return fmt.Errorf("alt: %v", err)
+			}
+			return nil
+		})
+	if err := runSys(t, s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSystemValidation(t *testing.T) {
+	ctx := context.Background()
+	if err := NewSystem().Run(ctx); err == nil {
+		t.Error("empty system must fail")
+	}
+	if err := NewSystem().Process("", nil).Run(ctx); err == nil {
+		t.Error("empty name must fail")
+	}
+	if err := NewSystem().Process("P", nil).Run(ctx); err == nil {
+		t.Error("nil body must fail")
+	}
+	dup := NewSystem().
+		Process("P", func(*Proc) error { return nil }).
+		Process("P", func(*Proc) error { return nil })
+	if err := dup.Run(ctx); err == nil {
+		t.Error("duplicate name must fail")
+	}
+	if err := NewSystem().ProcessArray("a", 0, func(*Proc) error { return nil }).Run(ctx); err == nil {
+		t.Error("zero-size array must fail")
+	}
+}
+
+func TestProcessErrorsAreJoined(t *testing.T) {
+	errA := errors.New("a failed")
+	s := NewSystem().
+		Process("A", func(p *Proc) error { return errA }).
+		Process("B", func(p *Proc) error { return nil })
+	err := runSys(t, s)
+	if !errors.Is(err, errA) {
+		t.Fatalf("err = %v, want wrapped errA", err)
+	}
+}
+
+func TestProcessPanicBecomesError(t *testing.T) {
+	s := NewSystem().
+		Process("A", func(p *Proc) error { panic("boom") })
+	err := runSys(t, s)
+	if err == nil {
+		t.Fatal("want panic converted to error")
+	}
+}
+
+func TestDeadPartnerUnblocksSender(t *testing.T) {
+	// P sends to Q, but Q terminates without receiving; P must not hang.
+	s := NewSystem().
+		Process("P", func(p *Proc) error {
+			err := p.Send("Q", 1)
+			if err == nil {
+				return errors.New("send to dead process succeeded")
+			}
+			return nil
+		}).
+		Process("Q", func(p *Proc) error {
+			time.Sleep(10 * time.Millisecond)
+			return nil
+		})
+	if err := runSys(t, s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProcessArrayIndices(t *testing.T) {
+	var mu sync.Mutex
+	seen := map[int]string{}
+	s := NewSystem().
+		ProcessArray("w", 4, func(p *Proc) error {
+			mu.Lock()
+			seen[p.Index()] = p.Name()
+			mu.Unlock()
+			return nil
+		})
+	if err := runSys(t, s); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 4; i++ {
+		if seen[i] != Name("w", i) {
+			t.Errorf("index %d: name %q", i, seen[i])
+		}
+	}
+}
+
+func TestScalarIndexIsMinusOne(t *testing.T) {
+	s := NewSystem().Process("P", func(p *Proc) error {
+		if p.Index() != -1 {
+			return fmt.Errorf("index = %d", p.Index())
+		}
+		if p.Name() != "P" {
+			return fmt.Errorf("name = %q", p.Name())
+		}
+		return nil
+	})
+	if err := runSys(t, s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomMatchingSystemStillCorrect(t *testing.T) {
+	// With random matching, a fan-in of 8 producers into one consumer must
+	// still deliver all messages exactly once.
+	const n = 8
+	var total int
+	s := NewSystem(WithRandomMatching(7)).
+		ProcessArray("prod", n, func(p *Proc) error {
+			return p.Send("cons", p.Index())
+		}).
+		Process("cons", func(p *Proc) error {
+			return p.Rep(func() []Guard {
+				guards := make([]Guard, 0, n)
+				for i := 1; i <= n; i++ {
+					guards = append(guards, On(Name("prod", i), "", func(v any) error {
+						total += v.(int)
+						return nil
+					}))
+				}
+				return guards
+			})
+		})
+	if err := runSys(t, s); err != nil {
+		t.Fatal(err)
+	}
+	if want := n * (n + 1) / 2; total != want {
+		t.Fatalf("total = %d, want %d", total, want)
+	}
+}
+
+func TestPipelineOfProcesses(t *testing.T) {
+	// A 5-stage pipeline: each stage receives, increments, forwards.
+	const stages = 5
+	var final any
+	s := NewSystem().
+		Process("src", func(p *Proc) error {
+			return p.Send(Name("stage", 1), 0)
+		}).
+		ProcessArray("stage", stages, func(p *Proc) error {
+			v, err := p.Recv(prevName(p.Index()))
+			if err != nil {
+				return err
+			}
+			next := v.(int) + 1
+			if p.Index() == stages {
+				final = next
+				return nil
+			}
+			return p.Send(Name("stage", p.Index()+1), next)
+		})
+	if err := runSys(t, s); err != nil {
+		t.Fatal(err)
+	}
+	if final != stages {
+		t.Fatalf("final = %v, want %d", final, stages)
+	}
+}
+
+func prevName(i int) string {
+	if i == 1 {
+		return "src"
+	}
+	return Name("stage", i-1)
+}
+
+func TestContextCancellationAbortsSystem(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	s := NewSystem().
+		Process("P", func(p *Proc) error {
+			close(started)
+			_, err := p.Recv("Q") // Q never sends
+			return err
+		}).
+		Process("Q", func(p *Proc) error {
+			_, err := p.Recv("P") // P never sends: deadlock by design
+			return err
+		})
+	done := make(chan error, 1)
+	go func() { done <- s.Run(ctx) }()
+	<-started
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("cancelled deadlocked system must report errors")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("system did not unwind after cancellation")
+	}
+}

@@ -1,0 +1,436 @@
+// Package dist implements the research direction the paper names after its
+// CSP translation: "One of the major directions of future research is to
+// discover distributed algorithms to achieve such multiple synchronization
+// based on a generalization of the current distributed algorithms for
+// binary handshaking."
+//
+// Two multiway-enrollment synchronizers are provided behind one interface:
+//
+//   - Central: the paper's supervisor shape — every enroller offers to one
+//     coordinator, which detects the full house and releases everyone. Few
+//     serial hops per round, but the coordinator carries the whole message
+//     load (and is an extra process, against the paper's design goal).
+//   - Ring: a decentralized token protocol. Each role is managed by its own
+//     node on a unidirectional ring; a token collects enrollment counts and,
+//     once it has observed all n roles enrolled, converts into a release
+//     lap. No node handles more than O(1) messages per round — at the cost
+//     of O(n) serial hops.
+//
+// Both run over the rendezvous fabric with per-node message counters, so
+// experiment E13 can compare message totals, per-node load, and latency.
+package dist
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/scriptabs/goscript/internal/rendezvous"
+)
+
+// ErrClosed reports an Enroll on a closed synchronizer.
+var ErrClosed = errors.New("dist: synchronizer closed")
+
+// Stats reports a synchronizer's traffic after some rounds.
+type Stats struct {
+	// Rounds is the number of completed synchronization rounds
+	// (performances).
+	Rounds int
+	// Messages is the total number of point-to-point messages.
+	Messages int
+	// MaxNodeLoad is the largest number of messages any single node sent
+	// plus received (the coordinator bottleneck measure).
+	MaxNodeLoad int
+}
+
+// PerRound returns the average messages per completed round.
+func (s Stats) PerRound() float64 {
+	if s.Rounds == 0 {
+		return 0
+	}
+	return float64(s.Messages) / float64(s.Rounds)
+}
+
+// Synchronizer is an n-party enrollment barrier: Enroll(i) blocks until all
+// n roles have enrolled in the current round, then everyone is released and
+// the next round may form (the successive-activations rule).
+type Synchronizer interface {
+	// Enroll blocks the caller as role i (1-based) until the round commits,
+	// and returns the committed round number.
+	Enroll(ctx context.Context, i int) (int, error)
+	// Stats returns traffic counters.
+	Stats() Stats
+	// Close shuts the synchronizer down; outstanding and future Enrolls
+	// fail.
+	Close()
+}
+
+// counter tracks per-node message traffic.
+type counter struct {
+	mu     sync.Mutex
+	total  int
+	byNode map[string]int
+}
+
+func newCounter() *counter {
+	return &counter{byNode: make(map[string]int)}
+}
+
+func (c *counter) note(from, to string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.total++
+	c.byNode[from]++
+	c.byNode[to]++
+}
+
+func (c *counter) snapshot(rounds int) Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := Stats{Rounds: rounds, Messages: c.total}
+	for _, n := range c.byNode {
+		if n > s.MaxNodeLoad {
+			s.MaxNodeLoad = n
+		}
+	}
+	return s
+}
+
+// ---------------------------------------------------------------------------
+// Central coordinator
+
+// Central is the supervisor-shaped synchronizer.
+type Central struct {
+	n       int
+	fabric  *rendezvous.Fabric
+	counter *counter
+
+	mu     sync.Mutex
+	rounds int
+	closed bool
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+const coordAddr rendezvous.Addr = "coordinator"
+
+// NewCentral creates a central synchronizer for n roles and starts its
+// coordinator process.
+func NewCentral(n int) *Central {
+	if n < 1 {
+		n = 1
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	c := &Central{
+		n:       n,
+		fabric:  rendezvous.New(),
+		counter: newCounter(),
+		cancel:  cancel,
+		done:    make(chan struct{}),
+	}
+	go c.coordinate(ctx)
+	return c
+}
+
+// coordinate is the coordinator process: collect n offers, release n
+// enrollers, repeat.
+func (c *Central) coordinate(ctx context.Context) {
+	defer close(c.done)
+	for {
+		waiting := make([]rendezvous.Addr, 0, c.n)
+		for len(waiting) < c.n {
+			out, err := c.fabric.RecvAny(ctx, coordAddr)
+			if err != nil {
+				return
+			}
+			c.counter.note(string(out.Peer), string(coordAddr))
+			waiting = append(waiting, out.Peer)
+		}
+		c.mu.Lock()
+		c.rounds++
+		round := c.rounds
+		c.mu.Unlock()
+		for _, peer := range waiting {
+			// Count before sending: the released enroller may read Stats
+			// before this goroutine is rescheduled.
+			c.counter.note(string(coordAddr), string(peer))
+			if err := c.fabric.Send(ctx, coordAddr, peer, "release", round); err != nil {
+				return
+			}
+		}
+	}
+}
+
+func nodeAddr(i int) rendezvous.Addr {
+	return rendezvous.Addr(fmt.Sprintf("node[%d]", i))
+}
+
+// Enroll implements Synchronizer.
+func (c *Central) Enroll(ctx context.Context, i int) (int, error) {
+	if i < 1 || i > c.n {
+		return 0, fmt.Errorf("dist: role %d out of range 1..%d", i, c.n)
+	}
+	me := nodeAddr(i)
+	if err := c.fabric.Send(ctx, me, coordAddr, "offer", i); err != nil {
+		return 0, fmt.Errorf("dist: offer: %w", err)
+	}
+	v, err := c.fabric.Recv(ctx, me, coordAddr, "release")
+	if err != nil {
+		return 0, fmt.Errorf("dist: await release: %w", err)
+	}
+	round, _ := v.(int)
+	return round, nil
+}
+
+// Stats implements Synchronizer.
+func (c *Central) Stats() Stats {
+	c.mu.Lock()
+	rounds := c.rounds
+	c.mu.Unlock()
+	return c.counter.snapshot(rounds)
+}
+
+// Close implements Synchronizer.
+func (c *Central) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.mu.Unlock()
+	c.cancel()
+	c.fabric.Close()
+	<-c.done
+}
+
+// ---------------------------------------------------------------------------
+// Ring token
+
+// token is the circulating state of the ring protocol.
+type token struct {
+	round     int
+	phase     tokenPhase
+	count     int // collect: roles known enrolled this round
+	initiator int // release: node that converted the token
+}
+
+type tokenPhase int
+
+const (
+	phaseCollect tokenPhase = iota + 1
+	phaseRelease
+)
+
+// Ring is the decentralized synchronizer: node i manages role i's
+// enrollments locally and participates in the token protocol.
+type Ring struct {
+	n       int
+	fabric  *rendezvous.Fabric
+	counter *counter
+	arrive  []chan chan int // enroller hand-off to the local node
+
+	mu     sync.Mutex
+	rounds int
+	closed bool
+	cancel context.CancelFunc
+	stop   chan struct{}
+	wg     sync.WaitGroup
+}
+
+// NewRing creates a ring synchronizer for n roles and starts its node
+// processes. The token circulates only while work is outstanding: a node
+// holds the token until its local role has enrolled, so an idle ring sends
+// no messages.
+func NewRing(n int) *Ring {
+	if n < 1 {
+		n = 1
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	r := &Ring{
+		n:       n,
+		fabric:  rendezvous.New(),
+		counter: newCounter(),
+		arrive:  make([]chan chan int, n+1),
+		cancel:  cancel,
+		stop:    make(chan struct{}),
+	}
+	for i := 1; i <= n; i++ {
+		r.arrive[i] = make(chan chan int)
+	}
+	for i := 1; i <= n; i++ {
+		i := i
+		r.wg.Add(1)
+		go func() {
+			defer r.wg.Done()
+			r.node(ctx, i)
+		}()
+	}
+	return r
+}
+
+// node runs role i's manager. Protocol per round:
+//
+//	collect phase: wait for the local enrollment, add it to the token's
+//	count, pass the token on. The node that completes the count (count==n)
+//	converts the token to the release phase and remembers itself as the
+//	initiator.
+//
+//	release phase: release the local enroller with the round number and
+//	pass the token on; when the token returns to the initiator, it starts
+//	the next round's collect phase.
+func (r *Ring) node(ctx context.Context, i int) {
+	me := nodeAddr(i)
+	next := nodeAddr(i%r.n + 1)
+
+	var waiter chan int // local enroller awaiting release this round
+
+	recvToken := func() (token, bool) {
+		if r.n == 1 {
+			return token{}, false // degenerate ring: no messages at all
+		}
+		v, err := r.fabric.Recv(ctx, me, nodeAddr((i+r.n-2)%r.n+1), "token")
+		if err != nil {
+			return token{}, false
+		}
+		tk, ok := v.(token)
+		return tk, ok
+	}
+	sendToken := func(tk token) bool {
+		if r.n == 1 {
+			return true
+		}
+		r.counter.note(string(me), string(next))
+		if err := r.fabric.Send(ctx, me, next, "token", tk); err != nil {
+			return false
+		}
+		return true
+	}
+	awaitLocal := func() bool {
+		select {
+		case w := <-r.arrive[i]:
+			waiter = w
+			return true
+		case <-ctx.Done():
+			return false
+		}
+	}
+	releaseLocal := func(round int) {
+		if waiter != nil {
+			waiter <- round
+			waiter = nil
+		}
+	}
+
+	if r.n == 1 {
+		// Single node: every round is local.
+		round := 0
+		for {
+			if !awaitLocal() {
+				return
+			}
+			round++
+			r.setRounds(round)
+			releaseLocal(round)
+		}
+	}
+
+	tk := token{round: 1, phase: phaseCollect}
+	holding := i == 1 // node 1 starts with the token
+	for {
+		if !holding {
+			var ok bool
+			tk, ok = recvToken()
+			if !ok {
+				return
+			}
+		}
+		switch tk.phase {
+		case phaseCollect:
+			// Hold the token until the local role enrolls: the ring is
+			// quiet unless enrollments are outstanding.
+			if waiter == nil && !awaitLocal() {
+				return
+			}
+			tk.count++
+			if tk.count == r.n {
+				tk.phase = phaseRelease
+				tk.initiator = i
+				r.setRounds(tk.round)
+				releaseLocal(tk.round)
+			}
+		case phaseRelease:
+			if tk.initiator == i {
+				// Full release lap complete: start the next round.
+				tk = token{round: tk.round + 1, phase: phaseCollect}
+				holding = true
+				continue
+			}
+			releaseLocal(tk.round)
+		}
+		if !sendToken(tk) {
+			return
+		}
+		holding = false
+	}
+}
+
+func (r *Ring) setRounds(round int) {
+	r.mu.Lock()
+	if round > r.rounds {
+		r.rounds = round
+	}
+	r.mu.Unlock()
+}
+
+// Enroll implements Synchronizer.
+func (r *Ring) Enroll(ctx context.Context, i int) (int, error) {
+	if i < 1 || i > r.n {
+		return 0, fmt.Errorf("dist: role %d out of range 1..%d", i, r.n)
+	}
+	release := make(chan int, 1)
+	select {
+	case r.arrive[i] <- release:
+	case <-r.stop:
+		return 0, ErrClosed
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	}
+	select {
+	case round := <-release:
+		return round, nil
+	case <-r.stop:
+		return 0, ErrClosed
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	}
+}
+
+// Stats implements Synchronizer.
+func (r *Ring) Stats() Stats {
+	r.mu.Lock()
+	rounds := r.rounds
+	r.mu.Unlock()
+	return r.counter.snapshot(rounds)
+}
+
+// Close implements Synchronizer.
+func (r *Ring) Close() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.closed = true
+	r.mu.Unlock()
+	close(r.stop)
+	r.cancel()
+	r.fabric.Close()
+	r.wg.Wait()
+}
+
+var (
+	_ Synchronizer = (*Central)(nil)
+	_ Synchronizer = (*Ring)(nil)
+)

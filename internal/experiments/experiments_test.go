@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+func expCtx(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+// TestAllExperimentsPass runs the whole suite and requires every table to
+// carry a passing verdict — this is the repository's end-to-end check that
+// each paper claim reproduces.
+func TestAllExperimentsPass(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment suite is not short")
+	}
+	ctx := expCtx(t)
+	for _, tbl := range Run(ctx) {
+		tbl := tbl
+		t.Run(tbl.ID, func(t *testing.T) {
+			if tbl.Err != nil {
+				t.Fatalf("experiment error: %v", tbl.Err)
+			}
+			if strings.Contains(tbl.Verdict, "FAIL") {
+				t.Fatalf("verdict: %s\n%s", tbl.Verdict, tbl.Render())
+			}
+			if len(tbl.Rows) == 0 {
+				t.Fatal("no rows")
+			}
+		})
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tbl := Table{
+		ID: "E00", Title: "demo", Claim: "c",
+		Headers: []string{"a", "b"},
+		Rows:    [][]string{{"1", "22"}, {"333", "4"}},
+		Verdict: "PASS",
+	}
+	s := tbl.Render()
+	for _, want := range []string{"E00", "demo", "a", "333", "PASS"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("render missing %q:\n%s", want, s)
+		}
+	}
+	e := errTable("E99", "t", "c", context.Canceled)
+	if !strings.Contains(e.Render(), "ERROR") {
+		t.Error("error table must render the error")
+	}
+}
+
+func TestHelperFormatting(t *testing.T) {
+	if usPerOp(0, 0) != "n/a" {
+		t.Error("usPerOp zero ops")
+	}
+	if usPerOp(time.Millisecond, 10) != "100.0 µs" {
+		t.Errorf("usPerOp = %s", usPerOp(time.Millisecond, 10))
+	}
+	if pass(true) != "PASS" || pass(false) != "FAIL" {
+		t.Error("pass() wrong")
+	}
+	if itoa(42) != "42" {
+		t.Error("itoa wrong")
+	}
+}
+
+func TestAllListsFourteen(t *testing.T) {
+	if got := len(All()); got != 14 {
+		t.Fatalf("experiment count = %d, want 14", got)
+	}
+}

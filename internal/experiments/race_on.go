@@ -1,0 +1,7 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports whether the race detector is active; timing-based
+// verdicts that the detector's serialization would invalidate are skipped.
+const raceEnabled = true

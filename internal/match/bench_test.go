@@ -1,0 +1,71 @@
+package match
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/scriptabs/goscript/internal/ids"
+)
+
+func fullProblem(n int) Problem {
+	roles := ids.NewRoleSet()
+	var offers []Offer
+	for i := 1; i <= n; i++ {
+		r := ids.Member("w", i)
+		roles.Add(r)
+		offers = append(offers, Offer{ID: uint64(i), PID: ids.PID(fmt.Sprintf("P%d", i)), Role: r})
+	}
+	return Problem{Roles: roles, Offers: offers}
+}
+
+// BenchmarkFindFullHouse measures a successful match with one offer per role.
+func BenchmarkFindFullHouse(b *testing.B) {
+	for _, n := range []int{4, 16, 64} {
+		p := fullProblem(n)
+		b.Run(fmt.Sprintf("roles=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, ok := Find(p); !ok {
+					b.Fatal("no match")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFindNoMatch measures the pruned failure path: all offers present
+// except one critical role — the common case while enrollments accumulate.
+func BenchmarkFindNoMatch(b *testing.B) {
+	for _, n := range []int{4, 16, 64} {
+		p := fullProblem(n)
+		p.Offers = p.Offers[1:] // first role unfilled; default critical set fails
+		b.Run(fmt.Sprintf("roles=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, ok := Find(p); ok {
+					b.Fatal("unexpected match")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFindWithConstraints measures matching under full partner naming.
+func BenchmarkFindWithConstraints(b *testing.B) {
+	const n = 8
+	p := fullProblem(n)
+	for i := range p.Offers {
+		with := make(map[ids.RoleRef]ids.PIDSet, n-1)
+		for j := 1; j <= n; j++ {
+			if j-1 == i {
+				continue
+			}
+			with[ids.Member("w", j)] = ids.NewPIDSet(ids.PID(fmt.Sprintf("P%d", j)))
+		}
+		p.Offers[i].With = with
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := Find(p); !ok {
+			b.Fatal("no match")
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package monitor
+
+import "testing"
+
+// BenchmarkEnterLeave measures uncontended monitor entry.
+func BenchmarkEnterLeave(b *testing.B) {
+	for _, sem := range []Semantics{Hoare, Mesa} {
+		b.Run(sem.String(), func(b *testing.B) {
+			m := New(sem)
+			for i := 0; i < b.N; i++ {
+				m.Enter()
+				m.Leave()
+			}
+		})
+	}
+}
+
+// BenchmarkSignalPingPong measures a producer/consumer hand-off through one
+// condition variable under each semantics.
+func BenchmarkSignalPingPong(b *testing.B) {
+	for _, sem := range []Semantics{Hoare, Mesa} {
+		b.Run(sem.String(), func(b *testing.B) {
+			m := New(sem)
+			full := m.NewCond()
+			empty := m.NewCond()
+			have := false
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				for i := 0; i < b.N; i++ {
+					m.Enter()
+					for have {
+						empty.Wait()
+					}
+					have = true
+					full.Signal()
+					m.Leave()
+				}
+			}()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.Enter()
+				for !have {
+					full.Wait()
+				}
+				have = false
+				empty.Signal()
+				m.Leave()
+			}
+			<-done
+		})
+	}
+}
+
+// BenchmarkWaitUntil measures the automatic-signalling predicate wait.
+func BenchmarkWaitUntil(b *testing.B) {
+	m := New(Hoare)
+	ready := true // never actually parks: measures the fast path
+	for i := 0; i < b.N; i++ {
+		m.Enter()
+		m.WaitUntil(func() bool { return ready })
+		m.Leave()
+	}
+}

@@ -1,0 +1,241 @@
+// Package monitor is a Go substrate for Hoare-style monitors, the third
+// host environment of the paper's Section IV: mutual exclusion with
+// condition variables, plus the predicate form "WAIT UNTIL cond" used by
+// Figure 12's mailbox monitor (implemented with automatic signalling).
+//
+// Two condition semantics are provided:
+//
+//   - Hoare: Signal transfers the monitor to the signalled waiter
+//     immediately; the signaller parks on an urgent stack and resumes with
+//     priority when the waiter leaves. The signalled condition is therefore
+//     guaranteed to hold when Wait returns.
+//   - Mesa: Signal merely moves a waiter to the entry queue; the waiter
+//     re-acquires the monitor later and must re-check its condition.
+//
+// Like the sync package, misuse (waiting or signalling without occupying
+// the monitor) panics: it is a programming error, not a runtime condition.
+package monitor
+
+import "sync"
+
+// Semantics selects the condition-variable discipline.
+type Semantics int
+
+const (
+	// Hoare is signal-and-urgent-wait (immediate hand-off).
+	Hoare Semantics = iota + 1
+	// Mesa is signal-and-continue (waiters re-check).
+	Mesa
+)
+
+// String returns "hoare" or "mesa".
+func (s Semantics) String() string {
+	switch s {
+	case Hoare:
+		return "hoare"
+	case Mesa:
+		return "mesa"
+	default:
+		return "semantics(?)"
+	}
+}
+
+// M is a monitor. Create with New; the zero value is not usable.
+type M struct {
+	sem Semantics
+
+	mu       sync.Mutex // protects all queues and the occupancy flag
+	occupied bool
+	entryQ   []chan struct{} // FIFO of processes waiting to enter
+	urgentQ  []chan struct{} // LIFO of signallers awaiting resumption (Hoare)
+	recheckQ []chan struct{} // WaitUntil waiters awaiting re-evaluation
+}
+
+// New creates a monitor with the given condition semantics.
+func New(sem Semantics) *M {
+	if sem != Hoare && sem != Mesa {
+		panic("monitor: invalid semantics")
+	}
+	return &M{sem: sem}
+}
+
+// Semantics returns the monitor's condition discipline.
+func (m *M) Semantics() Semantics { return m.sem }
+
+// Do runs body with the monitor occupied (the monitor's procedure-call
+// discipline: every public monitor procedure is wrapped in Do).
+func (m *M) Do(body func()) {
+	m.Enter()
+	defer m.Leave()
+	body()
+}
+
+// Enter occupies the monitor, queueing FIFO behind earlier entrants.
+func (m *M) Enter() {
+	m.mu.Lock()
+	if !m.occupied {
+		m.occupied = true
+		m.mu.Unlock()
+		return
+	}
+	ch := make(chan struct{})
+	m.entryQ = append(m.entryQ, ch)
+	m.mu.Unlock()
+	<-ch
+}
+
+// Leave releases the monitor, handing it to the next waiter: a parked
+// signaller (urgent, LIFO) before the entry queue. Leaving also re-arms all
+// WaitUntil waiters, since the leaving occupant may have changed the state
+// their predicates read (automatic signalling).
+func (m *M) Leave() {
+	m.requireOccupied("Leave")
+	m.rearmRechecksLocked()
+	m.grantNextLocked()
+	m.mu.Unlock()
+}
+
+// grantNextLocked passes occupancy to the next waiter, or frees the monitor.
+func (m *M) grantNextLocked() {
+	if n := len(m.urgentQ); n > 0 {
+		ch := m.urgentQ[n-1]
+		m.urgentQ = m.urgentQ[:n-1]
+		close(ch)
+		return
+	}
+	if len(m.entryQ) > 0 {
+		ch := m.entryQ[0]
+		m.entryQ = m.entryQ[1:]
+		close(ch)
+		return
+	}
+	m.occupied = false
+}
+
+// rearmRechecksLocked moves all WaitUntil waiters to the entry queue so
+// they re-evaluate their predicates.
+func (m *M) rearmRechecksLocked() {
+	if len(m.recheckQ) == 0 {
+		return
+	}
+	m.entryQ = append(m.entryQ, m.recheckQ...)
+	m.recheckQ = nil
+}
+
+// requireOccupied acquires the internal lock and verifies the caller
+// occupies the monitor. On misuse it releases the lock before panicking so
+// the monitor is not poisoned; on success the caller holds m.mu.
+func (m *M) requireOccupied(op string) {
+	m.mu.Lock()
+	if !m.occupied {
+		m.mu.Unlock()
+		panic("monitor: " + op + " without occupying the monitor")
+	}
+}
+
+// WaitUntil blocks until pred is true, releasing the monitor while it
+// waits (the paper's "WAIT UNTIL status = empty"). pred is evaluated with
+// the monitor occupied, and re-evaluated whenever another occupant leaves.
+// Must be called with the monitor occupied.
+func (m *M) WaitUntil(pred func() bool) {
+	m.requireOccupied("WaitUntil")
+	m.mu.Unlock()
+	for !pred() {
+		m.mu.Lock()
+		ch := make(chan struct{})
+		m.recheckQ = append(m.recheckQ, ch)
+		// Parking for a re-check is not a state change, so it must not
+		// re-arm the other recheck waiters (that would livelock).
+		m.grantNextLocked()
+		m.mu.Unlock()
+		<-ch
+	}
+}
+
+// Cond is a condition variable of a monitor.
+type Cond struct {
+	m *M
+	q []chan struct{}
+}
+
+// NewCond creates a condition variable on the monitor.
+func (m *M) NewCond() *Cond {
+	return &Cond{m: m}
+}
+
+// Waiting returns the number of processes waiting on the condition (the
+// classic "x.queue" attribute). Must be called with the monitor occupied.
+func (c *Cond) Waiting() int {
+	c.m.requireOccupied("Cond.Waiting")
+	defer c.m.mu.Unlock()
+	return len(c.q)
+}
+
+// Wait releases the monitor and blocks until signalled, then re-occupies
+// it. Under Hoare semantics the monitor is handed over directly, so the
+// signalled condition still holds; under Mesa semantics the caller must
+// re-check in a loop. Must be called with the monitor occupied.
+func (c *Cond) Wait() {
+	m := c.m
+	m.requireOccupied("Cond.Wait")
+	ch := make(chan struct{})
+	c.q = append(c.q, ch)
+	m.rearmRechecksLocked() // the waiter may have changed state before waiting
+	m.grantNextLocked()
+	m.mu.Unlock()
+	<-ch
+}
+
+// Signal wakes the longest-waiting process on the condition, if any.
+//
+//   - Hoare: occupancy transfers to the waiter at once; the signaller parks
+//     on the urgent stack and resumes, still inside the monitor, when the
+//     waiter leaves or waits again.
+//   - Mesa: the waiter moves to the entry queue; the signaller continues.
+//
+// Must be called with the monitor occupied.
+func (c *Cond) Signal() {
+	m := c.m
+	m.requireOccupied("Cond.Signal")
+	if len(c.q) == 0 {
+		m.mu.Unlock()
+		return
+	}
+	waiter := c.q[0]
+	c.q = c.q[1:]
+	if m.sem == Mesa {
+		m.entryQ = append(m.entryQ, waiter)
+		m.mu.Unlock()
+		return
+	}
+	// Hoare: hand the monitor to the waiter, park urgently.
+	park := make(chan struct{})
+	m.urgentQ = append(m.urgentQ, park)
+	close(waiter)
+	m.mu.Unlock()
+	<-park
+}
+
+// Broadcast wakes every waiter on the condition. Under Hoare semantics the
+// waiters run one at a time, each handed the monitor in turn before the
+// signaller resumes; under Mesa semantics they all move to the entry queue.
+// Must be called with the monitor occupied.
+func (c *Cond) Broadcast() {
+	if c.m.sem == Mesa {
+		m := c.m
+		m.requireOccupied("Cond.Broadcast")
+		m.entryQ = append(m.entryQ, c.q...)
+		c.q = nil
+		m.mu.Unlock()
+		return
+	}
+	for {
+		c.m.mu.Lock()
+		empty := len(c.q) == 0
+		c.m.mu.Unlock()
+		if empty {
+			return
+		}
+		c.Signal()
+	}
+}

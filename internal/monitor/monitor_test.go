@@ -1,0 +1,428 @@
+package monitor
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestMutualExclusion(t *testing.T) {
+	for _, sem := range []Semantics{Hoare, Mesa} {
+		t.Run(sem.String(), func(t *testing.T) {
+			m := New(sem)
+			counter := 0
+			var wg sync.WaitGroup
+			const goroutines, per = 16, 200
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < per; i++ {
+						m.Do(func() { counter++ })
+					}
+				}()
+			}
+			wg.Wait()
+			if counter != goroutines*per {
+				t.Fatalf("counter = %d, want %d (lost updates)", counter, goroutines*per)
+			}
+		})
+	}
+}
+
+// mailbox transcribes Figure 12's mailbox monitor: a one-slot buffer with
+// WAIT UNTIL on both sides.
+type mailbox struct {
+	m        *M
+	contents any
+	full     bool
+}
+
+func newMailbox(sem Semantics) *mailbox {
+	return &mailbox{m: New(sem)}
+}
+
+func (mb *mailbox) put(v any) {
+	mb.m.Enter()
+	defer mb.m.Leave()
+	mb.m.WaitUntil(func() bool { return !mb.full })
+	mb.contents = v
+	mb.full = true
+}
+
+func (mb *mailbox) get() any {
+	mb.m.Enter()
+	defer mb.m.Leave()
+	mb.m.WaitUntil(func() bool { return mb.full })
+	v := mb.contents
+	mb.full = false
+	return v
+}
+
+func TestFigure12MailboxWaitUntil(t *testing.T) {
+	for _, sem := range []Semantics{Hoare, Mesa} {
+		t.Run(sem.String(), func(t *testing.T) {
+			mb := newMailbox(sem)
+			const n = 100
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				for i := 0; i < n; i++ {
+					if got := mb.get(); got != i {
+						t.Errorf("get %d = %v", i, got)
+						return
+					}
+				}
+			}()
+			for i := 0; i < n; i++ {
+				mb.put(i)
+			}
+			select {
+			case <-done:
+			case <-time.After(10 * time.Second):
+				t.Fatal("mailbox exchange hung")
+			}
+		})
+	}
+}
+
+func TestHoareSignalHandsOffImmediately(t *testing.T) {
+	// Under Hoare semantics the signalled waiter sees the condition exactly
+	// as the signaller left it — no third party can slip in between.
+	m := New(Hoare)
+	c := m.NewCond()
+	ready := false
+	observed := make(chan bool, 1)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // waiter
+		defer wg.Done()
+		m.Enter()
+		for !ready { // single check would suffice under Hoare; loop is harmless
+			c.Wait()
+			observed <- ready // must be true at hand-off
+			break
+		}
+		m.Leave()
+	}()
+	time.Sleep(20 * time.Millisecond) // let the waiter park
+
+	wg.Add(1)
+	go func() { // signaller: sets then immediately unsets around the signal
+		defer wg.Done()
+		m.Enter()
+		ready = true
+		c.Signal() // waiter runs NOW with ready==true
+		ready = false
+		m.Leave()
+	}()
+	wg.Wait()
+	if got := <-observed; !got {
+		t.Fatal("Hoare hand-off violated: waiter did not observe the signalled state")
+	}
+}
+
+func TestMesaSignalIsDeferred(t *testing.T) {
+	// Under Mesa semantics the signaller keeps the monitor; the waiter only
+	// runs later, so it can observe state mutated after the Signal call.
+	m := New(Mesa)
+	c := m.NewCond()
+	stage := 0
+	observed := make(chan int, 1)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		m.Enter()
+		for stage == 0 {
+			c.Wait()
+		}
+		observed <- stage
+		m.Leave()
+	}()
+	time.Sleep(20 * time.Millisecond)
+
+	m.Enter()
+	stage = 1
+	c.Signal()
+	stage = 2 // runs before the waiter re-acquires
+	m.Leave()
+	wg.Wait()
+	if got := <-observed; got != 2 {
+		t.Fatalf("waiter observed stage %d, want 2 (signal-and-continue)", got)
+	}
+}
+
+func TestUrgentStackPriority(t *testing.T) {
+	// After a Hoare signal, the parked signaller must resume before any
+	// process from the entry queue.
+	m := New(Hoare)
+	c := m.NewCond()
+	var order []string
+	var mu sync.Mutex
+	add := func(s string) { mu.Lock(); order = append(order, s); mu.Unlock() }
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // waiter
+		defer wg.Done()
+		m.Enter()
+		c.Wait()
+		add("waiter")
+		m.Leave()
+	}()
+	time.Sleep(20 * time.Millisecond)
+
+	entered := make(chan struct{})
+	wg.Add(1)
+	go func() { // signaller
+		defer wg.Done()
+		m.Enter()
+		close(entered)
+		time.Sleep(30 * time.Millisecond) // let the entrant queue up
+		c.Signal()
+		add("signaller-resumed")
+		m.Leave()
+	}()
+	<-entered
+	wg.Add(1)
+	go func() { // entrant, queued while the signaller occupies
+		defer wg.Done()
+		m.Enter()
+		add("entrant")
+		m.Leave()
+	}()
+	wg.Wait()
+
+	want := []string{"waiter", "signaller-resumed", "entrant"}
+	for i := range want {
+		if i >= len(order) || order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestSignalWithNoWaitersIsNoop(t *testing.T) {
+	for _, sem := range []Semantics{Hoare, Mesa} {
+		m := New(sem)
+		c := m.NewCond()
+		m.Do(func() {
+			c.Signal()
+			c.Broadcast()
+		})
+	}
+}
+
+func TestBroadcastWakesAll(t *testing.T) {
+	for _, sem := range []Semantics{Hoare, Mesa} {
+		t.Run(sem.String(), func(t *testing.T) {
+			m := New(sem)
+			c := m.NewCond()
+			released := false
+			const n = 8
+			var wg sync.WaitGroup
+			for i := 0; i < n; i++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					m.Enter()
+					for !released {
+						c.Wait()
+					}
+					m.Leave()
+				}()
+			}
+			// Wait until all are parked.
+			for {
+				m.Enter()
+				parked := c.Waiting()
+				m.Leave()
+				if parked == n {
+					break
+				}
+				time.Sleep(time.Millisecond)
+			}
+			m.Do(func() {
+				released = true
+				c.Broadcast()
+			})
+			done := make(chan struct{})
+			go func() { wg.Wait(); close(done) }()
+			select {
+			case <-done:
+			case <-time.After(10 * time.Second):
+				t.Fatal("broadcast did not wake all waiters")
+			}
+		})
+	}
+}
+
+func TestWaitingCount(t *testing.T) {
+	m := New(Hoare)
+	c := m.NewCond()
+	go func() {
+		m.Enter()
+		c.Wait()
+		m.Leave()
+	}()
+	for {
+		m.Enter()
+		n := c.Waiting()
+		m.Leave()
+		if n == 1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	m.Do(func() { c.Signal() })
+}
+
+func TestTwoWaitUntilWaitersNoLivelock(t *testing.T) {
+	// Two WaitUntil waiters with mutually-independent predicates must not
+	// wake each other forever: parking for a re-check is not a state change.
+	m := New(Hoare)
+	a, b := false, false
+	var wg sync.WaitGroup
+	for _, pred := range []*bool{&a, &b} {
+		pred := pred
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m.Enter()
+			m.WaitUntil(func() bool { return *pred })
+			m.Leave()
+		}()
+	}
+	time.Sleep(30 * time.Millisecond)
+	m.Do(func() { a = true })
+	m.Do(func() { b = true })
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("WaitUntil waiters hung")
+	}
+}
+
+func TestMisusePanics(t *testing.T) {
+	m := New(Mesa)
+	c := m.NewCond()
+	assertPanics := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s without occupancy must panic", name)
+			}
+		}()
+		f()
+	}
+	assertPanics("Leave", m.Leave)
+	assertPanics("Wait", c.Wait)
+	assertPanics("Signal", c.Signal)
+	assertPanics("WaitUntil", func() { m.WaitUntil(func() bool { return true }) })
+	assertPanics("Waiting", func() { c.Waiting() })
+	assertPanics("New(bad)", func() { New(Semantics(0)) })
+}
+
+func TestEntryQueueFIFO(t *testing.T) {
+	m := New(Hoare)
+	var order []int
+	hold := make(chan struct{})
+	started := make(chan struct{})
+	go func() {
+		m.Enter()
+		close(started)
+		<-hold
+		m.Leave()
+	}()
+	<-started
+	var wg sync.WaitGroup
+	for i := 0; i < 5; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m.Enter()
+			order = append(order, i)
+			m.Leave()
+		}()
+		time.Sleep(15 * time.Millisecond) // serialize queueing order
+	}
+	close(hold)
+	wg.Wait()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("entry order = %v, want FIFO", order)
+		}
+	}
+}
+
+func TestBoundedBufferStress(t *testing.T) {
+	// A classic monitor bounded buffer under contention, both semantics.
+	for _, sem := range []Semantics{Hoare, Mesa} {
+		t.Run(sem.String(), func(t *testing.T) {
+			m := New(sem)
+			notFull := m.NewCond()
+			notEmpty := m.NewCond()
+			const cap = 4
+			var buf []int
+
+			put := func(v int) {
+				m.Enter()
+				for len(buf) == cap {
+					notFull.Wait()
+				}
+				buf = append(buf, v)
+				notEmpty.Signal()
+				m.Leave()
+			}
+			get := func() int {
+				m.Enter()
+				for len(buf) == 0 {
+					notEmpty.Wait()
+				}
+				v := buf[0]
+				buf = buf[1:]
+				notFull.Signal()
+				m.Leave()
+				return v
+			}
+
+			const producers, items = 4, 200
+			var wg sync.WaitGroup
+			sums := make(chan int, producers)
+			for p := 0; p < producers; p++ {
+				p := p
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < items; i++ {
+						put(p*items + i)
+					}
+				}()
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					sum := 0
+					for i := 0; i < items; i++ {
+						sum += get()
+					}
+					sums <- sum
+				}()
+			}
+			wg.Wait()
+			close(sums)
+			total := 0
+			for s := range sums {
+				total += s
+			}
+			want := producers * items * (producers*items - 1) / 2
+			if total != want {
+				t.Fatalf("total = %d, want %d (lost or duplicated items)", total, want)
+			}
+		})
+	}
+}

@@ -1,0 +1,125 @@
+package patterns
+
+import (
+	"fmt"
+
+	"github.com/scriptabs/goscript/internal/core"
+	"github.com/scriptabs/goscript/internal/ids"
+)
+
+// LockManagerGuarded builds the same script as LockManager, but with the
+// reader/writer bodies transcribed *literally* from Figures 5b and 5c:
+// guarded DO-OD loops whose guards are output commands, so lock requests go
+// to whichever manager is ready first — "SEND lock(data, id) TO manager[i]"
+// under the boolean part "(who = []) AND ~done[i]". LockManager's clients
+// poll managers in index order instead; the two are observationally
+// equivalent (asserted in tests), which is itself a point of the paper:
+// the script hides the strategy from the enrolling processes.
+func LockManagerGuarded(k int, strat LockStrategy) core.Definition {
+	managers := ids.FamilyMembers(RoleManager, k)
+	withReader := make([]ids.RoleRef, 0, k+1)
+	withReader = append(withReader, managers...)
+	withReader = append(withReader, ids.Role(RoleReader))
+	withWriter := make([]ids.RoleRef, 0, k+1)
+	withWriter = append(withWriter, managers...)
+	withWriter = append(withWriter, ids.Role(RoleWriter))
+
+	return core.NewScript("lock_manager_guarded_"+strat.Name).
+		Family(RoleManager, k, managerBody(strat)).
+		Role(RoleReader, guardedClientBody(k, strat.ReadQuorum)).
+		Role(RoleWriter, guardedClientBody(k, strat.WriteQuorum)).
+		Initiation(core.DelayedInitiation).
+		Termination(core.DelayedTermination).
+		CriticalSet(withReader...).
+		CriticalSet(withWriter...).
+		MustBuild()
+}
+
+// guardedClientBody is Figure 5b/5c's client: a repetitive guarded command
+// over the managers with output guards, re-evaluated each iteration.
+func guardedClientBody(k int, quorum func(int) int) core.RoleBody {
+	return func(rc core.Ctx) error {
+		req, ok := rc.Arg(0).(Request)
+		if !ok {
+			return fmt.Errorf("lock client: bad request argument %T", rc.Arg(0))
+		}
+		if req.Release {
+			// "DO ~done[i]; SEND release(data, id) TO manager[i] →
+			//     done[i] := true OD"
+			return guardedBroadcast(rc, k, tagRelease, req, func(int) bool { return true })
+		}
+		need := quorum(k)
+		done := make([]bool, k+1)
+		var who []int
+		asked := 0
+		for {
+			if len(who) >= need {
+				break // quorum met
+			}
+			if len(who)+(k-asked) < need {
+				break // unreachable, stop asking (the writer's early exit)
+			}
+			branches := make([]core.SelectBranch, 0, k)
+			for i := 1; i <= k; i++ {
+				branches = append(branches,
+					core.SendTagTo(ids.Member(RoleManager, i), tagLock, req).When(!done[i]))
+			}
+			sel, err := rc.Select(branches...)
+			if err != nil {
+				return fmt.Errorf("guarded lock send: %w", err)
+			}
+			i := sel.Peer.Index
+			reply, err := rc.RecvTag(sel.Peer, tagReply)
+			if err != nil {
+				return fmt.Errorf("reply from manager[%d]: %w", i, err)
+			}
+			done[i] = true
+			asked++
+			if granted, _ := reply.(bool); granted {
+				who = append(who, i)
+			}
+		}
+		if len(who) >= need {
+			rc.SetResult(0, true)
+			return nil
+		}
+		// "IF who <> [] … DO i IN who; SEND release(data,id) TO manager[i]"
+		granted := make(map[int]bool, len(who))
+		for _, i := range who {
+			granted[i] = true
+		}
+		if err := guardedBroadcast(rc, k, tagRelease, req, func(i int) bool { return granted[i] }); err != nil {
+			return err
+		}
+		rc.SetResult(0, false)
+		return nil
+	}
+}
+
+// guardedBroadcast sends (tag, req) once to every manager selected by
+// include, in nondeterministic (ready-first) order via output guards.
+func guardedBroadcast(rc core.Ctx, k int, tag string, req Request, include func(int) bool) error {
+	done := make([]bool, k+1)
+	remaining := 0
+	for i := 1; i <= k; i++ {
+		if include(i) {
+			remaining++
+		} else {
+			done[i] = true
+		}
+	}
+	for remaining > 0 {
+		branches := make([]core.SelectBranch, 0, k)
+		for i := 1; i <= k; i++ {
+			branches = append(branches,
+				core.SendTagTo(ids.Member(RoleManager, i), tag, req).When(!done[i]))
+		}
+		sel, err := rc.Select(branches...)
+		if err != nil {
+			return fmt.Errorf("guarded %s send: %w", tag, err)
+		}
+		done[sel.Peer.Index] = true
+		remaining--
+	}
+	return nil
+}

@@ -1,0 +1,140 @@
+package patterns
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/scriptabs/goscript/internal/core"
+	"github.com/scriptabs/goscript/internal/ids"
+	"github.com/scriptabs/goscript/internal/locktable"
+)
+
+// guardedHarness mirrors lockManagerHarness for the Figure 5b/5c variant.
+func guardedHarness(t *testing.T, k int, strat LockStrategy) (*core.Instance, context.Context) {
+	t.Helper()
+	ctx := testCtx(t)
+	mctx, mcancel := context.WithCancel(ctx)
+	in := core.NewInstance(LockManagerGuarded(k, strat))
+	var wg sync.WaitGroup
+	for i := 1; i <= k; i++ {
+		i := i
+		table := strat.NewTable()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := RunManager(mctx, in, ids.PID(fmt.Sprintf("M%d", i)), i, table); err != nil {
+				t.Errorf("manager %d: %v", i, err)
+			}
+		}()
+	}
+	t.Cleanup(func() {
+		mcancel()
+		in.Close()
+		wg.Wait()
+	})
+	return in, ctx
+}
+
+func TestGuardedClientsMatchSequentialSemantics(t *testing.T) {
+	// The same operation sequence must produce the same grant/deny
+	// decisions under the sequential (LockManager) and guarded
+	// (LockManagerGuarded) clients, for every strategy.
+	type op struct {
+		owner locktable.Owner
+		item  string
+		write bool
+		rel   bool
+	}
+	script := []op{
+		{"alice", "x", true, false}, // grant
+		{"bob", "x", false, false},  // deny: write held
+		{"bob", "y", false, false},  // grant
+		{"alice", "x", true, true},  // release
+		{"bob", "x", false, false},  // grant now
+		{"carol", "x", true, false}, // deny: read held (all-write strategies)
+		{"bob", "x", false, true},   // release
+		{"bob", "y", false, true},   // release
+		{"carol", "x", true, false}, // grant
+		{"carol", "x", true, true},  // release
+	}
+	for _, strat := range []LockStrategy{OneReadAllWrite(), MultiGranularity()} {
+		t.Run(strat.Name, func(t *testing.T) {
+			seqIn, ctx := lockManagerHarness(t, 3, strat)
+			grdIn, _ := guardedHarness(t, 3, strat)
+			for i, o := range script {
+				var seqG, grdG bool
+				var err error
+				if o.rel {
+					if err = ReleaseLock(ctx, seqIn, "P", o.owner, o.item, o.write); err != nil {
+						t.Fatalf("op %d seq release: %v", i, err)
+					}
+					if err = ReleaseLock(ctx, grdIn, "P", o.owner, o.item, o.write); err != nil {
+						t.Fatalf("op %d grd release: %v", i, err)
+					}
+					continue
+				}
+				if seqG, err = RequestLock(ctx, seqIn, "P", o.owner, o.item, o.write); err != nil {
+					t.Fatalf("op %d seq: %v", i, err)
+				}
+				if grdG, err = RequestLock(ctx, grdIn, "P", o.owner, o.item, o.write); err != nil {
+					t.Fatalf("op %d grd: %v", i, err)
+				}
+				if seqG != grdG {
+					t.Fatalf("op %d (%+v): sequential=%v guarded=%v", i, o, seqG, grdG)
+				}
+			}
+		})
+	}
+}
+
+func TestGuardedMajorityWritersExclude(t *testing.T) {
+	in, ctx := guardedHarness(t, 5, MajorityLocking())
+	if g, err := RequestLock(ctx, in, "P1", "w1", "item", true); err != nil || !g {
+		t.Fatalf("w1: %v %v", g, err)
+	}
+	if g, err := RequestLock(ctx, in, "P2", "w2", "item", true); err != nil || g {
+		t.Fatalf("w2 must be denied: %v %v", g, err)
+	}
+	if err := ReleaseLock(ctx, in, "P1", "w1", "item", true); err != nil {
+		t.Fatal(err)
+	}
+	if g, err := RequestLock(ctx, in, "P2", "w2", "item", true); err != nil || !g {
+		t.Fatalf("w2 after release: %v %v (guarded rollback broken)", g, err)
+	}
+}
+
+func TestGuardedDeniedWriterLeavesNoResidue(t *testing.T) {
+	in, ctx := guardedHarness(t, 3, OneReadAllWrite())
+	// A reader blocks the writer at one manager; the denied writer's
+	// guarded rollback must release its partial grants so a later writer
+	// (after the reader leaves) gets all three.
+	if g, err := RequestLock(ctx, in, "PR", "r", "item", false); err != nil || !g {
+		t.Fatalf("reader: %v %v", g, err)
+	}
+	if g, err := RequestLock(ctx, in, "PW", "w", "item", true); err != nil || g {
+		t.Fatalf("writer should be denied: %v %v", g, err)
+	}
+	if err := ReleaseLock(ctx, in, "PR", "r", "item", false); err != nil {
+		t.Fatal(err)
+	}
+	if g, err := RequestLock(ctx, in, "PW", "w", "item", true); err != nil || !g {
+		t.Fatalf("writer after reader release: %v %v", g, err)
+	}
+}
+
+func TestGuardedManyRoundsStress(t *testing.T) {
+	in, ctx := guardedHarness(t, 3, OneReadAllWrite())
+	for round := 0; round < 15; round++ {
+		write := round%3 == 0
+		item := fmt.Sprintf("it%d", round%2)
+		g, err := RequestLock(ctx, in, "P", "o", item, write)
+		if err != nil || !g {
+			t.Fatalf("round %d: %v %v", round, g, err)
+		}
+		if err := ReleaseLock(ctx, in, "P", "o", item, write); err != nil {
+			t.Fatalf("round %d release: %v", round, err)
+		}
+	}
+}

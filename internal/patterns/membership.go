@@ -1,0 +1,97 @@
+package patterns
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/scriptabs/goscript/internal/core"
+	"github.com/scriptabs/goscript/internal/ids"
+)
+
+// Role names of the membership-change script.
+const (
+	RoleLeaver    = "leaver"
+	RoleJoiner    = "joiner"
+	RoleRemaining = "remaining"
+)
+
+// MembershipChange builds the script the paper's database example refers
+// to: "There would be a separate script for lock managers to negotiate the
+// entering and leaving of the active set."
+//
+// One performance hands the leaving manager's lock table over to the
+// joining manager (preserving the tables across membership changes, as the
+// database example requires) and notifies however many remaining managers
+// enroll. The remaining family is open-ended: any subset of the other k−1
+// managers may observe the change.
+func MembershipChange() core.Definition {
+	return core.NewScript("membership_change").
+		Role(RoleLeaver, func(rc core.Ctx) error {
+			// Hand the table to the joiner, then tell the remaining
+			// managers who replaced us.
+			if err := rc.SendTag(ids.Role(RoleJoiner), "table", rc.Arg(0)); err != nil {
+				return fmt.Errorf("hand over table: %w", err)
+			}
+			n := rc.FamilySize(RoleRemaining)
+			for i := 1; i <= n; i++ {
+				r := ids.Member(RoleRemaining, i)
+				if rc.Terminated(r) {
+					continue
+				}
+				if err := rc.SendTag(r, "changed", rc.Arg(1)); err != nil {
+					return fmt.Errorf("notify %s: %w", r, err)
+				}
+			}
+			return nil
+		}).
+		Role(RoleJoiner, func(rc core.Ctx) error {
+			table, err := rc.RecvTag(ids.Role(RoleLeaver), "table")
+			if err != nil {
+				return fmt.Errorf("receive table: %w", err)
+			}
+			rc.SetResult(0, table)
+			return nil
+		}).
+		OpenFamily(RoleRemaining, func(rc core.Ctx) error {
+			note, err := rc.RecvTag(ids.Role(RoleLeaver), "changed")
+			if err != nil {
+				return fmt.Errorf("receive change notice: %w", err)
+			}
+			rc.SetResult(0, note)
+			return nil
+		}).
+		Initiation(core.DelayedInitiation).
+		Termination(core.DelayedTermination).
+		CriticalSet(ids.Role(RoleLeaver), ids.Role(RoleJoiner)).
+		MustBuild()
+}
+
+// Leave enrolls the leaving manager, handing over its lock table and a
+// change notice (typically the joiner's identity).
+func Leave(ctx context.Context, in *core.Instance, pid ids.PID, table any, notice any) error {
+	_, err := in.Enroll(ctx, core.Enrollment{
+		PID:  pid,
+		Role: ids.Role(RoleLeaver),
+		Args: []any{table, notice},
+	})
+	return err
+}
+
+// Join enrolls the joining manager and returns the inherited lock table.
+func Join(ctx context.Context, in *core.Instance, pid ids.PID) (any, error) {
+	res, err := in.Enroll(ctx, core.Enrollment{PID: pid, Role: ids.Role(RoleJoiner)})
+	if err != nil {
+		return nil, err
+	}
+	return res.Values[0], nil
+}
+
+// ObserveChange enrolls pid as remaining member i and returns the change
+// notice, or an error if the performance committed without it.
+func ObserveChange(ctx context.Context, in *core.Instance, pid ids.PID, i int) (any, error) {
+	res, err := in.Enroll(ctx, core.Enrollment{PID: pid, Role: ids.Member(RoleRemaining, i)})
+	if err != nil {
+		return nil, err
+	}
+	return res.Values[0], nil
+}

@@ -1,0 +1,88 @@
+package rendezvous
+
+import (
+	"context"
+	"fmt"
+	"testing"
+)
+
+// BenchmarkSendRecvPair measures one complete rendezvous (send + matching
+// receive) between two parties.
+func BenchmarkSendRecvPair(b *testing.B) {
+	f := New()
+	ctx := context.Background()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < b.N; i++ {
+			if err := f.Send(ctx, "A", "B", "t", i); err != nil {
+				return
+			}
+		}
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.Recv(ctx, "B", "A", "t"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	<-done
+}
+
+// BenchmarkSelectWide measures a receive committed out of a wide
+// alternative (the generalized select's bookkeeping cost).
+func BenchmarkSelectWide(b *testing.B) {
+	for _, width := range []int{2, 8, 32} {
+		b.Run(fmt.Sprintf("branches=%d", width), func(b *testing.B) {
+			f := New()
+			ctx := context.Background()
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				for i := 0; i < b.N; i++ {
+					if err := f.Send(ctx, "S1", "P", "t", i); err != nil {
+						return
+					}
+				}
+			}()
+			branches := make([]Branch, width)
+			for i := range branches {
+				branches[i] = Branch{Dir: DirRecv, Peer: Addr(fmt.Sprintf("S%d", i+1)), Tag: "t"}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := f.Do(ctx, "P", branches); err != nil {
+					b.Fatal(err)
+				}
+			}
+			<-done
+		})
+	}
+}
+
+// BenchmarkFanInContention measures n senders funnelling into one receiver.
+func BenchmarkFanInContention(b *testing.B) {
+	const senders = 8
+	f := New()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	for s := 0; s < senders; s++ {
+		addr := Addr(fmt.Sprintf("S%d", s))
+		go func() {
+			for {
+				if err := f.Send(ctx, addr, "R", "t", 1); err != nil {
+					return
+				}
+			}
+		}()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.RecvAny(ctx, "R"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	cancel()
+	f.Close()
+}

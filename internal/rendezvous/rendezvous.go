@@ -1,0 +1,550 @@
+// Package rendezvous implements a synchronous message-passing fabric with
+// CSP-style semantics: a send and a matching receive commit together and
+// transfer a value, and a party may wait on a *generalized alternative* — a
+// set of send and receive branches of which exactly one commits.
+//
+// The fabric is the substrate for three higher layers of this repository:
+// the script runtime's inter-role communication (internal/core), the CSP
+// host-language substrate (internal/csp), and the translations of scripts
+// into host languages (internal/trans). Message *tags* exist so that the
+// CSP translation of the paper (Figure 7) can use "unique, new message tags
+// … assumed not to occur anywhere in the original program".
+//
+// All matching decisions are made under a single fabric lock, which makes
+// the committed pairs a legal linearization and sidesteps the distributed
+// commit problem of symmetric select. This is a simulator-grade engine: the
+// goal is faithful semantics, not wire-level scalability.
+package rendezvous
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+)
+
+// Addr identifies a communication endpoint (a role instance, a CSP process,
+// an Ada task, ...). Addresses need not be registered before use: an
+// operation may target an address that has not yet posted anything, and will
+// block until it does — this models the paper's "a role is delayed only if it
+// attempts to communicate with an unfilled role".
+type Addr string
+
+// Tag labels a message. The zero tag is a valid, ordinary tag.
+type Tag string
+
+// Dir is the direction of a communication branch.
+type Dir int
+
+// Branch directions.
+const (
+	// DirSend offers a value to a peer.
+	DirSend Dir = iota + 1
+	// DirRecv requests a value from a peer.
+	DirRecv
+)
+
+// String returns "send" or "recv".
+func (d Dir) String() string {
+	switch d {
+	case DirSend:
+		return "send"
+	case DirRecv:
+		return "recv"
+	default:
+		return fmt.Sprintf("dir(%d)", int(d))
+	}
+}
+
+// Sentinel errors returned by fabric operations.
+var (
+	// ErrPeerTerminated reports that the peer address was terminated (its
+	// process finished, or the role was marked absent) before or while the
+	// operation waited. The script layer surfaces this as its distinguished
+	// "role absent" value; the CSP layer uses it for the distributed
+	// termination convention (a guard naming a terminated process fails).
+	ErrPeerTerminated = errors.New("rendezvous: peer terminated")
+	// ErrSelfTerminated reports that the operation's own address was
+	// terminated, so it may not communicate.
+	ErrSelfTerminated = errors.New("rendezvous: own address terminated")
+	// ErrClosed reports that the fabric was closed.
+	ErrClosed = errors.New("rendezvous: fabric closed")
+	// ErrNoBranches reports a Do call with zero enabled branches, which can
+	// never commit (CSP: an alternative command with all guards false fails).
+	ErrNoBranches = errors.New("rendezvous: no enabled branches")
+)
+
+// Branch is one alternative of a generalized select. Peer and Tag restrict
+// which counterpart operations can match:
+//
+//   - AnyPeer true accepts a counterpart from any address (Ada-style accept;
+//     the extended CSP naming of Francez [2]). Only valid for DirRecv.
+//   - AnyTag true accepts any tag. Only valid for DirRecv.
+//
+// For DirSend, Val carries the value to transfer; for DirRecv it is ignored.
+type Branch struct {
+	Dir     Dir
+	Peer    Addr
+	AnyPeer bool
+	Tag     Tag
+	AnyTag  bool
+	Val     any
+}
+
+// Outcome describes the branch that committed in a Do call.
+type Outcome struct {
+	// Index is the position of the committed branch in the Do call's slice.
+	Index int
+	// Peer is the actual counterpart address (useful with AnyPeer).
+	Peer Addr
+	// Tag is the actual message tag (useful with AnyTag).
+	Tag Tag
+	// Val is the received value for a DirRecv branch; nil for DirSend.
+	Val any
+}
+
+// Option configures a Fabric.
+type Option func(*Fabric)
+
+// WithRandomMatching makes the fabric choose uniformly (seeded) among
+// matching candidates instead of the default first-posted order. This models
+// CSP's lack of fairness; the default FIFO order models Ada's
+// order-of-arrival service.
+func WithRandomMatching(seed int64) Option {
+	return func(f *Fabric) { f.rng = rand.New(rand.NewSource(seed)) }
+}
+
+// Fabric is a synchronous rendezvous domain. Create one per communication
+// scope (one per script performance, one per CSP parallel command, ...).
+type Fabric struct {
+	mu     sync.Mutex
+	closed bool
+	rng    *rand.Rand // nil = FIFO matching
+
+	seq        uint64                // post order, for FIFO matching
+	byOwner    map[Addr][]*op        // pending ops owned by addr
+	sendersTo  map[Addr]map[*op]bool // pending sends targeting addr
+	terminated map[Addr]bool
+}
+
+// New creates an empty fabric.
+func New(opts ...Option) *Fabric {
+	f := &Fabric{
+		byOwner:    make(map[Addr][]*op),
+		sendersTo:  make(map[Addr]map[*op]bool),
+		terminated: make(map[Addr]bool),
+	}
+	for _, o := range opts {
+		o(f)
+	}
+	return f
+}
+
+// group is the commitment unit: all ops of one Do call share a group, and at
+// most one of them transfers.
+type group struct {
+	committed bool
+	ch        chan Outcome // buffered 1; receives the committed outcome
+	err       error        // set instead of outcome on failure
+	errCh     chan error   // buffered 1
+}
+
+type op struct {
+	g      *group
+	owner  Addr
+	branch Branch
+	index  int
+	seq    uint64
+}
+
+// Send offers value v to peer with the given tag and blocks until a matching
+// receive commits, ctx is done, or the peer terminates.
+func (f *Fabric) Send(ctx context.Context, owner, peer Addr, tag Tag, v any) error {
+	_, err := f.Do(ctx, owner, []Branch{{Dir: DirSend, Peer: peer, Tag: tag, Val: v}})
+	return err
+}
+
+// Recv requests a value from peer with the given tag and blocks until a
+// matching send commits.
+func (f *Fabric) Recv(ctx context.Context, owner, peer Addr, tag Tag) (any, error) {
+	out, err := f.Do(ctx, owner, []Branch{{Dir: DirRecv, Peer: peer, Tag: tag}})
+	if err != nil {
+		return nil, err
+	}
+	return out.Val, nil
+}
+
+// RecvAny receives the next message addressed to owner from any peer with
+// any tag.
+func (f *Fabric) RecvAny(ctx context.Context, owner Addr) (Outcome, error) {
+	return f.Do(ctx, owner, []Branch{{Dir: DirRecv, AnyPeer: true, AnyTag: true}})
+}
+
+// Do posts the given branches as one generalized alternative and blocks
+// until exactly one commits. It returns the outcome of the committed branch.
+//
+// If every branch's peer is already terminated, Do fails with
+// ErrPeerTerminated (so callers implementing CSP repetitive commands can
+// treat it as loop exit). If some peers are live, terminated-peer branches
+// are simply never matched.
+func (f *Fabric) Do(ctx context.Context, owner Addr, branches []Branch) (Outcome, error) {
+	if len(branches) == 0 {
+		return Outcome{}, ErrNoBranches
+	}
+	g := &group{ch: make(chan Outcome, 1), errCh: make(chan error, 1)}
+
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return Outcome{}, ErrClosed
+	}
+	if f.terminated[owner] {
+		f.mu.Unlock()
+		return Outcome{}, ErrSelfTerminated
+	}
+
+	// Validate and try to match each branch immediately; otherwise post it.
+	var posted []*op
+	liveBranches := 0
+	for i, br := range branches {
+		if err := validateBranch(br); err != nil {
+			f.unpostLocked(posted)
+			f.mu.Unlock()
+			return Outcome{}, err
+		}
+		if !br.AnyPeer && f.terminated[br.Peer] {
+			continue // dead branch; may still fail the whole call below
+		}
+		liveBranches++
+		o := &op{g: g, owner: owner, branch: br, index: i}
+		if cand := f.findMatchLocked(o); cand != nil {
+			f.commitLocked(o, cand)
+			f.unpostLocked(posted)
+			f.mu.Unlock()
+			return <-g.ch, nil
+		}
+		f.seq++
+		o.seq = f.seq
+		f.postLocked(o)
+		posted = append(posted, o)
+	}
+	if liveBranches == 0 {
+		f.unpostLocked(posted)
+		f.mu.Unlock()
+		return Outcome{}, ErrPeerTerminated
+	}
+	f.mu.Unlock()
+
+	select {
+	case out := <-g.ch:
+		return out, nil
+	case err := <-g.errCh:
+		return Outcome{}, err
+	case <-ctx.Done():
+		// Try to withdraw; we may lose the race with a committer.
+		f.mu.Lock()
+		if g.committed {
+			f.mu.Unlock()
+			select {
+			case out := <-g.ch:
+				return out, nil
+			case err := <-g.errCh:
+				return Outcome{}, err
+			}
+		}
+		g.committed = true
+		f.unpostLocked(posted)
+		f.mu.Unlock()
+		return Outcome{}, ctx.Err()
+	}
+}
+
+func validateBranch(br Branch) error {
+	switch br.Dir {
+	case DirSend:
+		if br.AnyPeer {
+			return errors.New("rendezvous: send branch cannot use AnyPeer")
+		}
+		if br.AnyTag {
+			return errors.New("rendezvous: send branch cannot use AnyTag")
+		}
+	case DirRecv:
+		// ok
+	default:
+		return fmt.Errorf("rendezvous: invalid branch direction %v", br.Dir)
+	}
+	if !br.AnyPeer && br.Peer == "" {
+		return errors.New("rendezvous: branch peer address is empty")
+	}
+	return nil
+}
+
+// findMatchLocked scans pending ops for a counterpart to o. Candidates are
+// chosen in FIFO post order, or uniformly at random with WithRandomMatching.
+func (f *Fabric) findMatchLocked(o *op) *op {
+	var candidates []*op
+	consider := func(p *op) {
+		if p.g.committed || p.g == o.g {
+			return
+		}
+		if matches(o, p) {
+			candidates = append(candidates, p)
+		}
+	}
+	if o.branch.Dir == DirRecv && o.branch.AnyPeer {
+		for p := range f.sendersTo[o.owner] {
+			consider(p)
+		}
+	} else {
+		for _, p := range f.byOwner[o.branch.Peer] {
+			consider(p)
+		}
+	}
+	if len(candidates) == 0 {
+		return nil
+	}
+	if f.rng != nil {
+		return candidates[f.rng.Intn(len(candidates))]
+	}
+	best := candidates[0]
+	for _, c := range candidates[1:] {
+		if c.seq < best.seq {
+			best = c
+		}
+	}
+	return best
+}
+
+// matches reports whether ops a and b are complementary: one send, one recv,
+// addresses and tags compatible. a and b are interchangeable.
+func matches(a, b *op) bool {
+	var snd, rcv *op
+	switch {
+	case a.branch.Dir == DirSend && b.branch.Dir == DirRecv:
+		snd, rcv = a, b
+	case a.branch.Dir == DirRecv && b.branch.Dir == DirSend:
+		snd, rcv = b, a
+	default:
+		return false
+	}
+	if snd.branch.Peer != rcv.owner {
+		return false
+	}
+	if !rcv.branch.AnyPeer && rcv.branch.Peer != snd.owner {
+		return false
+	}
+	if !rcv.branch.AnyTag && rcv.branch.Tag != snd.branch.Tag {
+		return false
+	}
+	return true
+}
+
+// commitLocked marks both groups committed, removes the counterpart's
+// sibling ops, and delivers outcomes to both parties.
+func (f *Fabric) commitLocked(newOp, pending *op) {
+	newOp.g.committed = true
+	pending.g.committed = true
+	f.removeGroupLocked(pending.g, pending.owner)
+
+	var snd, rcv *op
+	if newOp.branch.Dir == DirSend {
+		snd, rcv = newOp, pending
+	} else {
+		snd, rcv = pending, newOp
+	}
+	val := snd.branch.Val
+	snd.g.ch <- Outcome{Index: snd.index, Peer: rcv.owner, Tag: snd.branch.Tag}
+	rcv.g.ch <- Outcome{Index: rcv.index, Peer: snd.owner, Tag: snd.branch.Tag, Val: val}
+}
+
+func (f *Fabric) postLocked(o *op) {
+	f.byOwner[o.owner] = append(f.byOwner[o.owner], o)
+	if o.branch.Dir == DirSend {
+		m := f.sendersTo[o.branch.Peer]
+		if m == nil {
+			m = make(map[*op]bool)
+			f.sendersTo[o.branch.Peer] = m
+		}
+		m[o] = true
+	}
+}
+
+func (f *Fabric) unpostLocked(ops []*op) {
+	for _, o := range ops {
+		f.removeOpLocked(o)
+	}
+}
+
+// removeGroupLocked removes all pending ops of group g. ownerHint is any
+// address known to own ops of g (all ops of a group share one owner).
+func (f *Fabric) removeGroupLocked(g *group, ownerHint Addr) {
+	list := f.byOwner[ownerHint]
+	kept := list[:0]
+	for _, o := range list {
+		if o.g == g {
+			if o.branch.Dir == DirSend {
+				delete(f.sendersTo[o.branch.Peer], o)
+			}
+			continue
+		}
+		kept = append(kept, o)
+	}
+	if len(kept) == 0 {
+		delete(f.byOwner, ownerHint)
+	} else {
+		f.byOwner[ownerHint] = kept
+	}
+}
+
+func (f *Fabric) removeOpLocked(o *op) {
+	list := f.byOwner[o.owner]
+	for i, p := range list {
+		if p == o {
+			f.byOwner[o.owner] = append(list[:i], list[i+1:]...)
+			break
+		}
+	}
+	if len(f.byOwner[o.owner]) == 0 {
+		delete(f.byOwner, o.owner)
+	}
+	if o.branch.Dir == DirSend {
+		delete(f.sendersTo[o.branch.Peer], o)
+	}
+}
+
+// Terminate marks addr terminated: pending operations that can now never
+// commit because every live branch targeted addr fail with
+// ErrPeerTerminated, pending operations owned by addr fail with
+// ErrSelfTerminated, and future operations involving addr fail likewise.
+// Terminating an already-terminated address is a no-op.
+func (f *Fabric) Terminate(addr Addr) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.terminated[addr] {
+		return
+	}
+	f.terminated[addr] = true
+
+	// Fail ops owned by addr. Copy first: failGroupLocked filters the
+	// owner's op list in place.
+	owned := append([]*op(nil), f.byOwner[addr]...)
+	for _, o := range owned {
+		f.failGroupLocked(o.g, addr, ErrSelfTerminated)
+	}
+	// Re-examine every group with a branch targeting addr: if all its live
+	// branches are now dead, fail it.
+	var stuck []*op
+	for owner, list := range f.byOwner {
+		if owner == addr {
+			continue
+		}
+		for _, o := range list {
+			if o.g.committed {
+				continue
+			}
+			if !o.branch.AnyPeer && o.branch.Peer == addr && f.groupFullyDeadLocked(o.g, owner) {
+				stuck = append(stuck, o)
+			}
+		}
+	}
+	for _, o := range stuck {
+		f.failGroupLocked(o.g, o.owner, ErrPeerTerminated)
+	}
+}
+
+// groupFullyDeadLocked reports whether every pending op of g (owned by
+// owner) targets a terminated peer.
+func (f *Fabric) groupFullyDeadLocked(g *group, owner Addr) bool {
+	for _, o := range f.byOwner[owner] {
+		if o.g != g {
+			continue
+		}
+		if o.branch.AnyPeer || !f.terminated[o.branch.Peer] {
+			return false
+		}
+	}
+	return true
+}
+
+func (f *Fabric) failGroupLocked(g *group, owner Addr, err error) {
+	if g.committed {
+		return
+	}
+	g.committed = true
+	f.removeGroupLocked(g, owner)
+	g.errCh <- err
+}
+
+// TerminateAbsent terminates every address that is the target of some
+// pending operation and for which isLive returns false. The script layer
+// calls this when a performance's membership closes: operations blocked on
+// roles that will never be filled must fail with ErrPeerTerminated rather
+// than hang (the paper's "distinguished value" solution for unfilled roles).
+// Addresses that currently own pending operations are never terminated by
+// this call, regardless of isLive.
+func (f *Fabric) TerminateAbsent(isLive func(Addr) bool) {
+	f.mu.Lock()
+	targets := make(map[Addr]bool)
+	for owner, list := range f.byOwner {
+		for _, o := range list {
+			if o.g.committed || o.branch.AnyPeer {
+				continue
+			}
+			if o.branch.Peer == owner {
+				continue
+			}
+			if !f.terminated[o.branch.Peer] && !isLive(o.branch.Peer) {
+				targets[o.branch.Peer] = true
+			}
+		}
+	}
+	// An address that owns pending ops is alive by definition.
+	for owner := range f.byOwner {
+		delete(targets, owner)
+	}
+	f.mu.Unlock()
+	for a := range targets {
+		f.Terminate(a)
+	}
+}
+
+// Terminated reports whether addr has been terminated.
+func (f *Fabric) Terminated(addr Addr) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.terminated[addr]
+}
+
+// Close fails every pending operation with ErrClosed and rejects all future
+// operations. Close is idempotent.
+func (f *Fabric) Close() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return
+	}
+	f.closed = true
+	for owner, list := range f.byOwner {
+		for _, o := range list {
+			if !o.g.committed {
+				o.g.committed = true
+				o.g.errCh <- ErrClosed
+			}
+		}
+		delete(f.byOwner, owner)
+	}
+	f.sendersTo = make(map[Addr]map[*op]bool)
+}
+
+// PendingCount returns the number of pending (uncommitted) operations,
+// for tests and diagnostics.
+func (f *Fabric) PendingCount() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := 0
+	for _, list := range f.byOwner {
+		n += len(list)
+	}
+	return n
+}

@@ -1,0 +1,489 @@
+package rendezvous
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func ctxT(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+func TestSendRecvTransfersValue(t *testing.T) {
+	f := New()
+	ctx := ctxT(t)
+	done := make(chan error, 1)
+	go func() {
+		done <- f.Send(ctx, "A", "B", "t", 42)
+	}()
+	v, err := f.Recv(ctx, "B", "A", "t")
+	if err != nil {
+		t.Fatalf("Recv: %v", err)
+	}
+	if v != 42 {
+		t.Fatalf("Recv value = %v, want 42", v)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+}
+
+func TestSendBlocksUntilReceiverArrives(t *testing.T) {
+	f := New()
+	ctx := ctxT(t)
+	started := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		close(started)
+		done <- f.Send(ctx, "A", "B", "t", "x")
+	}()
+	<-started
+	select {
+	case err := <-done:
+		t.Fatalf("send completed without receiver: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	if _, err := f.Recv(ctx, "B", "A", "t"); err != nil {
+		t.Fatalf("Recv: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+}
+
+func TestTagMismatchDoesNotMatch(t *testing.T) {
+	f := New()
+	ctx := ctxT(t)
+	go func() {
+		_ = f.Send(ctxT(t), "A", "B", "wrong", 1)
+	}()
+	rctx, cancel := context.WithTimeout(ctx, 50*time.Millisecond)
+	defer cancel()
+	_, err := f.Recv(rctx, "B", "A", "right")
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Recv with mismatched tag: err = %v, want deadline exceeded", err)
+	}
+}
+
+func TestPeerMismatchDoesNotMatch(t *testing.T) {
+	f := New()
+	go func() { _ = f.Send(ctxT(t), "C", "B", "t", 1) }()
+	rctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	// B expects from A specifically; C's send must not match.
+	if _, err := f.Recv(rctx, "B", "A", "t"); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+}
+
+func TestRecvAnyAcceptsAnyPeerAndTag(t *testing.T) {
+	f := New()
+	ctx := ctxT(t)
+	go func() { _ = f.Send(ctx, "C", "B", "odd-tag", "hello") }()
+	out, err := f.RecvAny(ctx, "B")
+	if err != nil {
+		t.Fatalf("RecvAny: %v", err)
+	}
+	if out.Peer != "C" || out.Tag != "odd-tag" || out.Val != "hello" {
+		t.Fatalf("outcome = %+v", out)
+	}
+}
+
+func TestSelectSendOrRecvCommitsExactlyOne(t *testing.T) {
+	f := New()
+	ctx := ctxT(t)
+	// P offers: send to A, or recv from B. B sends first.
+	go func() { _ = f.Send(ctx, "B", "P", "t", 7) }()
+	out, err := f.Do(ctx, "P", []Branch{
+		{Dir: DirSend, Peer: "A", Tag: "t", Val: 1},
+		{Dir: DirRecv, Peer: "B", Tag: "t"},
+	})
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if out.Index != 1 || out.Val != 7 {
+		t.Fatalf("outcome = %+v, want branch 1 value 7", out)
+	}
+	// The losing send branch must have been withdrawn: A's recv should block.
+	rctx, cancel := context.WithTimeout(ctx, 50*time.Millisecond)
+	defer cancel()
+	if _, err := f.Recv(rctx, "A", "P", "t"); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("withdrawn branch still matched: err = %v", err)
+	}
+}
+
+func TestSelectImmediateMatchSkipsPosting(t *testing.T) {
+	f := New()
+	ctx := ctxT(t)
+	go func() { _ = f.Send(ctx, "B", "P", "t", 9) }()
+	// Wait until B's send is pending so the Do matches immediately.
+	waitPending(t, f, 1)
+	out, err := f.Do(ctx, "P", []Branch{
+		{Dir: DirRecv, Peer: "B", Tag: "t"},
+		{Dir: DirSend, Peer: "C", Tag: "t", Val: 0},
+	})
+	if err != nil || out.Index != 0 || out.Val != 9 {
+		t.Fatalf("out=%+v err=%v", out, err)
+	}
+	if n := f.PendingCount(); n != 0 {
+		t.Fatalf("pending = %d, want 0 (no leftover ops)", n)
+	}
+}
+
+func waitPending(t *testing.T, f *Fabric, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for f.PendingCount() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %d pending ops (have %d)", n, f.PendingCount())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestTwoSelectingPartiesCommitConsistently(t *testing.T) {
+	// Symmetric select: P selects {send to Q, recv from Q}; Q selects
+	// {send to P, recv from P}. Exactly one pair must commit, with
+	// complementary directions.
+	for i := 0; i < 50; i++ {
+		f := New()
+		ctx := ctxT(t)
+		type res struct {
+			out Outcome
+			err error
+		}
+		pc := make(chan res, 1)
+		go func() {
+			out, err := f.Do(ctx, "P", []Branch{
+				{Dir: DirSend, Peer: "Q", Tag: "t", Val: "fromP"},
+				{Dir: DirRecv, Peer: "Q", Tag: "t"},
+			})
+			pc <- res{out, err}
+		}()
+		qout, qerr := f.Do(ctx, "Q", []Branch{
+			{Dir: DirSend, Peer: "P", Tag: "t", Val: "fromQ"},
+			{Dir: DirRecv, Peer: "P", Tag: "t"},
+		})
+		p := <-pc
+		if p.err != nil || qerr != nil {
+			t.Fatalf("errs: P=%v Q=%v", p.err, qerr)
+		}
+		pSent := p.out.Index == 0
+		qSent := qout.Index == 0
+		if pSent == qSent {
+			t.Fatalf("both parties took the same direction: P sent=%v Q sent=%v", pSent, qSent)
+		}
+		if pSent && qout.Val != "fromP" {
+			t.Fatalf("Q received %v, want fromP", qout.Val)
+		}
+		if qSent && p.out.Val != "fromQ" {
+			t.Fatalf("P received %v, want fromQ", p.out.Val)
+		}
+	}
+}
+
+func TestFIFOMatchingOrder(t *testing.T) {
+	f := New()
+	ctx := ctxT(t)
+	var wg sync.WaitGroup
+	// Three senders queue one after another; default matching is FIFO, so
+	// the receiver must see them in arrival order.
+	for i, name := range []string{"S1", "S2", "S3"} {
+		name := name
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = f.Send(ctx, Addr(name), "R", "t", name)
+		}()
+		waitPending(t, f, i+1) // pin queue order before the next sender
+	}
+	want := []string{"S1", "S2", "S3"}
+	for i := range want {
+		out, err := f.RecvAny(ctx, "R")
+		if err != nil {
+			t.Fatalf("RecvAny %d: %v", i, err)
+		}
+		if got := out.Val.(string); got != want[i] {
+			t.Fatalf("delivery %d = %q, want %q (FIFO violated)", i, got, want[i])
+		}
+	}
+	wg.Wait()
+}
+
+func TestRandomMatchingEventuallyPicksAll(t *testing.T) {
+	// With random matching, over many rounds every sender should win at
+	// least once (statistically certain with 60 rounds, 2 senders).
+	winners := map[string]bool{}
+	for round := 0; round < 60; round++ {
+		f := New(WithRandomMatching(int64(round)))
+		ctx := ctxT(t)
+		var wg sync.WaitGroup
+		for _, name := range []string{"S1", "S2"} {
+			name := name
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				_ = f.Send(ctx, Addr(name), "R", "t", name)
+			}()
+		}
+		waitPending(t, f, 2)
+		out, err := f.RecvAny(ctx, "R")
+		if err != nil {
+			t.Fatalf("RecvAny: %v", err)
+		}
+		winners[out.Val.(string)] = true
+		f.Close() // release the losing sender
+		wg.Wait()
+	}
+	if !winners["S1"] || !winners["S2"] {
+		t.Fatalf("random matching never picked both senders: %v", winners)
+	}
+}
+
+func TestTerminatePendingTargets(t *testing.T) {
+	f := New()
+	errCh := make(chan error, 1)
+	go func() { errCh <- f.Send(ctxT(t), "A", "B", "t", 1) }()
+	waitPending(t, f, 1)
+	f.Terminate("B")
+	if err := <-errCh; !errors.Is(err, ErrPeerTerminated) {
+		t.Fatalf("err = %v, want ErrPeerTerminated", err)
+	}
+}
+
+func TestTerminateFailsNewOpsTargetingIt(t *testing.T) {
+	f := New()
+	f.Terminate("B")
+	if err := f.Send(ctxT(t), "A", "B", "t", 1); !errors.Is(err, ErrPeerTerminated) {
+		t.Fatalf("send to terminated: %v", err)
+	}
+	if _, err := f.Recv(ctxT(t), "A", "B", "t"); !errors.Is(err, ErrPeerTerminated) {
+		t.Fatalf("recv from terminated: %v", err)
+	}
+	if !f.Terminated("B") || f.Terminated("A") {
+		t.Fatal("Terminated() wrong")
+	}
+}
+
+func TestTerminatedOwnerCannotCommunicate(t *testing.T) {
+	f := New()
+	f.Terminate("A")
+	if err := f.Send(ctxT(t), "A", "B", "t", 1); !errors.Is(err, ErrSelfTerminated) {
+		t.Fatalf("err = %v, want ErrSelfTerminated", err)
+	}
+}
+
+func TestTerminateFailsOpsOwnedByIt(t *testing.T) {
+	f := New()
+	errCh := make(chan error, 1)
+	go func() { errCh <- f.Send(ctxT(t), "A", "B", "t", 1) }()
+	waitPending(t, f, 1)
+	f.Terminate("A")
+	if err := <-errCh; !errors.Is(err, ErrSelfTerminated) {
+		t.Fatalf("err = %v, want ErrSelfTerminated", err)
+	}
+}
+
+func TestSelectSurvivesPartialTermination(t *testing.T) {
+	// A select with one dead peer and one live peer should still commit on
+	// the live branch.
+	f := New()
+	ctx := ctxT(t)
+	f.Terminate("dead")
+	go func() { _ = f.Send(ctx, "live", "P", "t", "ok") }()
+	out, err := f.Do(ctx, "P", []Branch{
+		{Dir: DirRecv, Peer: "dead", Tag: "t"},
+		{Dir: DirRecv, Peer: "live", Tag: "t"},
+	})
+	if err != nil || out.Val != "ok" {
+		t.Fatalf("out=%+v err=%v", out, err)
+	}
+}
+
+func TestSelectAllPeersDeadFailsImmediately(t *testing.T) {
+	f := New()
+	f.Terminate("d1")
+	f.Terminate("d2")
+	_, err := f.Do(ctxT(t), "P", []Branch{
+		{Dir: DirRecv, Peer: "d1", Tag: "t"},
+		{Dir: DirSend, Peer: "d2", Tag: "t", Val: 1},
+	})
+	if !errors.Is(err, ErrPeerTerminated) {
+		t.Fatalf("err = %v, want ErrPeerTerminated", err)
+	}
+}
+
+func TestSelectBecomesDeadWhenLastPeerTerminates(t *testing.T) {
+	f := New()
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := f.Do(ctxT(t), "P", []Branch{
+			{Dir: DirRecv, Peer: "X", Tag: "t"},
+			{Dir: DirRecv, Peer: "Y", Tag: "t"},
+		})
+		errCh <- err
+	}()
+	waitPending(t, f, 2)
+	f.Terminate("X")
+	select {
+	case err := <-errCh:
+		t.Fatalf("select failed with one live peer remaining: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	f.Terminate("Y")
+	if err := <-errCh; !errors.Is(err, ErrPeerTerminated) {
+		t.Fatalf("err = %v, want ErrPeerTerminated", err)
+	}
+}
+
+func TestContextCancellationWithdraws(t *testing.T) {
+	f := New()
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() { errCh <- f.Send(ctx, "A", "B", "t", 1) }()
+	waitPending(t, f, 1)
+	cancel()
+	if err := <-errCh; !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := f.PendingCount(); n != 0 {
+		t.Fatalf("pending = %d after withdrawal, want 0", n)
+	}
+	// B must now block; A's offer is gone.
+	rctx, rcancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer rcancel()
+	if _, err := f.Recv(rctx, "B", "A", "t"); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("recv after withdrawal: %v", err)
+	}
+}
+
+func TestCloseFailsEverything(t *testing.T) {
+	f := New()
+	errCh := make(chan error, 2)
+	go func() { errCh <- f.Send(ctxT(t), "A", "B", "t", 1) }()
+	go func() {
+		_, err := f.Recv(ctxT(t), "C", "D", "t")
+		errCh <- err
+	}()
+	waitPending(t, f, 2)
+	f.Close()
+	for i := 0; i < 2; i++ {
+		if err := <-errCh; !errors.Is(err, ErrClosed) {
+			t.Fatalf("err = %v, want ErrClosed", err)
+		}
+	}
+	if err := f.Send(ctxT(t), "A", "B", "t", 1); !errors.Is(err, ErrClosed) {
+		t.Fatalf("post-close send: %v", err)
+	}
+	f.Close() // idempotent
+}
+
+func TestDoValidation(t *testing.T) {
+	f := New()
+	ctx := ctxT(t)
+	if _, err := f.Do(ctx, "P", nil); !errors.Is(err, ErrNoBranches) {
+		t.Errorf("empty branches: %v", err)
+	}
+	if _, err := f.Do(ctx, "P", []Branch{{Dir: DirSend, AnyPeer: true, Val: 1}}); err == nil {
+		t.Error("send AnyPeer must be rejected")
+	}
+	if _, err := f.Do(ctx, "P", []Branch{{Dir: DirSend, Peer: "Q", AnyTag: true, Val: 1}}); err == nil {
+		t.Error("send AnyTag must be rejected")
+	}
+	if _, err := f.Do(ctx, "P", []Branch{{Dir: DirRecv}}); err == nil {
+		t.Error("empty peer without AnyPeer must be rejected")
+	}
+	if _, err := f.Do(ctx, "P", []Branch{{Dir: 0, Peer: "Q"}}); err == nil {
+		t.Error("invalid dir must be rejected")
+	}
+}
+
+func TestManyPairsNoCrossTalk(t *testing.T) {
+	// N disjoint pairs exchange distinct values concurrently; every receiver
+	// must get exactly its partner's value.
+	f := New()
+	ctx := ctxT(t)
+	const n = 32
+	var wg sync.WaitGroup
+	errs := make(chan error, 2*n)
+	for i := 0; i < n; i++ {
+		i := i
+		sender := Addr(fmt.Sprintf("S%d", i))
+		receiver := Addr(fmt.Sprintf("R%d", i))
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			errs <- f.Send(ctx, sender, receiver, "t", i)
+		}()
+		go func() {
+			defer wg.Done()
+			v, err := f.Recv(ctx, receiver, sender, "t")
+			if err == nil && v != i {
+				err = fmt.Errorf("pair %d received %v", i, v)
+			}
+			errs <- err
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := f.PendingCount(); n != 0 {
+		t.Fatalf("pending = %d, want 0", n)
+	}
+}
+
+func TestPropertyValueRoundTrip(t *testing.T) {
+	// Any value sent is received unchanged (quick-check over int payloads
+	// and tag strings).
+	f := New()
+	prop := func(payload int64, tag string) bool {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		done := make(chan error, 1)
+		go func() { done <- f.Send(ctx, "A", "B", Tag(tag), payload) }()
+		v, err := f.Recv(ctx, "B", "A", Tag(tag))
+		if err != nil || <-done != nil {
+			return false
+		}
+		return v == payload
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyNoLostOrDuplicatedMessages(t *testing.T) {
+	// k messages from one sender to one receiver (same tag) arrive exactly
+	// once each, in order (FIFO matching + sequential sender).
+	f := New()
+	ctx := ctxT(t)
+	const k = 100
+	go func() {
+		for i := 0; i < k; i++ {
+			if err := f.Send(ctx, "A", "B", "t", i); err != nil {
+				return
+			}
+		}
+	}()
+	for i := 0; i < k; i++ {
+		v, err := f.Recv(ctx, "B", "A", "t")
+		if err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+		if v != i {
+			t.Fatalf("recv %d = %v (reorder/dup/loss)", i, v)
+		}
+	}
+}

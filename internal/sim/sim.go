@@ -1,0 +1,249 @@
+// Package sim is a discrete-event model of the broadcast strategies the
+// paper's Section II says a script body can hide: the star pattern, the
+// spanning-tree wave, and the pipeline — whose "relative merits" the paper
+// defers to its references [12, 14]. The model reproduces the shape of that
+// comparison on a virtual clock: per-message sender overhead o (a node
+// serializes its sends), link latency L, and optionally a stream of several
+// items.
+//
+// The model also computes each role's *residence time* in the script under
+// the figure's initiation/termination policies, quantifying the paper's
+// claim for Figure 4 that immediate policies let processes "spend much less
+// time in the script" than Figure 3's fully synchronized broadcast.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Params configures one simulated broadcast.
+type Params struct {
+	// Recipients is the number of recipient roles (N ≥ 1).
+	Recipients int
+	// Items is the number of values streamed through the script (m ≥ 1);
+	// the paper's figures broadcast one item, but the pipeline's advantage
+	// grows with streaming.
+	Items int
+	// SendOverhead is the virtual time a node is busy per message sent (o).
+	SendOverhead float64
+	// Latency is the virtual flight time of a message (L).
+	Latency float64
+	// Fanout is the arity of the spanning tree (≥ 1; only Tree uses it).
+	Fanout int
+}
+
+func (p Params) normalized() Params {
+	if p.Recipients < 1 {
+		p.Recipients = 1
+	}
+	if p.Items < 1 {
+		p.Items = 1
+	}
+	if p.Fanout < 1 {
+		p.Fanout = 2
+	}
+	if p.SendOverhead < 0 {
+		p.SendOverhead = 0
+	}
+	if p.Latency < 0 {
+		p.Latency = 0
+	}
+	return p
+}
+
+// Result reports one strategy's virtual-time behaviour.
+type Result struct {
+	// Strategy is "star", "tree" or "pipeline".
+	Strategy string
+	// Makespan is the virtual time of the last delivery.
+	Makespan float64
+	// Messages is the number of point-to-point transmissions.
+	Messages int
+	// SenderBusy is the sender role's total transmission time.
+	SenderBusy float64
+	// MaxNodeBusy is the largest per-role transmission time.
+	MaxNodeBusy float64
+	// AvgResidence is the mean time a role spends enrolled in the script,
+	// under the policies of the corresponding paper figure: delayed/delayed
+	// for star and tree (every role is held from initiation to the joint
+	// termination), immediate/immediate for the pipeline (each role is
+	// enrolled only over its own activity window).
+	AvgResidence float64
+	// MaxResidence is the largest per-role residence time.
+	MaxResidence float64
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("%-8s makespan=%8.1f msgs=%5d senderBusy=%7.1f avgResidence=%8.1f",
+		r.Strategy, r.Makespan, r.Messages, r.SenderBusy, r.AvgResidence)
+}
+
+// event is one scheduled delivery.
+type event struct {
+	time float64
+	node int // destination node
+	item int
+	from int
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int           { return len(h) }
+func (h eventHeap) Less(i, j int) bool { return h[i].time < h[j].time }
+func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)        { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// node state during a run. Node 0 is the sender; 1..N the recipients.
+type node struct {
+	busyUntil float64
+	busy      float64
+	firstAct  float64
+	lastAct   float64
+	active    bool
+}
+
+func (n *node) touch(t float64) {
+	if !n.active {
+		n.active = true
+		n.firstAct = t
+	}
+	if t > n.lastAct {
+		n.lastAct = t
+	}
+}
+
+// engine runs the DES. forward(to, item) lists the destinations a node
+// forwards a freshly received item to.
+type engine struct {
+	p        Params
+	nodes    []node
+	pq       eventHeap
+	messages int
+	now      float64
+}
+
+func newEngine(p Params) *engine {
+	return &engine{p: p, nodes: make([]node, p.Recipients+1)}
+}
+
+// transmit schedules the delivery of item from node src to node dst,
+// serializing on src's outgoing link (the per-message overhead o).
+func (e *engine) transmit(src, dst, item int, earliest float64) {
+	s := &e.nodes[src]
+	depart := earliest
+	if s.busyUntil > depart {
+		depart = s.busyUntil
+	}
+	depart += e.p.SendOverhead
+	s.busyUntil = depart
+	s.busy += e.p.SendOverhead
+	s.touch(depart)
+	heap.Push(&e.pq, event{time: depart + e.p.Latency, node: dst, item: item, from: src})
+	e.messages++
+}
+
+// run drains the event queue, invoking forward on each delivery, and
+// returns the makespan.
+func (e *engine) run(forward func(node, item int, at float64)) float64 {
+	makespan := 0.0
+	for e.pq.Len() > 0 {
+		ev := heap.Pop(&e.pq).(event)
+		e.now = ev.time
+		if ev.time > makespan {
+			makespan = ev.time
+		}
+		e.nodes[ev.node].touch(ev.time)
+		forward(ev.node, ev.item, ev.time)
+	}
+	return makespan
+}
+
+// result assembles metrics. delayedPolicies selects the residence model.
+func (e *engine) result(strategy string, makespan float64, delayedPolicies bool) Result {
+	r := Result{
+		Strategy:   strategy,
+		Makespan:   makespan,
+		Messages:   e.messages,
+		SenderBusy: e.nodes[0].busy,
+	}
+	var sumRes float64
+	for i := range e.nodes {
+		n := &e.nodes[i]
+		if n.busy > r.MaxNodeBusy {
+			r.MaxNodeBusy = n.busy
+		}
+		var res float64
+		if delayedPolicies {
+			// Delayed initiation and termination: every role is enrolled
+			// from virtual time 0 until the joint termination.
+			res = makespan
+		} else if n.active {
+			res = n.lastAct - n.firstAct
+		}
+		sumRes += res
+		if res > r.MaxResidence {
+			r.MaxResidence = res
+		}
+	}
+	r.AvgResidence = sumRes / float64(len(e.nodes))
+	return r
+}
+
+// Star simulates Figure 3: the sender transmits each item directly to every
+// recipient, serializing all m·N sends.
+func Star(p Params) Result {
+	p = p.normalized()
+	e := newEngine(p)
+	e.nodes[0].touch(0)
+	for item := 0; item < p.Items; item++ {
+		for dst := 1; dst <= p.Recipients; dst++ {
+			e.transmit(0, dst, item, 0)
+		}
+	}
+	makespan := e.run(func(int, int, float64) {}) // recipients do not forward
+	return e.result("star", makespan, true)
+}
+
+// Tree simulates the spanning-tree wave: recipient 1 is the root (fed by
+// the sender); recipient j forwards each received item to its children
+// fanout·(j−1)+2 … fanout·(j−1)+fanout+1.
+func Tree(p Params) Result {
+	p = p.normalized()
+	e := newEngine(p)
+	e.nodes[0].touch(0)
+	for item := 0; item < p.Items; item++ {
+		e.transmit(0, 1, item, 0)
+	}
+	makespan := e.run(func(nd, item int, at float64) {
+		first := p.Fanout*(nd-1) + 2
+		for c := first; c < first+p.Fanout && c <= p.Recipients; c++ {
+			e.transmit(nd, c, item, at)
+		}
+	})
+	return e.result("tree", makespan, true)
+}
+
+// Pipeline simulates Figure 4: each recipient forwards each item to its
+// successor; with immediate initiation and termination, a role's residence
+// covers only its own activity window.
+func Pipeline(p Params) Result {
+	p = p.normalized()
+	e := newEngine(p)
+	e.nodes[0].touch(0)
+	for item := 0; item < p.Items; item++ {
+		e.transmit(0, 1, item, 0)
+	}
+	makespan := e.run(func(nd, item int, at float64) {
+		if nd < p.Recipients {
+			e.transmit(nd, nd+1, item, at)
+		}
+	})
+	return e.result("pipeline", makespan, false)
+}
+
+// Compare runs all three strategies on the same parameters.
+func Compare(p Params) []Result {
+	return []Result{Star(p), Tree(p), Pipeline(p)}
+}

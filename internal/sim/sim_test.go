@@ -1,0 +1,160 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestStarAnalyticalMakespan(t *testing.T) {
+	// One item: the k-th message departs at k·o and arrives at k·o+L, so
+	// the makespan is N·o + L.
+	p := Params{Recipients: 5, Items: 1, SendOverhead: 2, Latency: 10}
+	r := Star(p)
+	if want := 5*2.0 + 10; !approx(r.Makespan, want) {
+		t.Fatalf("makespan = %v, want %v", r.Makespan, want)
+	}
+	if r.Messages != 5 {
+		t.Fatalf("messages = %d, want 5", r.Messages)
+	}
+	if !approx(r.SenderBusy, 10) {
+		t.Fatalf("senderBusy = %v, want 10", r.SenderBusy)
+	}
+}
+
+func TestPipelineAnalyticalMakespan(t *testing.T) {
+	// One item through N stages: N hops of (o + L).
+	p := Params{Recipients: 4, Items: 1, SendOverhead: 2, Latency: 10}
+	r := Pipeline(p)
+	if want := 4 * (2.0 + 10); !approx(r.Makespan, want) {
+		t.Fatalf("makespan = %v, want %v", r.Makespan, want)
+	}
+	if r.Messages != 4 {
+		t.Fatalf("messages = %d, want 4", r.Messages)
+	}
+	// The sender transmits exactly once.
+	if !approx(r.SenderBusy, 2) {
+		t.Fatalf("senderBusy = %v, want 2", r.SenderBusy)
+	}
+}
+
+func TestTreeBeatsStarForLargeN(t *testing.T) {
+	p := Params{Recipients: 255, Items: 1, SendOverhead: 1, Latency: 5, Fanout: 2}
+	star, tree := Star(p), Tree(p)
+	if tree.Makespan >= star.Makespan {
+		t.Fatalf("tree %v !< star %v for N=255", tree.Makespan, star.Makespan)
+	}
+	// Identical message counts: every recipient receives once.
+	if tree.Messages != star.Messages {
+		t.Fatalf("msgs: tree %d, star %d", tree.Messages, star.Messages)
+	}
+	// The tree spreads the sending load.
+	if tree.MaxNodeBusy >= star.MaxNodeBusy {
+		t.Fatalf("tree max busy %v !< star %v", tree.MaxNodeBusy, star.MaxNodeBusy)
+	}
+}
+
+func TestStarBeatsPipelineOnLatencyForOneItem(t *testing.T) {
+	// With cheap sends and expensive latency, the star's single parallel
+	// wave beats the pipeline's N serial hops.
+	p := Params{Recipients: 16, Items: 1, SendOverhead: 0.1, Latency: 50}
+	star, pipe := Star(p), Pipeline(p)
+	if star.Makespan >= pipe.Makespan {
+		t.Fatalf("star %v !< pipeline %v", star.Makespan, pipe.Makespan)
+	}
+}
+
+func TestPipelineResidenceMuchSmallerThanStar(t *testing.T) {
+	// The paper's Figure 4 claim: immediate policies let processes spend
+	// much less time in the script than Figure 3's synchronized broadcast.
+	p := Params{Recipients: 32, Items: 1, SendOverhead: 1, Latency: 5}
+	star, pipe := Star(p), Pipeline(p)
+	if star.AvgResidence != star.Makespan {
+		t.Fatalf("star residence %v != makespan %v (delayed/delayed holds all)", star.AvgResidence, star.Makespan)
+	}
+	if pipe.AvgResidence >= star.AvgResidence/2 {
+		t.Fatalf("pipeline residence %v not much smaller than star %v", pipe.AvgResidence, star.AvgResidence)
+	}
+}
+
+func TestPipelineWinsStreaming(t *testing.T) {
+	// With many items, the pipeline overlaps transmissions and overtakes
+	// the star, whose sender serializes m·N sends.
+	p := Params{Recipients: 16, Items: 64, SendOverhead: 1, Latency: 2}
+	star, pipe := Star(p), Pipeline(p)
+	if pipe.Makespan >= star.Makespan {
+		t.Fatalf("pipeline %v !< star %v when streaming", pipe.Makespan, star.Makespan)
+	}
+}
+
+func TestTreeFanoutExtremes(t *testing.T) {
+	// Fanout 1 degenerates the tree into a pipeline (same makespan shape);
+	// huge fanout degenerates it into a two-hop star through recipient 1.
+	p := Params{Recipients: 8, Items: 1, SendOverhead: 1, Latency: 4}
+	p1 := p
+	p1.Fanout = 1
+	chain := Tree(p1)
+	pipe := Pipeline(p)
+	if !approx(chain.Makespan, pipe.Makespan) {
+		t.Fatalf("fanout-1 tree %v != pipeline %v", chain.Makespan, pipe.Makespan)
+	}
+	pBig := p
+	pBig.Fanout = 100
+	flat := Tree(pBig)
+	// Root receives at o+L, then serializes 7 sends: o+L + 7o + L.
+	if want := (1 + 4.0) + 7*1 + 4; !approx(flat.Makespan, want) {
+		t.Fatalf("flat tree makespan = %v, want %v", flat.Makespan, want)
+	}
+}
+
+func TestEveryRecipientDeliveredExactlyOnce(t *testing.T) {
+	prop := func(nRaw, fRaw uint8) bool {
+		n := int(nRaw%50) + 1
+		f := int(fRaw%4) + 1
+		p := Params{Recipients: n, Items: 1, SendOverhead: 1, Latency: 1, Fanout: f}
+		for _, r := range Compare(p) {
+			if r.Messages != n { // each recipient receives exactly once
+				return false
+			}
+			if r.Makespan <= 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStreamMessageCounts(t *testing.T) {
+	p := Params{Recipients: 3, Items: 5, SendOverhead: 1, Latency: 1}
+	if got := Star(p).Messages; got != 15 {
+		t.Errorf("star messages = %d, want 15", got)
+	}
+	if got := Pipeline(p).Messages; got != 15 {
+		t.Errorf("pipeline messages = %d, want 15", got)
+	}
+}
+
+func TestNormalization(t *testing.T) {
+	r := Star(Params{Recipients: 0, Items: 0, SendOverhead: -1, Latency: -1})
+	if r.Messages != 1 {
+		t.Fatalf("normalized star messages = %d, want 1", r.Messages)
+	}
+	if r.Makespan != 0 {
+		t.Fatalf("zero-cost makespan = %v, want 0", r.Makespan)
+	}
+	if Tree(Params{Recipients: 4, Fanout: 0}).Messages != 4 {
+		t.Fatal("fanout normalization failed")
+	}
+}
+
+func TestResultString(t *testing.T) {
+	s := Star(Params{Recipients: 2, Items: 1, SendOverhead: 1, Latency: 1}).String()
+	if s == "" {
+		t.Fatal("empty String()")
+	}
+}

@@ -1,0 +1,95 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"github.com/scriptabs/goscript/internal/ids"
+)
+
+// jsonEvent is the stable wire form of an Event. Role references use the
+// paper's textual notation ("recipient[3]"), empty for none.
+type jsonEvent struct {
+	Seq         int    `json:"seq"`
+	Kind        string `json:"kind"`
+	Script      string `json:"script"`
+	Performance int    `json:"performance,omitempty"`
+	Role        string `json:"role,omitempty"`
+	PID         string `json:"pid,omitempty"`
+	Peer        string `json:"peer,omitempty"`
+	Detail      string `json:"detail,omitempty"`
+}
+
+var kindByName = func() map[string]Kind {
+	m := make(map[string]Kind, len(kindNames))
+	for k, n := range kindNames {
+		m[n] = k
+	}
+	return m
+}()
+
+// WriteJSON writes the events as a JSON array (one event per line inside
+// the array, for diffability).
+func WriteJSON(w io.Writer, events []Event) error {
+	out := make([]jsonEvent, 0, len(events))
+	for _, e := range events {
+		je := jsonEvent{
+			Seq:         e.Seq,
+			Kind:        e.Kind.String(),
+			Script:      e.Script,
+			Performance: e.Performance,
+			PID:         string(e.PID),
+			Detail:      e.Detail,
+		}
+		if e.Role.Name != "" {
+			je.Role = e.Role.String()
+		}
+		if e.Peer.Name != "" {
+			je.Peer = e.Peer.String()
+		}
+		out = append(out, je)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}
+
+// ReadJSON parses a trace written by WriteJSON.
+func ReadJSON(r io.Reader) ([]Event, error) {
+	var in []jsonEvent
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("trace: decode: %w", err)
+	}
+	out := make([]Event, 0, len(in))
+	for i, je := range in {
+		kind, ok := kindByName[je.Kind]
+		if !ok {
+			return nil, fmt.Errorf("trace: event %d: unknown kind %q", i, je.Kind)
+		}
+		e := Event{
+			Seq:         je.Seq,
+			Kind:        kind,
+			Script:      je.Script,
+			Performance: je.Performance,
+			PID:         ids.PID(je.PID),
+			Detail:      je.Detail,
+		}
+		if je.Role != "" {
+			role, err := ids.ParseRoleRef(je.Role)
+			if err != nil {
+				return nil, fmt.Errorf("trace: event %d: %w", i, err)
+			}
+			e.Role = role
+		}
+		if je.Peer != "" {
+			peer, err := ids.ParseRoleRef(je.Peer)
+			if err != nil {
+				return nil, fmt.Errorf("trace: event %d: %w", i, err)
+			}
+			e.Peer = peer
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}

@@ -1,0 +1,71 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/scriptabs/goscript/internal/ids"
+)
+
+func sampleEvents() []Event {
+	return []Event{
+		{Seq: 1, Kind: KindPerfStart, Script: "s", Performance: 1},
+		{Seq: 2, Kind: KindStart, Script: "s", Performance: 1, Role: ids.Role("sender"), PID: "T"},
+		{Seq: 3, Kind: KindSend, Script: "s", Performance: 1,
+			Role: ids.Role("sender"), Peer: ids.Member("recipient", 2), PID: "T", Detail: "tag"},
+		{Seq: 4, Kind: KindFinish, Script: "s", Performance: 1, Role: ids.Role("sender"), PID: "T"},
+		{Seq: 5, Kind: KindPerfEnd, Script: "s", Performance: 1},
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	events := sampleEvents()
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(events) {
+		t.Fatalf("round trip length %d, want %d", len(back), len(events))
+	}
+	for i := range events {
+		if back[i] != events[i] {
+			t.Fatalf("event %d: %+v != %+v", i, back[i], events[i])
+		}
+	}
+}
+
+func TestJSONUsesPaperNotation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, sampleEvents()); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, want := range []string{`"recipient[2]"`, `"send"`, `"perf-start"`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("JSON missing %s:\n%s", want, s)
+		}
+	}
+}
+
+func TestReadJSONErrors(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("not json")); err == nil {
+		t.Error("garbage must fail")
+	}
+	if _, err := ReadJSON(strings.NewReader(`[{"kind":"nope"}]`)); err == nil {
+		t.Error("unknown kind must fail")
+	}
+	if _, err := ReadJSON(strings.NewReader(`[{"kind":"send","role":"r[bad"}]`)); err == nil {
+		t.Error("bad role ref must fail")
+	}
+	if _, err := ReadJSON(strings.NewReader(`[{"kind":"send","role":"a","peer":"r[bad"}]`)); err == nil {
+		t.Error("bad peer ref must fail")
+	}
+	if evs, err := ReadJSON(strings.NewReader(`[]`)); err != nil || len(evs) != 0 {
+		t.Error("empty array must round-trip")
+	}
+}

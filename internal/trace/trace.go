@@ -1,0 +1,261 @@
+// Package trace records the observable events of script executions:
+// enrollments, performance starts, inter-role communications, role
+// completions, and releases. Tests use the log to assert the ordering
+// properties the paper states (e.g. Figure 1's successive-activation rule),
+// and cmd/figures renders Figure-1-style timelines from it.
+//
+// Events carry a sequence number assigned under a single lock, so the
+// recorded order is a legal linearization of the execution.
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"github.com/scriptabs/goscript/internal/ids"
+)
+
+// Kind classifies an event.
+type Kind int
+
+// Event kinds, in rough lifecycle order.
+const (
+	// KindEnroll records that a process offered to enroll in a role.
+	KindEnroll Kind = iota + 1
+	// KindStart records that a role began executing in a performance.
+	KindStart
+	// KindSend records a completed synchronous send between two roles.
+	KindSend
+	// KindRecv records the matching receive.
+	KindRecv
+	// KindFinish records that a role's body returned.
+	KindFinish
+	// KindRelease records that the enrolling process was released from the
+	// script (equal to KindFinish under immediate termination; after the
+	// whole performance under delayed termination).
+	KindRelease
+	// KindAbsent records that a role was marked absent (will not be filled
+	// in this performance) when the critical role set was covered.
+	KindAbsent
+	// KindPerfStart records the start of a performance.
+	KindPerfStart
+	// KindPerfEnd records the termination of a performance.
+	KindPerfEnd
+)
+
+var kindNames = map[Kind]string{
+	KindEnroll:    "enroll",
+	KindStart:     "start",
+	KindSend:      "send",
+	KindRecv:      "recv",
+	KindFinish:    "finish",
+	KindRelease:   "release",
+	KindAbsent:    "absent",
+	KindPerfStart: "perf-start",
+	KindPerfEnd:   "perf-end",
+}
+
+// String returns the lowercase name of the kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Event is one recorded occurrence.
+type Event struct {
+	// Seq is the global sequence number (1-based) in recording order.
+	Seq int
+	// Kind classifies the event.
+	Kind Kind
+	// Script is the script name.
+	Script string
+	// Performance is the 1-based performance number within the instance,
+	// or 0 when the event precedes any performance (e.g. enrollment offers).
+	Performance int
+	// Role is the role involved, if any.
+	Role ids.RoleRef
+	// PID is the process involved, if any.
+	PID ids.PID
+	// Peer is the other role of a communication event.
+	Peer ids.RoleRef
+	// Detail is optional human-readable context (message tag, value, ...).
+	Detail string
+}
+
+// String renders the event compactly, e.g.
+// "#12 perf=1 send broadcast sender->recipient[2] (x=42) by A".
+func (e Event) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "#%d", e.Seq)
+	if e.Performance > 0 {
+		fmt.Fprintf(&b, " perf=%d", e.Performance)
+	}
+	fmt.Fprintf(&b, " %s %s", e.Kind, e.Script)
+	if e.Role.Name != "" {
+		b.WriteByte(' ')
+		b.WriteString(e.Role.String())
+	}
+	if e.Peer.Name != "" {
+		b.WriteString("->")
+		b.WriteString(e.Peer.String())
+	}
+	if e.Detail != "" {
+		fmt.Fprintf(&b, " (%s)", e.Detail)
+	}
+	if e.PID != ids.NoPID {
+		fmt.Fprintf(&b, " by %s", e.PID)
+	}
+	return b.String()
+}
+
+// Tracer receives events. Implementations must be safe for concurrent use.
+type Tracer interface {
+	Record(e Event)
+}
+
+// Nop is a Tracer that discards everything.
+type Nop struct{}
+
+// Record implements Tracer by doing nothing.
+func (Nop) Record(Event) {}
+
+// Log is an in-memory Tracer that retains every event in order.
+// The zero value is ready to use.
+type Log struct {
+	mu     sync.Mutex
+	events []Event
+	nextID int
+}
+
+var _ Tracer = (*Log)(nil)
+
+// Record appends e to the log, assigning its sequence number.
+func (l *Log) Record(e Event) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.nextID++
+	e.Seq = l.nextID
+	l.events = append(l.events, e)
+}
+
+// Events returns a copy of the recorded events in order.
+func (l *Log) Events() []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Event, len(l.events))
+	copy(out, l.events)
+	return out
+}
+
+// Len returns the number of recorded events.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.events)
+}
+
+// Reset discards all recorded events and restarts sequence numbering.
+func (l *Log) Reset() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.events = nil
+	l.nextID = 0
+}
+
+// Filter returns the events for which keep returns true, preserving order.
+func (l *Log) Filter(keep func(Event) bool) []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []Event
+	for _, e := range l.events {
+		if keep(e) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// First returns the first event matching keep, and whether one was found.
+func (l *Log) First(keep func(Event) bool) (Event, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, e := range l.events {
+		if keep(e) {
+			return e, true
+		}
+	}
+	return Event{}, false
+}
+
+// Before reports whether some event matching a was recorded strictly before
+// some event matching b. It returns false if either never occurred.
+func (l *Log) Before(a, b func(Event) bool) bool {
+	ea, oka := l.First(a)
+	eb, okb := l.First(b)
+	return oka && okb && ea.Seq < eb.Seq
+}
+
+// ByKind is a convenience predicate constructor matching kind, role and pid;
+// zero-valued fields match anything.
+func ByKind(kind Kind, role ids.RoleRef, pid ids.PID) func(Event) bool {
+	return func(e Event) bool {
+		if e.Kind != kind {
+			return false
+		}
+		if role.Name != "" && e.Role != role {
+			return false
+		}
+		if pid != ids.NoPID && e.PID != pid {
+			return false
+		}
+		return true
+	}
+}
+
+// Timeline renders the log as a Figure-1-style narrative, one line per
+// event, suitable for terminal output.
+func (l *Log) Timeline() string {
+	var b strings.Builder
+	b.WriteString("time\n")
+	for _, e := range l.Events() {
+		b.WriteString("  ")
+		b.WriteString(timelineLine(e))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func timelineLine(e Event) string {
+	switch e.Kind {
+	case KindEnroll:
+		return fmt.Sprintf("%s offers to enroll as %s", e.PID, e.Role)
+	case KindStart:
+		return fmt.Sprintf("%s begins role %s (performance %d)", e.PID, e.Role, e.Performance)
+	case KindSend:
+		return fmt.Sprintf("%s sends to %s%s", e.Role, e.Peer, parenDetail(e.Detail))
+	case KindRecv:
+		return fmt.Sprintf("%s receives from %s%s", e.Role, e.Peer, parenDetail(e.Detail))
+	case KindFinish:
+		return fmt.Sprintf("%s finishes its role as %s", e.PID, e.Role)
+	case KindRelease:
+		return fmt.Sprintf("%s is released from the script", e.PID)
+	case KindAbsent:
+		return fmt.Sprintf("role %s is marked absent for performance %d", e.Role, e.Performance)
+	case KindPerfStart:
+		return fmt.Sprintf("performance %d of %s begins", e.Performance, e.Script)
+	case KindPerfEnd:
+		return fmt.Sprintf("performance %d of %s ends", e.Performance, e.Script)
+	default:
+		return e.String()
+	}
+}
+
+func parenDetail(d string) string {
+	if d == "" {
+		return ""
+	}
+	return " (" + d + ")"
+}

@@ -1,0 +1,375 @@
+package adax
+
+import (
+	"context"
+	"errors"
+
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/scriptabs/goscript/internal/core"
+	"github.com/scriptabs/goscript/internal/ids"
+	"github.com/scriptabs/goscript/internal/patterns"
+)
+
+func startHost(t *testing.T, def core.Definition) (*Host, context.Context) {
+	t.Helper()
+	h, err := New(def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	t.Cleanup(cancel)
+	if err := h.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := h.Shutdown(); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	})
+	return h, ctx
+}
+
+func TestTranslatedStarBroadcast(t *testing.T) {
+	const n = 5
+	h, ctx := startHost(t, patterns.StarBroadcast(n))
+
+	var wg sync.WaitGroup
+	results := make([]any, n+1)
+	errs := make(chan error, n+1)
+	for i := 1; i <= n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			outs, err := h.Enroll(ctx, ids.Member(patterns.RoleRecipient, i), nil)
+			if err == nil {
+				results[i] = outs[0]
+			}
+			errs <- err
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, err := h.Enroll(ctx, ids.Role(patterns.RoleSender), []any{"ada-x"})
+		errs <- err
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 1; i <= n; i++ {
+		if results[i] != "ada-x" {
+			t.Errorf("recipient %d got %v", i, results[i])
+		}
+	}
+}
+
+func TestTaskCountIsMPlusOne(t *testing.T) {
+	h, err := New(patterns.StarBroadcast(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := h.TaskCount(); got != 6 { // sender + 4 recipients + supervisor
+		t.Fatalf("TaskCount = %d, want 6", got)
+	}
+}
+
+func TestSuccessivePerformances(t *testing.T) {
+	const n = 2
+	h, ctx := startHost(t, patterns.StarBroadcast(n))
+
+	recvDone := make(chan error, n)
+	var mu sync.Mutex
+	rounds := map[int][]any{}
+	for i := 1; i <= n; i++ {
+		i := i
+		go func() {
+			for round := 0; round < 2; round++ {
+				outs, err := h.Enroll(ctx, ids.Member(patterns.RoleRecipient, i), nil)
+				if err != nil {
+					recvDone <- err
+					return
+				}
+				mu.Lock()
+				rounds[round] = append(rounds[round], outs[0])
+				mu.Unlock()
+			}
+			recvDone <- nil
+		}()
+	}
+	for _, x := range []any{"first", "second"} {
+		if _, err := h.Enroll(ctx, ids.Role(patterns.RoleSender), []any{x}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if err := <-recvDone; err != nil {
+			t.Fatal(err)
+		}
+	}
+	for round, want := range map[int]any{0: "first", 1: "second"} {
+		for _, v := range rounds[round] {
+			if v != want {
+				t.Errorf("round %d delivered %v, want %v", round, rounds[round], want)
+			}
+		}
+	}
+}
+
+func TestEnrollmentQueuesFIFOOnRoleEntry(t *testing.T) {
+	// Two processes contend for the only role; Ada entry queues are FIFO,
+	// so the first caller is served in performance 1.
+	def, err := core.NewScript("solo").
+		Role("only", func(rc core.Ctx) error {
+			rc.SetResult(0, rc.Performance())
+			return nil
+		}).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, ctx := startHost(t, def)
+	outs1, err := h.Enroll(ctx, ids.Role("only"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs2, err := h.Enroll(ctx, ids.Role("only"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outs1[0] != 1 || outs2[0] != 2 {
+		t.Fatalf("performances = %v, %v; want 1, 2", outs1[0], outs2[0])
+	}
+}
+
+func TestRoleBodyErrorPropagatesToEnroller(t *testing.T) {
+	boom := errors.New("boom")
+	def, err := core.NewScript("failing").
+		Role("a", func(rc core.Ctx) error { return boom }).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, ctx := startHost(t, def)
+	_, enrollErr := h.Enroll(ctx, ids.Role("a"), nil)
+	var re *core.RoleError
+	if !errors.As(enrollErr, &re) || !errors.Is(enrollErr, boom) {
+		t.Fatalf("err = %v, want RoleError wrapping boom", enrollErr)
+	}
+	// The role task must survive for the next performance.
+	if _, err := h.Enroll(ctx, ids.Role("a"), nil); !errors.Is(err, boom) {
+		t.Fatalf("second performance: %v", err)
+	}
+}
+
+func TestMixedSelectRejected(t *testing.T) {
+	var selErr error
+	def, err := core.NewScript("mixed").
+		Role("a", func(rc core.Ctx) error {
+			_, selErr = rc.Select(
+				core.SendTo(ids.Role("b"), 1),
+				core.RecvFrom(ids.Role("b")),
+			)
+			// Unblock b regardless.
+			return rc.Send(ids.Role("b"), 2)
+		}).
+		Role("b", func(rc core.Ctx) error {
+			_, err := rc.Recv(ids.Role("a"))
+			return err
+		}).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, ctx := startHost(t, def)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); _, _ = h.Enroll(ctx, ids.Role("a"), nil) }()
+	go func() { defer wg.Done(); _, _ = h.Enroll(ctx, ids.Role("b"), nil) }()
+	wg.Wait()
+	if !errors.Is(selErr, ErrUnsupported) {
+		t.Fatalf("select err = %v, want ErrUnsupported", selErr)
+	}
+}
+
+func TestRecvOnlySelectWithStash(t *testing.T) {
+	// The hub receives tagged messages out of order: a "late"-tagged
+	// message arrives while the hub waits for "early"; it must be stashed
+	// and delivered to the later receive.
+	def, err := core.NewScript("stash").
+		Role("hub", func(rc core.Ctx) error {
+			early, err := rc.RecvTag(ids.Role("src"), "early")
+			if err != nil {
+				return err
+			}
+			late, err := rc.RecvTag(ids.Role("src"), "late")
+			if err != nil {
+				return err
+			}
+			rc.Return(early, late)
+			return nil
+		}).
+		Role("src", func(rc core.Ctx) error {
+			if err := rc.SendTag(ids.Role("hub"), "late", "L"); err != nil {
+				return err
+			}
+			return rc.SendTag(ids.Role("hub"), "early", "E")
+		}).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, ctx := startHost(t, def)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done(); _, _ = h.Enroll(ctx, ids.Role("src"), nil) }()
+	outs, err := h.Enroll(ctx, ids.Role("hub"), nil)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outs[0] != "E" || outs[1] != "L" {
+		t.Fatalf("outs = %v, want [E L]", outs)
+	}
+}
+
+func TestReverseBroadcastFigure8Shape(t *testing.T) {
+	// Figure 8's script shape: recipients call the sender (RecvAny serves
+	// them in arrival order), so the sender needs no recipient names.
+	const n = 4
+	def, err := core.NewScript("reverse").
+		Role("sender", func(rc core.Ctx) error {
+			for completed := 0; completed < n; completed++ {
+				from, _, _, err := rc.RecvAny()
+				if err != nil {
+					return err
+				}
+				if err := rc.SendTag(from, "data", rc.Arg(0)); err != nil {
+					return err
+				}
+			}
+			return nil
+		}).
+		Family("r", n, func(rc core.Ctx) error {
+			if err := rc.SendTag(ids.Role("sender"), "request", nil); err != nil {
+				return err
+			}
+			v, err := rc.RecvTag(ids.Role("sender"), "data")
+			if err != nil {
+				return err
+			}
+			rc.SetResult(0, v)
+			return nil
+		}).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, ctx := startHost(t, def)
+	var wg sync.WaitGroup
+	results := make([]any, n+1)
+	for i := 1; i <= n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			outs, err := h.Enroll(ctx, ids.Member("r", i), nil)
+			if err != nil {
+				t.Errorf("recipient %d: %v", i, err)
+				return
+			}
+			results[i] = outs[0]
+		}()
+	}
+	if _, err := h.Enroll(ctx, ids.Role("sender"), []any{"rev"}); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	for i := 1; i <= n; i++ {
+		if results[i] != "rev" {
+			t.Errorf("recipient %d got %v", i, results[i])
+		}
+	}
+}
+
+func TestOpenFamilyRejected(t *testing.T) {
+	def, err := core.NewScript("open").
+		Role("hub", func(rc core.Ctx) error { return nil }).
+		OpenFamily("w", func(rc core.Ctx) error { return nil }).
+		CriticalSet(ids.Role("hub")).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(def); !errors.Is(err, ErrUnsupported) {
+		t.Fatalf("New = %v, want ErrUnsupported", err)
+	}
+}
+
+func TestEnrollBeforeStart(t *testing.T) {
+	h, err := New(patterns.StarBroadcast(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Enroll(context.Background(), ids.Role(patterns.RoleSender), nil); !errors.Is(err, ErrNotStarted) {
+		t.Fatalf("err = %v, want ErrNotStarted", err)
+	}
+	if err := h.Shutdown(); !errors.Is(err, ErrNotStarted) {
+		t.Fatalf("Shutdown = %v, want ErrNotStarted", err)
+	}
+	// Start it properly so the declared tasks are not leaked goroutines.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := h.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Start(ctx); err == nil {
+		t.Fatal("double start must fail")
+	}
+	if err := h.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnknownRole(t *testing.T) {
+	h, ctx := startHost(t, patterns.StarBroadcast(1))
+	if _, err := h.Enroll(ctx, ids.Role("ghost"), nil); !errors.Is(err, core.ErrUnknownRole) {
+		t.Fatalf("err = %v, want ErrUnknownRole", err)
+	}
+}
+
+func TestPipelineBroadcastOnAda(t *testing.T) {
+	const n = 3
+	h, ctx := startHost(t, patterns.PipelineBroadcast(n))
+	var wg sync.WaitGroup
+	results := make([]any, n+1)
+	for i := 1; i <= n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			outs, err := h.Enroll(ctx, ids.Member(patterns.RoleRecipient, i), nil)
+			if err != nil {
+				t.Errorf("recipient %d: %v", i, err)
+				return
+			}
+			results[i] = outs[0]
+		}()
+	}
+	if _, err := h.Enroll(ctx, ids.Role(patterns.RoleSender), []any{7}); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	for i := 1; i <= n; i++ {
+		if results[i] != 7 {
+			t.Errorf("recipient %d got %v", i, results[i])
+		}
+	}
+}

@@ -1,0 +1,206 @@
+package adax
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/scriptabs/goscript/internal/ada"
+	"github.com/scriptabs/goscript/internal/core"
+	"github.com/scriptabs/goscript/internal/ids"
+)
+
+// message is what travels through the msg entries: Ada acceptors do not
+// learn the caller's identity, so the sending role names itself in the
+// payload.
+type message struct {
+	from ids.RoleRef
+	tag  string
+	val  any
+}
+
+// hostCtx executes a role body inside its role task. Communications follow
+// the paper's rewriting: a send becomes an entry call on the peer role's
+// task; a receive becomes an accept on this task's msg entry. Because Ada
+// accepts cannot filter by caller or constructor, mismatching messages are
+// stashed and re-delivered to later receives — the acceptance still
+// releases the sender, so cross-role synchronization is weaker than on the
+// native runtime (a consequence of the translation, not a bug in it).
+type hostCtx struct {
+	core.ParamBag
+	rt    *roleTask
+	tk    *ada.Task
+	stash []message
+}
+
+var _ core.Ctx = (*hostCtx)(nil)
+
+func (rc *hostCtx) Context() context.Context { return rc.tk.Context() }
+func (rc *hostCtx) Role() ids.RoleRef        { return rc.rt.role }
+func (rc *hostCtx) Index() int               { return rc.rt.role.Index }
+
+// PID returns the role task's name: the enroller's identity is not visible
+// to the role body under this translation.
+func (rc *hostCtx) PID() ids.PID { return ids.PID(rc.rt.task.Name()) }
+
+// Performance returns the number of start rendezvous this role task has
+// served.
+func (rc *hostCtx) Performance() int {
+	rc.rt.mu.Lock()
+	defer rc.rt.mu.Unlock()
+	return rc.rt.perf
+}
+
+func (rc *hostCtx) Send(to ids.RoleRef, v any) error { return rc.SendTag(to, "", v) }
+
+func (rc *hostCtx) SendTag(to ids.RoleRef, tag string, v any) error {
+	peer, ok := rc.rt.host.tasks[to]
+	if !ok {
+		return fmt.Errorf("%w: %s", core.ErrUnknownRole, to)
+	}
+	_, err := peer.msg.Call(rc.tk.Context(), message{from: rc.rt.role, tag: tag, val: v})
+	if err != nil {
+		return fmt.Errorf("adax: msg entry call on %s: %w", to, err)
+	}
+	return nil
+}
+
+// acceptOne accepts the next msg rendezvous on this role's task.
+func (rc *hostCtx) acceptOne() (message, error) {
+	var got message
+	err := rc.tk.Accept(rc.rt.msg, func(ins []any) ([]any, error) {
+		m, ok := ins[0].(message)
+		if !ok {
+			return nil, fmt.Errorf("adax: bad msg payload %T", ins[0])
+		}
+		got = m
+		return nil, nil
+	})
+	if err != nil {
+		return message{}, err
+	}
+	return got, nil
+}
+
+func (rc *hostCtx) Recv(from ids.RoleRef) (any, error) { return rc.RecvTag(from, "") }
+
+func (rc *hostCtx) RecvTag(from ids.RoleRef, tag string) (any, error) {
+	if _, ok := rc.rt.host.tasks[from]; !ok {
+		return nil, fmt.Errorf("%w: %s", core.ErrUnknownRole, from) // would block forever
+	}
+	match := func(m message) bool { return m.from == from && m.tag == tag }
+	for i, m := range rc.stash {
+		if match(m) {
+			rc.stash = append(rc.stash[:i], rc.stash[i+1:]...)
+			return m.val, nil
+		}
+	}
+	for {
+		m, err := rc.acceptOne()
+		if err != nil {
+			return nil, err
+		}
+		if match(m) {
+			return m.val, nil
+		}
+		rc.stash = append(rc.stash, m)
+	}
+}
+
+func (rc *hostCtx) RecvAny() (ids.RoleRef, string, any, error) {
+	if len(rc.stash) > 0 {
+		m := rc.stash[0]
+		rc.stash = rc.stash[1:]
+		return m.from, m.tag, m.val, nil
+	}
+	m, err := rc.acceptOne()
+	if err != nil {
+		return ids.RoleRef{}, "", nil, err
+	}
+	return m.from, m.tag, m.val, nil
+}
+
+// Select supports receive-only alternatives (Ada's selective wait) and, as
+// a degenerate case, a send-only list executed as a plain entry call on the
+// first enabled branch. Mixing sends and receives fails with ErrUnsupported
+// — Ada allows "selections between alternative entries … but not selections
+// between alternative calls", which is exactly why Figure 8's broadcast is
+// reversed.
+func (rc *hostCtx) Select(branches ...core.SelectBranch) (core.Selected, error) {
+	type recvBranch struct {
+		orig    int
+		peer    ids.RoleRef
+		anyPeer bool
+		tag     string
+	}
+	var (
+		recvs     []recvBranch
+		sendIdx   = -1
+		haveSends bool
+	)
+	for i, b := range branches {
+		if !b.Enabled() {
+			continue
+		}
+		if b.IsSend() {
+			haveSends = true
+			if sendIdx < 0 {
+				sendIdx = i
+			}
+			continue
+		}
+		peer, anyPeer := b.BranchPeer()
+		if !anyPeer {
+			if _, ok := rc.rt.host.tasks[peer]; !ok {
+				return core.Selected{}, fmt.Errorf("%w: %s", core.ErrUnknownRole, peer)
+			}
+		}
+		recvs = append(recvs, recvBranch{orig: i, peer: peer, anyPeer: anyPeer, tag: b.BranchTag()})
+	}
+	switch {
+	case len(recvs) == 0 && !haveSends:
+		return core.Selected{}, core.ErrNoBranches
+	case len(recvs) > 0 && haveSends:
+		return core.Selected{}, fmt.Errorf("%w: select mixing entry calls with accepts", ErrUnsupported)
+	case haveSends:
+		b := branches[sendIdx]
+		peer, _ := b.BranchPeer()
+		if err := rc.SendTag(peer, b.BranchTag(), b.BranchValue()); err != nil {
+			return core.Selected{}, err
+		}
+		return core.Selected{Index: sendIdx, Peer: peer, Tag: b.BranchTag()}, nil
+	}
+	match := func(m message) (int, bool) {
+		for _, rb := range recvs {
+			if (rb.anyPeer || rb.peer == m.from) && rb.tag == m.tag {
+				return rb.orig, true
+			}
+		}
+		return 0, false
+	}
+	for i, m := range rc.stash {
+		if idx, ok := match(m); ok {
+			rc.stash = append(rc.stash[:i], rc.stash[i+1:]...)
+			return core.Selected{Index: idx, Peer: m.from, Tag: m.tag, Val: m.val}, nil
+		}
+	}
+	for {
+		m, err := rc.acceptOne()
+		if err != nil {
+			return core.Selected{}, err
+		}
+		if idx, ok := match(m); ok {
+			return core.Selected{Index: idx, Peer: m.from, Tag: m.tag, Val: m.val}, nil
+		}
+		rc.stash = append(rc.stash, m)
+	}
+}
+
+// Terminated always reports false: the translation has no critical role
+// sets, so every role is assumed enrolled.
+func (rc *hostCtx) Terminated(ids.RoleRef) bool { return false }
+
+// Filled always reports true under the same assumption.
+func (rc *hostCtx) Filled(ids.RoleRef) bool { return true }
+
+// FamilySize returns the declared extent of a fixed family.
+func (rc *hostCtx) FamilySize(name string) int { return rc.rt.host.def.FamilyExtent(name) }

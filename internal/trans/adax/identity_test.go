@@ -1,0 +1,219 @@
+package adax
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/scriptabs/goscript/internal/core"
+	"github.com/scriptabs/goscript/internal/ids"
+)
+
+// TestHostCtxIdentity pins the adapter's view of identity: the body runs in
+// the role task, so PID is the task's name (the enroller is invisible), the
+// performance counter counts starts, and family extents are the declared
+// ones.
+func TestHostCtxIdentity(t *testing.T) {
+	type ident struct {
+		role   ids.RoleRef
+		idx    int
+		pid    ids.PID
+		perf1  int
+		fam    int
+		term   bool
+		filled bool
+	}
+	got := make(chan ident, 2)
+	def, err := core.NewScript("who").
+		Family("w", 2, func(rc core.Ctx) error {
+			got <- ident{
+				role:   rc.Role(),
+				idx:    rc.Index(),
+				pid:    rc.PID(),
+				perf1:  rc.Performance(),
+				fam:    rc.FamilySize("w"),
+				term:   rc.Terminated(ids.Member("w", 1)),
+				filled: rc.Filled(ids.Member("w", 1)),
+			}
+			if rc.Context() == nil {
+				t.Error("nil context")
+			}
+			return nil
+		}).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, ctx := startHost(t, def)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if _, err := h.Enroll(ctx, ids.Member("w", 2), nil); err != nil {
+			t.Errorf("w2: %v", err)
+		}
+	}()
+	if _, err := h.Enroll(ctx, ids.Member("w", 1), nil); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	for i := 0; i < 2; i++ {
+		id := <-got
+		if id.role.Name != "w" {
+			t.Errorf("role = %v", id.role)
+		}
+		if id.idx != id.role.Index {
+			t.Errorf("Index = %d, role %v", id.idx, id.role)
+		}
+		if !strings.HasPrefix(string(id.pid), "s_w[") {
+			t.Errorf("PID = %q, want the role task's name", id.pid)
+		}
+		if id.perf1 != 1 {
+			t.Errorf("performance = %d, want 1", id.perf1)
+		}
+		if id.fam != 2 {
+			t.Errorf("FamilySize = %d, want 2", id.fam)
+		}
+		if id.term {
+			t.Error("Terminated must be false under the Ada translation")
+		}
+		if !id.filled {
+			t.Error("Filled must be true under the Ada translation")
+		}
+	}
+}
+
+// TestSendToUnknownRole covers the adapter's unknown-role error path.
+func TestSendToUnknownRole(t *testing.T) {
+	var sendErr error
+	def, err := core.NewScript("u").
+		Role("a", func(rc core.Ctx) error {
+			sendErr = rc.Send(ids.Role("nope"), 1)
+			return nil
+		}).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, ctx := startHost(t, def)
+	if _, err := h.Enroll(ctx, ids.Role("a"), nil); err != nil {
+		t.Fatal(err)
+	}
+	if sendErr == nil {
+		t.Fatal("send to unknown role must fail")
+	}
+}
+
+// TestRecvAnyOnAda covers the stash-backed RecvAny path.
+func TestRecvAnyOnAda(t *testing.T) {
+	def, err := core.NewScript("anyr").
+		Role("hub", func(rc core.Ctx) error {
+			froms := map[string]bool{}
+			for i := 0; i < 2; i++ {
+				from, tag, v, err := rc.RecvAny()
+				if err != nil {
+					return err
+				}
+				froms[from.String()+tag+v.(string)] = true
+			}
+			rc.SetResult(0, len(froms))
+			return nil
+		}).
+		Family("src", 2, func(rc core.Ctx) error {
+			return rc.SendTag(ids.Role("hub"), "m", "x")
+		}).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, ctx := startHost(t, def)
+	for i := 1; i <= 2; i++ {
+		i := i
+		go func() { _, _ = h.Enroll(ctx, ids.Member("src", i), nil) }()
+	}
+	outs, err := h.Enroll(ctx, ids.Role("hub"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outs[0] != 2 {
+		t.Fatalf("hub saw %v distinct messages, want 2", outs[0])
+	}
+}
+
+// TestSendOnlySelectDegeneratesToCall covers the Ada adapter's send-only
+// select: with no accept branches, the first enabled call is performed (Ada
+// cannot select between calls, so there is nothing to wait on).
+func TestSendOnlySelectDegeneratesToCall(t *testing.T) {
+	def, err := core.NewScript("sendsel").
+		Role("a", func(rc core.Ctx) error {
+			sel, err := rc.Select(
+				core.SendTagTo(ids.Role("b"), "m", 1).When(false),
+				core.SendTagTo(ids.Role("b"), "m", 2),
+			)
+			if err != nil {
+				return err
+			}
+			if sel.Index != 1 {
+				t.Errorf("selected branch %d, want 1 (first enabled)", sel.Index)
+			}
+			return nil
+		}).
+		Role("b", func(rc core.Ctx) error {
+			v, err := rc.RecvTag(ids.Role("a"), "m")
+			if err != nil {
+				return err
+			}
+			rc.SetResult(0, v)
+			return nil
+		}).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, ctx := startHost(t, def)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if _, err := h.Enroll(ctx, ids.Role("a"), nil); err != nil {
+			t.Errorf("a: %v", err)
+		}
+	}()
+	outs, err := h.Enroll(ctx, ids.Role("b"), nil)
+	<-done
+	if err != nil || outs[0] != 2 {
+		t.Fatalf("outs=%v err=%v", outs, err)
+	}
+}
+
+// TestSelectDrainsStash covers the adapter's stash fast path: a message
+// that arrives while waiting for something else must satisfy a later
+// Select without another accept.
+func TestSelectDrainsStash(t *testing.T) {
+	def, err := core.NewScript("stashsel").
+		Role("hub", func(rc core.Ctx) error {
+			// First wait for "b"; "a"-tagged arrives first and is stashed.
+			if _, err := rc.RecvTag(ids.Role("src"), "b"); err != nil {
+				return err
+			}
+			sel, err := rc.Select(core.RecvTagFrom(ids.Role("src"), "a"))
+			if err != nil {
+				return err
+			}
+			rc.SetResult(0, sel.Val)
+			return nil
+		}).
+		Role("src", func(rc core.Ctx) error {
+			if err := rc.SendTag(ids.Role("hub"), "a", "stashed"); err != nil {
+				return err
+			}
+			return rc.SendTag(ids.Role("hub"), "b", "direct")
+		}).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, ctx := startHost(t, def)
+	go func() { _, _ = h.Enroll(ctx, ids.Role("src"), nil) }()
+	outs, err := h.Enroll(ctx, ids.Role("hub"), nil)
+	if err != nil || outs[0] != "stashed" {
+		t.Fatalf("outs=%v err=%v", outs, err)
+	}
+}

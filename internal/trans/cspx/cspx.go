@@ -1,0 +1,192 @@
+// Package cspx implements the paper's translation of scripts into CSP
+// (Section IV, "Translation into CSP"), as a runtime-level construction:
+//
+//   - each script instance s gets a supervisor process p_s (Figure 7) that
+//     coordinates enrollments with start_s / end_s messages and enforces
+//     the successive-activations rule with its ready/done arrays;
+//   - an enrollment is replaced inline by: p_s!start_s(), the role's body
+//     with role names bound to process names and every communication tagged
+//     with a unique script tag, then p_s!end_s();
+//   - the supervisor receives start_s/end_s from *any* process ("the script
+//     supervisor must address all other processes"), which uses the
+//     extended naming convention of Francez [2], available on the CSP
+//     substrate as OnAny.
+//
+// As in the paper, this is an expressibility proof, not a recommended
+// implementation: it is centralized, supports neither critical role sets
+// nor open-ended families, and uses the restricted named-enrollment policy
+// (every role a body communicates with must be bound to a process name).
+//
+// One refinement over the figure: the start_s/end_s messages carry the
+// role's slot index (distinct tags per role). Figure 7's supervisor counts
+// slots without knowing which role takes one, which deadlocks when a fast
+// process re-enrolls for the next performance before a slow process has
+// claimed its slot for the current one — the re-enrollment consumes the
+// slow role's slot, the performance can never complete, and the supervisor
+// never resets. Naming the slot is information the translation already has
+// (it inlines a specific role's body), so the refinement stays within the
+// paper's scheme.
+package cspx
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/scriptabs/goscript/internal/core"
+	"github.com/scriptabs/goscript/internal/csp"
+	"github.com/scriptabs/goscript/internal/ids"
+)
+
+// Errors reported by the translation.
+var (
+	// ErrUnsupported reports a script feature the paper's CSP translation
+	// cannot express (open-ended families, critical role sets, nested
+	// enrollment, Terminated).
+	ErrUnsupported = errors.New("cspx: feature not supported by the CSP translation")
+	// ErrUnboundRole reports a communication with a role the enrollment's
+	// binding does not name — the translation requires full naming.
+	ErrUnboundRole = errors.New("cspx: role not bound to a process name")
+)
+
+// Host is the CSP-side embedding of one script instance.
+type Host struct {
+	def      core.Definition
+	roles    []ids.RoleRef
+	roleSlot map[ids.RoleRef]int // role -> 0-based supervisor slot
+	supName  string
+	tagStart string // per-slot prefix: "start_<script>:<k>"
+	tagEnd   string
+	tagComm  string // prefix for body communications
+}
+
+// New prepares the translation of def. Scripts with open-ended families or
+// critical role sets are rejected (the paper's translation predates both).
+func New(def core.Definition) (*Host, error) {
+	if def.HasOpenFamilies() {
+		return nil, fmt.Errorf("%w: open-ended families", ErrUnsupported)
+	}
+	name := def.Name()
+	h := &Host{
+		def:      def,
+		roles:    def.Roles(),
+		roleSlot: make(map[ids.RoleRef]int),
+		supName:  "p_" + name,
+		// "unique, new message tags, which are assumed not to occur
+		// anywhere in the original program"
+		tagStart: "start_" + name + ":",
+		tagEnd:   "end_" + name + ":",
+		tagComm:  "s_" + name + ":",
+	}
+	for k, r := range h.roles {
+		h.roleSlot[r] = k
+	}
+	return h, nil
+}
+
+// startTag and endTag name slot k's coordination messages.
+func (h *Host) startTag(k int) csp.Tag { return csp.Tag(fmt.Sprintf("%s%d", h.tagStart, k)) }
+func (h *Host) endTag(k int) csp.Tag   { return csp.Tag(fmt.Sprintf("%s%d", h.tagEnd, k)) }
+
+// SupervisorName returns the name of the supervisor process p_s.
+func (h *Host) SupervisorName() string { return h.supName }
+
+// AddSupervisor declares p_s (Figure 7) on the parallel command.
+//
+// The paper's supervisor loops forever; because it accepts start_s/end_s
+// from any process, the distributed termination convention cannot end it
+// (the same "terminating program into a non-terminating one" consequence
+// the paper notes for the Ada translation). performances therefore bounds
+// the supervisor: it exits after that many complete performances; pass 0
+// for the paper-faithful endless loop (the caller must then cancel the
+// system's context).
+func (h *Host) AddSupervisor(sys *csp.System, performances int) *csp.System {
+	m := len(h.roles)
+	return sys.Process(h.supName, func(p *csp.Proc) error {
+		completed := 0
+		ready := make([]bool, m) // ready[k]: role slot k free
+		done := make([]bool, m)  // done[k]: role slot k finished
+		for i := range ready {
+			ready[i] = true
+		}
+		reset := func() {
+			allDone := true
+			for _, d := range done {
+				if !d {
+					allDone = false
+					break
+				}
+			}
+			if allDone {
+				completed++
+				for i := range ready {
+					ready[i], done[i] = true, false
+				}
+			}
+		}
+		return p.Rep(func() []csp.Guard {
+			if performances > 0 && completed >= performances {
+				return nil // all guards false: the repetitive command exits
+			}
+			guards := make([]csp.Guard, 0, 2*m)
+			for k := 0; k < m; k++ {
+				k := k
+				guards = append(guards,
+					csp.OnAny(h.startTag(k), func(any) error {
+						ready[k] = false
+						return nil
+					}).When(ready[k]),
+					csp.OnAny(h.endTag(k), func(any) error {
+						done[k] = true
+						// "∧(k=1,m) done[k] → ready := m'true; done := m'false"
+						reset()
+						return nil
+					}).When(!ready[k] && !done[k]),
+				)
+			}
+			return guards
+		})
+	})
+}
+
+// Enroll performs the translated enrollment inside process p: it sends
+// start_s to the supervisor, runs the role body inline with the given
+// role-to-process binding, sends end_s, and returns the body's result
+// parameters. The binding must name a process for every role the body
+// communicates with, including the enrolling process's own role.
+func (h *Host) Enroll(p *csp.Proc, role ids.RoleRef, binding map[ids.RoleRef]string, args []any) ([]any, error) {
+	body, err := h.def.Body(role)
+	if err != nil {
+		return nil, err
+	}
+	slot, ok := h.roleSlot[role]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", core.ErrUnknownRole, role)
+	}
+	if err := p.SendTagged(h.supName, h.startTag(slot), nil); err != nil {
+		return nil, fmt.Errorf("cspx: start_s: %w", err)
+	}
+	rc := &hostCtx{
+		ParamBag: core.ParamBag{In: args},
+		host:     h,
+		proc:     p,
+		role:     role,
+		binding:  binding,
+		reverse:  reverseBinding(binding),
+	}
+	bodyErr := body(rc)
+	if err := p.SendTagged(h.supName, h.endTag(slot), nil); err != nil {
+		return nil, fmt.Errorf("cspx: end_s: %w", err)
+	}
+	if bodyErr != nil {
+		return rc.Out, &core.RoleError{Script: h.def.Name(), Role: role, Err: bodyErr}
+	}
+	return rc.Out, nil
+}
+
+func reverseBinding(binding map[ids.RoleRef]string) map[string]ids.RoleRef {
+	rev := make(map[string]ids.RoleRef, len(binding))
+	for r, pname := range binding {
+		rev[pname] = r
+	}
+	return rev
+}

@@ -1,0 +1,145 @@
+package cspx
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"github.com/scriptabs/goscript/internal/core"
+	"github.com/scriptabs/goscript/internal/csp"
+	"github.com/scriptabs/goscript/internal/ids"
+)
+
+// TestHostCtxIdentity pins the CSP adapter's identity view: PID is the
+// enrolling process's name (the translation inlines the body in the
+// process), Performance is unobservable (0), and family extents are the
+// declared ones. It also exercises RecvAny's reverse binding and the
+// anyPeer select path.
+func TestHostCtxIdentity(t *testing.T) {
+	type ident struct {
+		role    ids.RoleRef
+		idx     int
+		pid     ids.PID
+		perf    int
+		fam     int
+		term    bool
+		filled  bool
+		anyFrom ids.RoleRef
+		anyVal  any
+		selVal  any
+	}
+	got := make(chan ident, 1)
+
+	def, err := core.NewScript("who").
+		Family("w", 2, func(rc core.Ctx) error {
+			if rc.Index() == 2 {
+				if err := rc.SendTag(ids.Member("w", 1), "m", "first"); err != nil {
+					return err
+				}
+				return rc.SendTag(ids.Member("w", 1), "m", "second")
+			}
+			from, _, v, err := rc.RecvAny()
+			if err != nil {
+				return err
+			}
+			sel, err := rc.Select(core.RecvTagFrom(ids.Member("w", 2), "m"))
+			if err != nil {
+				return err
+			}
+			got <- ident{
+				role: rc.Role(), idx: rc.Index(), pid: rc.PID(),
+				perf: rc.Performance(), fam: rc.FamilySize("w"),
+				term: rc.Terminated(ids.Member("w", 2)), filled: rc.Filled(ids.Member("w", 2)),
+				anyFrom: from, anyVal: v, selVal: sel.Val,
+			}
+			if rc.Context() == nil {
+				t.Error("nil context")
+			}
+			return nil
+		}).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := New(def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	binding := map[ids.RoleRef]string{
+		ids.Member("w", 1): "alpha",
+		ids.Member("w", 2): "beta",
+	}
+	sys := csp.NewSystem().
+		Process("alpha", func(p *csp.Proc) error {
+			_, err := h.Enroll(p, ids.Member("w", 1), binding, nil)
+			return err
+		}).
+		Process("beta", func(p *csp.Proc) error {
+			_, err := h.Enroll(p, ids.Member("w", 2), binding, nil)
+			return err
+		})
+	h.AddSupervisor(sys, 1)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	if err := sys.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	id := <-got
+	if id.role != ids.Member("w", 1) || id.idx != 1 {
+		t.Errorf("role = %v idx = %d", id.role, id.idx)
+	}
+	if id.pid != "alpha" {
+		t.Errorf("PID = %q, want the enrolling process's name", id.pid)
+	}
+	if id.perf != 0 {
+		t.Errorf("Performance = %d, want 0 (unobservable in the translation)", id.perf)
+	}
+	if id.fam != 2 {
+		t.Errorf("FamilySize = %d", id.fam)
+	}
+	if id.term || !id.filled {
+		t.Errorf("term=%v filled=%v, want false/true", id.term, id.filled)
+	}
+	if id.anyFrom != ids.Member("w", 2) || id.anyVal != "first" {
+		t.Errorf("RecvAny = (%v, %v), want (w[2], first)", id.anyFrom, id.anyVal)
+	}
+	if id.selVal != "second" {
+		t.Errorf("select value = %v, want second", id.selVal)
+	}
+}
+
+// TestRecvAnyFromUnboundProcess covers the reverse-binding error path.
+func TestRecvAnyFromUnboundProcess(t *testing.T) {
+	def, err := core.NewScript("unbound").
+		Role("a", func(rc core.Ctx) error {
+			_, _, _, err := rc.RecvAny()
+			if err == nil {
+				return context.Canceled // any sentinel: we want an error
+			}
+			return nil
+		}).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := New(def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	binding := map[ids.RoleRef]string{ids.Role("a"): "P"}
+	sys := csp.NewSystem().
+		Process("P", func(p *csp.Proc) error {
+			_, err := h.Enroll(p, ids.Role("a"), binding, nil)
+			return err
+		}).
+		// An outsider (not in the binding) sends a script-tagged message.
+		Process("intruder", func(p *csp.Proc) error {
+			return p.SendTagged("P", csp.Tag(h.tagComm+"x"), 1)
+		})
+	h.AddSupervisor(sys, 1)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	if err := sys.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+}

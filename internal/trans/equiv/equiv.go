@@ -1,0 +1,10 @@
+// Package equiv holds the cross-host observational-equivalence suite: the
+// same script definitions are executed on the native runtime, the CSP
+// translation, the Ada translation, and the monitor embedding, and their
+// observable results (role out-parameters) are compared. This is the
+// repository-level statement of the paper's Section IV: the script
+// construct can be added to each host language without changing what the
+// enrolling processes observe.
+//
+// The package's content is its test file; see equiv_test.go.
+package equiv

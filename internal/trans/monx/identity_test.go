@@ -1,0 +1,133 @@
+package monx
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/scriptabs/goscript/internal/core"
+	"github.com/scriptabs/goscript/internal/ids"
+)
+
+// TestHostCtxIdentity pins the monitor adapter's identity view: PID is the
+// role's own name (the supervisor tracks no process identities), the
+// performance counter reflects the supervisor's count, family extents are
+// declared, and contexts are non-nil.
+func TestHostCtxIdentity(t *testing.T) {
+	type ident struct {
+		role ids.RoleRef
+		idx  int
+		pid  ids.PID
+		perf int
+		fam  int
+	}
+	got := make(chan ident, 4)
+	def, err := core.NewScript("who").
+		Family("w", 2, func(rc core.Ctx) error {
+			got <- ident{rc.Role(), rc.Index(), rc.PID(), rc.Performance(), rc.FamilySize("w")}
+			if rc.Context() == nil {
+				t.Error("nil context")
+			}
+			return nil
+		}).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := New(def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 1; round <= 2; round++ {
+		var wg sync.WaitGroup
+		for i := 1; i <= 2; i++ {
+			i := i
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if _, err := h.Enroll(ids.Member("w", i), nil); err != nil {
+					t.Errorf("w%d: %v", i, err)
+				}
+			}()
+		}
+		wg.Wait()
+		for i := 0; i < 2; i++ {
+			id := <-got
+			if id.role.Name != "w" || id.idx != id.role.Index {
+				t.Errorf("identity = %+v", id)
+			}
+			if id.pid != ids.PID(id.role.String()) {
+				t.Errorf("PID = %q, want the role's own name", id.pid)
+			}
+			if id.perf != round {
+				t.Errorf("performance = %d, want %d", id.perf, round)
+			}
+			if id.fam != 2 {
+				t.Errorf("FamilySize = %d, want 2", id.fam)
+			}
+		}
+	}
+	if h.Performances() != 2 {
+		t.Fatalf("Performances = %d, want 2", h.Performances())
+	}
+}
+
+// TestFilledPredicateOnMonx covers the Filled accessor under the monitor
+// supervisor.
+func TestFilledPredicateOnMonx(t *testing.T) {
+	probe := make(chan [2]bool, 1)
+	def, err := core.NewScript("fill").
+		Role("a", func(rc core.Ctx) error {
+			// b may or may not have enrolled yet; synchronize via recv so
+			// b is certainly filled when probed.
+			if _, err := rc.Recv(ids.Role("b")); err != nil {
+				return err
+			}
+			probe <- [2]bool{rc.Filled(ids.Role("a")), rc.Filled(ids.Role("b"))}
+			return nil
+		}).
+		Role("b", func(rc core.Ctx) error {
+			return rc.Send(ids.Role("a"), 1)
+		}).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := New(def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); _, _ = h.Enroll(ids.Role("a"), nil) }()
+	go func() { defer wg.Done(); _, _ = h.Enroll(ids.Role("b"), nil) }()
+	wg.Wait()
+	both := <-probe
+	if !both[0] || !both[1] {
+		t.Fatalf("Filled = %v, want both true", both)
+	}
+}
+
+// TestUnknownMailbox covers the adapter's unknown-role error paths.
+func TestUnknownMailbox(t *testing.T) {
+	var sendErr, recvErr error
+	def, err := core.NewScript("u").
+		Role("a", func(rc core.Ctx) error {
+			sendErr = rc.Send(ids.Role("ghost"), 1)
+			_, recvErr = rc.RecvTag(ids.Role("ghost"), "t")
+			return nil
+		}).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := New(def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Enroll(ids.Role("a"), nil); err != nil {
+		t.Fatal(err)
+	}
+	if sendErr == nil || recvErr == nil {
+		t.Fatalf("sendErr=%v recvErr=%v, want errors", sendErr, recvErr)
+	}
+}

@@ -1,0 +1,328 @@
+package monx
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/scriptabs/goscript/internal/core"
+	"github.com/scriptabs/goscript/internal/ids"
+	"github.com/scriptabs/goscript/internal/monitor"
+	"github.com/scriptabs/goscript/internal/patterns"
+)
+
+// runMailboxBroadcast runs the star broadcast on the monitor host and
+// returns the received values.
+func runMailboxBroadcast(t *testing.T, opts ...Option) []any {
+	t.Helper()
+	const n = 5
+	h, err := New(patterns.StarBroadcast(n), opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := make([]any, n+1)
+	var wg sync.WaitGroup
+	for i := 1; i <= n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			outs, err := h.Enroll(ids.Member(patterns.RoleRecipient, i), nil)
+			if err != nil {
+				t.Errorf("recipient %d: %v", i, err)
+				return
+			}
+			results[i] = outs[0]
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := h.Enroll(ids.Role(patterns.RoleSender), []any{"mbox"}); err != nil {
+			t.Errorf("sender: %v", err)
+		}
+	}()
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(20 * time.Second):
+		t.Fatal("mailbox broadcast hung")
+	}
+	return results[1:]
+}
+
+func TestFigure12MailboxBroadcast(t *testing.T) {
+	for _, v := range runMailboxBroadcast(t) {
+		if v != "mbox" {
+			t.Fatalf("recipient got %v", v)
+		}
+	}
+}
+
+func TestMailboxBroadcastSharedMonitor(t *testing.T) {
+	for _, v := range runMailboxBroadcast(t, WithSharedMonitor()) {
+		if v != "mbox" {
+			t.Fatalf("recipient got %v", v)
+		}
+	}
+}
+
+func TestMailboxBroadcastMesa(t *testing.T) {
+	for _, v := range runMailboxBroadcast(t, WithSemantics(monitor.Mesa)) {
+		if v != "mbox" {
+			t.Fatalf("recipient got %v", v)
+		}
+	}
+}
+
+func TestMailboxBroadcastLargerCapacity(t *testing.T) {
+	for _, v := range runMailboxBroadcast(t, WithCapacity(4)) {
+		if v != "mbox" {
+			t.Fatalf("recipient got %v", v)
+		}
+	}
+}
+
+func TestSuccessivePerformancesAndFigure1Rule(t *testing.T) {
+	// Two rounds through a two-role script; the second enrollment for a
+	// role must wait for the whole first performance.
+	def, err := core.NewScript("pair").
+		Role("a", func(rc core.Ctx) error {
+			return rc.Send(ids.Role("b"), rc.Arg(0))
+		}).
+		Role("b", func(rc core.Ctx) error {
+			v, err := rc.Recv(ids.Role("a"))
+			rc.SetResult(0, v)
+			return err
+		}).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := New(def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bDone := make(chan any, 2)
+	go func() {
+		for round := 0; round < 2; round++ {
+			outs, err := h.Enroll(ids.Role("b"), nil)
+			if err != nil {
+				t.Errorf("b round %d: %v", round, err)
+				return
+			}
+			bDone <- outs[0]
+		}
+	}()
+	for _, x := range []any{"x", "v"} {
+		if _, err := h.Enroll(ids.Role("a"), []any{x}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if u := <-bDone; u != "x" {
+		t.Fatalf("u = %v, want x", u)
+	}
+	if y := <-bDone; y != "v" {
+		t.Fatalf("y = %v, want v", y)
+	}
+	if got := h.Performances(); got != 2 {
+		t.Fatalf("performances = %d, want 2", got)
+	}
+}
+
+func TestSenderDoesNotWaitWithRoomyMailboxes(t *testing.T) {
+	// With capacity >= 1 and no recipient reading yet, the sender of a
+	// 1-recipient broadcast deposits and finishes; the recipient collects
+	// later (asynchrony of the mailbox scheme).
+	h, err := New(patterns.StarBroadcast(1), WithCapacity(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sendDone := make(chan struct{})
+	go func() {
+		if _, err := h.Enroll(ids.Role(patterns.RoleSender), []any{1}); err != nil {
+			t.Errorf("sender: %v", err)
+		}
+		close(sendDone)
+	}()
+	select {
+	case <-sendDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("sender blocked although the mailbox had room")
+	}
+	outs, err := h.Enroll(ids.Member(patterns.RoleRecipient, 1), nil)
+	if err != nil || outs[0] != 1 {
+		t.Fatalf("recipient: outs=%v err=%v", outs, err)
+	}
+}
+
+func TestSelectRecvOnly(t *testing.T) {
+	def, err := core.NewScript("sel").
+		Role("hub", func(rc core.Ctx) error {
+			seen := 0
+			for seen < 2 {
+				sel, err := rc.Select(
+					core.RecvTagFrom(ids.Member("w", 1), "m"),
+					core.RecvTagFrom(ids.Member("w", 2), "m"),
+				)
+				if err != nil {
+					return err
+				}
+				if sel.Peer.Name != "w" {
+					return fmt.Errorf("peer = %v", sel.Peer)
+				}
+				seen++
+			}
+			rc.SetResult(0, seen)
+			return nil
+		}).
+		Family("w", 2, func(rc core.Ctx) error {
+			return rc.SendTag(ids.Role("hub"), "m", rc.Index())
+		}).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := New(def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 1; i <= 2; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := h.Enroll(ids.Member("w", i), nil); err != nil {
+				t.Errorf("w%d: %v", i, err)
+			}
+		}()
+	}
+	outs, err := h.Enroll(ids.Role("hub"), nil)
+	wg.Wait()
+	if err != nil || outs[0] != 2 {
+		t.Fatalf("outs=%v err=%v", outs, err)
+	}
+}
+
+func TestSelectWithSendBranchRejected(t *testing.T) {
+	var selErr error
+	def, err := core.NewScript("selsend").
+		Role("a", func(rc core.Ctx) error {
+			_, selErr = rc.Select(core.SendTo(ids.Role("b"), 1))
+			return rc.Send(ids.Role("b"), 2) // unblock b
+		}).
+		Role("b", func(rc core.Ctx) error {
+			_, err := rc.Recv(ids.Role("a"))
+			return err
+		}).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := New(def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); _, _ = h.Enroll(ids.Role("a"), nil) }()
+	go func() { defer wg.Done(); _, _ = h.Enroll(ids.Role("b"), nil) }()
+	wg.Wait()
+	if !errors.Is(selErr, ErrUnsupported) {
+		t.Fatalf("select err = %v, want ErrUnsupported", selErr)
+	}
+}
+
+func TestRoleBodyErrorWrapped(t *testing.T) {
+	boom := errors.New("boom")
+	def, err := core.NewScript("failing").
+		Role("solo", func(rc core.Ctx) error { return boom }).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := New(def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, enrollErr := h.Enroll(ids.Role("solo"), nil)
+	var re *core.RoleError
+	if !errors.As(enrollErr, &re) || !errors.Is(enrollErr, boom) {
+		t.Fatalf("err = %v", enrollErr)
+	}
+	// Next performance still works.
+	if _, err := h.Enroll(ids.Role("solo"), nil); !errors.Is(err, boom) {
+		t.Fatalf("second performance: %v", err)
+	}
+}
+
+func TestOpenFamilyRejected(t *testing.T) {
+	def, err := core.NewScript("open").
+		Role("hub", func(rc core.Ctx) error { return nil }).
+		OpenFamily("w", func(rc core.Ctx) error { return nil }).
+		CriticalSet(ids.Role("hub")).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(def); !errors.Is(err, ErrUnsupported) {
+		t.Fatalf("New = %v, want ErrUnsupported", err)
+	}
+}
+
+func TestUnknownRole(t *testing.T) {
+	h, err := New(patterns.StarBroadcast(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Enroll(ids.Role("ghost"), nil); !errors.Is(err, core.ErrUnknownRole) {
+		t.Fatalf("err = %v, want ErrUnknownRole", err)
+	}
+}
+
+func TestTerminatedReportsFinishedRole(t *testing.T) {
+	gate := make(chan struct{})
+	probe := make(chan bool, 2)
+	def, err := core.NewScript("term").
+		Role("fast", func(rc core.Ctx) error { return nil }).
+		Role("slow", func(rc core.Ctx) error {
+			<-gate
+			probe <- rc.Terminated(ids.Role("fast"))
+			probe <- rc.Terminated(ids.Role("slow"))
+			return nil
+		}).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := New(def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		if _, err := h.Enroll(ids.Role("fast"), nil); err != nil {
+			t.Errorf("fast: %v", err)
+		}
+		close(gate)
+	}()
+	go func() {
+		defer wg.Done()
+		if _, err := h.Enroll(ids.Role("slow"), nil); err != nil {
+			t.Errorf("slow: %v", err)
+		}
+	}()
+	wg.Wait()
+	if !<-probe {
+		t.Error("Terminated(fast) after its finish = false")
+	}
+	if <-probe {
+		t.Error("Terminated(self) while running = true")
+	}
+}

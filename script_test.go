@@ -1,0 +1,129 @@
+package script_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	script "github.com/scriptabs/goscript"
+)
+
+func testCtx(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+// TestFacadeQuickstart runs the doc-comment example end to end through the
+// public API only.
+func TestFacadeQuickstart(t *testing.T) {
+	def := script.New("broadcast").
+		Role("sender", func(rc script.Ctx) error {
+			for i := 1; i <= 3; i++ {
+				if err := rc.Send(script.Member("recipient", i), rc.Arg(0)); err != nil {
+					return err
+				}
+			}
+			return nil
+		}).
+		Family("recipient", 3, func(rc script.Ctx) error {
+			v, err := rc.Recv(script.Role("sender"))
+			rc.SetResult(0, v)
+			return err
+		}).
+		MustBuild()
+
+	ctx := testCtx(t)
+	in := script.NewInstance(def)
+	defer in.Close()
+
+	type out struct {
+		res script.Result
+		err error
+	}
+	chans := make([]chan out, 3)
+	for i := 1; i <= 3; i++ {
+		i := i
+		chans[i-1] = make(chan out, 1)
+		go func() {
+			res, err := in.Enroll(ctx, script.Enrollment{
+				PID:  script.PID(fmt.Sprintf("R%d", i)),
+				Role: script.Member("recipient", i),
+			})
+			chans[i-1] <- out{res, err}
+		}()
+	}
+	if _, err := in.Enroll(ctx, script.Enrollment{
+		PID: "T", Role: script.Role("sender"), Args: []any{"hello"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, ch := range chans {
+		o := <-ch
+		if o.err != nil {
+			t.Fatalf("recipient %d: %v", i+1, o.err)
+		}
+		if o.res.Values[0] != "hello" {
+			t.Fatalf("recipient %d got %v", i+1, o.res.Values)
+		}
+	}
+}
+
+func TestFacadePolicyConstantsAndErrors(t *testing.T) {
+	if script.DelayedInitiation.String() != "delayed" {
+		t.Error("DelayedInitiation alias broken")
+	}
+	if script.ImmediateTermination.String() != "immediate" {
+		t.Error("ImmediateTermination alias broken")
+	}
+	if !errors.Is(fmt.Errorf("wrap: %w", script.ErrRoleAbsent), script.ErrRoleAbsent) {
+		t.Error("error alias broken")
+	}
+}
+
+func TestFacadePartnerNaming(t *testing.T) {
+	ctx := testCtx(t)
+	def := script.New("pair").
+		Role("a", func(rc script.Ctx) error { return rc.Send(script.Role("b"), 1) }).
+		Role("b", func(rc script.Ctx) error {
+			_, err := rc.Recv(script.Role("a"))
+			return err
+		}).
+		MustBuild()
+	in := script.NewInstance(def, script.WithFairness(script.FIFO, 0))
+	defer in.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := in.Enroll(ctx, script.Enrollment{
+			PID: "P", Role: script.Role("a"),
+			With: map[script.RoleRef]script.PIDSet{script.Role("b"): script.Partners("Q")},
+		})
+		done <- err
+	}()
+	if _, err := in.Enroll(ctx, script.Enrollment{PID: "Q", Role: script.Role("b")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeTracerOption(t *testing.T) {
+	ctx := testCtx(t)
+	var log script.TraceLog
+	def := script.New("solo").
+		Role("r", func(rc script.Ctx) error { return nil }).
+		MustBuild()
+	in := script.NewInstance(def, script.WithTracer(&log))
+	defer in.Close()
+	if _, err := in.Enroll(ctx, script.Enrollment{PID: "A", Role: script.Role("r")}); err != nil {
+		t.Fatal(err)
+	}
+	if log.Len() == 0 {
+		t.Fatal("tracer recorded nothing")
+	}
+}

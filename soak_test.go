@@ -1,0 +1,158 @@
+package script_test
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/scriptabs/goscript/internal/conform"
+	"github.com/scriptabs/goscript/internal/core"
+	"github.com/scriptabs/goscript/internal/ids"
+	"github.com/scriptabs/goscript/internal/patterns"
+	"github.com/scriptabs/goscript/internal/trace"
+)
+
+// TestSoakRandomWorkloads runs randomized broadcast workloads — random
+// shape (star/pipeline/tree), size, fanout, round count, and enrollment
+// interleavings — and validates every recorded trace against the semantic
+// invariants and the shape's communication specification. This is the
+// repository's failure-injection net: any lost wakeup, double fill, or
+// cross-performance leak shows up as a conformance violation or a hang.
+func TestSoakRandomWorkloads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test is not short")
+	}
+	rng := rand.New(rand.NewSource(2026))
+	for trial := 0; trial < 25; trial++ {
+		shape := []string{"star", "pipeline", "tree"}[rng.Intn(3)]
+		n := rng.Intn(6) + 1
+		fanout := rng.Intn(3) + 1
+		rounds := rng.Intn(4) + 1
+		t.Run(fmt.Sprintf("trial=%d_%s_n=%d", trial, shape, n), func(t *testing.T) {
+			var def core.Definition
+			var spec conform.ChannelSpec
+			switch shape {
+			case "star":
+				def = patterns.StarBroadcast(n)
+				spec = conform.ChannelSpec{Allowed: func(from, to ids.RoleRef) bool {
+					return from == ids.Role(patterns.RoleSender) && to.Name == patterns.RoleRecipient
+				}}
+			case "pipeline":
+				def = patterns.PipelineBroadcast(n)
+				spec = conform.ChannelSpec{Allowed: func(from, to ids.RoleRef) bool {
+					if from == ids.Role(patterns.RoleSender) {
+						return to == ids.Member(patterns.RoleRecipient, 1)
+					}
+					return to == ids.Member(patterns.RoleRecipient, from.Index+1)
+				}}
+			case "tree":
+				def = patterns.TreeBroadcast(n, fanout)
+				spec = conform.ChannelSpec{Allowed: func(from, to ids.RoleRef) bool {
+					if from == ids.Role(patterns.RoleSender) {
+						return to == ids.Member(patterns.RoleRecipient, 1)
+					}
+					first := fanout*(from.Index-1) + 2
+					return to.Index >= first && to.Index < first+fanout
+				}}
+			}
+
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			var log trace.Log
+			in := core.NewInstance(def, core.WithTracer(&log))
+			defer in.Close()
+
+			var wg sync.WaitGroup
+			for i := 1; i <= n; i++ {
+				i := i
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for r := 0; r < rounds; r++ {
+						res, err := in.Enroll(ctx, core.Enrollment{
+							PID: ids.PID(fmt.Sprintf("R%d", i)), Role: ids.Member(patterns.RoleRecipient, i),
+						})
+						if err != nil {
+							t.Errorf("recipient %d round %d: %v", i, r, err)
+							return
+						}
+						if res.Values[0] != res.Performance-1 {
+							t.Errorf("recipient %d got %v in performance %d (cross-performance leak)",
+								i, res.Values[0], res.Performance)
+							return
+						}
+					}
+				}()
+			}
+			for r := 0; r < rounds; r++ {
+				if _, err := in.Enroll(ctx, core.Enrollment{
+					PID: "T", Role: ids.Role(patterns.RoleSender), Args: []any{r},
+				}); err != nil {
+					t.Fatalf("sender round %d: %v", r, err)
+				}
+			}
+			wg.Wait()
+
+			events := log.Events()
+			for _, v := range conform.CheckSemantics(events) {
+				t.Errorf("semantics: %s", v)
+			}
+			for _, v := range conform.CheckChannels(events, spec) {
+				t.Errorf("channels: %s", v)
+			}
+			for _, v := range conform.CheckReceiveCounts(events, conform.ReceiveCountSpec{
+				Match: func(rr ids.RoleRef) bool { return rr.Name == patterns.RoleRecipient },
+				Count: 1,
+			}) {
+				t.Errorf("receive counts: %s", v)
+			}
+		})
+	}
+}
+
+// TestSoakContendedSingleRole hammers one role with many contenders and
+// random cancellations, then validates the trace. Cancellation must never
+// corrupt the performance sequence.
+func TestSoakContendedSingleRole(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test is not short")
+	}
+	def := core.NewScript("slot").
+		Role("only", func(rc core.Ctx) error { return nil }).
+		MustBuild()
+	var log trace.Log
+	in := core.NewInstance(def, core.WithTracer(&log))
+	defer in.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	const contenders, rounds = 8, 25
+	var wg sync.WaitGroup
+	for c := 0; c < contenders; c++ {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			pid := ids.PID(fmt.Sprintf("P%d", c))
+			for r := 0; r < rounds; r++ {
+				// A third of the attempts carry a pre-cancelled context,
+				// exercising the withdrawal path under contention.
+				ectx := ctx
+				if (c+r)%3 == 0 {
+					cc, ccancel := context.WithCancel(ctx)
+					ccancel()
+					ectx = cc
+				}
+				_, _ = in.Enroll(ectx, core.Enrollment{PID: pid, Role: ids.Role("only")})
+			}
+		}()
+	}
+	wg.Wait()
+	for _, v := range conform.CheckSemantics(log.Events()) {
+		t.Errorf("semantics: %s", v)
+	}
+}

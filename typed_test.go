@@ -1,0 +1,122 @@
+package script_test
+
+import (
+	"strings"
+	"testing"
+
+	script "github.com/scriptabs/goscript"
+)
+
+func TestTypedHelpersHappyPath(t *testing.T) {
+	ctx := testCtx(t)
+	def := script.New("typed").
+		Role("a", func(rc script.Ctx) error {
+			x, err := script.Arg[int](rc, 0)
+			if err != nil {
+				return err
+			}
+			return rc.Send(script.Role("b"), x*2)
+		}).
+		Role("b", func(rc script.Ctx) error {
+			v, err := script.Receive[int](rc, script.Role("a"))
+			if err != nil {
+				return err
+			}
+			rc.SetResult(0, v)
+			return rc.SendTag(script.Role("c"), "fwd", v+1)
+		}).
+		Role("c", func(rc script.Ctx) error {
+			v, err := script.ReceiveTag[int](rc, script.Role("b"), "fwd")
+			if err != nil {
+				return err
+			}
+			rc.SetResult(0, v)
+			return nil
+		}).
+		MustBuild()
+
+	in := script.NewInstance(def)
+	defer in.Close()
+	type out struct {
+		res script.Result
+		err error
+	}
+	chB := make(chan out, 1)
+	chC := make(chan out, 1)
+	go func() {
+		res, err := in.Enroll(ctx, script.Enrollment{PID: "B", Role: script.Role("b")})
+		chB <- out{res, err}
+	}()
+	go func() {
+		res, err := in.Enroll(ctx, script.Enrollment{PID: "C", Role: script.Role("c")})
+		chC <- out{res, err}
+	}()
+	if _, err := in.Enroll(ctx, script.Enrollment{PID: "A", Role: script.Role("a"), Args: []any{21}}); err != nil {
+		t.Fatal(err)
+	}
+	b := <-chB
+	if b.err != nil {
+		t.Fatal(b.err)
+	}
+	if v, err := script.Value[int](b.res, 0); err != nil || v != 42 {
+		t.Fatalf("b value = %v err=%v", v, err)
+	}
+	c := <-chC
+	if v, err := script.Value[int](c.res, 0); err != nil || v != 43 {
+		t.Fatalf("c value = %v err=%v", v, err)
+	}
+}
+
+func TestTypedHelpersErrors(t *testing.T) {
+	ctx := testCtx(t)
+	var argTypeErr, argRangeErr, recvTypeErr error
+	def := script.New("typed-err").
+		Role("a", func(rc script.Ctx) error {
+			_, argTypeErr = script.Arg[string](rc, 0) // actually int
+			_, argRangeErr = script.Arg[int](rc, 7)   // out of range
+			return rc.Send(script.Role("b"), "not-an-int")
+		}).
+		Role("b", func(rc script.Ctx) error {
+			_, recvTypeErr = script.Receive[int](rc, script.Role("a"))
+			return nil
+		}).
+		MustBuild()
+	in := script.NewInstance(def)
+	defer in.Close()
+	done := make(chan error, 1)
+	go func() {
+		_, err := in.Enroll(ctx, script.Enrollment{PID: "B", Role: script.Role("b")})
+		done <- err
+	}()
+	if _, err := in.Enroll(ctx, script.Enrollment{PID: "A", Role: script.Role("a"), Args: []any{1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	for name, err := range map[string]error{
+		"arg type":  argTypeErr,
+		"arg range": argRangeErr,
+		"recv type": recvTypeErr,
+	} {
+		if err == nil {
+			t.Errorf("%s: want error", name)
+		}
+	}
+	if !strings.Contains(argTypeErr.Error(), "int") {
+		t.Errorf("arg type error not descriptive: %v", argTypeErr)
+	}
+}
+
+func TestValueErrors(t *testing.T) {
+	res := script.Result{Role: script.Role("r"), Values: []any{1}}
+	if _, err := script.Value[string](res, 0); err == nil {
+		t.Error("type mismatch must error")
+	}
+	if _, err := script.Value[int](res, 5); err == nil {
+		t.Error("out of range must error")
+	}
+	if v, err := script.Value[int](res, 0); err != nil || v != 1 {
+		t.Errorf("v=%v err=%v", v, err)
+	}
+}
