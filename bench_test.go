@@ -7,8 +7,11 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
+	script "github.com/scriptabs/goscript"
 	"github.com/scriptabs/goscript/internal/ada"
 	"github.com/scriptabs/goscript/internal/core"
 	"github.com/scriptabs/goscript/internal/csp"
@@ -514,6 +517,92 @@ func BenchmarkE13DistributedEnrollment(b *testing.B) {
 				wg.Wait()
 			})
 		}
+	}
+}
+
+// BenchmarkE15ContendedEnrollment measures the scheduler's per-performance
+// cost under heavy contention for one role: N concurrent enrollers
+// collectively complete b.N single-role performances. This is the hot path
+// the targeted-wakeup/incremental-match scheduler optimizes — under the old
+// broadcast scheme every performance woke all N contenders and each re-ran
+// the full match under the instance lock.
+func BenchmarkE15ContendedEnrollment(b *testing.B) {
+	for _, n := range []int{4, 64} {
+		b.Run(fmt.Sprintf("workers=%d", n), func(b *testing.B) {
+			def := core.NewScript("slot").
+				Role("only", func(rc core.Ctx) error { return nil }).
+				MustBuild()
+			in := core.NewInstance(def)
+			defer in.Close()
+			var next atomic.Int64
+			var failures atomic.Int64
+			var wg sync.WaitGroup
+			b.ResetTimer()
+			for w := 0; w < n; w++ {
+				pid := ids.PID(fmt.Sprintf("W%d", w))
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for next.Add(1) <= int64(b.N) {
+						if _, err := in.Enroll(context.Background(), core.Enrollment{PID: pid, Role: ids.Role("only")}); err != nil {
+							failures.Add(1)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			b.StopTimer()
+			if failures.Load() > 0 {
+				b.Fatalf("%d enrollments failed", failures.Load())
+			}
+		})
+	}
+}
+
+// BenchmarkE16PoolThroughput measures script.Pool against a single
+// instance: 64 concurrent enrollers drive b.N single-role performances
+// through a pool of 1 vs 4 instances. The role body blocks briefly
+// (modeling an I/O-bound role): a single instance serializes the bodies by
+// the successive-activations rule, while the pool overlaps one performance
+// per instance (the paper's multiple-instances route to concurrency).
+func BenchmarkE16PoolThroughput(b *testing.B) {
+	def := script.New("slot").
+		Role("only", func(rc script.Ctx) error {
+			time.Sleep(20 * time.Microsecond)
+			return nil
+		}).
+		MustBuild()
+	for _, size := range []int{1, 4} {
+		b.Run(fmt.Sprintf("instances=%d", size), func(b *testing.B) {
+			pool := script.NewPool(def, size)
+			defer pool.Close()
+			const workers = 64
+			var next atomic.Int64
+			var failures atomic.Int64
+			var wg sync.WaitGroup
+			b.ResetTimer()
+			for w := 0; w < workers; w++ {
+				pid := script.PID(fmt.Sprintf("W%d", w))
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for next.Add(1) <= int64(b.N) {
+						if _, err := pool.Enroll(context.Background(), script.Enrollment{
+							PID: pid, Role: script.Role("only"),
+						}); err != nil {
+							failures.Add(1)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			b.StopTimer()
+			if failures.Load() > 0 {
+				b.Fatalf("%d enrollments failed", failures.Load())
+			}
+		})
 	}
 }
 

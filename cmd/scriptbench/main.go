@@ -2,20 +2,30 @@
 // figure or comparative claim of the paper (DESIGN.md's E1–E14 index) — and
 // prints each result table. EXPERIMENTS.md records a reference run.
 //
+// With -json it instead runs the scheduler performance acceptance suite
+// (internal/perfbench) and writes one BENCH_<ID>.json per measurement into
+// -outdir. If -baseline names a directory holding prior BENCH_<ID>.json
+// files, each new result also records baseline_ns_per_op and delta_pct
+// (positive = faster than the baseline).
+//
 // Usage:
 //
 //	scriptbench [-only E05] [-timeout 5m]
+//	scriptbench -json [-outdir .] [-baseline old/] [-only E3]
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
 	"github.com/scriptabs/goscript/internal/experiments"
+	"github.com/scriptabs/goscript/internal/perfbench"
 )
 
 func main() {
@@ -27,10 +37,17 @@ func main() {
 
 func run(args []string, out *os.File) error {
 	fs := flag.NewFlagSet("scriptbench", flag.ContinueOnError)
-	only := fs.String("only", "", "run only the experiment with this ID (e.g. E05)")
+	only := fs.String("only", "", "run only the experiment with this ID (e.g. E05, or E3 with -json)")
 	timeout := fs.Duration("timeout", 5*time.Minute, "overall time budget")
+	jsonMode := fs.Bool("json", false, "run the performance suite and write BENCH_<ID>.json files")
+	outdir := fs.String("outdir", ".", "directory for BENCH_<ID>.json files (with -json)")
+	baseline := fs.String("baseline", "", "directory with prior BENCH_<ID>.json files to diff against (with -json)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *jsonMode {
+		return runJSON(out, *only, *outdir, *baseline)
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
@@ -59,4 +76,55 @@ func run(args []string, out *os.File) error {
 	}
 	fmt.Fprintf(out, "all %d experiments passed\n", ran)
 	return nil
+}
+
+// runJSON runs the perfbench suite and writes BENCH_<ID>.json files.
+func runJSON(out *os.File, only, outdir, baseline string) error {
+	ran := 0
+	for _, spec := range perfbench.Suite() {
+		if only != "" && !strings.EqualFold(spec.ID, only) {
+			continue
+		}
+		fmt.Fprintf(out, "%s %s (%d enrollers)... ", spec.ID, spec.Name, spec.Enrollers)
+		res := spec.Run()
+		if baseline != "" {
+			if base, err := readBaseline(filepath.Join(baseline, benchFile(spec.ID))); err == nil && base.NsPerOp > 0 {
+				res.BaselineNsPerOp = base.NsPerOp
+				res.DeltaPct = (base.NsPerOp - res.NsPerOp) / base.NsPerOp * 100
+			}
+		}
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(outdir, benchFile(spec.ID))
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "%.0f ns/op", res.NsPerOp)
+		if res.BaselineNsPerOp > 0 {
+			fmt.Fprintf(out, " (baseline %.0f, %+.1f%%)", res.BaselineNsPerOp, res.DeltaPct)
+		}
+		if res.Speedup > 0 {
+			fmt.Fprintf(out, " (%.2fx vs single instance)", res.Speedup)
+		}
+		fmt.Fprintf(out, " -> %s\n", path)
+		ran++
+	}
+	if ran == 0 {
+		return fmt.Errorf("no measurement matches -only=%s", only)
+	}
+	return nil
+}
+
+func benchFile(id string) string { return "BENCH_" + id + ".json" }
+
+func readBaseline(path string) (perfbench.Result, error) {
+	var res perfbench.Result
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return res, err
+	}
+	err = json.Unmarshal(data, &res)
+	return res, err
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"github.com/scriptabs/goscript/internal/ids"
 	"github.com/scriptabs/goscript/internal/match"
@@ -41,10 +42,13 @@ type Result struct {
 type Option func(*Instance)
 
 // WithTracer attaches a tracer that observes the instance's events.
+// Events are recorded while the instance lock is held, so heavyweight sinks
+// should be wrapped in a trace.Async to keep the critical section short.
 func WithTracer(t trace.Tracer) Option {
 	return func(in *Instance) {
 		if t != nil {
 			in.tracer = t
+			_, in.nopTrace = t.(trace.Nop)
 		}
 	}
 }
@@ -61,20 +65,54 @@ func WithFairness(f match.Fairness, seed int64) Option {
 
 // Instance is one runtime instance of a script definition. Create several
 // instances for concurrent independent performances of the same generic
-// script. An Instance must be closed when no longer needed.
+// script (or use a Pool in the root package, which multiplexes enrollments
+// across instances). An Instance must be closed when no longer needed.
+//
+// Scheduling is event-driven: the goroutine whose action changes the
+// coordination state (an enrollment arriving, a role body finishing, an
+// offer being withdrawn) runs the coordinator step itself while it holds the
+// lock, and wakes exactly the enrollers whose state changed — an assigned
+// enroller through its own wakeup channel, released holders through the
+// performance's done channel. There is no broadcast and no coordinator
+// goroutine (the paper's requirement that a script needs no extra process).
 type Instance struct {
 	def      Definition
 	tracer   trace.Tracer
+	nopTrace bool
 	fairness match.Fairness
 	seed     int64
 
+	// critSets are the effective critical sets: the declared ones, or the
+	// statically-known role universe when none were declared. Used for the
+	// cheap match-viability precheck.
+	critSets []ids.RoleSet
+
+	// load counts enrollments in flight (pending, playing, or held), for
+	// Pool dispatch. Kept outside mu so Load() never contends.
+	load atomic.Int64
+
 	mu        sync.Mutex
-	cond      *sync.Cond
 	closed    bool
+	closedCh  chan struct{} // closed by Close; wakes all waiters
 	nextOffer uint64
 	pending   []*enrollState
 	active    *performance
 	perfCount int
+
+	// pendingByRole counts pending offers per role, maintained on every
+	// pending-set mutation; the delayed-initiation matcher consults it to
+	// skip match.Find when no critical set can possibly be covered.
+	pendingByRole map[ids.RoleRef]int
+	// offersDirty records whether the pending set changed since the last
+	// failed match attempt; when false, re-running match.Find is pointless
+	// (match existence depends only on the offer set).
+	offersDirty bool
+	// Admission-order cache (immediate initiation): valid while the pending
+	// set is unchanged and the performance number matches (Arbitrary
+	// fairness shuffles once per performance).
+	admitOrder []*enrollState
+	admitDirty bool
+	admitPerf  int
 }
 
 type enrollPhase int
@@ -92,6 +130,10 @@ type enrollState struct {
 	phase enrollPhase
 	perf  *performance
 	rc    *RoleCtx
+	// wake receives exactly one signal, when the offer is assigned to a
+	// performance. Withdrawal and instance closure are observed through
+	// ctx.Done and the instance's closedCh instead.
+	wake chan struct{}
 }
 
 // performance is one collective activation of the instance's roles.
@@ -107,18 +149,32 @@ type performance struct {
 	// (immediate initiation) or at the atomic match (delayed initiation).
 	membershipClosed bool
 	done             bool
+	// doneCh is closed when the performance ends; delayed-termination
+	// holders wait on it.
+	doneCh chan struct{}
 	// openMax tracks, per open-ended family, the largest enrolled index.
 	openMax map[string]int
 }
 
+// fabricPool recycles rendezvous fabrics across performances: a performance
+// finishes only after every role body has returned, so its fabric is
+// quiescent and can be reset for the next performance of any instance.
+var fabricPool = sync.Pool{New: func() any { return rendezvous.New() }}
+
 // NewInstance creates an instance of def.
 func NewInstance(def Definition, opts ...Option) *Instance {
 	in := &Instance{
-		def:      def,
-		tracer:   trace.Nop{},
-		fairness: match.FIFO,
+		def:           def,
+		tracer:        trace.Nop{},
+		nopTrace:      true,
+		fairness:      match.FIFO,
+		closedCh:      make(chan struct{}),
+		pendingByRole: make(map[ids.RoleRef]int),
 	}
-	in.cond = sync.NewCond(&in.mu)
+	in.critSets = def.criticalSets
+	if len(in.critSets) == 0 {
+		in.critSets = []ids.RoleSet{def.closedRoles()}
+	}
 	for _, o := range opts {
 		o(in)
 	}
@@ -143,6 +199,14 @@ func (in *Instance) PendingEnrollments() int {
 	return len(in.pending)
 }
 
+// Load returns the number of enrollments currently in flight — pending,
+// playing a role, or held for delayed termination. It is a dispatch hint
+// (used by the root package's Pool) and reads a single atomic counter, so it
+// never contends with the scheduler.
+func (in *Instance) Load() int {
+	return int(in.load.Load())
+}
+
 // Close aborts the instance: pending enrollments fail with ErrClosed, and
 // blocked communications of a running performance fail so role bodies can
 // unwind. Close is idempotent.
@@ -157,7 +221,7 @@ func (in *Instance) Close() {
 		in.active.cancel()
 		in.active.fabric.Close()
 	}
-	in.cond.Broadcast()
+	close(in.closedCh)
 }
 
 // Enroll offers to play e.Role in this instance, blocks until a performance
@@ -166,8 +230,11 @@ func (in *Instance) Close() {
 // termination; after the whole performance under delayed termination).
 //
 // The returned Result carries the role's out parameters. A role-body error
-// is wrapped in *RoleError. Cancelling ctx withdraws a pending offer, or
-// interrupts the role's communications once it is running.
+// is wrapped in *RoleError. Cancelling ctx withdraws a pending offer,
+// interrupts the role's communications once it is running, or — under
+// delayed termination — releases a finished role early instead of holding
+// it until the whole performance ends (the enrollment then reports ctx's
+// error alongside the role's results).
 func (in *Instance) Enroll(ctx context.Context, e Enrollment) (Result, error) {
 	if e.PID == ids.NoPID {
 		return Result{}, fmt.Errorf("script %s: enrollment has empty PID", in.def.name)
@@ -180,6 +247,8 @@ func (in *Instance) Enroll(ctx context.Context, e Enrollment) (Result, error) {
 			return Result{}, fmt.Errorf("partner constraint: %w", err)
 		}
 	}
+	in.load.Add(1)
+	defer in.load.Add(-1)
 
 	in.mu.Lock()
 	if in.closed {
@@ -192,20 +261,23 @@ func (in *Instance) Enroll(ctx context.Context, e Enrollment) (Result, error) {
 		args:  append([]any(nil), e.Args...),
 		ctx:   ctx,
 		phase: phasePending,
+		wake:  make(chan struct{}, 1),
 	}
-	in.pending = append(in.pending, st)
+	in.addPendingLocked(st)
 	in.record(trace.Event{Kind: trace.KindEnroll, Script: in.def.name, Role: e.Role, PID: e.PID})
-
-	// Wake the coordination loop when the enroller's context ends.
-	stopWatch := context.AfterFunc(ctx, func() {
-		in.mu.Lock()
-		in.cond.Broadcast()
-		in.mu.Unlock()
-	})
-	defer stopWatch()
 
 	in.advanceLocked()
 	for st.phase == phasePending {
+		in.mu.Unlock()
+		select {
+		case <-st.wake:
+		case <-ctx.Done():
+		case <-in.closedCh:
+		}
+		in.mu.Lock()
+		if st.phase != phasePending {
+			break // assigned while we were waking up; assignment wins
+		}
 		if in.closed {
 			in.removePendingLocked(st)
 			in.mu.Unlock()
@@ -216,8 +288,6 @@ func (in *Instance) Enroll(ctx context.Context, e Enrollment) (Result, error) {
 			in.mu.Unlock()
 			return Result{}, err
 		}
-		in.cond.Wait()
-		in.advanceLocked()
 	}
 	perf, rc := st.perf, st.rc
 	in.mu.Unlock()
@@ -233,10 +303,22 @@ func (in *Instance) Enroll(ctx context.Context, e Enrollment) (Result, error) {
 	perf.fabric.Terminate(addrOf(e.Role))
 	if perf.membershipClosed && perf.finished.Len() == len(perf.assigned) {
 		in.finishPerformanceLocked(perf)
+		in.advanceLocked() // the instance is free: let the next cast form
 	}
+	var heldErr error
 	if in.def.termination == DelayedTermination {
 		for !perf.done && !in.closed {
-			in.cond.Wait()
+			if err := ctx.Err(); err != nil {
+				heldErr = err // released-but-held role interrupted by its enroller
+				break
+			}
+			in.mu.Unlock()
+			select {
+			case <-perf.doneCh:
+			case <-in.closedCh:
+			case <-ctx.Done():
+			}
+			in.mu.Lock()
 		}
 	}
 	in.record(trace.Event{
@@ -252,6 +334,8 @@ func (in *Instance) Enroll(ctx context.Context, e Enrollment) (Result, error) {
 		return res, &RoleError{Script: in.def.name, Role: e.Role, Err: bodyErr}
 	case closed:
 		return res, ErrClosed
+	case heldErr != nil:
+		return res, heldErr
 	default:
 		return res, nil
 	}
@@ -287,37 +371,95 @@ func clonePartners(w map[ids.RoleRef]ids.PIDSet) map[ids.RoleRef]ids.PIDSet {
 	return out
 }
 
-// advanceLocked is the coordinator step, run by whichever enroller holds
-// the lock: start a performance if one can start, and admit joiners under
-// immediate initiation. It is idempotent. The paper's goal that a script
-// needs no additional process is met: there is no coordinator goroutine.
+// advanceLocked is the coordinator step, run under the lock by whichever
+// goroutine changed the coordination state: start a performance if one can
+// start, and admit joiners under immediate initiation. It is idempotent.
+// The paper's goal that a script needs no additional process is met: there
+// is no coordinator goroutine, and — unlike a broadcast scheme — only the
+// enrollers that are actually assigned are woken.
 func (in *Instance) advanceLocked() {
-	if in.closed {
-		return
-	}
-	if in.active == nil {
-		switch in.def.initiation {
-		case ImmediateInitiation:
-			if len(in.pending) > 0 {
-				in.startPerformanceLocked(nil)
-			}
-		default: // DelayedInitiation
-			offers := make([]match.Offer, 0, len(in.pending))
-			for _, st := range in.pending {
-				if st.ctx.Err() != nil {
-					continue // being withdrawn by its enroller
+	for {
+		if in.closed {
+			return
+		}
+		before := len(in.pending)
+		if in.active == nil {
+			switch in.def.initiation {
+			case ImmediateInitiation:
+				if before == 0 {
+					return
 				}
-				offers = append(offers, st.offer)
-			}
-			p := in.def.matchProblem(offers, in.fairness, in.seed+int64(in.perfCount))
-			if asg, ok := match.Find(p); ok {
-				in.startPerformanceLocked(asg)
+				in.startPerformanceLocked(nil)
+			default: // DelayedInitiation
+				if !in.tryMatchLocked() {
+					return
+				}
 			}
 		}
+		if in.active != nil && in.def.initiation == ImmediateInitiation && !in.active.membershipClosed {
+			in.admitLocked(in.active)
+		}
+		if in.active != nil {
+			return
+		}
+		// The performance completed within this step (every member had
+		// already finished when the closing cover arrived, or an empty
+		// critical set closed an empty cast); loop so the next one can form
+		// — but only if this step consumed offers, otherwise looping could
+		// spin without ever letting withdrawing enrollers clean up.
+		if len(in.pending) == before {
+			return
+		}
 	}
-	if in.active != nil && in.def.initiation == ImmediateInitiation && !in.active.membershipClosed {
-		in.admitLocked(in.active)
+}
+
+// tryMatchLocked runs the delayed-initiation matcher incrementally: only
+// when the offer set changed since the last failed attempt (withdrawals and
+// spurious wakeups cannot create a match), and only when every role of some
+// critical set has at least one pending offer (a cheap, allocation-free
+// necessary condition maintained in pendingByRole). It reports whether a
+// performance was started.
+func (in *Instance) tryMatchLocked() bool {
+	if !in.offersDirty {
+		return false
 	}
+	in.offersDirty = false
+	if !in.matchViableLocked() {
+		return false
+	}
+	offers := make([]match.Offer, 0, len(in.pending))
+	for _, st := range in.pending {
+		if st.ctx.Err() != nil {
+			continue // being withdrawn by its enroller
+		}
+		offers = append(offers, st.offer)
+	}
+	p := in.def.matchProblem(offers, in.fairness, in.seed+int64(in.perfCount))
+	asg, ok := match.Find(p)
+	if !ok {
+		return false
+	}
+	in.startPerformanceLocked(asg)
+	return true
+}
+
+// matchViableLocked reports whether some critical set has every role covered
+// by at least one pending offer — a necessary condition for match.Find to
+// succeed, checked without allocating.
+func (in *Instance) matchViableLocked() bool {
+	for _, cs := range in.critSets {
+		ok := true
+		for r := range cs {
+			if in.pendingByRole[r] == 0 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
 }
 
 // startPerformanceLocked opens performance number perfCount+1. asg is the
@@ -328,12 +470,13 @@ func (in *Instance) startPerformanceLocked(asg match.Assignment) {
 	ctx, cancel := context.WithCancel(context.Background())
 	p := &performance{
 		number:   in.perfCount,
-		fabric:   rendezvous.New(),
+		fabric:   fabricPool.Get().(*rendezvous.Fabric),
 		ctx:      ctx,
 		cancel:   cancel,
 		assigned: make(match.Assignment),
 		finished: ids.NewRoleSet(),
 		absent:   ids.NewRoleSet(),
+		doneCh:   make(chan struct{}),
 		openMax:  make(map[string]int),
 	}
 	in.active = p
@@ -344,7 +487,6 @@ func (in *Instance) startPerformanceLocked(asg match.Assignment) {
 	if asg != nil {
 		in.closeMembershipLocked(p)
 	}
-	in.cond.Broadcast()
 }
 
 // rolesSorted returns asg's roles in deterministic order.
@@ -352,7 +494,8 @@ func rolesSorted(asg match.Assignment) []ids.RoleRef {
 	return asg.Roles().Sorted()
 }
 
-// assignLocked binds offer's enrollment into performance p.
+// assignLocked binds offer's enrollment into performance p and wakes exactly
+// that enroller.
 func (in *Instance) assignLocked(p *performance, offer match.Offer) {
 	st := in.takePendingLocked(offer.ID)
 	if st == nil {
@@ -372,6 +515,10 @@ func (in *Instance) assignLocked(p *performance, offer match.Offer) {
 		pid:  offer.PID,
 		ctx:  st.ctx,
 		args: st.args,
+	}
+	select {
+	case st.wake <- struct{}{}:
+	default: // already signalled; the phase check makes a second signal moot
 	}
 	in.record(trace.Event{
 		Kind: trace.KindStart, Script: in.def.name,
@@ -403,16 +550,24 @@ func (in *Instance) admitLocked(p *performance) {
 	if in.def.covered(p.assigned.Roles()) {
 		in.closeMembershipLocked(p)
 	}
-	in.cond.Broadcast()
 }
 
-// admissionOrderLocked returns pending offers in the fairness order.
+// admissionOrderLocked returns pending offers in the fairness order. The
+// order is cached and reused until the pending set changes or a new
+// performance begins (Arbitrary fairness re-shuffles once per performance,
+// not once per admission pass).
 func (in *Instance) admissionOrderLocked() []*enrollState {
-	out := append([]*enrollState(nil), in.pending...)
+	if !in.admitDirty && in.admitPerf == in.perfCount {
+		return in.admitOrder
+	}
+	out := append(in.admitOrder[:0], in.pending...)
 	if in.fairness == match.Arbitrary {
 		rng := newSeededRNG(in.seed + int64(in.perfCount))
 		rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
 	}
+	in.admitOrder = out
+	in.admitDirty = false
+	in.admitPerf = in.perfCount
 	return out
 }
 
@@ -447,7 +602,9 @@ func (in *Instance) closeMembershipLocked(p *performance) {
 	}
 }
 
-// finishPerformanceLocked ends performance p and lets the next one form.
+// finishPerformanceLocked ends performance p, wakes its held enrollers, and
+// recycles its fabric. Every role body has returned by now (that is the
+// finish condition), so the fabric is quiescent and safe to pool.
 func (in *Instance) finishPerformanceLocked(p *performance) {
 	if p.done {
 		return
@@ -459,13 +616,26 @@ func (in *Instance) finishPerformanceLocked(p *performance) {
 	if in.active == p {
 		in.active = nil
 	}
-	in.cond.Broadcast()
+	close(p.doneCh)
+	p.fabric.Reset()
+	fabricPool.Put(p.fabric)
+	p.fabric = nil
+}
+
+// addPendingLocked appends st to the pending set and invalidates the
+// matcher and admission caches.
+func (in *Instance) addPendingLocked(st *enrollState) {
+	in.pending = append(in.pending, st)
+	in.pendingByRole[st.offer.Role]++
+	in.offersDirty = true
+	in.admitDirty = true
 }
 
 func (in *Instance) takePendingLocked(offerID uint64) *enrollState {
 	for i, st := range in.pending {
 		if st.offer.ID == offerID {
 			in.pending = append(in.pending[:i], in.pending[i+1:]...)
+			in.pendingRemovedLocked(st)
 			return st
 		}
 	}
@@ -476,13 +646,27 @@ func (in *Instance) removePendingLocked(st *enrollState) {
 	for i, s := range in.pending {
 		if s == st {
 			in.pending = append(in.pending[:i], in.pending[i+1:]...)
+			in.pendingRemovedLocked(st)
 			break
 		}
 	}
 	st.phase = phaseWithdrawn
 }
 
+func (in *Instance) pendingRemovedLocked(st *enrollState) {
+	if n := in.pendingByRole[st.offer.Role]; n <= 1 {
+		delete(in.pendingByRole, st.offer.Role)
+	} else {
+		in.pendingByRole[st.offer.Role] = n - 1
+	}
+	in.offersDirty = true
+	in.admitDirty = true
+}
+
 func (in *Instance) record(e trace.Event) {
+	if in.nopTrace {
+		return
+	}
 	in.tracer.Record(e)
 }
 

@@ -1,0 +1,242 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/scriptabs/goscript/internal/ids"
+)
+
+// TestDelayedTerminationHonorsCtx is the regression test for the held-role
+// interruption bug: under delayed termination a process whose role body has
+// finished is held until the whole performance ends, and cancelling its
+// context must release it (previously the post-body wait loop ignored ctx,
+// so a released-but-held role could never be interrupted).
+func TestDelayedTerminationHonorsCtx(t *testing.T) {
+	def := NewScript("hold").
+		Role("fast", func(rc Ctx) error { return nil }).
+		Role("slow", func(rc Ctx) error {
+			<-rc.Context().Done() // keeps the performance open
+			return nil
+		}).
+		Termination(DelayedTermination).
+		MustBuild()
+	in := NewInstance(def)
+	defer in.Close()
+
+	slowCtx, slowCancel := context.WithCancel(context.Background())
+	defer slowCancel()
+	slowDone := make(chan struct{})
+	go func() {
+		defer close(slowDone)
+		_, _ = in.Enroll(slowCtx, Enrollment{PID: "S", Role: ids.Role("slow")})
+	}()
+
+	fastCtx, fastCancel := context.WithCancel(context.Background())
+	defer fastCancel()
+	type outcome struct {
+		res Result
+		err error
+	}
+	fastDone := make(chan outcome, 1)
+	go func() {
+		res, err := in.Enroll(fastCtx, Enrollment{PID: "F", Role: ids.Role("fast")})
+		fastDone <- outcome{res, err}
+	}()
+
+	// The performance starts, fast finishes its body and is held.
+	select {
+	case o := <-fastDone:
+		t.Fatalf("fast released while the performance is open: %+v, err=%v", o.res, o.err)
+	case <-time.After(100 * time.Millisecond):
+	}
+
+	fastCancel()
+	select {
+	case o := <-fastDone:
+		if !errors.Is(o.err, context.Canceled) {
+			t.Fatalf("interrupted hold: err = %v, want context.Canceled", o.err)
+		}
+		if o.res.Performance != 1 {
+			t.Fatalf("interrupted hold lost its result: %+v", o.res)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelling ctx did not release the held role")
+	}
+
+	slowCancel()
+	<-slowDone
+}
+
+// TestStressCancelVersusMatching races context cancellation against the
+// delayed-initiation matcher: enrollers with tiny random deadlines contend
+// for a three-role pipeline, hammering the withdraw-while-matched window in
+// assignLocked. Run with -race in CI.
+func TestStressCancelVersusMatching(t *testing.T) {
+	def := NewScript("pipe3").
+		Role("a", func(rc Ctx) error { return rc.Send(ids.Role("b"), 1) }).
+		Role("b", func(rc Ctx) error {
+			v, err := rc.Recv(ids.Role("a"))
+			if err != nil {
+				return err
+			}
+			return rc.Send(ids.Role("c"), v)
+		}).
+		Role("c", func(rc Ctx) error {
+			_, err := rc.Recv(ids.Role("b"))
+			return err
+		}).
+		Termination(ImmediateTermination).
+		MustBuild()
+	in := NewInstance(def)
+	defer in.Close()
+
+	const workersPerRole = 4
+	rounds := 150
+	if testing.Short() {
+		rounds = 30
+	}
+	var completed atomic.Int64
+	var wg sync.WaitGroup
+	for _, role := range []string{"a", "b", "c"} {
+		for w := 0; w < workersPerRole; w++ {
+			role, w := role, w
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(w)*31 + int64(role[0])))
+				pid := ids.PID(fmt.Sprintf("%s%d", role, w))
+				for i := 0; i < rounds; i++ {
+					timeout := time.Duration(rng.Intn(500)) * time.Microsecond
+					ctx, cancel := context.WithTimeout(context.Background(), timeout)
+					_, err := in.Enroll(ctx, Enrollment{PID: pid, Role: ids.Role(role)})
+					cancel()
+					switch {
+					case err == nil:
+						completed.Add(1)
+					case errors.Is(err, context.DeadlineExceeded),
+						errors.Is(err, context.Canceled):
+					default:
+						var re *RoleError
+						if !errors.As(err, &re) {
+							t.Errorf("unexpected enroll error: %v", err)
+							return
+						}
+					}
+				}
+			}()
+		}
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// The instance must still be fully functional after the storm.
+	results := make(chan error, 3)
+	for _, role := range []string{"a", "b", "c"} {
+		role := role
+		go func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			_, err := in.Enroll(ctx, Enrollment{PID: ids.PID("final-" + role), Role: ids.Role(role)})
+			results <- err
+		}()
+	}
+	for i := 0; i < 3; i++ {
+		if err := <-results; err != nil {
+			t.Fatalf("clean enrollment after stress failed: %v", err)
+		}
+	}
+	t.Logf("stress: %d role completions, %d performances", completed.Load(), in.Performances())
+}
+
+// TestStressCancelVersusAdmission is the immediate-initiation variant: the
+// performance stays open for admission while enrollers cancel at random, so
+// withdrawal races the admission pass itself.
+func TestStressCancelVersusAdmission(t *testing.T) {
+	def := NewScript("open2").
+		Role("x", func(rc Ctx) error { return rc.Send(ids.Role("y"), "m") }).
+		Role("y", func(rc Ctx) error {
+			_, err := rc.Recv(ids.Role("x"))
+			return err
+		}).
+		Initiation(ImmediateInitiation).
+		Termination(ImmediateTermination).
+		MustBuild()
+	in := NewInstance(def)
+	defer in.Close()
+
+	rounds := 150
+	if testing.Short() {
+		rounds = 30
+	}
+	var wg sync.WaitGroup
+	for _, role := range []string{"x", "y"} {
+		for w := 0; w < 4; w++ {
+			role, w := role, w
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(w)*17 + int64(role[0])))
+				pid := ids.PID(fmt.Sprintf("%s%d", role, w))
+				for i := 0; i < rounds; i++ {
+					timeout := time.Duration(rng.Intn(400)) * time.Microsecond
+					ctx, cancel := context.WithTimeout(context.Background(), timeout)
+					_, err := in.Enroll(ctx, Enrollment{PID: pid, Role: ids.Role(role)})
+					cancel()
+					var re *RoleError
+					if err != nil && !errors.Is(err, context.DeadlineExceeded) &&
+						!errors.Is(err, context.Canceled) && !errors.As(err, &re) {
+						t.Errorf("unexpected enroll error: %v", err)
+						return
+					}
+				}
+			}()
+		}
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// A clean x/y exchange must eventually happen. The storm can leave a
+	// half-finished performance open (one role played and finished, the
+	// other absent), so single-shot pairs may keep landing out of phase;
+	// persistent re-enrollers drain that state and then co-perform.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	var xOK, yOK atomic.Bool
+	var fin sync.WaitGroup
+	for _, role := range []string{"x", "y"} {
+		role := role
+		ok := &xOK
+		if role == "y" {
+			ok = &yOK
+		}
+		fin.Add(1)
+		go func() {
+			defer fin.Done()
+			for ctx.Err() == nil && !(xOK.Load() && yOK.Load()) {
+				if _, err := in.Enroll(ctx, Enrollment{
+					PID: ids.PID("final-" + role), Role: ids.Role(role),
+				}); err == nil {
+					ok.Store(true)
+					if xOK.Load() && yOK.Load() {
+						cancel() // unblock the peer's in-flight enrollment
+					}
+				}
+			}
+		}()
+	}
+	fin.Wait()
+	if !xOK.Load() || !yOK.Load() {
+		t.Fatalf("no clean performance after stress (x ok=%v, y ok=%v)", xOK.Load(), yOK.Load())
+	}
+}

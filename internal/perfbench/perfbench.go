@@ -1,0 +1,273 @@
+// Package perfbench defines the scheduler performance acceptance suite: a
+// small set of named measurements (E1–E4) runnable from cmd/scriptbench
+// -json, so regressions in the enrollment hot path are visible as numbers
+// in BENCH_E*.json rather than only as `go test -bench` output.
+//
+// The suite deliberately mirrors the hottest benchmarks of bench_test.go:
+//
+//	E1  star broadcast, 64 resident recipients (Figure 3 at N=64)
+//	E2  successive performances, 3 empty roles (Figure 1's barrier)
+//	E3  contended enrollment, 64 contenders for one role
+//	E4  script.Pool of 4 instances vs a single instance, 64 enrollers
+//
+// Each Spec.Run executes under testing.Benchmark so iteration counts are
+// chosen the same way `go test -bench` chooses them.
+package perfbench
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	script "github.com/scriptabs/goscript"
+	"github.com/scriptabs/goscript/internal/core"
+	"github.com/scriptabs/goscript/internal/ids"
+	"github.com/scriptabs/goscript/internal/patterns"
+)
+
+// Result is one measurement, serialized to BENCH_<ID>.json.
+type Result struct {
+	ID          string  `json:"id"`
+	Name        string  `json:"name"`
+	Description string  `json:"description"`
+	Enrollers   int     `json:"enrollers"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+
+	// E4 only: the single-instance run the pool is compared against.
+	SingleNsPerOp float64 `json:"single_instance_ns_per_op,omitempty"`
+	Speedup       float64 `json:"speedup,omitempty"`
+
+	// Filled by cmd/scriptbench -baseline: the prior recorded ns_per_op and
+	// the improvement over it, positive = faster (in percent).
+	BaselineNsPerOp float64 `json:"baseline_ns_per_op,omitempty"`
+	DeltaPct        float64 `json:"delta_pct,omitempty"`
+}
+
+// Spec names one measurement of the suite.
+type Spec struct {
+	ID          string
+	Name        string
+	Description string
+	Enrollers   int
+	Run         func() Result
+}
+
+// Suite returns the acceptance measurements in ID order.
+func Suite() []Spec {
+	specs := []Spec{
+		{
+			ID:          "E1",
+			Name:        "star-broadcast-64",
+			Description: "one StarBroadcast(64) performance per op with resident recipients",
+			Enrollers:   64,
+		},
+		{
+			ID:          "E2",
+			Name:        "successive-performances",
+			Description: "one empty 3-role performance per op (successive-activations barrier)",
+			Enrollers:   3,
+		},
+		{
+			ID:          "E3",
+			Name:        "contended-enrollment-64",
+			Description: "64 concurrent enrollers contend for one role; ns/op is per-performance scheduler cost",
+			Enrollers:   64,
+		},
+		{
+			ID:          "E4",
+			Name:        "pool-throughput-4x",
+			Description: "64 enrollers drive blocking single-role performances through a Pool of 4 vs 1 instance",
+			Enrollers:   64,
+		},
+	}
+	specs[0].Run = func() Result { return finish(specs[0], runStarBroadcast(64)) }
+	specs[1].Run = func() Result { return finish(specs[1], runSuccessive()) }
+	specs[2].Run = func() Result { return finish(specs[2], runContended(64)) }
+	specs[3].Run = func() Result {
+		pool := runPool(4)
+		single := runPool(1)
+		res := finish(specs[3], pool)
+		res.SingleNsPerOp = nsPerOp(single)
+		if res.NsPerOp > 0 {
+			res.Speedup = res.SingleNsPerOp / res.NsPerOp
+		}
+		return res
+	}
+	return specs
+}
+
+func finish(s Spec, br testing.BenchmarkResult) Result {
+	return Result{
+		ID:          s.ID,
+		Name:        s.Name,
+		Description: s.Description,
+		Enrollers:   s.Enrollers,
+		Iterations:  br.N,
+		NsPerOp:     nsPerOp(br),
+	}
+}
+
+func nsPerOp(br testing.BenchmarkResult) float64 {
+	if br.N <= 0 {
+		return 0
+	}
+	return float64(br.T.Nanoseconds()) / float64(br.N)
+}
+
+// runStarBroadcast is bench_test.go's E03 at a fixed recipient count: n
+// resident recipients re-enroll forever, the measured op is one sender
+// enrollment (= one complete broadcast performance).
+func runStarBroadcast(n int) testing.BenchmarkResult {
+	return testing.Benchmark(func(b *testing.B) {
+		in := core.NewInstance(patterns.StarBroadcast(n))
+		ctx, cancel := context.WithCancel(context.Background())
+		var wg sync.WaitGroup
+		for i := 1; i <= n; i++ {
+			pid := ids.PID(fmt.Sprintf("R%d", i))
+			role := ids.Member(patterns.RoleRecipient, i)
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					if _, err := in.Enroll(ctx, core.Enrollment{PID: pid, Role: role}); err != nil {
+						return
+					}
+				}
+			}()
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := in.Enroll(ctx, core.Enrollment{
+				PID: "T", Role: ids.Role(patterns.RoleSender), Args: []any{i},
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		cancel()
+		in.Close()
+		wg.Wait()
+	})
+}
+
+// runSuccessive is bench_test.go's E01: a minimal three-role script with
+// empty bodies, one performance per op.
+func runSuccessive() testing.BenchmarkResult {
+	return testing.Benchmark(func(b *testing.B) {
+		def := core.NewScript("fig1").
+			Role("p", func(rc core.Ctx) error { return nil }).
+			Role("q", func(rc core.Ctx) error { return nil }).
+			Role("r", func(rc core.Ctx) error { return nil }).
+			Initiation(core.ImmediateInitiation).
+			Termination(core.ImmediateTermination).
+			MustBuild()
+		in := core.NewInstance(def)
+		ctx, cancel := context.WithCancel(context.Background())
+		var wg sync.WaitGroup
+		for _, role := range []string{"q", "r"} {
+			role := role
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					if _, err := in.Enroll(ctx, core.Enrollment{
+						PID: ids.PID(role + "-proc"), Role: ids.Role(role),
+					}); err != nil {
+						return
+					}
+				}
+			}()
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := in.Enroll(ctx, core.Enrollment{PID: "p-proc", Role: ids.Role("p")}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		cancel()
+		in.Close()
+		wg.Wait()
+	})
+}
+
+// runContended is bench_test.go's E15 at a fixed worker count: n concurrent
+// enrollers collectively complete b.N single-role performances, so ns/op is
+// the per-performance scheduler cost under contention. (Measuring one
+// foreground enroller's latency instead would conflate this cost with the
+// FIFO queue depth at enrollment time, which varies run to run.)
+func runContended(n int) testing.BenchmarkResult {
+	return testing.Benchmark(func(b *testing.B) {
+		def := core.NewScript("slot").
+			Role("only", func(rc core.Ctx) error { return nil }).
+			MustBuild()
+		in := core.NewInstance(def)
+		defer in.Close()
+		var next atomic.Int64
+		var failures atomic.Int64
+		var wg sync.WaitGroup
+		b.ResetTimer()
+		for w := 0; w < n; w++ {
+			pid := ids.PID(fmt.Sprintf("W%d", w))
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for next.Add(1) <= int64(b.N) {
+					if _, err := in.Enroll(context.Background(), core.Enrollment{PID: pid, Role: ids.Role("only")}); err != nil {
+						failures.Add(1)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		b.StopTimer()
+		if failures.Load() > 0 {
+			b.Fatalf("%d enrollments failed", failures.Load())
+		}
+	})
+}
+
+// runPool is bench_test.go's E16 at a fixed pool size: 64 enrollers share
+// b.N briefly-blocking single-role performances.
+func runPool(size int) testing.BenchmarkResult {
+	return testing.Benchmark(func(b *testing.B) {
+		def := script.New("slot").
+			Role("only", func(rc script.Ctx) error {
+				time.Sleep(20 * time.Microsecond)
+				return nil
+			}).
+			MustBuild()
+		pool := script.NewPool(def, size)
+		defer pool.Close()
+		const workers = 64
+		var next atomic.Int64
+		var failures atomic.Int64
+		var wg sync.WaitGroup
+		b.ResetTimer()
+		for w := 0; w < workers; w++ {
+			pid := script.PID(fmt.Sprintf("W%d", w))
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for next.Add(1) <= int64(b.N) {
+					if _, err := pool.Enroll(context.Background(), script.Enrollment{
+						PID: pid, Role: script.Role("only"),
+					}); err != nil {
+						failures.Add(1)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		b.StopTimer()
+		if failures.Load() > 0 {
+			b.Fatalf("%d enrollments failed", failures.Load())
+		}
+	})
+}

@@ -537,6 +537,22 @@ func (f *Fabric) Close() {
 	f.sendersTo = make(map[Addr]map[*op]bool)
 }
 
+// Reset returns a closed (or idle) fabric to its initial empty state so it
+// can be reused for a new communication scope, retaining the allocated maps.
+// The caller must guarantee that no operation is in flight: every Do call on
+// the fabric has returned. The script runtime pools fabrics across successive
+// performances — safe because a performance finishes only after every role
+// body (and hence every fabric operation it issued) has returned.
+func (f *Fabric) Reset() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.closed = false
+	f.seq = 0
+	clear(f.byOwner)
+	clear(f.sendersTo)
+	clear(f.terminated)
+}
+
 // PendingCount returns the number of pending (uncommitted) operations,
 // for tests and diagnostics.
 func (f *Fabric) PendingCount() int {

@@ -1,0 +1,184 @@
+package trace
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Async decouples event recording from event storage: Record enqueues onto a
+// fixed-size lock-free ring buffer (a bounded MPSC queue) and returns
+// immediately, while a single background goroutine drains the ring into the
+// wrapped sink tracer. The script runtime records events while holding the
+// instance lock; wrapping a heavyweight sink (Log, a JSON writer, ...) in an
+// Async keeps that critical section short — the enqueue is a couple of
+// atomic operations and never blocks.
+//
+// Drop semantics: when the ring is full, Record drops the event and
+// increments the drop counter instead of blocking the hot path. Dropped
+// events are simply missing from the sink; the events that are delivered
+// preserve their recording order (the ring is FIFO). Tests that need a
+// complete log should either use the sink directly (all Tracers remain
+// synchronous and safe for concurrent use) or call Flush at quiescent points
+// and check Dropped() == 0.
+type Async struct {
+	sink  Tracer
+	mask  uint64
+	cells []asyncCell
+
+	enq     atomic.Uint64 // next enqueue position
+	deq     atomic.Uint64 // next dequeue position (advanced only by drain)
+	dropped atomic.Uint64
+
+	notify chan struct{} // producer -> drainer doorbell, capacity 1
+	quit   chan struct{}
+
+	mu     sync.Mutex
+	cond   *sync.Cond // signalled by the drainer as deq advances
+	closed bool
+	wg     sync.WaitGroup
+}
+
+type asyncCell struct {
+	seq atomic.Uint64
+	ev  Event
+}
+
+var _ Tracer = (*Async)(nil)
+
+// DefaultAsyncSize is the ring capacity used when NewAsync is given a
+// non-positive size.
+const DefaultAsyncSize = 1 << 14
+
+// NewAsync wraps sink in an asynchronous ring-buffer tracer with the given
+// capacity (rounded up to a power of two; <= 0 selects DefaultAsyncSize).
+// Call Close to drain and stop the background goroutine.
+func NewAsync(sink Tracer, size int) *Async {
+	if sink == nil {
+		sink = Nop{}
+	}
+	if size <= 0 {
+		size = DefaultAsyncSize
+	}
+	capacity := 1
+	for capacity < size {
+		capacity <<= 1
+	}
+	a := &Async{
+		sink:   sink,
+		mask:   uint64(capacity - 1),
+		cells:  make([]asyncCell, capacity),
+		notify: make(chan struct{}, 1),
+		quit:   make(chan struct{}),
+	}
+	for i := range a.cells {
+		a.cells[i].seq.Store(uint64(i))
+	}
+	a.cond = sync.NewCond(&a.mu)
+	a.wg.Add(1)
+	go a.drain()
+	return a
+}
+
+// Record enqueues e without blocking. If the ring is full the event is
+// dropped and counted. Safe for concurrent use by any number of recorders.
+func (a *Async) Record(e Event) {
+	for {
+		pos := a.enq.Load()
+		cell := &a.cells[pos&a.mask]
+		switch dif := int64(cell.seq.Load() - pos); {
+		case dif == 0: // cell free at this lap: try to claim it
+			if a.enq.CompareAndSwap(pos, pos+1) {
+				cell.ev = e
+				cell.seq.Store(pos + 1) // publish to the drainer
+				select {
+				case a.notify <- struct{}{}:
+				default:
+				}
+				return
+			}
+		case dif < 0: // cell still holds last lap's event: ring full, drop
+			a.dropped.Add(1)
+			return
+		default:
+			// Another producer claimed pos concurrently; reload and retry.
+		}
+	}
+}
+
+// drain is the single consumer: it moves published events into the sink.
+func (a *Async) drain() {
+	defer a.wg.Done()
+	capacity := a.mask + 1
+	for {
+		moved := false
+		for {
+			pos := a.deq.Load()
+			cell := &a.cells[pos&a.mask]
+			if cell.seq.Load() != pos+1 {
+				break // next event not published yet
+			}
+			e := cell.ev
+			cell.ev = Event{}
+			cell.seq.Store(pos + capacity) // recycle the cell for the next lap
+			a.deq.Store(pos + 1)
+			a.sink.Record(e)
+			moved = true
+		}
+		if moved {
+			a.mu.Lock()
+			a.cond.Broadcast() // wake Flush waiters
+			a.mu.Unlock()
+		}
+		select {
+		case <-a.notify:
+		case <-a.quit:
+			// Final sweep: deliver anything published before Close.
+			for {
+				pos := a.deq.Load()
+				cell := &a.cells[pos&a.mask]
+				if cell.seq.Load() != pos+1 {
+					break
+				}
+				e := cell.ev
+				cell.ev = Event{}
+				cell.seq.Store(pos + capacity)
+				a.deq.Store(pos + 1)
+				a.sink.Record(e)
+			}
+			a.mu.Lock()
+			a.cond.Broadcast()
+			a.mu.Unlock()
+			return
+		}
+	}
+}
+
+// Flush blocks until every event enqueued before the call has been delivered
+// to the sink (or the tracer is closed). It does not wait for events
+// recorded concurrently with the flush.
+func (a *Async) Flush() {
+	target := a.enq.Load()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for a.deq.Load() < target && !a.closed {
+		a.cond.Wait()
+	}
+}
+
+// Dropped returns the number of events discarded because the ring was full.
+func (a *Async) Dropped() uint64 { return a.dropped.Load() }
+
+// Close drains outstanding events into the sink and stops the background
+// goroutine. Events recorded after Close may be dropped. Close is
+// idempotent.
+func (a *Async) Close() {
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return
+	}
+	a.closed = true
+	a.mu.Unlock()
+	close(a.quit)
+	a.wg.Wait()
+}

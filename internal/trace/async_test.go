@@ -1,0 +1,114 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/scriptabs/goscript/internal/ids"
+)
+
+func TestAsyncDeliversInOrder(t *testing.T) {
+	log := &Log{}
+	a := NewAsync(log, 64)
+	defer a.Close()
+	for i := 1; i <= 40; i++ {
+		a.Record(Event{Kind: KindEnroll, Performance: i})
+	}
+	a.Flush()
+	if got := log.Len(); got != 40 {
+		t.Fatalf("sink has %d events, want 40", got)
+	}
+	for i, e := range log.Events() {
+		if e.Performance != i+1 {
+			t.Fatalf("event %d out of order: performance %d", i, e.Performance)
+		}
+		if e.Seq != i+1 {
+			t.Fatalf("sink did not assign sequence: event %d has seq %d", i, e.Seq)
+		}
+	}
+	if d := a.Dropped(); d != 0 {
+		t.Fatalf("dropped %d events, want 0", d)
+	}
+}
+
+func TestAsyncConcurrentRecorders(t *testing.T) {
+	log := &Log{}
+	a := NewAsync(log, 1<<12)
+	defer a.Close()
+	const workers, each = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				a.Record(Event{Kind: KindSend, Performance: w, Role: ids.Role("r")})
+			}
+		}()
+	}
+	wg.Wait()
+	a.Flush()
+	if got, want := log.Len(), workers*each; got != want {
+		t.Fatalf("sink has %d events, want %d", got, want)
+	}
+	if d := a.Dropped(); d != 0 {
+		t.Fatalf("dropped %d events, want 0", d)
+	}
+}
+
+// slowSink delays every Record so the ring can fill up.
+type slowSink struct {
+	mu    sync.Mutex
+	count int
+}
+
+func (s *slowSink) Record(Event) {
+	time.Sleep(100 * time.Microsecond)
+	s.mu.Lock()
+	s.count++
+	s.mu.Unlock()
+}
+
+func TestAsyncDropsWhenFull(t *testing.T) {
+	sink := &slowSink{}
+	a := NewAsync(sink, 8)
+	const total = 5000
+	for i := 0; i < total; i++ {
+		a.Record(Event{Kind: KindRecv})
+	}
+	a.Flush()
+	a.Close()
+	dropped := int(a.Dropped())
+	if dropped == 0 {
+		t.Fatalf("expected drops with a slow sink and an 8-slot ring")
+	}
+	sink.mu.Lock()
+	delivered := sink.count
+	sink.mu.Unlock()
+	if delivered+dropped != total {
+		t.Fatalf("delivered %d + dropped %d != recorded %d", delivered, dropped, total)
+	}
+}
+
+func TestAsyncCloseIdempotentAndLateRecord(t *testing.T) {
+	log := &Log{}
+	a := NewAsync(log, 16)
+	a.Record(Event{Kind: KindEnroll})
+	a.Close()
+	a.Close()
+	a.Record(Event{Kind: KindEnroll}) // must not panic; may be dropped
+	if got := log.Len(); got != 1 {
+		t.Fatalf("sink has %d events, want the 1 recorded before Close", got)
+	}
+}
+
+func TestAsyncNilSinkAndSizeRounding(t *testing.T) {
+	a := NewAsync(nil, 3) // rounds up to 4, discards into Nop
+	defer a.Close()
+	for i := 0; i < 10; i++ {
+		a.Record(Event{})
+	}
+	a.Flush()
+}

@@ -1,0 +1,118 @@
+package script
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+)
+
+// Pool multiplexes enrollments across N instances of one script definition —
+// the paper's sanctioned route to concurrent performances ("multiple
+// instances add no power but avoid re-coding the script", Section II): a
+// single Instance serializes its performances by the successive-activations
+// rule, so independent casts that could run side by side queue behind each
+// other. A Pool gives each cast its own instance and so its own lock,
+// fabric, and performance pipeline.
+//
+// Dispatch is least-pending with a round-robin tie-break: Enroll reads each
+// instance's atomic load counter (enrollments in flight) and picks the least
+// loaded, scanning from a rotating start so ties spread evenly. Because all
+// roles of one performance must enroll in the *same* instance, Pool.Enroll
+// suits workloads where an enrollment completes a cast on whichever
+// instance it lands on: single-role scripts, open casts under immediate
+// initiation, or client roles against per-instance resident partners (e.g.
+// one set of lock-manager processes enrolled per instance via Instance(i)).
+// Casts that must co-perform should enroll through EnrollBloc, which routes
+// the whole bloc to one instance, or pin an instance with Instance(i).
+type Pool struct {
+	def       Definition
+	instances []*Instance
+	cursor    atomic.Uint64
+	closed    atomic.Bool
+}
+
+// NewPool creates a pool of n instances of def, each configured with opts.
+// n must be at least 1.
+func NewPool(def Definition, n int, opts ...Option) *Pool {
+	if n < 1 {
+		panic(fmt.Sprintf("script: pool size %d < 1", n))
+	}
+	p := &Pool{def: def, instances: make([]*Instance, n)}
+	for i := range p.instances {
+		p.instances[i] = NewInstance(def, opts...)
+	}
+	return p
+}
+
+// Definition returns the pool's script definition.
+func (p *Pool) Definition() Definition { return p.def }
+
+// Size returns the number of instances in the pool.
+func (p *Pool) Size() int { return len(p.instances) }
+
+// Instance returns the i-th instance (0-based), for workloads that pin
+// roles to a specific instance (resident servers, co-performing casts).
+func (p *Pool) Instance(i int) *Instance { return p.instances[i] }
+
+// Performances returns the total number of performances started across the
+// pool.
+func (p *Pool) Performances() int {
+	total := 0
+	for _, in := range p.instances {
+		total += in.Performances()
+	}
+	return total
+}
+
+// PendingEnrollments returns the total number of pending offers across the
+// pool.
+func (p *Pool) PendingEnrollments() int {
+	total := 0
+	for _, in := range p.instances {
+		total += in.PendingEnrollments()
+	}
+	return total
+}
+
+// pick selects the dispatch target: the least-loaded instance, scanning
+// from a rotating start so equally-loaded instances are used round-robin.
+func (p *Pool) pick() *Instance {
+	n := uint64(len(p.instances))
+	start := p.cursor.Add(1)
+	best := p.instances[start%n]
+	bestLoad := best.Load()
+	for i := uint64(1); i < n && bestLoad > 0; i++ {
+		in := p.instances[(start+i)%n]
+		if l := in.Load(); l < bestLoad {
+			best, bestLoad = in, l
+		}
+	}
+	return best
+}
+
+// Enroll dispatches e to the least-loaded instance and enrolls there,
+// blocking like Instance.Enroll. The chosen instance's performance number
+// is reported in the Result.
+func (p *Pool) Enroll(ctx context.Context, e Enrollment) (Result, error) {
+	if p.closed.Load() {
+		return Result{}, ErrClosed
+	}
+	return p.pick().Enroll(ctx, e)
+}
+
+// EnrollBloc dispatches a joint enrollment to the least-loaded instance, so
+// the whole bloc lands in one performance there (see Instance.EnrollBloc).
+func (p *Pool) EnrollBloc(ctx context.Context, members []Enrollment) ([]Result, error) {
+	if p.closed.Load() {
+		return nil, ErrClosed
+	}
+	return p.pick().EnrollBloc(ctx, members)
+}
+
+// Close closes every instance in the pool. Close is idempotent.
+func (p *Pool) Close() {
+	p.closed.Store(true)
+	for _, in := range p.instances {
+		in.Close()
+	}
+}

@@ -1,0 +1,179 @@
+package script_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	script "github.com/scriptabs/goscript"
+)
+
+func slotDef(t testing.TB) script.Definition {
+	t.Helper()
+	return script.New("slot").
+		Role("only", func(rc script.Ctx) error { return nil }).
+		MustBuild()
+}
+
+func TestPoolCompletesEnrollments(t *testing.T) {
+	pool := script.NewPool(slotDef(t), 4)
+	defer pool.Close()
+	if pool.Size() != 4 {
+		t.Fatalf("Size = %d, want 4", pool.Size())
+	}
+
+	const workers, rounds = 8, 25
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				res, err := pool.Enroll(context.Background(), script.Enrollment{
+					PID: script.PID(fmt.Sprintf("P%d", w)), Role: script.Role("only"),
+				})
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if res.Performance < 1 {
+					errCh <- fmt.Errorf("bad performance number %d", res.Performance)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	if got, want := pool.Performances(), workers*rounds; got != want {
+		t.Fatalf("total performances = %d, want %d", got, want)
+	}
+}
+
+func TestPoolSpreadsLoad(t *testing.T) {
+	// Hold many single-role performances open concurrently: with
+	// least-pending dispatch they must not all pile onto one instance.
+	release := make(chan struct{})
+	def := script.New("hold").
+		Role("only", func(rc script.Ctx) error {
+			select {
+			case <-release:
+			case <-rc.Context().Done():
+			}
+			return nil
+		}).
+		MustBuild()
+	pool := script.NewPool(def, 4)
+	defer pool.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, _ = pool.Enroll(ctx, script.Enrollment{
+				PID: script.PID(fmt.Sprintf("H%d", w)), Role: script.Role("only"),
+			})
+		}()
+	}
+	// Every instance should end up with work: 8 holders over 4 instances.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		busy := 0
+		for i := 0; i < pool.Size(); i++ {
+			if pool.Instance(i).Load() > 0 {
+				busy++
+			}
+		}
+		if busy == pool.Size() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("load not spread: only %d of %d instances busy", busy, pool.Size())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+}
+
+func TestPoolEnrollBlocLandsTogether(t *testing.T) {
+	def := script.New("pair").
+		Role("a", func(rc script.Ctx) error { return rc.Send(script.Role("b"), "hi") }).
+		Role("b", func(rc script.Ctx) error {
+			v, err := rc.Recv(script.Role("a"))
+			rc.SetResult(0, v)
+			return err
+		}).
+		MustBuild()
+	pool := script.NewPool(def, 3)
+	defer pool.Close()
+
+	for round := 0; round < 5; round++ {
+		results, err := pool.EnrollBloc(context.Background(), []script.Enrollment{
+			{PID: "A", Role: script.Role("a")},
+			{PID: "B", Role: script.Role("b")},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if results[0].Performance != results[1].Performance {
+			t.Fatalf("bloc split across performances: %d vs %d",
+				results[0].Performance, results[1].Performance)
+		}
+		if got := results[1].Values[0]; got != "hi" {
+			t.Fatalf("b received %v, want hi", got)
+		}
+	}
+}
+
+func TestPoolClose(t *testing.T) {
+	pool := script.NewPool(slotDef(t), 2)
+	pool.Close()
+	pool.Close() // idempotent
+	if _, err := pool.Enroll(context.Background(), script.Enrollment{
+		PID: "P", Role: script.Role("only"),
+	}); !errors.Is(err, script.ErrClosed) {
+		t.Fatalf("Enroll after Close: err = %v, want ErrClosed", err)
+	}
+}
+
+func TestAsyncTracerOnInstance(t *testing.T) {
+	log := &script.TraceLog{}
+	tr := script.NewAsyncTracer(log, 0)
+	defer tr.Close()
+	in := script.NewInstance(slotDef(t), script.WithTracer(tr))
+	defer in.Close()
+	if _, err := in.Enroll(context.Background(), script.Enrollment{
+		PID: "P", Role: script.Role("only"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	tr.Flush()
+	if log.Len() == 0 {
+		t.Fatal("async tracer delivered no events")
+	}
+	if d := tr.Dropped(); d != 0 {
+		t.Fatalf("dropped %d events", d)
+	}
+}
+
+func TestPoolSizeValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewPool(def, 0) did not panic")
+		}
+	}()
+	script.NewPool(slotDef(t), 0)
+}

@@ -82,6 +82,9 @@ type (
 	Tracer = trace.Tracer
 	// TraceLog is an in-memory tracer.
 	TraceLog = trace.Log
+	// AsyncTracer decouples trace recording from the scheduler's critical
+	// section via a lock-free ring; see NewAsyncTracer.
+	AsyncTracer = trace.Async
 
 	// PID identifies an enrolling process.
 	PID = ids.PID
@@ -137,6 +140,18 @@ func NewInstance(def Definition, opts ...Option) *Instance {
 
 // WithTracer attaches a tracer to an instance.
 func WithTracer(t Tracer) Option { return core.WithTracer(t) }
+
+// NewAsyncTracer wraps sink in a lock-free ring buffer drained by a
+// dedicated goroutine, so Record never blocks the scheduler: events are
+// dropped (and counted) rather than awaited when the ring is full. size is
+// the ring capacity, rounded up to a power of two; pass 0 for the default.
+// Call Flush to wait for delivery and Close when the instance is done.
+func NewAsyncTracer(sink Tracer, size int) *AsyncTracer {
+	if size <= 0 {
+		size = trace.DefaultAsyncSize
+	}
+	return trace.NewAsync(sink, size)
+}
 
 // WithFairness selects the instance's contention policy.
 func WithFairness(f Fairness, seed int64) Option { return core.WithFairness(f, seed) }
