@@ -1,0 +1,19 @@
+//go:build chaos
+
+package script_test
+
+import (
+	"testing"
+	"time"
+)
+
+// TestChaosSoakLong is the CI chaos job: a 30-second fixed-seed soak under
+// the race detector (go test -race -tags chaos -run TestChaosSoakLong).
+// The fixed seed makes the injector's fault decision stream reproducible,
+// so a CI failure can be replayed locally with the same seed.
+func TestChaosSoakLong(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak is not short")
+	}
+	runChaosSoak(t, 20260806, 30*time.Second)
+}

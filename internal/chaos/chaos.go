@@ -1,0 +1,118 @@
+// Package chaos is the repository's fault-injection harness: a seeded
+// implementation of core.FaultInjector that perturbs the runtime's timing
+// and signalling — communication latency, dropped (late-redelivered)
+// scheduler wakeups, spurious context cancellations — without ever being
+// able to violate the runtime's semantics. The chaos soak tests attach an
+// Injector to busy instances and assert that no enrollment is lost, no
+// goroutine deadlocks, and the recorded trace still conforms.
+//
+// Determinism: every decision is drawn from one seeded PRNG behind a
+// mutex, so a single-goroutine caller replays the identical decision
+// stream from the same seed. Under concurrency the *interleaving* of draws
+// varies, but the per-seed stream itself is reproducible, which is what
+// makes failure reports ("seed 20260806 wedged") actionable.
+package chaos
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/scriptabs/goscript/internal/core"
+)
+
+// Config tunes an Injector. Each fault class has an independent probability
+// (0 disables the class) and a maximum magnitude; drawn magnitudes are
+// uniform in (0, max].
+type Config struct {
+	// Seed initialises the PRNG; the same seed yields the same decision
+	// stream.
+	Seed int64
+
+	// OpDelayP is the probability that a communication operation is delayed,
+	// and OpDelayMax the largest injected latency.
+	OpDelayP   float64
+	OpDelayMax time.Duration
+
+	// WakeDelayP is the probability that a scheduler wakeup is withheld and
+	// redelivered late, and WakeDelayMax the largest withholding.
+	WakeDelayP   float64
+	WakeDelayMax time.Duration
+
+	// CancelP is the probability that a communication's context is
+	// spuriously cancelled, and CancelAfterMax the largest delay before the
+	// cancellation fires.
+	CancelP        float64
+	CancelAfterMax time.Duration
+}
+
+// Injector implements core.FaultInjector with seeded randomness and
+// per-class hit counters. Safe for concurrent use.
+type Injector struct {
+	cfg Config
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	opDelays    atomic.Uint64
+	wakeDelays  atomic.Uint64
+	cancels     atomic.Uint64
+	consultions atomic.Uint64
+}
+
+var _ core.FaultInjector = (*Injector)(nil)
+
+// New returns an Injector drawing from a PRNG seeded with cfg.Seed.
+func New(cfg Config) *Injector {
+	return &Injector{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// draw makes one probabilistic decision: with probability p it returns a
+// duration uniform in (0, max], otherwise 0. A single locked PRNG keeps the
+// per-seed decision stream reproducible.
+func (j *Injector) draw(p float64, max time.Duration) time.Duration {
+	j.consultions.Add(1)
+	if p <= 0 || max <= 0 {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.rng.Float64() >= p {
+		return 0
+	}
+	return time.Duration(j.rng.Int63n(int64(max))) + 1
+}
+
+// OpDelay implements core.FaultInjector.
+func (j *Injector) OpDelay() time.Duration {
+	d := j.draw(j.cfg.OpDelayP, j.cfg.OpDelayMax)
+	if d > 0 {
+		j.opDelays.Add(1)
+	}
+	return d
+}
+
+// WakeDelay implements core.FaultInjector.
+func (j *Injector) WakeDelay() time.Duration {
+	d := j.draw(j.cfg.WakeDelayP, j.cfg.WakeDelayMax)
+	if d > 0 {
+		j.wakeDelays.Add(1)
+	}
+	return d
+}
+
+// CancelAfter implements core.FaultInjector.
+func (j *Injector) CancelAfter() time.Duration {
+	d := j.draw(j.cfg.CancelP, j.cfg.CancelAfterMax)
+	if d > 0 {
+		j.cancels.Add(1)
+	}
+	return d
+}
+
+// Stats reports how many faults of each class have been injected and how
+// many decisions were drawn in total.
+func (j *Injector) Stats() (opDelays, wakeDelays, cancels, decisions uint64) {
+	return j.opDelays.Load(), j.wakeDelays.Load(), j.cancels.Load(), j.consultions.Load()
+}

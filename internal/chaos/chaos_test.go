@@ -1,0 +1,74 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+)
+
+// TestDeterministicStream verifies replay-by-seed: two injectors with the
+// same config produce identical decision streams, and a different seed
+// produces a different one.
+func TestDeterministicStream(t *testing.T) {
+	cfg := Config{
+		Seed:           42,
+		OpDelayP:       0.3,
+		OpDelayMax:     time.Millisecond,
+		WakeDelayP:     0.2,
+		WakeDelayMax:   2 * time.Millisecond,
+		CancelP:        0.1,
+		CancelAfterMax: 500 * time.Microsecond,
+	}
+	stream := func(cfg Config) []time.Duration {
+		j := New(cfg)
+		out := make([]time.Duration, 0, 300)
+		for i := 0; i < 100; i++ {
+			out = append(out, j.OpDelay(), j.WakeDelay(), j.CancelAfter())
+		}
+		return out
+	}
+
+	a, b := stream(cfg), stream(cfg)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d diverged for identical seeds: %v vs %v", i, a[i], b[i])
+		}
+	}
+
+	cfg2 := cfg
+	cfg2.Seed = 43
+	c := stream(cfg2)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatalf("seeds 42 and 43 produced identical decision streams")
+	}
+}
+
+// TestDisabledClassesDrawNothing verifies that zero probabilities (and zero
+// magnitudes) inject no faults.
+func TestDisabledClassesDrawNothing(t *testing.T) {
+	j := New(Config{Seed: 1, OpDelayP: 1, OpDelayMax: 0, WakeDelayP: 0, WakeDelayMax: time.Second})
+	for i := 0; i < 50; i++ {
+		if d := j.OpDelay(); d != 0 {
+			t.Fatalf("OpDelay with zero magnitude injected %v", d)
+		}
+		if d := j.WakeDelay(); d != 0 {
+			t.Fatalf("WakeDelay with zero probability injected %v", d)
+		}
+		if d := j.CancelAfter(); d != 0 {
+			t.Fatalf("CancelAfter with zero config injected %v", d)
+		}
+	}
+	op, wake, cancel, decisions := j.Stats()
+	if op != 0 || wake != 0 || cancel != 0 {
+		t.Fatalf("disabled injector reported faults: op=%d wake=%d cancel=%d", op, wake, cancel)
+	}
+	if decisions != 150 {
+		t.Fatalf("decisions = %d, want 150", decisions)
+	}
+}

@@ -43,6 +43,11 @@ type scriptState struct {
 	started  map[ids.RoleRef]bool
 	finished map[ids.RoleRef]bool
 	absent   map[ids.RoleRef]bool
+	// aborted holds performance numbers closed by KindAbort. Bodies of an
+	// aborted performance unwind asynchronously, so their straggler events
+	// (finish, send, recv) may be recorded after the abort — even after the
+	// next performance has started — and are tolerated rather than flagged.
+	aborted map[int]bool
 }
 
 // CheckSemantics scans events (in recorded order) and returns every
@@ -55,6 +60,12 @@ type scriptState struct {
 //   - a role starts at most once per performance, finishes only after
 //     starting, and never starts after being marked absent;
 //   - a performance ends only when every started role has finished.
+//
+// A performance closed by KindAbort is exempt from the last rule — the
+// abort exists precisely to release a performance whose roles will never
+// all finish — and its straggler events (a wedged body finishing or
+// communicating while it unwinds) are tolerated even after later
+// performances have started.
 func CheckSemantics(events []trace.Event) []Violation {
 	var out []Violation
 	scripts := make(map[string]*scriptState)
@@ -99,9 +110,21 @@ func CheckSemantics(events []trace.Event) []Violation {
 				}
 			}
 			s.open = false
+		case trace.KindAbort:
+			if !s.open || e.Performance != s.lastPerf {
+				add("abort-matches-start", e,
+					"abort of performance %d but open is %d", e.Performance, s.lastPerf)
+			}
+			if s.aborted == nil {
+				s.aborted = make(map[int]bool)
+			}
+			s.aborted[e.Performance] = true
+			s.open = false
 		case trace.KindStart:
 			if !s.inOpenPerf(e) {
-				add("event-inside-performance", e, "start outside its performance")
+				if !s.aborted[e.Performance] {
+					add("event-inside-performance", e, "start outside its performance")
+				}
 				continue
 			}
 			if s.started[e.Role] {
@@ -113,7 +136,9 @@ func CheckSemantics(events []trace.Event) []Violation {
 			s.started[e.Role] = true
 		case trace.KindFinish:
 			if !s.inOpenPerf(e) {
-				add("event-inside-performance", e, "finish outside its performance")
+				if !s.aborted[e.Performance] {
+					add("event-inside-performance", e, "finish outside its performance")
+				}
 				continue
 			}
 			if !s.started[e.Role] {
@@ -125,7 +150,9 @@ func CheckSemantics(events []trace.Event) []Violation {
 			s.finished[e.Role] = true
 		case trace.KindAbsent:
 			if !s.inOpenPerf(e) {
-				add("event-inside-performance", e, "absent-marking outside its performance")
+				if !s.aborted[e.Performance] {
+					add("event-inside-performance", e, "absent-marking outside its performance")
+				}
 				continue
 			}
 			if s.started[e.Role] {
@@ -134,7 +161,9 @@ func CheckSemantics(events []trace.Event) []Violation {
 			s.absent[e.Role] = true
 		case trace.KindSend, trace.KindRecv:
 			if !s.inOpenPerf(e) {
-				add("event-inside-performance", e, "communication outside its performance")
+				if !s.aborted[e.Performance] {
+					add("event-inside-performance", e, "communication outside its performance")
+				}
 				continue
 			}
 			if !s.started[e.Role] {

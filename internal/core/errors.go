@@ -21,9 +21,44 @@ var (
 	ErrUnknownRole = errors.New("script: unknown role")
 	// ErrClosed reports use of an instance after Close.
 	ErrClosed = errors.New("script: instance closed")
+	// ErrDraining reports an enrollment offer rejected because the instance
+	// (or pool) is draining: in-flight performances run to completion, but
+	// no new offers are admitted and pending offers are released.
+	ErrDraining = errors.New("script: instance draining")
+	// ErrPerformanceAborted reports that the runtime aborted a performance
+	// — its deadline expired while some role had neither finished nor
+	// communicated — so blocked co-performers could unwind instead of
+	// waiting forever. Errors returned to enrollers wrap this sentinel in an
+	// *AbortError carrying the culprit role; test with errors.Is and extract
+	// with errors.As.
+	ErrPerformanceAborted = errors.New("script: performance aborted")
 	// ErrNoBranches reports a Select call with no enabled branches.
 	ErrNoBranches = errors.New("script: select has no enabled branches")
 )
+
+// AbortError reports a performance aborted by the runtime. It wraps
+// ErrPerformanceAborted, names the performance, the culprit role (the role
+// the abort blames: enrolled but neither finished nor blocked in a
+// communication when the deadline fired — zero when no single role could be
+// blamed), and the reason.
+type AbortError struct {
+	Script      string
+	Performance int
+	Culprit     ids.RoleRef
+	Reason      string
+}
+
+// Error implements error.
+func (e *AbortError) Error() string {
+	if e.Culprit.Name == "" {
+		return fmt.Sprintf("script %s: performance %d aborted: %s", e.Script, e.Performance, e.Reason)
+	}
+	return fmt.Sprintf("script %s: performance %d aborted (culprit role %s): %s",
+		e.Script, e.Performance, e.Culprit, e.Reason)
+}
+
+// Unwrap exposes ErrPerformanceAborted to errors.Is.
+func (e *AbortError) Unwrap() error { return ErrPerformanceAborted }
 
 // RoleError wraps an error returned (or a panic raised) by a role body, so
 // the enrolling process can tell its own role's failure apart from runtime

@@ -245,12 +245,15 @@ func TestArbitraryFairnessDeterministicPerSeed(t *testing.T) {
 }
 
 // TestCloseDuringDelayedTerminationWait: closing the instance while
-// enrollers wait for the joint release must free them with ErrClosed.
+// enrollers wait for the joint release must free them — and a role whose
+// body already succeeded keeps its success: it is released with its results
+// and a nil error, not ErrClosed (the work was done; only the joint release
+// was cut short).
 func TestCloseDuringDelayedTerminationWait(t *testing.T) {
 	ctx := testCtx(t)
 	block := make(chan struct{})
 	def, err := NewScript("s").
-		Role("fast", func(rc Ctx) error { return nil }).
+		Role("fast", func(rc Ctx) error { rc.SetResult(0, 42); return nil }).
 		Role("slow", func(rc Ctx) error { <-block; return nil }).
 		Initiation(DelayedInitiation).
 		Termination(DelayedTermination).
@@ -264,10 +267,13 @@ func TestCloseDuringDelayedTerminationWait(t *testing.T) {
 	time.Sleep(30 * time.Millisecond) // fast finished, waiting for slow
 	in.Close()
 	// slow stays blocked, so the performance cannot complete: fast must be
-	// released with ErrClosed.
+	// released promptly, with its completed body's results intact.
 	outF := <-chFast
-	if !errors.Is(outF.err, ErrClosed) {
-		t.Fatalf("fast err = %v, want ErrClosed", outF.err)
+	if outF.err != nil {
+		t.Fatalf("fast err = %v, want nil (body succeeded before Close)", outF.err)
+	}
+	if len(outF.res.Values) == 0 || outF.res.Values[0] != 42 {
+		t.Fatalf("fast results = %v, want [42]", outF.res.Values)
 	}
 	close(block)
 	<-chSlow // slow unblocks too (role error or closed)

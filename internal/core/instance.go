@@ -2,9 +2,11 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/scriptabs/goscript/internal/ids"
 	"github.com/scriptabs/goscript/internal/match"
@@ -26,6 +28,14 @@ type Enrollment struct {
 	// partners-unnamed enrollment; a multi-element set expresses
 	// "either A or B"; naming only some roles is partial naming.
 	With map[ids.RoleRef]ids.PIDSet
+	// Deadline, when non-zero, bounds the performance this enrollment takes
+	// part in: if the performance has not terminated by the deadline, the
+	// runtime aborts it (blocked co-performers unwind with an *AbortError
+	// wrapping ErrPerformanceAborted). The deadline arms only once the offer
+	// is assigned to a performance; a pending offer is bounded by its
+	// context instead. See also WithPerformanceDeadline for a per-instance
+	// bound on every performance.
+	Deadline time.Time
 }
 
 // Result reports a completed enrollment.
@@ -63,6 +73,23 @@ func WithFairness(f match.Fairness, seed int64) Option {
 	}
 }
 
+// WithPerformanceDeadline bounds every performance of the instance: a
+// performance that has not terminated within d of starting is aborted — the
+// paper's embeddings block forever on a partner that never communicates,
+// and this is the runtime's answer to that open problem. Only the wedged
+// performance is reclaimed: its blocked co-performers unwind with an
+// *AbortError (wrapping ErrPerformanceAborted) naming the culprit role, and
+// the instance then accepts the next cast. The timer is armed lazily, when
+// a performance actually starts; d <= 0 disables the bound. Individual
+// enrollments can tighten the bound with Enrollment.Deadline.
+func WithPerformanceDeadline(d time.Duration) Option {
+	return func(in *Instance) {
+		if d > 0 {
+			in.perfDeadline = d
+		}
+	}
+}
+
 // Instance is one runtime instance of a script definition. Create several
 // instances for concurrent independent performances of the same generic
 // script (or use a Pool in the root package, which multiplexes enrollments
@@ -81,6 +108,12 @@ type Instance struct {
 	nopTrace bool
 	fairness match.Fairness
 	seed     int64
+	// perfDeadline bounds every performance (WithPerformanceDeadline);
+	// 0 = unbounded.
+	perfDeadline time.Duration
+	// faults, when non-nil, injects latency, dropped wakeups, and spurious
+	// cancellations (WithFaultInjection; see internal/chaos).
+	faults FaultInjector
 
 	// critSets are the effective critical sets: the declared ones, or the
 	// statically-known role universe when none were declared. Used for the
@@ -91,9 +124,18 @@ type Instance struct {
 	// Pool dispatch. Kept outside mu so Load() never contends.
 	load atomic.Int64
 
-	mu        sync.Mutex
-	closed    bool
-	closedCh  chan struct{} // closed by Close; wakes all waiters
+	mu       sync.Mutex
+	closed   bool
+	closedCh chan struct{} // closed by Close; wakes all waiters
+	// draining is set by Drain: no new offers are admitted (they fail with
+	// ErrDraining), the in-flight performance runs to completion, then the
+	// instance closes.
+	draining bool
+	drainCh  chan struct{} // closed when draining begins; wakes pending enrollers
+	// idleCh, when non-nil, is closed (and nilled) the moment a draining
+	// instance becomes idle (no active performance, no pending offers);
+	// Drain waiters allocate it lazily.
+	idleCh    chan struct{}
 	nextOffer uint64
 	pending   []*enrollState
 	active    *performance
@@ -124,12 +166,13 @@ const (
 )
 
 type enrollState struct {
-	offer match.Offer
-	args  []any
-	ctx   context.Context
-	phase enrollPhase
-	perf  *performance
-	rc    *RoleCtx
+	offer    match.Offer
+	args     []any
+	ctx      context.Context
+	deadline time.Time // Enrollment.Deadline; zero = none
+	phase    enrollPhase
+	perf     *performance
+	rc       *RoleCtx
 	// wake receives exactly one signal, when the offer is assigned to a
 	// performance. Withdrawal and instance closure are observed through
 	// ctx.Done and the instance's closedCh instead.
@@ -154,6 +197,14 @@ type performance struct {
 	doneCh chan struct{}
 	// openMax tracks, per open-ended family, the largest enrolled index.
 	openMax map[string]int
+	// deadline is the earliest abort deadline in force (instance-level
+	// performance deadline or an assigned enrollment's deadline); zero =
+	// unbounded. timer fires the abort; it is stopped on normal termination.
+	deadline time.Time
+	timer    *time.Timer
+	// abortErr is non-nil once the runtime aborted the performance; it is
+	// the error blocked co-performers unwind with.
+	abortErr *AbortError
 }
 
 // fabricPool recycles rendezvous fabrics across performances: a performance
@@ -169,6 +220,7 @@ func NewInstance(def Definition, opts ...Option) *Instance {
 		nopTrace:      true,
 		fairness:      match.FIFO,
 		closedCh:      make(chan struct{}),
+		drainCh:       make(chan struct{}),
 		pendingByRole: make(map[ids.RoleRef]int),
 	}
 	in.critSets = def.criticalSets
@@ -209,7 +261,10 @@ func (in *Instance) Load() int {
 
 // Close aborts the instance: pending enrollments fail with ErrClosed, and
 // blocked communications of a running performance fail so role bodies can
-// unwind. Close is idempotent.
+// unwind. A role whose body already finished when Close lands keeps its
+// results and reports no error — only work interrupted before finishing
+// surfaces the closure. Close is idempotent. Prefer Drain for a shutdown
+// that lets in-flight performances complete.
 func (in *Instance) Close() {
 	in.mu.Lock()
 	defer in.mu.Unlock()
@@ -218,10 +273,93 @@ func (in *Instance) Close() {
 	}
 	in.closed = true
 	if in.active != nil {
+		if in.active.timer != nil {
+			in.active.timer.Stop()
+			in.active.timer = nil
+		}
 		in.active.cancel()
 		in.active.fabric.Close()
 	}
 	close(in.closedCh)
+}
+
+// Closed reports whether the instance has been closed (by Close or by a
+// completed Drain).
+func (in *Instance) Closed() bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.closed
+}
+
+// Draining reports whether the instance is draining (or has finished
+// draining and closed).
+func (in *Instance) Draining() bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.draining
+}
+
+// Drain shuts the instance down gracefully: from the moment Drain is
+// called, new offers are rejected and pending offers released (both with
+// ErrDraining), while the in-flight performance — and its held enrollers —
+// run to completion; once the instance is idle it is closed and Drain
+// returns nil. If the active performance still has open membership, its
+// membership is frozen (unfilled roles become absent) so it cannot wait
+// forever for joiners that will now never be admitted.
+//
+// If ctx ends first, Drain returns ctx's error and leaves the instance
+// draining but open: in-flight work keeps running, offers keep failing with
+// ErrDraining, and the caller may re-Drain, Close, or rely on a performance
+// deadline to reclaim wedged work. Drain is idempotent and may be called
+// concurrently; Drain on a closed instance returns nil.
+func (in *Instance) Drain(ctx context.Context) error {
+	in.mu.Lock()
+	if in.closed {
+		in.mu.Unlock()
+		return nil
+	}
+	if !in.draining {
+		in.draining = true
+		in.record(trace.Event{Kind: trace.KindDrain, Script: in.def.name})
+		close(in.drainCh)
+		if in.active != nil && !in.active.membershipClosed {
+			in.closeMembershipLocked(in.active)
+		}
+	}
+	for {
+		if in.closed {
+			in.mu.Unlock()
+			return nil
+		}
+		if in.active == nil && len(in.pending) == 0 {
+			in.closed = true
+			close(in.closedCh)
+			in.mu.Unlock()
+			return nil
+		}
+		if in.idleCh == nil {
+			in.idleCh = make(chan struct{})
+		}
+		idle := in.idleCh
+		in.mu.Unlock()
+		select {
+		case <-idle:
+		case <-in.closedCh:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+		in.mu.Lock()
+	}
+}
+
+// notifyDrainLocked wakes Drain waiters when a draining instance reaches
+// the idle state (no active performance, no pending offers).
+func (in *Instance) notifyDrainLocked() {
+	if in.draining && in.active == nil && len(in.pending) == 0 && in.idleCh != nil {
+		close(in.idleCh)
+		in.idleCh = nil
+	}
 }
 
 // Enroll offers to play e.Role in this instance, blocks until a performance
@@ -255,13 +393,18 @@ func (in *Instance) Enroll(ctx context.Context, e Enrollment) (Result, error) {
 		in.mu.Unlock()
 		return Result{}, ErrClosed
 	}
+	if in.draining {
+		in.mu.Unlock()
+		return Result{}, ErrDraining
+	}
 	in.nextOffer++
 	st := &enrollState{
-		offer: match.Offer{ID: in.nextOffer, PID: e.PID, Role: e.Role, With: clonePartners(e.With)},
-		args:  append([]any(nil), e.Args...),
-		ctx:   ctx,
-		phase: phasePending,
-		wake:  make(chan struct{}, 1),
+		offer:    match.Offer{ID: in.nextOffer, PID: e.PID, Role: e.Role, With: clonePartners(e.With)},
+		args:     append([]any(nil), e.Args...),
+		ctx:      ctx,
+		deadline: e.Deadline,
+		phase:    phasePending,
+		wake:     make(chan struct{}, 1),
 	}
 	in.addPendingLocked(st)
 	in.record(trace.Event{Kind: trace.KindEnroll, Script: in.def.name, Role: e.Role, PID: e.PID})
@@ -272,11 +415,17 @@ func (in *Instance) Enroll(ctx context.Context, e Enrollment) (Result, error) {
 		select {
 		case <-st.wake:
 		case <-ctx.Done():
+		case <-in.drainCh:
 		case <-in.closedCh:
 		}
 		in.mu.Lock()
 		if st.phase != phasePending {
 			break // assigned while we were waking up; assignment wins
+		}
+		if in.draining {
+			in.removePendingLocked(st)
+			in.mu.Unlock()
+			return Result{}, ErrDraining
 		}
 		if in.closed {
 			in.removePendingLocked(st)
@@ -300,7 +449,9 @@ func (in *Instance) Enroll(ctx context.Context, e Enrollment) (Result, error) {
 		Performance: perf.number, Role: e.Role, PID: e.PID,
 	})
 	perf.finished.Add(e.Role)
-	perf.fabric.Terminate(addrOf(e.Role))
+	if perf.fabric != nil {
+		perf.fabric.Terminate(addrOf(e.Role))
+	}
 	if perf.membershipClosed && perf.finished.Len() == len(perf.assigned) {
 		in.finishPerformanceLocked(perf)
 		in.advanceLocked() // the instance is free: let the next cast form
@@ -325,18 +476,24 @@ func (in *Instance) Enroll(ctx context.Context, e Enrollment) (Result, error) {
 		Kind: trace.KindRelease, Script: in.def.name,
 		Performance: perf.number, Role: e.Role, PID: e.PID,
 	})
-	closed := in.closed && !perf.done
+	abortErr := perf.abortErr
 	in.mu.Unlock()
 
 	res := Result{Performance: perf.number, Role: e.Role, Values: rc.results}
 	switch {
+	case bodyErr != nil && abortErr != nil && errors.Is(bodyErr, ErrPerformanceAborted):
+		// The body unwound because the runtime aborted the performance;
+		// surface the abort itself (with its culprit), not a RoleError.
+		return res, abortErr
 	case bodyErr != nil:
 		return res, &RoleError{Script: in.def.name, Role: e.Role, Err: bodyErr}
-	case closed:
-		return res, ErrClosed
 	case heldErr != nil:
 		return res, heldErr
 	default:
+		// The body finished its work: the enrollment succeeded, even if the
+		// instance was closed or the performance aborted while the role was
+		// held for delayed termination — only abort-before-finish surfaces
+		// an error.
 		return res, nil
 	}
 }
@@ -379,7 +536,7 @@ func clonePartners(w map[ids.RoleRef]ids.PIDSet) map[ids.RoleRef]ids.PIDSet {
 // enrollers that are actually assigned are woken.
 func (in *Instance) advanceLocked() {
 	for {
-		if in.closed {
+		if in.closed || in.draining {
 			return
 		}
 		before := len(in.pending)
@@ -481,12 +638,101 @@ func (in *Instance) startPerformanceLocked(asg match.Assignment) {
 	}
 	in.active = p
 	in.record(trace.Event{Kind: trace.KindPerfStart, Script: in.def.name, Performance: p.number})
+	if in.perfDeadline > 0 {
+		in.armDeadlineLocked(p, time.Now().Add(in.perfDeadline))
+	}
 	for _, r := range rolesSorted(asg) {
 		in.assignLocked(p, asg[r])
 	}
 	if asg != nil {
 		in.closeMembershipLocked(p)
 	}
+}
+
+// armDeadlineLocked arms (or tightens) performance p's abort timer to fire
+// at t; a zero t or a t no earlier than the deadline already in force is a
+// no-op. The timer is lazily armed: an instance without deadlines never
+// allocates one.
+func (in *Instance) armDeadlineLocked(p *performance, t time.Time) {
+	if t.IsZero() || p.done {
+		return
+	}
+	if !p.deadline.IsZero() && !t.Before(p.deadline) {
+		return
+	}
+	p.deadline = t
+	if p.timer != nil {
+		p.timer.Stop()
+	}
+	p.timer = time.AfterFunc(time.Until(t), func() { in.deadlineFired(p) })
+}
+
+// deadlineFired is the performance-deadline timer callback: it aborts p if
+// it is still running, then lets the next cast form.
+func (in *Instance) deadlineFired(p *performance) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if p.done || in.closed {
+		return
+	}
+	in.abortPerformanceLocked(p, "deadline exceeded")
+	in.advanceLocked()
+}
+
+// abortPerformanceLocked reclaims a wedged performance: it picks the
+// culprit role, fails every blocked and future communication of the
+// performance's fabric with an *AbortError, and ends the performance so the
+// instance can accept the next cast. The culprit is the first (in role
+// order) assigned role that has neither finished nor is blocked inside the
+// fabric waiting to communicate — the paper's "partner that never
+// communicates"; if every unfinished role is blocked communicating (a
+// genuine cycle), the first unfinished role is blamed.
+//
+// Unlike Close, which takes the whole instance down, an abort is scoped to
+// one performance. The fabric is not recycled: a wedged role body may call
+// into it arbitrarily late, and it keeps answering with the abort reason.
+func (in *Instance) abortPerformanceLocked(p *performance, reason string) {
+	if p.done {
+		return
+	}
+	var culprit ids.RoleRef
+	unfinished := make([]ids.RoleRef, 0, len(p.assigned))
+	for _, r := range p.assigned.Roles().Sorted() {
+		if !p.finished.Contains(r) {
+			unfinished = append(unfinished, r)
+		}
+	}
+	for _, r := range unfinished {
+		if !p.fabric.Waiting(addrOf(r)) {
+			culprit = r
+			break
+		}
+	}
+	if culprit.Name == "" && len(unfinished) > 0 {
+		culprit = unfinished[0]
+	}
+	p.abortErr = &AbortError{
+		Script:      in.def.name,
+		Performance: p.number,
+		Culprit:     culprit,
+		Reason:      reason,
+	}
+	if p.timer != nil {
+		p.timer.Stop()
+		p.timer = nil
+	}
+	p.done = true
+	p.cancel()
+	p.fabric.Abort(p.abortErr)
+	in.record(trace.Event{
+		Kind: trace.KindAbort, Script: in.def.name,
+		Performance: p.number, Role: culprit, Detail: reason,
+	})
+	if in.active == p {
+		in.active = nil
+	}
+	close(p.doneCh)
+	in.notifyDrainLocked()
 }
 
 // rolesSorted returns asg's roles in deterministic order.
@@ -516,9 +762,28 @@ func (in *Instance) assignLocked(p *performance, offer match.Offer) {
 		ctx:  st.ctx,
 		args: st.args,
 	}
-	select {
-	case st.wake <- struct{}{}:
-	default: // already signalled; the phase check makes a second signal moot
+	in.armDeadlineLocked(p, st.deadline)
+	woken := false
+	if fi := in.faults; fi != nil {
+		if d := fi.WakeDelay(); d > 0 {
+			// Injected fault: drop the inline wakeup and redeliver it late.
+			// The enroller sleeps until the redelivery (or its context/the
+			// instance closing); a correct scheduler tolerates the gap.
+			w := st.wake
+			time.AfterFunc(d, func() {
+				select {
+				case w <- struct{}{}:
+				default:
+				}
+			})
+			woken = true
+		}
+	}
+	if !woken {
+		select {
+		case st.wake <- struct{}{}:
+		default: // already signalled; the phase check makes a second signal moot
+		}
 	}
 	in.record(trace.Event{
 		Kind: trace.KindStart, Script: in.def.name,
@@ -609,6 +874,10 @@ func (in *Instance) finishPerformanceLocked(p *performance) {
 	if p.done {
 		return
 	}
+	if p.timer != nil {
+		p.timer.Stop()
+		p.timer = nil
+	}
 	p.done = true
 	p.cancel()
 	p.fabric.Close()
@@ -620,6 +889,7 @@ func (in *Instance) finishPerformanceLocked(p *performance) {
 	p.fabric.Reset()
 	fabricPool.Put(p.fabric)
 	p.fabric = nil
+	in.notifyDrainLocked()
 }
 
 // addPendingLocked appends st to the pending set and invalidates the
@@ -661,6 +931,7 @@ func (in *Instance) pendingRemovedLocked(st *enrollState) {
 	}
 	in.offersDirty = true
 	in.admitDirty = true
+	in.notifyDrainLocked()
 }
 
 func (in *Instance) record(e trace.Event) {

@@ -84,7 +84,11 @@ func (rc *RoleCtx) SendTag(to ids.RoleRef, tag string, v any) error {
 	if err := rc.precheck(to); err != nil {
 		return err
 	}
-	err := rc.perf.fabric.Send(rc.ctx, addrOf(rc.role), addrOf(to), rendezvous.Tag(tag), v)
+	ctx, cancel := rc.inst.opContext(rc.ctx)
+	if cancel != nil {
+		defer cancel()
+	}
+	err := rc.perf.fabric.Send(ctx, addrOf(rc.role), addrOf(to), rendezvous.Tag(tag), v)
 	if err != nil {
 		return rc.mapCommErr(to, err)
 	}
@@ -103,7 +107,11 @@ func (rc *RoleCtx) RecvTag(from ids.RoleRef, tag string) (any, error) {
 	if err := rc.precheck(from); err != nil {
 		return nil, err
 	}
-	v, err := rc.perf.fabric.Recv(rc.ctx, addrOf(rc.role), addrOf(from), rendezvous.Tag(tag))
+	ctx, cancel := rc.inst.opContext(rc.ctx)
+	if cancel != nil {
+		defer cancel()
+	}
+	v, err := rc.perf.fabric.Recv(ctx, addrOf(rc.role), addrOf(from), rendezvous.Tag(tag))
 	if err != nil {
 		return nil, rc.mapCommErr(from, err)
 	}
@@ -119,7 +127,11 @@ func (rc *RoleCtx) RecvTag(from ids.RoleRef, tag string) (any, error) {
 // is the anonymous reception the paper attributes to Ada's accept (and to
 // Francez's extension of CSP).
 func (rc *RoleCtx) RecvAny() (ids.RoleRef, string, any, error) {
-	out, err := rc.perf.fabric.RecvAny(rc.ctx, addrOf(rc.role))
+	ctx, cancel := rc.inst.opContext(rc.ctx)
+	if cancel != nil {
+		defer cancel()
+	}
+	out, err := rc.perf.fabric.RecvAny(ctx, addrOf(rc.role))
 	if err != nil {
 		return ids.RoleRef{}, "", nil, rc.mapCommErr(ids.RoleRef{}, err)
 	}
@@ -260,7 +272,11 @@ func (rc *RoleCtx) Select(branches ...SelectBranch) (Selected, error) {
 	for i, m := range enabled {
 		fabricBranches[i] = m.br
 	}
-	out, err := rc.perf.fabric.Do(rc.ctx, addrOf(rc.role), fabricBranches)
+	ctx, cancel := rc.inst.opContext(rc.ctx)
+	if cancel != nil {
+		defer cancel()
+	}
+	out, err := rc.perf.fabric.Do(ctx, addrOf(rc.role), fabricBranches)
 	if err != nil {
 		return Selected{}, rc.mapCommErr(ids.RoleRef{}, err)
 	}

@@ -70,6 +70,8 @@ var (
 	ErrSelfTerminated = errors.New("rendezvous: own address terminated")
 	// ErrClosed reports that the fabric was closed.
 	ErrClosed = errors.New("rendezvous: fabric closed")
+	// ErrAborted is the default reason for Abort when none is supplied.
+	ErrAborted = errors.New("rendezvous: fabric aborted")
 	// ErrNoBranches reports a Do call with zero enabled branches, which can
 	// never commit (CSP: an alternative command with all guards false fails).
 	ErrNoBranches = errors.New("rendezvous: no enabled branches")
@@ -118,9 +120,10 @@ func WithRandomMatching(seed int64) Option {
 // Fabric is a synchronous rendezvous domain. Create one per communication
 // scope (one per script performance, one per CSP parallel command, ...).
 type Fabric struct {
-	mu     sync.Mutex
-	closed bool
-	rng    *rand.Rand // nil = FIFO matching
+	mu      sync.Mutex
+	closed  bool
+	aborted error      // non-nil once Abort was called; the failure reason
+	rng     *rand.Rand // nil = FIFO matching
 
 	seq        uint64                // post order, for FIFO matching
 	byOwner    map[Addr][]*op        // pending ops owned by addr
@@ -198,6 +201,11 @@ func (f *Fabric) Do(ctx context.Context, owner Addr, branches []Branch) (Outcome
 	if f.closed {
 		f.mu.Unlock()
 		return Outcome{}, ErrClosed
+	}
+	if f.aborted != nil {
+		reason := f.aborted
+		f.mu.Unlock()
+		return Outcome{}, reason
 	}
 	if f.terminated[owner] {
 		f.mu.Unlock()
@@ -525,16 +533,59 @@ func (f *Fabric) Close() {
 		return
 	}
 	f.closed = true
+	f.failAllLocked(ErrClosed)
+}
+
+// Abort fails every pending operation with the given reason and makes every
+// future operation fail with it too, until Reset. It is the communication
+// half of aborting one performance: unlike Close — which marks the fabric
+// unusable for good and is shared by instance shutdown — Abort carries a
+// caller-supplied reason (the script layer passes its *AbortError* naming
+// the culprit role), so blocked co-performers unwind with a diagnosis
+// instead of a generic closure. A nil reason defaults to ErrAborted. Abort
+// is idempotent: the first reason wins, and Abort after Close is a no-op.
+func (f *Fabric) Abort(reason error) {
+	if reason == nil {
+		reason = ErrAborted
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed || f.aborted != nil {
+		return
+	}
+	f.aborted = reason
+	f.failAllLocked(reason)
+}
+
+// failAllLocked fails every pending operation with err and empties the
+// posting indexes.
+func (f *Fabric) failAllLocked(err error) {
 	for owner, list := range f.byOwner {
 		for _, o := range list {
 			if !o.g.committed {
 				o.g.committed = true
-				o.g.errCh <- ErrClosed
+				o.g.errCh <- err
 			}
 		}
 		delete(f.byOwner, owner)
 	}
 	f.sendersTo = make(map[Addr]map[*op]bool)
+}
+
+// Waiting reports whether addr currently owns a pending (uncommitted)
+// operation — i.e. it is blocked inside the fabric trying to communicate.
+// The script layer uses this to tell a wedged role (enrolled but never
+// communicating) apart from its blocked co-performers when picking the
+// culprit of a deadline abort.
+func (f *Fabric) Waiting(addr Addr) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, o := range f.byOwner[addr] {
+		if !o.g.committed {
+			return true
+		}
+	}
+	return false
 }
 
 // Reset returns a closed (or idle) fabric to its initial empty state so it
@@ -547,6 +598,7 @@ func (f *Fabric) Reset() {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.closed = false
+	f.aborted = nil
 	f.seq = 0
 	clear(f.byOwner)
 	clear(f.sendersTo)

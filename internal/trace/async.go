@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
 )
@@ -13,8 +14,9 @@ import (
 // Async keeps that critical section short — the enqueue is a couple of
 // atomic operations and never blocks.
 //
-// Drop semantics: when the ring is full, Record drops the event and
-// increments the drop counter instead of blocking the hot path. Dropped
+// Drop semantics: when the ring is full — or the tracer has been closed —
+// Record drops the event and increments the drop counter instead of
+// blocking the hot path or resurrecting a stopped drainer. Dropped
 // events are simply missing from the sink; the events that are delivered
 // preserve their recording order (the ring is FIFO). Tests that need a
 // complete log should either use the sink directly (all Tracers remain
@@ -28,6 +30,14 @@ type Async struct {
 	enq     atomic.Uint64 // next enqueue position
 	deq     atomic.Uint64 // next dequeue position (advanced only by drain)
 	dropped atomic.Uint64
+
+	// stopped and recorders fence Record against Close: Record registers in
+	// recorders for its whole critical section and bails out (counting the
+	// event as dropped) once stopped is set; Close sets stopped and then
+	// waits for recorders to reach zero before running the final drain
+	// sweep, so every enqueue the sweep must deliver has been published.
+	stopped   atomic.Bool
+	recorders atomic.Int64
 
 	notify chan struct{} // producer -> drainer doorbell, capacity 1
 	quit   chan struct{}
@@ -79,9 +89,19 @@ func NewAsync(sink Tracer, size int) *Async {
 	return a
 }
 
-// Record enqueues e without blocking. If the ring is full the event is
-// dropped and counted. Safe for concurrent use by any number of recorders.
+// Record enqueues e without blocking. If the ring is full, or the tracer
+// has been closed, the event is dropped and counted in Dropped(). Safe for
+// concurrent use by any number of recorders, including concurrently with
+// Close: a Record that races Close either delivers its event to the sink
+// before Close returns or counts it as dropped — it is never silently lost
+// and never touches the ring after the final drain sweep.
 func (a *Async) Record(e Event) {
+	a.recorders.Add(1)
+	defer a.recorders.Add(-1)
+	if a.stopped.Load() {
+		a.dropped.Add(1)
+		return
+	}
 	for {
 		pos := a.enq.Load()
 		cell := &a.cells[pos&a.mask]
@@ -169,8 +189,9 @@ func (a *Async) Flush() {
 func (a *Async) Dropped() uint64 { return a.dropped.Load() }
 
 // Close drains outstanding events into the sink and stops the background
-// goroutine. Events recorded after Close may be dropped. Close is
-// idempotent.
+// goroutine. A Record concurrent with Close either gets its event delivered
+// or counted as dropped; Records issued after Close returns are guaranteed
+// no-ops counted in Dropped(). Close is idempotent.
 func (a *Async) Close() {
 	a.mu.Lock()
 	if a.closed {
@@ -179,6 +200,13 @@ func (a *Async) Close() {
 	}
 	a.closed = true
 	a.mu.Unlock()
+	// Fence out recorders, then wait for in-flight ones to publish: after
+	// this loop no goroutine will touch the ring again, so the drainer's
+	// final sweep observes every claimed cell fully published.
+	a.stopped.Store(true)
+	for a.recorders.Load() != 0 {
+		runtime.Gosched()
+	}
 	close(a.quit)
 	a.wg.Wait()
 }

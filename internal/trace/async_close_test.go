@@ -1,0 +1,65 @@
+package trace
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// countSink counts deliveries without the slowSink's latency.
+type countSink struct{ n atomic.Uint64 }
+
+func (s *countSink) Record(Event) { s.n.Add(1) }
+
+// TestAsyncRecordVsCloseAccounting hammers Record from many goroutines while
+// Close runs concurrently, and checks the hardening contract: every recorded
+// event is either delivered to the sink or counted in Dropped() — none is
+// silently lost to the final drain sweep racing an in-flight Record.
+func TestAsyncRecordVsCloseAccounting(t *testing.T) {
+	for round := 0; round < 50; round++ {
+		sink := &countSink{}
+		a := NewAsync(sink, 64)
+		const workers, each = 8, 100
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				for i := 0; i < each; i++ {
+					a.Record(Event{Kind: KindSend})
+				}
+			}()
+		}
+		close(start)
+		a.Close() // races the recorders by design
+		wg.Wait()
+
+		delivered := sink.n.Load()
+		dropped := a.Dropped()
+		if delivered+dropped != workers*each {
+			t.Fatalf("round %d: delivered %d + dropped %d != recorded %d",
+				round, delivered, dropped, workers*each)
+		}
+	}
+}
+
+// TestAsyncPostCloseRecordIsCountedNoop: after Close has returned, Record is
+// a guaranteed no-op that increments Dropped() and never reaches the sink.
+func TestAsyncPostCloseRecordIsCountedNoop(t *testing.T) {
+	sink := &countSink{}
+	a := NewAsync(sink, 16)
+	a.Record(Event{Kind: KindEnroll})
+	a.Close()
+	before := a.Dropped()
+	for i := 0; i < 25; i++ {
+		a.Record(Event{Kind: KindEnroll})
+	}
+	if got, want := a.Dropped()-before, uint64(25); got != want {
+		t.Fatalf("post-Close records counted %d drops, want %d", got, want)
+	}
+	if got := sink.n.Load(); got != 1 {
+		t.Fatalf("sink saw %d events, want only the 1 pre-Close event", got)
+	}
+}

@@ -42,6 +42,17 @@ const (
 	KindPerfStart
 	// KindPerfEnd records the termination of a performance.
 	KindPerfEnd
+	// KindAbort records that a performance was aborted by the runtime
+	// (deadline exceeded) instead of terminating normally; Role carries the
+	// culprit role and Detail the reason. An aborted performance records no
+	// KindPerfEnd: the abort is its final event, and roles of that
+	// performance may still record late Finish/Release events while they
+	// unwind.
+	KindAbort
+	// KindDrain records that an instance began draining: no new offers are
+	// admitted, in-flight performances run to completion, then the instance
+	// closes.
+	KindDrain
 )
 
 var kindNames = map[Kind]string{
@@ -54,6 +65,8 @@ var kindNames = map[Kind]string{
 	KindAbsent:    "absent",
 	KindPerfStart: "perf-start",
 	KindPerfEnd:   "perf-end",
+	KindAbort:     "abort",
+	KindDrain:     "drain",
 }
 
 // String returns the lowercase name of the kind.
@@ -248,6 +261,15 @@ func timelineLine(e Event) string {
 		return fmt.Sprintf("performance %d of %s begins", e.Performance, e.Script)
 	case KindPerfEnd:
 		return fmt.Sprintf("performance %d of %s ends", e.Performance, e.Script)
+	case KindAbort:
+		if e.Role.Name != "" {
+			return fmt.Sprintf("performance %d of %s is aborted (culprit %s%s)",
+				e.Performance, e.Script, e.Role, commaDetail(e.Detail))
+		}
+		return fmt.Sprintf("performance %d of %s is aborted%s",
+			e.Performance, e.Script, parenDetail(e.Detail))
+	case KindDrain:
+		return fmt.Sprintf("instance of %s begins draining", e.Script)
 	default:
 		return e.String()
 	}
@@ -258,4 +280,11 @@ func parenDetail(d string) string {
 		return ""
 	}
 	return " (" + d + ")"
+}
+
+func commaDetail(d string) string {
+	if d == "" {
+		return ""
+	}
+	return ", " + d
 }

@@ -2,7 +2,9 @@ package script
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 )
 
@@ -28,7 +30,13 @@ type Pool struct {
 	def       Definition
 	instances []*Instance
 	cursor    atomic.Uint64
+	// closed is the fast-fail flag for Enroll. It is set only AFTER every
+	// instance has been closed, so a true reading guarantees no instance
+	// can admit an offer; a false reading merely forwards to an instance's
+	// own (authoritative) closed check.
 	closed    atomic.Bool
+	draining  atomic.Bool
+	closeOnce sync.Once
 }
 
 // NewPool creates a pool of n instances of def, each configured with opts.
@@ -74,6 +82,14 @@ func (p *Pool) PendingEnrollments() int {
 	return total
 }
 
+// Closed reports whether the pool has fully closed: every instance closed
+// and the pool-level fast-fail flag accepted.
+func (p *Pool) Closed() bool { return p.closed.Load() }
+
+// Draining reports whether Drain has been called (the pool no longer admits
+// offers).
+func (p *Pool) Draining() bool { return p.draining.Load() }
+
 // pick selects the dispatch target: the least-loaded instance, scanning
 // from a rotating start so equally-loaded instances are used round-robin.
 func (p *Pool) pick() *Instance {
@@ -94,6 +110,9 @@ func (p *Pool) pick() *Instance {
 // blocking like Instance.Enroll. The chosen instance's performance number
 // is reported in the Result.
 func (p *Pool) Enroll(ctx context.Context, e Enrollment) (Result, error) {
+	if p.draining.Load() {
+		return Result{}, ErrDraining
+	}
 	if p.closed.Load() {
 		return Result{}, ErrClosed
 	}
@@ -103,16 +122,52 @@ func (p *Pool) Enroll(ctx context.Context, e Enrollment) (Result, error) {
 // EnrollBloc dispatches a joint enrollment to the least-loaded instance, so
 // the whole bloc lands in one performance there (see Instance.EnrollBloc).
 func (p *Pool) EnrollBloc(ctx context.Context, members []Enrollment) ([]Result, error) {
+	if p.draining.Load() {
+		return nil, ErrDraining
+	}
 	if p.closed.Load() {
 		return nil, ErrClosed
 	}
 	return p.pick().EnrollBloc(ctx, members)
 }
 
-// Close closes every instance in the pool. Close is idempotent.
+// Close aborts every instance in the pool. The pool-level closed flag is
+// accepted only after every instance has closed; until then a racing Enroll
+// may still dispatch, and the instance's own closed check — which is
+// authoritative — rejects it. (Accepting the flag first would let the pool
+// report ErrClosed while an instance still admits offers and starts a fresh
+// performance mid-shutdown.) Close is idempotent. Prefer Drain for a
+// shutdown that lets in-flight performances complete.
 func (p *Pool) Close() {
-	p.closed.Store(true)
-	for _, in := range p.instances {
-		in.Close()
+	p.closeOnce.Do(func() {
+		for _, in := range p.instances {
+			in.Close()
+		}
+		p.closed.Store(true)
+	})
+}
+
+// Drain shuts the pool down gracefully: new offers fail with ErrDraining
+// immediately, every instance drains concurrently (pending offers released,
+// in-flight performances run to completion), and Drain returns nil once all
+// instances have closed. If ctx ends first, Drain returns the joined
+// errors; instances keep draining and a later Drain or Close finishes the
+// job. See Instance.Drain for the per-instance semantics.
+func (p *Pool) Drain(ctx context.Context) error {
+	p.draining.Store(true)
+	errs := make([]error, len(p.instances))
+	var wg sync.WaitGroup
+	for i, in := range p.instances {
+		wg.Add(1)
+		go func(i int, in *Instance) {
+			defer wg.Done()
+			errs[i] = in.Drain(ctx)
+		}(i, in)
 	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return err
+	}
+	p.closed.Store(true)
+	return nil
 }

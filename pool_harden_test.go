@@ -1,0 +1,168 @@
+package script_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	script "github.com/scriptabs/goscript"
+)
+
+// TestPoolCloseNeverLiesAboutClosed is the regression test for the
+// Close-vs-Enroll race: Pool.Close must accept the pool-level closed flag
+// only after every instance has closed. With a single-instance pool the
+// ordering is observable — whenever Enroll reports ErrClosed, the instance
+// behind the pool must actually be closed. Under the old ordering (flag
+// first, then instance closes) this fails: the flag reads true while the
+// instance still admits offers.
+func TestPoolCloseNeverLiesAboutClosed(t *testing.T) {
+	for round := 0; round < 200; round++ {
+		pool := script.NewPool(slotDef(t), 1)
+		start := make(chan struct{})
+		got := make(chan error, 1)
+		go func() {
+			<-start
+			_, err := pool.Enroll(context.Background(), script.Enrollment{
+				PID: "P", Role: script.Role("only"),
+			})
+			got <- err
+		}()
+		go func() {
+			<-start
+			pool.Close()
+		}()
+		close(start)
+		err := <-got
+		if err == nil {
+			continue // enrolled before the close landed: fine
+		}
+		if !errors.Is(err, script.ErrClosed) {
+			t.Fatalf("round %d: err = %v, want nil or ErrClosed", round, err)
+		}
+		if !pool.Instance(0).Closed() {
+			t.Fatalf("round %d: pool reported ErrClosed while its instance was still open", round)
+		}
+	}
+}
+
+// TestPoolCloseVsEnrollStress: many enrollers racing Close across a
+// multi-instance pool — every enrollment resolves with nil or ErrClosed,
+// and nothing deadlocks or panics.
+func TestPoolCloseVsEnrollStress(t *testing.T) {
+	for round := 0; round < 20; round++ {
+		pool := script.NewPool(slotDef(t), 4)
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		errs := make(chan error, 32)
+		for w := 0; w < 32; w++ {
+			w := w
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				_, err := pool.Enroll(context.Background(), script.Enrollment{
+					PID: script.PID(fmt.Sprintf("P%d", w)), Role: script.Role("only"),
+				})
+				errs <- err
+			}()
+		}
+		go func() {
+			<-start
+			pool.Close()
+		}()
+		close(start)
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			if err != nil && !errors.Is(err, script.ErrClosed) {
+				t.Fatalf("round %d: err = %v, want nil or ErrClosed", round, err)
+			}
+		}
+	}
+}
+
+// TestPoolDrain: Pool.Drain rejects new offers with ErrDraining, lets
+// in-flight performances finish, closes every instance, and returns nil.
+func TestPoolDrain(t *testing.T) {
+	release := make(chan struct{})
+	def := script.New("hold").
+		Role("only", func(rc script.Ctx) error {
+			select {
+			case <-release:
+			case <-rc.Context().Done():
+			}
+			rc.SetResult(0, "done")
+			return nil
+		}).
+		MustBuild()
+	pool := script.NewPool(def, 3)
+
+	// One holder per instance: an instance serializes its performances, so
+	// this is the maximum number of in-flight performances.
+	var wg sync.WaitGroup
+	outs := make(chan error, 3)
+	for w := 0; w < 3; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := pool.Enroll(context.Background(), script.Enrollment{
+				PID: script.PID(fmt.Sprintf("H%d", w)), Role: script.Role("only"),
+			})
+			if err == nil && (len(res.Values) == 0 || res.Values[0] != "done") {
+				err = fmt.Errorf("missing result: %+v", res)
+			}
+			outs <- err
+		}()
+	}
+	// Wait until all holders are in flight.
+	deadline := time.Now().Add(5 * time.Second)
+	for pool.Performances() < 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d performances started", pool.Performances())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	drainDone := make(chan error, 1)
+	go func() { drainDone <- pool.Drain(context.Background()) }()
+	deadline = time.Now().Add(5 * time.Second)
+	for !pool.Draining() {
+		if time.Now().After(deadline) {
+			t.Fatal("pool never became draining")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// New offers fail fast once draining is visible.
+	if _, err := pool.Enroll(context.Background(), script.Enrollment{PID: "X", Role: script.Role("only")}); !errors.Is(err, script.ErrDraining) {
+		t.Fatalf("offer during drain: err = %v, want ErrDraining", err)
+	}
+	// Drain must wait for the in-flight work.
+	select {
+	case err := <-drainDone:
+		t.Fatalf("Drain returned %v before in-flight performances finished", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(release)
+	if err := <-drainDone; err != nil {
+		t.Fatalf("Drain = %v, want nil", err)
+	}
+	wg.Wait()
+	close(outs)
+	for err := range outs {
+		if err != nil {
+			t.Fatalf("in-flight enrollment err = %v, want nil", err)
+		}
+	}
+	for i := 0; i < pool.Size(); i++ {
+		if !pool.Instance(i).Closed() {
+			t.Fatalf("instance %d not closed after Pool.Drain", i)
+		}
+	}
+	if _, err := pool.Enroll(context.Background(), script.Enrollment{PID: "Y", Role: script.Role("only")}); !errors.Is(err, script.ErrDraining) {
+		t.Fatalf("post-drain offer err = %v, want ErrDraining", err)
+	}
+}

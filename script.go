@@ -39,6 +39,8 @@
 package script
 
 import (
+	"time"
+
 	"github.com/scriptabs/goscript/internal/core"
 	"github.com/scriptabs/goscript/internal/ids"
 	"github.com/scriptabs/goscript/internal/match"
@@ -72,6 +74,12 @@ type (
 	Option = core.Option
 	// RoleError wraps an error from a role body.
 	RoleError = core.RoleError
+	// AbortError reports a performance aborted by the runtime (deadline
+	// exceeded); it wraps ErrPerformanceAborted and names the culprit role.
+	AbortError = core.AbortError
+	// FaultInjector injects controlled latency, dropped wakeups and spurious
+	// cancellations for robustness testing; see WithFaultInjection.
+	FaultInjector = core.FaultInjector
 	// DefinitionError reports an invalid definition.
 	DefinitionError = core.DefinitionError
 	// Initiation selects when a performance begins.
@@ -126,6 +134,12 @@ var (
 	ErrUnknownRole = core.ErrUnknownRole
 	// ErrClosed reports use of a closed instance.
 	ErrClosed = core.ErrClosed
+	// ErrDraining reports an offer rejected because the instance or pool is
+	// draining (see Instance.Drain and Pool.Drain).
+	ErrDraining = core.ErrDraining
+	// ErrPerformanceAborted reports a performance aborted by the runtime;
+	// enrollers receive it wrapped in an *AbortError naming the culprit.
+	ErrPerformanceAborted = core.ErrPerformanceAborted
 	// ErrNoBranches reports a Select with no enabled branches.
 	ErrNoBranches = core.ErrNoBranches
 )
@@ -155,6 +169,19 @@ func NewAsyncTracer(sink Tracer, size int) *AsyncTracer {
 
 // WithFairness selects the instance's contention policy.
 func WithFairness(f Fairness, seed int64) Option { return core.WithFairness(f, seed) }
+
+// WithPerformanceDeadline bounds every performance of the instance: a
+// performance that has not completed d after it starts is aborted, its
+// blocked co-performers unwinding with an *AbortError that names the
+// culprit role. d <= 0 disables the bound. Individual enrollments can
+// tighten (never loosen) the bound via Enrollment.Deadline.
+func WithPerformanceDeadline(d time.Duration) Option {
+	return core.WithPerformanceDeadline(d)
+}
+
+// WithFaultInjection attaches a fault injector to an instance; intended for
+// robustness tests (see internal/chaos for the seeded implementation).
+func WithFaultInjection(fi FaultInjector) Option { return core.WithFaultInjection(fi) }
 
 // Role returns a reference to the scalar role named name.
 func Role(name string) RoleRef { return ids.Role(name) }

@@ -2,6 +2,7 @@ package script_test
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -108,6 +109,85 @@ func TestSoakRandomWorkloads(t *testing.T) {
 				Count: 1,
 			}) {
 				t.Errorf("receive counts: %s", v)
+			}
+		})
+	}
+}
+
+// TestSoakPanickingBodies hammers a two-role rendezvous in which either
+// body may panic while its partner is blocked mid-communication, under both
+// termination modes. The runtime's contract: the panicker reports a
+// *RoleError, the blocked partner unwinds with ErrRoleFinished (never
+// hangs), the instance keeps serving subsequent casts, and the recorded
+// trace stays conformant.
+func TestSoakPanickingBodies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test is not short")
+	}
+	for _, term := range []core.Termination{core.ImmediateTermination, core.DelayedTermination} {
+		term := term
+		name := "immediate"
+		if term == core.DelayedTermination {
+			name = "delayed"
+		}
+		t.Run(name, func(t *testing.T) {
+			def := core.NewScript("panicky").
+				Role("a", func(rc core.Ctx) error {
+					if rc.Arg(0) == "panic" {
+						panic("soak: a panics")
+					}
+					return rc.Send(ids.Role("b"), "v")
+				}).
+				Role("b", func(rc core.Ctx) error {
+					if rc.Arg(0) == "panic" {
+						panic("soak: b panics")
+					}
+					_, err := rc.Recv(ids.Role("a"))
+					return err
+				}).
+				Initiation(core.DelayedInitiation).
+				Termination(term).
+				MustBuild()
+			var log trace.Log
+			in := core.NewInstance(def, core.WithTracer(&log))
+			defer in.Close()
+
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			rng := rand.New(rand.NewSource(7))
+			const rounds = 60
+			for r := 0; r < rounds; r++ {
+				var argsA, argsB []any
+				switch rng.Intn(4) {
+				case 0:
+					argsA = []any{"panic"}
+				case 1:
+					argsB = []any{"panic"}
+				}
+				chA := make(chan error, 1)
+				go func() {
+					_, err := in.Enroll(ctx, core.Enrollment{PID: "A", Role: ids.Role("a"), Args: argsA})
+					chA <- err
+				}()
+				_, errB := in.Enroll(ctx, core.Enrollment{PID: "B", Role: ids.Role("b"), Args: argsB})
+				errA := <-chA
+				for _, e := range []error{errA, errB} {
+					if e == nil {
+						continue
+					}
+					var re *core.RoleError
+					if !errors.As(e, &re) {
+						t.Fatalf("round %d: unexpected error class %v", r, e)
+					}
+				}
+				// A panicking partner must surface to the blocked side as
+				// ErrRoleFinished (wrapped in its own RoleError), never a hang.
+				if len(argsA) > 0 && errB != nil && !errors.Is(errB, core.ErrRoleFinished) {
+					t.Fatalf("round %d: b err = %v, want ErrRoleFinished after a's panic", r, errB)
+				}
+			}
+			for _, v := range conform.CheckSemantics(log.Events()) {
+				t.Errorf("semantics: %s", v)
 			}
 		})
 	}
