@@ -55,6 +55,9 @@ func runChaosSoak(t *testing.T, seed int64, dur time.Duration) {
 		WakeDelayMax:   time.Millisecond,
 		CancelP:        0.05,
 		CancelAfterMax: time.Millisecond,
+		FastDelayP:     0.20,
+		FastDelayMax:   500 * time.Microsecond,
+		FastEvictP:     0.10,
 	})
 
 	// A two-role rendezvous where either body may panic mid-performance:
@@ -164,8 +167,9 @@ func runChaosSoak(t *testing.T, seed int64, dur time.Duration) {
 	}
 
 	op, wake, cancels, decisions := inj.Stats()
-	t.Logf("seed %d: %d enrollments, %d fault decisions (%d op delays, %d wake drops, %d spurious cancels), %d performances",
-		seed, attempts.Load(), decisions, op, wake, cancels, in.Performances())
+	fastDelays, fastEvicts := inj.FastStats()
+	t.Logf("seed %d: %d enrollments, %d fault decisions (%d op delays, %d wake drops, %d spurious cancels, %d fast delays, %d fast evicts), %d performances",
+		seed, attempts.Load(), decisions, op, wake, cancels, fastDelays, fastEvicts, in.Performances())
 	if decisions == 0 {
 		t.Error("fault injector was never consulted — harness not wired in")
 	}

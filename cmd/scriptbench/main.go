@@ -87,7 +87,9 @@ func runJSON(out *os.File, only, outdir, baseline string) error {
 		}
 		fmt.Fprintf(out, "%s %s (%d enrollers)... ", spec.ID, spec.Name, spec.Enrollers)
 		res := spec.Run()
-		if baseline != "" {
+		// E5/E6 record their intrinsic comparison run as the baseline; a
+		// -baseline directory only fills the experiments that lack one.
+		if baseline != "" && res.BaselineNsPerOp == 0 {
 			if base, err := readBaseline(filepath.Join(baseline, benchFile(spec.ID))); err == nil && base.NsPerOp > 0 {
 				res.BaselineNsPerOp = base.NsPerOp
 				res.DeltaPct = (base.NsPerOp - res.NsPerOp) / base.NsPerOp * 100

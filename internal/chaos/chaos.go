@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"github.com/scriptabs/goscript/internal/core"
+	"github.com/scriptabs/goscript/internal/rendezvous"
 )
 
 // Config tunes an Injector. Each fault class has an independent probability
@@ -45,6 +46,17 @@ type Config struct {
 	// cancellation fires.
 	CancelP        float64
 	CancelAfterMax time.Duration
+
+	// FastDelayP is the probability that a fast-lane handoff is delayed
+	// after parking in its exchange cell (widening the escalation race
+	// windows), and FastDelayMax the largest injected latency.
+	FastDelayP   float64
+	FastDelayMax time.Duration
+
+	// FastEvictP is the probability that a parked fast-lane op is spuriously
+	// evicted from its exchange cell and re-routed through the slow lane —
+	// a pure rerouting fault that must never change what the op matches.
+	FastEvictP float64
 }
 
 // Injector implements core.FaultInjector with seeded randomness and
@@ -58,10 +70,15 @@ type Injector struct {
 	opDelays    atomic.Uint64
 	wakeDelays  atomic.Uint64
 	cancels     atomic.Uint64
+	fastDelays  atomic.Uint64
+	fastEvicts  atomic.Uint64
 	consultions atomic.Uint64
 }
 
-var _ core.FaultInjector = (*Injector)(nil)
+var (
+	_ core.FaultInjector    = (*Injector)(nil)
+	_ rendezvous.FastFaults = (*Injector)(nil)
+)
 
 // New returns an Injector drawing from a PRNG seeded with cfg.Seed.
 func New(cfg Config) *Injector {
@@ -111,8 +128,39 @@ func (j *Injector) CancelAfter() time.Duration {
 	return d
 }
 
+// FastDelay implements rendezvous.FastFaults: a latency imposed after a
+// fast-lane op parks in its exchange cell.
+func (j *Injector) FastDelay() time.Duration {
+	d := j.draw(j.cfg.FastDelayP, j.cfg.FastDelayMax)
+	if d > 0 {
+		j.fastDelays.Add(1)
+	}
+	return d
+}
+
+// FastEvict implements rendezvous.FastFaults: with probability FastEvictP
+// the parked op is evicted from its cell and retried through the slow lane.
+func (j *Injector) FastEvict() bool {
+	j.consultions.Add(1)
+	if j.cfg.FastEvictP <= 0 {
+		return false
+	}
+	j.mu.Lock()
+	hit := j.rng.Float64() < j.cfg.FastEvictP
+	j.mu.Unlock()
+	if hit {
+		j.fastEvicts.Add(1)
+	}
+	return hit
+}
+
 // Stats reports how many faults of each class have been injected and how
 // many decisions were drawn in total.
 func (j *Injector) Stats() (opDelays, wakeDelays, cancels, decisions uint64) {
 	return j.opDelays.Load(), j.wakeDelays.Load(), j.cancels.Load(), j.consultions.Load()
+}
+
+// FastStats reports how many fast-lane faults have been injected.
+func (j *Injector) FastStats() (fastDelays, fastEvicts uint64) {
+	return j.fastDelays.Load(), j.fastEvicts.Load()
 }

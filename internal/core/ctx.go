@@ -44,6 +44,11 @@ type Ctx interface {
 	// inter-role communications.
 	Send(to ids.RoleRef, v any) error
 	SendTag(to ids.RoleRef, tag string, v any) error
+	// SendAll offers v to every role in tos and blocks until all transfers
+	// commit — the one-sender fan-out of the paper's broadcast figures. The
+	// native runtime vectorizes it (the offers overlap instead of running as
+	// len(tos) serial rendezvous); host adapters may fall back to a loop.
+	SendAll(tos []ids.RoleRef, v any) error
 	Recv(from ids.RoleRef) (any, error)
 	RecvTag(from ids.RoleRef, tag string) (any, error)
 	RecvAny() (ids.RoleRef, string, any, error)

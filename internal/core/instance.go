@@ -625,9 +625,15 @@ func (in *Instance) matchViableLocked() bool {
 func (in *Instance) startPerformanceLocked(asg match.Assignment) {
 	in.perfCount++
 	ctx, cancel := context.WithCancel(context.Background())
+	fab := fabricPool.Get().(*rendezvous.Fabric)
+	if ff, ok := in.faults.(rendezvous.FastFaults); ok && in.faults != nil {
+		// The fault injector also covers fast-lane handoffs (chaos soak):
+		// attach it for this performance; Reset detaches it.
+		fab.SetFastFaults(ff)
+	}
 	p := &performance{
 		number:   in.perfCount,
-		fabric:   fabricPool.Get().(*rendezvous.Fabric),
+		fabric:   fab,
 		ctx:      ctx,
 		cancel:   cancel,
 		assigned: make(match.Assignment),

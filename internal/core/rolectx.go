@@ -99,6 +99,40 @@ func (rc *RoleCtx) SendTag(to ids.RoleRef, tag string, v any) error {
 	return nil
 }
 
+// SendAll offers v to every role in tos (untagged) and blocks until all
+// transfers commit. The offers are issued as one vectorized scatter: they
+// overlap in the fabric instead of running as len(tos) serial rendezvous,
+// so a star broadcast costs one fan-out rather than n round trips. On error,
+// the scatter still drives every offer to an outcome (commit or failure)
+// before returning the first failure; recipients that committed did receive
+// the value.
+func (rc *RoleCtx) SendAll(tos []ids.RoleRef, v any) error {
+	if len(tos) == 0 {
+		return nil
+	}
+	targets := make([]rendezvous.Addr, len(tos))
+	for i, to := range tos {
+		if err := rc.precheck(to); err != nil {
+			return err
+		}
+		targets[i] = addrOf(to)
+	}
+	ctx, cancel := rc.inst.opContext(rc.ctx)
+	if cancel != nil {
+		defer cancel()
+	}
+	if err := rc.perf.fabric.Scatter(ctx, addrOf(rc.role), "", targets, []any{v}); err != nil {
+		return rc.mapCommErr(ids.RoleRef{}, err)
+	}
+	for _, to := range tos {
+		rc.inst.record(trace.Event{
+			Kind: trace.KindSend, Script: rc.inst.def.name, Performance: rc.perf.number,
+			Role: rc.role, Peer: to, PID: rc.pid,
+		})
+	}
+	return nil
+}
+
 // Recv receives the next untagged message from role `from`.
 func (rc *RoleCtx) Recv(from ids.RoleRef) (any, error) { return rc.RecvTag(from, "") }
 

@@ -31,10 +31,14 @@ const (
 func StarBroadcast(n int) core.Definition {
 	return core.NewScript("star_broadcast").
 		Role(RoleSender, func(rc core.Ctx) error {
+			// One vectorized fan-out: the offers to all n recipients overlap
+			// in the fabric instead of committing as n serial round trips.
+			tos := make([]ids.RoleRef, n)
 			for i := 1; i <= n; i++ {
-				if err := rc.Send(ids.Member(RoleRecipient, i), rc.Arg(0)); err != nil {
-					return fmt.Errorf("send to recipient[%d]: %w", i, err)
-				}
+				tos[i-1] = ids.Member(RoleRecipient, i)
+			}
+			if err := rc.SendAll(tos, rc.Arg(0)); err != nil {
+				return fmt.Errorf("broadcast to recipients: %w", err)
 			}
 			return nil
 		}).
@@ -108,10 +112,12 @@ func TreeBroadcast(n, fanout int) core.Definition {
 			}
 			rc.SetResult(0, v)
 			firstChild := fanout*(i-1) + 2
+			var children []ids.RoleRef
 			for c := firstChild; c < firstChild+fanout && c <= n; c++ {
-				if err := rc.Send(ids.Member(RoleRecipient, c), v); err != nil {
-					return fmt.Errorf("forward to recipient[%d]: %w", c, err)
-				}
+				children = append(children, ids.Member(RoleRecipient, c))
+			}
+			if err := rc.SendAll(children, v); err != nil {
+				return fmt.Errorf("forward to children of recipient[%d]: %w", i, err)
 			}
 			return nil
 		}).

@@ -1,7 +1,7 @@
-// Package perfbench defines the scheduler performance acceptance suite: a
-// small set of named measurements (E1–E4) runnable from cmd/scriptbench
-// -json, so regressions in the enrollment hot path are visible as numbers
-// in BENCH_E*.json rather than only as `go test -bench` output.
+// Package perfbench defines the performance acceptance suite: a small set
+// of named measurements (E1–E6) runnable from cmd/scriptbench -json, so
+// regressions in the enrollment and communication hot paths are visible as
+// numbers in BENCH_E*.json rather than only as `go test -bench` output.
 //
 // The suite deliberately mirrors the hottest benchmarks of bench_test.go:
 //
@@ -9,14 +9,19 @@
 //	E2  successive performances, 3 empty roles (Figure 1's barrier)
 //	E3  contended enrollment, 64 contenders for one role
 //	E4  script.Pool of 4 instances vs a single instance, 64 enrollers
+//	E5  fabric point-to-point ping-pong: fast lane vs forced slow lane
+//	E6  fabric star scatter to 64 recipients vs a loop of serial sends
 //
 // Each Spec.Run executes under testing.Benchmark so iteration counts are
-// chosen the same way `go test -bench` chooses them.
+// chosen the same way `go test -bench` chooses them. E5/E6 measure the
+// rendezvous fabric directly and record their own comparison run in
+// baseline_ns_per_op (fast vs slow lane, scatter vs serial).
 package perfbench
 
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -26,6 +31,7 @@ import (
 	"github.com/scriptabs/goscript/internal/core"
 	"github.com/scriptabs/goscript/internal/ids"
 	"github.com/scriptabs/goscript/internal/patterns"
+	"github.com/scriptabs/goscript/internal/rendezvous"
 )
 
 // Result is one measurement, serialized to BENCH_<ID>.json.
@@ -36,13 +42,16 @@ type Result struct {
 	Enrollers   int     `json:"enrollers"`
 	Iterations  int     `json:"iterations"`
 	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
 
 	// E4 only: the single-instance run the pool is compared against.
 	SingleNsPerOp float64 `json:"single_instance_ns_per_op,omitempty"`
 	Speedup       float64 `json:"speedup,omitempty"`
 
-	// Filled by cmd/scriptbench -baseline: the prior recorded ns_per_op and
-	// the improvement over it, positive = faster (in percent).
+	// The prior recorded ns_per_op and the improvement over it, positive =
+	// faster (in percent). Filled by cmd/scriptbench -baseline for E1–E4;
+	// E5/E6 fill it themselves with their in-build comparison run (forced
+	// slow lane, serial sends).
 	BaselineNsPerOp float64 `json:"baseline_ns_per_op,omitempty"`
 	DeltaPct        float64 `json:"delta_pct,omitempty"`
 }
@@ -83,6 +92,18 @@ func Suite() []Spec {
 			Description: "64 enrollers drive blocking single-role performances through a Pool of 4 vs 1 instance",
 			Enrollers:   64,
 		},
+		{
+			ID:          "E5",
+			Name:        "fabric-pingpong-fast-vs-slow",
+			Description: "8 concurrent fabric ping-pong pairs; baseline is the same workload with the fast lane forced off (GOMAXPROCS>=4)",
+			Enrollers:   16,
+		},
+		{
+			ID:          "E6",
+			Name:        "fabric-scatter-64",
+			Description: "one 64-recipient fabric Scatter per op; baseline is a loop of 64 serial sends (GOMAXPROCS>=4)",
+			Enrollers:   64,
+		},
 	}
 	specs[0].Run = func() Result { return finish(specs[0], runStarBroadcast(64)) }
 	specs[1].Run = func() Result { return finish(specs[1], runSuccessive()) }
@@ -97,6 +118,22 @@ func Suite() []Spec {
 		}
 		return res
 	}
+	specs[4].Run = func() Result {
+		var fast, slow testing.BenchmarkResult
+		withMinProcs(4, func() {
+			fast = runPingPong(8, false)
+			slow = runPingPong(8, true)
+		})
+		return withIntrinsicBaseline(finish(specs[4], fast), slow)
+	}
+	specs[5].Run = func() Result {
+		var scatter, serial testing.BenchmarkResult
+		withMinProcs(4, func() {
+			scatter = runScatter(64, false)
+			serial = runScatter(64, true)
+		})
+		return withIntrinsicBaseline(finish(specs[5], scatter), serial)
+	}
 	return specs
 }
 
@@ -108,7 +145,30 @@ func finish(s Spec, br testing.BenchmarkResult) Result {
 		Enrollers:   s.Enrollers,
 		Iterations:  br.N,
 		NsPerOp:     nsPerOp(br),
+		AllocsPerOp: br.AllocsPerOp(),
 	}
+}
+
+// withIntrinsicBaseline records the experiment's own comparison run (the
+// forced-slow lane, the serial-send loop) as the baseline.
+func withIntrinsicBaseline(res Result, base testing.BenchmarkResult) Result {
+	res.BaselineNsPerOp = nsPerOp(base)
+	if res.BaselineNsPerOp > 0 {
+		res.DeltaPct = (res.BaselineNsPerOp - res.NsPerOp) / res.BaselineNsPerOp * 100
+	}
+	return res
+}
+
+// withMinProcs runs fn with GOMAXPROCS raised to at least n (never lowered):
+// the fabric's lane comparison is about lock contention, which a
+// single-scheduler-thread run cannot exhibit.
+func withMinProcs(n int, fn func()) {
+	old := runtime.GOMAXPROCS(0)
+	if old < n {
+		runtime.GOMAXPROCS(n)
+		defer runtime.GOMAXPROCS(old)
+	}
+	fn()
 }
 
 func nsPerOp(br testing.BenchmarkResult) float64 {
@@ -123,6 +183,7 @@ func nsPerOp(br testing.BenchmarkResult) float64 {
 // enrollment (= one complete broadcast performance).
 func runStarBroadcast(n int) testing.BenchmarkResult {
 	return testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
 		in := core.NewInstance(patterns.StarBroadcast(n))
 		ctx, cancel := context.WithCancel(context.Background())
 		var wg sync.WaitGroup
@@ -158,6 +219,7 @@ func runStarBroadcast(n int) testing.BenchmarkResult {
 // empty bodies, one performance per op.
 func runSuccessive() testing.BenchmarkResult {
 	return testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
 		def := core.NewScript("fig1").
 			Role("p", func(rc core.Ctx) error { return nil }).
 			Role("q", func(rc core.Ctx) error { return nil }).
@@ -202,6 +264,7 @@ func runSuccessive() testing.BenchmarkResult {
 // FIFO queue depth at enrollment time, which varies run to run.)
 func runContended(n int) testing.BenchmarkResult {
 	return testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
 		def := core.NewScript("slot").
 			Role("only", func(rc core.Ctx) error { return nil }).
 			MustBuild()
@@ -236,6 +299,7 @@ func runContended(n int) testing.BenchmarkResult {
 // b.N briefly-blocking single-role performances.
 func runPool(size int) testing.BenchmarkResult {
 	return testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
 		def := script.New("slot").
 			Role("only", func(rc script.Ctx) error {
 				time.Sleep(20 * time.Microsecond)
@@ -268,6 +332,107 @@ func runPool(size int) testing.BenchmarkResult {
 		b.StopTimer()
 		if failures.Load() > 0 {
 			b.Fatalf("%d enrollments failed", failures.Load())
+		}
+	})
+}
+
+// runPingPong is E5: `pairs` disjoint (sender, receiver) pairs exchange b.N
+// messages in total through one fabric; each committed rendezvous is one op.
+// With forceSlow, every op takes the locked matcher — the pre-two-lane
+// behavior — so the pair measures exactly what the fast lane buys.
+func runPingPong(pairs int, forceSlow bool) testing.BenchmarkResult {
+	var opts []rendezvous.Option
+	if forceSlow {
+		opts = append(opts, rendezvous.WithoutFastPath())
+	}
+	return testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		f := rendezvous.New(opts...)
+		ctx := context.Background()
+		var failures atomic.Int64
+		var wg sync.WaitGroup
+		b.ResetTimer()
+		for p := 0; p < pairs; p++ {
+			from := rendezvous.Addr(fmt.Sprintf("S%d", p))
+			to := rendezvous.Addr(fmt.Sprintf("R%d", p))
+			n := b.N / pairs
+			if p == 0 {
+				n += b.N % pairs
+			}
+			wg.Add(2)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < n; i++ {
+					if err := f.Send(ctx, from, to, "t", i); err != nil {
+						failures.Add(1)
+						return
+					}
+				}
+			}()
+			go func() {
+				defer wg.Done()
+				for i := 0; i < n; i++ {
+					if _, err := f.Recv(ctx, to, from, "t"); err != nil {
+						failures.Add(1)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		b.StopTimer()
+		if failures.Load() > 0 {
+			b.Fatalf("%d fabric ops failed", failures.Load())
+		}
+	})
+}
+
+// runScatter is E6: one op is a complete 64-recipient fan-out from a single
+// sender — vectorized through Fabric.Scatter, or (with serial) the paper's
+// Figure 3 loop of n blocking sends.
+func runScatter(n int, serial bool) testing.BenchmarkResult {
+	return testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		f := rendezvous.New()
+		ctx := context.Background()
+		targets := make([]rendezvous.Addr, n)
+		for i := range targets {
+			targets[i] = rendezvous.Addr(fmt.Sprintf("R%d", i))
+		}
+		var failures atomic.Int64
+		var wg sync.WaitGroup
+		for _, to := range targets {
+			to := to
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < b.N; i++ {
+					if _, err := f.Recv(ctx, to, "S", "t"); err != nil {
+						failures.Add(1)
+						return
+					}
+				}
+			}()
+		}
+		val := []any{1}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if serial {
+				for _, to := range targets {
+					if err := f.Send(ctx, "S", to, "t", 1); err != nil {
+						b.Fatal(err)
+					}
+				}
+			} else {
+				if err := f.Scatter(ctx, "S", "t", targets, val); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.StopTimer()
+		wg.Wait()
+		if failures.Load() > 0 {
+			b.Fatalf("%d receives failed", failures.Load())
 		}
 	})
 }

@@ -10,10 +10,25 @@
 // CSP translation of the paper (Figure 7) can use "unique, new message tags
 // … assumed not to occur anywhere in the original program".
 //
-// All matching decisions are made under a single fabric lock, which makes
-// the committed pairs a legal linearization and sidesteps the distributed
-// commit problem of symmetric select. This is a simulator-grade engine: the
-// goal is faithful semantics, not wire-level scalability.
+// # Two lanes
+//
+// The fabric runs two matching lanes (see DESIGN.md "Fabric internals"):
+//
+//   - The *fast lane* (fastlane.go) handles the overwhelmingly common case —
+//     a directed, single-branch send or receive with a concrete (peer, tag) —
+//     through per-endpoint-pair exchange cells in a sharded map, with no
+//     global lock.
+//   - The *slow lane* (this file) is the generalized matcher: every Do with
+//     multiple branches, AnyPeer/AnyTag wildcards, termination, Abort and
+//     WithRandomMatching goes through the single fabric lock, which makes
+//     its decisions a legal linearization.
+//
+// An escalation protocol keeps the lanes linearizable with each other: the
+// slow lane advertises the addresses it involves in per-address "hot" slots
+// before it scans ("drains") the fast lane's cells, and a fast-lane
+// operation re-checks those slots after parking, so for any pair of racing
+// operations at least one side observes the other (a Dekker-style
+// store/load handshake backed by Go's sequentially consistent atomics).
 package rendezvous
 
 import (
@@ -21,7 +36,9 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // Addr identifies a communication endpoint (a role instance, a CSP process,
@@ -113,9 +130,29 @@ type Option func(*Fabric)
 // matching candidates instead of the default first-posted order. This models
 // CSP's lack of fairness; the default FIFO order models Ada's
 // order-of-arrival service.
+//
+// Random matching is a whole-fabric property: the fast lane disables itself
+// so every candidate set is assembled under the fabric lock, keeping the
+// committed pairs a deterministic function of the seed.
 func WithRandomMatching(seed int64) Option {
 	return func(f *Fabric) { f.rng = rand.New(rand.NewSource(seed)) }
 }
+
+// WithoutFastPath forces every operation through the slow (locked) lane.
+// Used by benchmarks as the baseline the fast lane is measured against, and
+// by differential tests asserting the two lanes commit the same pairs.
+func WithoutFastPath() Option {
+	return func(f *Fabric) { f.noFast = true }
+}
+
+// Sizing of the fast-lane structures. Both are powers of two so the index
+// is a mask. Hot slots outnumber shards because a collision there causes a
+// (correct but slower) escalation, while a shard collision only shares a
+// short-lived mutex.
+const (
+	numShards = 64
+	numHot    = 256
+)
 
 // Fabric is a synchronous rendezvous domain. Create one per communication
 // scope (one per script performance, one per CSP parallel command, ...).
@@ -124,11 +161,34 @@ type Fabric struct {
 	closed  bool
 	aborted error      // non-nil once Abort was called; the failure reason
 	rng     *rand.Rand // nil = FIFO matching
+	noFast  bool       // WithoutFastPath
 
-	seq        uint64                // post order, for FIFO matching
-	byOwner    map[Addr][]*op        // pending ops owned by addr
-	sendersTo  map[Addr]map[*op]bool // pending sends targeting addr
+	seq        atomic.Uint64         // post order, for FIFO matching (shared by both lanes)
+	byOwner    map[Addr][]*op        // pending slow-lane ops owned by addr (swap-delete order)
+	sendersTo  map[Addr]map[*op]bool // pending slow-lane sends targeting addr
 	terminated map[Addr]bool
+
+	// Fast-lane state. fastOK gates the lane as a whole (false when closed,
+	// aborted, random-matching, or WithoutFastPath). hot[i] counts reasons
+	// address-slot i must not be handled by the fast lane: pending slow-lane
+	// groups owned by an address hashing there, in-progress slow-lane posting
+	// passes, and terminated addresses (a permanent increment until Reset).
+	// parked counts ops currently waiting in exchange cells, letting the
+	// sweeps and drains skip the shards entirely when it is zero.
+	fastOK atomic.Bool
+	parked atomic.Int64
+	// cellsUsed is set on the first park since Reset; it lets Reset skip the
+	// 64-shard sweep for fabrics whose performance never used the fast lane.
+	cellsUsed atomic.Bool
+	hot       [numHot]atomic.Int64
+	// parkedAt[i] counts parked ops whose cell names an address hashing to
+	// slot i (both endpoints counted). Terminate and the waiting/termination
+	// probes consult it to skip the all-shard sweep when the address in
+	// question has nothing parked — the common case while a scatter is still
+	// in flight and unrelated roles finish.
+	parkedAt [numHot]atomic.Int64
+	shards   [numShards]shard
+	faults   FastFaults
 }
 
 // New creates an empty fabric.
@@ -141,17 +201,44 @@ func New(opts ...Option) *Fabric {
 	for _, o := range opts {
 		o(f)
 	}
+	for i := range f.shards {
+		f.shards[i].cells = make(map[cellKey][]*op)
+	}
+	f.fastOK.Store(!f.noFast && f.rng == nil)
 	return f
 }
 
 // group is the commitment unit: all ops of one Do call share a group, and at
-// most one of them transfers.
+// most one of them transfers. Its state is claimed exactly once — by a
+// commit, a failure, or a withdrawal — with a CAS, which is what lets the
+// two lanes race safely for the same operation.
 type group struct {
-	committed bool
-	ch        chan Outcome // buffered 1; receives the committed outcome
-	err       error        // set instead of outcome on failure
-	errCh     chan error   // buffered 1
+	state atomic.Int32 // 0 = pending; 1 = claimed
+	res   chan result  // buffered 1; receives the single outcome or failure
+
+	// Slow-lane residency, guarded by the fabric lock: the ops of this group
+	// currently posted in the matcher, and the hot slot armed while any are
+	// (-1 when none). A fast-parked op's group has empty ops until drained.
+	ops    []*op
+	hotIdx int
 }
+
+// result is what a group's owner receives: the committed outcome, or the
+// failure reason. A claimed group gets exactly one.
+type result struct {
+	out Outcome
+	err error
+}
+
+func newGroup() *group {
+	return &group{res: make(chan result, 1), hotIdx: -1}
+}
+
+// claim atomically claims the group; exactly one caller wins.
+func (g *group) claim() bool { return g.state.CompareAndSwap(0, 1) }
+
+// claimed reports whether the group has been claimed.
+func (g *group) claimed() bool { return g.state.Load() != 0 }
 
 type op struct {
 	g      *group
@@ -159,19 +246,32 @@ type op struct {
 	branch Branch
 	index  int
 	seq    uint64
+	// ownerIdx is this op's position in byOwner[owner], maintained by
+	// swap-delete so withdrawal is O(1) instead of a slice filter.
+	ownerIdx int
 }
 
 // Send offers value v to peer with the given tag and blocks until a matching
-// receive commits, ctx is done, or the peer terminates.
+// receive commits, ctx is done, or the peer terminates. It enters the fast
+// lane directly — when the handoff commits there, no branch slice or group
+// is ever allocated.
 func (f *Fabric) Send(ctx context.Context, owner, peer Addr, tag Tag, v any) error {
-	_, err := f.Do(ctx, owner, []Branch{{Dir: DirSend, Peer: peer, Tag: tag, Val: v}})
+	br := Branch{Dir: DirSend, Peer: peer, Tag: tag, Val: v}
+	if _, handled, err := f.fastPoint(ctx, owner, br); handled {
+		return err
+	}
+	_, err := f.doSlow(ctx, owner, []Branch{br}, newGroup(), 0)
 	return err
 }
 
 // Recv requests a value from peer with the given tag and blocks until a
 // matching send commits.
 func (f *Fabric) Recv(ctx context.Context, owner, peer Addr, tag Tag) (any, error) {
-	out, err := f.Do(ctx, owner, []Branch{{Dir: DirRecv, Peer: peer, Tag: tag}})
+	br := Branch{Dir: DirRecv, Peer: peer, Tag: tag}
+	out, handled, err := f.fastPoint(ctx, owner, br)
+	if !handled {
+		out, err = f.doSlow(ctx, owner, []Branch{br}, newGroup(), 0)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -187,6 +287,10 @@ func (f *Fabric) RecvAny(ctx context.Context, owner Addr) (Outcome, error) {
 // Do posts the given branches as one generalized alternative and blocks
 // until exactly one commits. It returns the outcome of the committed branch.
 //
+// A single directed branch — the common point-to-point case — is routed
+// through the fast lane when it is eligible; everything else goes through
+// the locked matcher.
+//
 // If every branch's peer is already terminated, Do fails with
 // ErrPeerTerminated (so callers implementing CSP repetitive commands can
 // treat it as loop exit). If some peers are live, terminated-peer branches
@@ -195,31 +299,71 @@ func (f *Fabric) Do(ctx context.Context, owner Addr, branches []Branch) (Outcome
 	if len(branches) == 0 {
 		return Outcome{}, ErrNoBranches
 	}
-	g := &group{ch: make(chan Outcome, 1), errCh: make(chan error, 1)}
+	if len(branches) == 1 {
+		if out, handled, err := f.fastPoint(ctx, owner, branches[0]); handled {
+			return out, err
+		}
+	}
+	return f.doSlow(ctx, owner, branches, newGroup(), 0)
+}
 
-	f.mu.Lock()
-	if f.closed {
+// doSlow runs one alternative through the locked matcher and blocks for the
+// outcome. g is the (unclaimed) group to commit through; fixedSeq, when
+// non-zero, is a previously assigned post order to preserve (an op escalated
+// from the fast lane keeps its place in the FIFO).
+func (f *Fabric) doSlow(ctx context.Context, owner Addr, branches []Branch, g *group, fixedSeq uint64) (Outcome, error) {
+	// Entry guard: make the owner's address slot hot for the duration of the
+	// posting pass, so a fast-lane op racing with us escalates instead of
+	// parking invisibly (see the package comment's Dekker handshake).
+	guard := hotIndex(owner)
+	f.hot[guard].Add(1)
+	wait, out, err := f.enqueueSlow(owner, branches, g, fixedSeq)
+	f.hot[guard].Add(-1)
+	if !wait {
+		return out, err
+	}
+
+	select {
+	case r := <-g.res:
+		return r.out, r.err
+	case <-ctx.Done():
+		// Try to withdraw; we may lose the race with a committer.
+		f.mu.Lock()
+		if !g.claim() {
+			f.mu.Unlock()
+			r := <-g.res
+			return r.out, r.err
+		}
+		f.removeGroupLocked(g)
 		f.mu.Unlock()
-		return Outcome{}, ErrClosed
+		return Outcome{}, ctx.Err()
+	}
+}
+
+// enqueueSlow validates, immediately matches or posts the branches under the
+// fabric lock. It reports whether the caller must block for the outcome.
+func (f *Fabric) enqueueSlow(owner Addr, branches []Branch, g *group, fixedSeq uint64) (wait bool, out Outcome, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return false, Outcome{}, ErrClosed
 	}
 	if f.aborted != nil {
-		reason := f.aborted
-		f.mu.Unlock()
-		return Outcome{}, reason
+		return false, Outcome{}, f.aborted
 	}
 	if f.terminated[owner] {
-		f.mu.Unlock()
-		return Outcome{}, ErrSelfTerminated
+		return false, Outcome{}, ErrSelfTerminated
 	}
 
-	// Validate and try to match each branch immediately; otherwise post it.
-	var posted []*op
+	// Pull every fast-parked op these branches could match into the matcher,
+	// so candidates are never split across the lanes.
+	f.drainForLocked(owner, branches)
+
 	liveBranches := 0
 	for i, br := range branches {
 		if err := validateBranch(br); err != nil {
-			f.unpostLocked(posted)
-			f.mu.Unlock()
-			return Outcome{}, err
+			f.removeGroupLocked(g)
+			return false, Outcome{}, err
 		}
 		if !br.AnyPeer && f.terminated[br.Peer] {
 			continue // dead branch; may still fail the whole call below
@@ -228,44 +372,20 @@ func (f *Fabric) Do(ctx context.Context, owner Addr, branches []Branch) (Outcome
 		o := &op{g: g, owner: owner, branch: br, index: i}
 		if cand := f.findMatchLocked(o); cand != nil {
 			f.commitLocked(o, cand)
-			f.unpostLocked(posted)
-			f.mu.Unlock()
-			return <-g.ch, nil
+			return false, (<-g.res).out, nil
 		}
-		f.seq++
-		o.seq = f.seq
+		if fixedSeq != 0 {
+			o.seq = fixedSeq
+		} else {
+			o.seq = f.seq.Add(1)
+		}
 		f.postLocked(o)
-		posted = append(posted, o)
 	}
 	if liveBranches == 0 {
-		f.unpostLocked(posted)
-		f.mu.Unlock()
-		return Outcome{}, ErrPeerTerminated
+		f.removeGroupLocked(g)
+		return false, Outcome{}, ErrPeerTerminated
 	}
-	f.mu.Unlock()
-
-	select {
-	case out := <-g.ch:
-		return out, nil
-	case err := <-g.errCh:
-		return Outcome{}, err
-	case <-ctx.Done():
-		// Try to withdraw; we may lose the race with a committer.
-		f.mu.Lock()
-		if g.committed {
-			f.mu.Unlock()
-			select {
-			case out := <-g.ch:
-				return out, nil
-			case err := <-g.errCh:
-				return Outcome{}, err
-			}
-		}
-		g.committed = true
-		f.unpostLocked(posted)
-		f.mu.Unlock()
-		return Outcome{}, ctx.Err()
-	}
+	return true, Outcome{}, nil
 }
 
 func validateBranch(br Branch) error {
@@ -293,7 +413,7 @@ func validateBranch(br Branch) error {
 func (f *Fabric) findMatchLocked(o *op) *op {
 	var candidates []*op
 	consider := func(p *op) {
-		if p.g.committed || p.g == o.g {
+		if p.g.claimed() || p.g == o.g {
 			return
 		}
 		if matches(o, p) {
@@ -313,6 +433,10 @@ func (f *Fabric) findMatchLocked(o *op) *op {
 		return nil
 	}
 	if f.rng != nil {
+		// Canonicalize by post order first: AnyPeer candidates come out of a
+		// map, whose iteration order would otherwise leak into the seeded
+		// draw and break per-seed reproducibility.
+		sort.Slice(candidates, func(i, j int) bool { return candidates[i].seq < candidates[j].seq })
 		return candidates[f.rng.Intn(len(candidates))]
 	}
 	best := candidates[0]
@@ -348,12 +472,13 @@ func matches(a, b *op) bool {
 	return true
 }
 
-// commitLocked marks both groups committed, removes the counterpart's
-// sibling ops, and delivers outcomes to both parties.
+// commitLocked claims both groups, removes their posted siblings, and
+// delivers outcomes to both parties.
 func (f *Fabric) commitLocked(newOp, pending *op) {
-	newOp.g.committed = true
-	pending.g.committed = true
-	f.removeGroupLocked(pending.g, pending.owner)
+	newOp.g.claim()
+	pending.g.claim()
+	f.removeGroupLocked(newOp.g)
+	f.removeGroupLocked(pending.g)
 
 	var snd, rcv *op
 	if newOp.branch.Dir == DirSend {
@@ -361,13 +486,27 @@ func (f *Fabric) commitLocked(newOp, pending *op) {
 	} else {
 		snd, rcv = pending, newOp
 	}
-	val := snd.branch.Val
-	snd.g.ch <- Outcome{Index: snd.index, Peer: rcv.owner, Tag: snd.branch.Tag}
-	rcv.g.ch <- Outcome{Index: rcv.index, Peer: snd.owner, Tag: snd.branch.Tag, Val: val}
+	// Copy everything out of both ops before the first send: as soon as a
+	// party has its result it may release its (pooled) slot for reuse.
+	sndRes := result{out: Outcome{Index: snd.index, Peer: rcv.owner, Tag: snd.branch.Tag}}
+	rcvRes := result{out: Outcome{Index: rcv.index, Peer: snd.owner, Tag: snd.branch.Tag, Val: snd.branch.Val}}
+	sndG, rcvG := snd.g, rcv.g
+	sndG.res <- sndRes
+	rcvG.res <- rcvRes
 }
 
+// postLocked indexes o for matching and arms its group's hot slot so the
+// fast lane escalates operations that could match ops of this group.
 func (f *Fabric) postLocked(o *op) {
-	f.byOwner[o.owner] = append(f.byOwner[o.owner], o)
+	g := o.g
+	if g.hotIdx < 0 {
+		g.hotIdx = hotIndex(o.owner)
+		f.hot[g.hotIdx].Add(1)
+	}
+	g.ops = append(g.ops, o)
+	list := f.byOwner[o.owner]
+	o.ownerIdx = len(list)
+	f.byOwner[o.owner] = append(list, o)
 	if o.branch.Dir == DirSend {
 		m := f.sendersTo[o.branch.Peer]
 		if m == nil {
@@ -378,43 +517,32 @@ func (f *Fabric) postLocked(o *op) {
 	}
 }
 
-func (f *Fabric) unpostLocked(ops []*op) {
-	for _, o := range ops {
+// removeGroupLocked removes every posted op of g from the matching indexes
+// (O(1) per op via the tracked owner index) and disarms g's hot slot.
+func (f *Fabric) removeGroupLocked(g *group) {
+	for _, o := range g.ops {
 		f.removeOpLocked(o)
 	}
-}
-
-// removeGroupLocked removes all pending ops of group g. ownerHint is any
-// address known to own ops of g (all ops of a group share one owner).
-func (f *Fabric) removeGroupLocked(g *group, ownerHint Addr) {
-	list := f.byOwner[ownerHint]
-	kept := list[:0]
-	for _, o := range list {
-		if o.g == g {
-			if o.branch.Dir == DirSend {
-				delete(f.sendersTo[o.branch.Peer], o)
-			}
-			continue
-		}
-		kept = append(kept, o)
-	}
-	if len(kept) == 0 {
-		delete(f.byOwner, ownerHint)
-	} else {
-		f.byOwner[ownerHint] = kept
+	g.ops = g.ops[:0]
+	if g.hotIdx >= 0 {
+		f.hot[g.hotIdx].Add(-1)
+		g.hotIdx = -1
 	}
 }
 
+// removeOpLocked unindexes one posted op in O(1) by swapping the list's last
+// op into its slot.
 func (f *Fabric) removeOpLocked(o *op) {
 	list := f.byOwner[o.owner]
-	for i, p := range list {
-		if p == o {
-			f.byOwner[o.owner] = append(list[:i], list[i+1:]...)
-			break
-		}
-	}
-	if len(f.byOwner[o.owner]) == 0 {
+	last := len(list) - 1
+	moved := list[last]
+	list[o.ownerIdx] = moved
+	moved.ownerIdx = o.ownerIdx
+	list[last] = nil
+	if last == 0 {
 		delete(f.byOwner, o.owner)
+	} else {
+		f.byOwner[o.owner] = list[:last]
 	}
 	if o.branch.Dir == DirSend {
 		delete(f.sendersTo[o.branch.Peer], o)
@@ -433,41 +561,43 @@ func (f *Fabric) Terminate(addr Addr) {
 		return
 	}
 	f.terminated[addr] = true
+	// Permanently (until Reset) heat the address slot so the fast lane
+	// escalates any operation involving addr, then fail the ops already
+	// parked in its cells.
+	f.hot[hotIndex(addr)].Add(1)
+	f.failParkedInvolvingLocked(addr)
 
-	// Fail ops owned by addr. Copy first: failGroupLocked filters the
-	// owner's op list in place.
+	// Fail slow-lane ops owned by addr. Copy first: failGroupLocked edits
+	// the owner's op list in place.
 	owned := append([]*op(nil), f.byOwner[addr]...)
 	for _, o := range owned {
-		f.failGroupLocked(o.g, addr, ErrSelfTerminated)
+		f.failGroupLocked(o.g, ErrSelfTerminated)
 	}
 	// Re-examine every group with a branch targeting addr: if all its live
 	// branches are now dead, fail it.
-	var stuck []*op
+	var stuck []*group
 	for owner, list := range f.byOwner {
 		if owner == addr {
 			continue
 		}
 		for _, o := range list {
-			if o.g.committed {
+			if o.g.claimed() {
 				continue
 			}
-			if !o.branch.AnyPeer && o.branch.Peer == addr && f.groupFullyDeadLocked(o.g, owner) {
-				stuck = append(stuck, o)
+			if !o.branch.AnyPeer && o.branch.Peer == addr && f.groupFullyDeadLocked(o.g) {
+				stuck = append(stuck, o.g)
 			}
 		}
 	}
-	for _, o := range stuck {
-		f.failGroupLocked(o.g, o.owner, ErrPeerTerminated)
+	for _, g := range stuck {
+		f.failGroupLocked(g, ErrPeerTerminated)
 	}
 }
 
-// groupFullyDeadLocked reports whether every pending op of g (owned by
-// owner) targets a terminated peer.
-func (f *Fabric) groupFullyDeadLocked(g *group, owner Addr) bool {
-	for _, o := range f.byOwner[owner] {
-		if o.g != g {
-			continue
-		}
+// groupFullyDeadLocked reports whether every posted op of g targets a
+// terminated peer.
+func (f *Fabric) groupFullyDeadLocked(g *group) bool {
+	for _, o := range g.ops {
 		if o.branch.AnyPeer || !f.terminated[o.branch.Peer] {
 			return false
 		}
@@ -475,13 +605,12 @@ func (f *Fabric) groupFullyDeadLocked(g *group, owner Addr) bool {
 	return true
 }
 
-func (f *Fabric) failGroupLocked(g *group, owner Addr, err error) {
-	if g.committed {
+func (f *Fabric) failGroupLocked(g *group, err error) {
+	if !g.claim() {
 		return
 	}
-	g.committed = true
-	f.removeGroupLocked(g, owner)
-	g.errCh <- err
+	f.removeGroupLocked(g)
+	g.res <- result{err: err}
 }
 
 // TerminateAbsent terminates every address that is the target of some
@@ -494,21 +623,39 @@ func (f *Fabric) failGroupLocked(g *group, owner Addr, err error) {
 func (f *Fabric) TerminateAbsent(isLive func(Addr) bool) {
 	f.mu.Lock()
 	targets := make(map[Addr]bool)
-	for owner, list := range f.byOwner {
+	owners := make(map[Addr]bool)
+	examine := func(o *op) {
+		owners[o.owner] = true
+		if o.g.claimed() || o.branch.AnyPeer {
+			return
+		}
+		if o.branch.Peer == o.owner {
+			return
+		}
+		if !f.terminated[o.branch.Peer] && !isLive(o.branch.Peer) {
+			targets[o.branch.Peer] = true
+		}
+	}
+	for _, list := range f.byOwner {
 		for _, o := range list {
-			if o.g.committed || o.branch.AnyPeer {
-				continue
+			examine(o)
+		}
+	}
+	// Fast-parked ops block on unfilled roles too.
+	if f.parked.Load() > 0 {
+		for i := range f.shards {
+			sh := &f.shards[i]
+			sh.mu.Lock()
+			for _, list := range sh.cells {
+				for _, o := range list {
+					examine(o)
+				}
 			}
-			if o.branch.Peer == owner {
-				continue
-			}
-			if !f.terminated[o.branch.Peer] && !isLive(o.branch.Peer) {
-				targets[o.branch.Peer] = true
-			}
+			sh.mu.Unlock()
 		}
 	}
 	// An address that owns pending ops is alive by definition.
-	for owner := range f.byOwner {
+	for owner := range owners {
 		delete(targets, owner)
 	}
 	f.mu.Unlock()
@@ -533,6 +680,7 @@ func (f *Fabric) Close() {
 		return
 	}
 	f.closed = true
+	f.fastOK.Store(false)
 	f.failAllLocked(ErrClosed)
 }
 
@@ -554,38 +702,48 @@ func (f *Fabric) Abort(reason error) {
 		return
 	}
 	f.aborted = reason
+	f.fastOK.Store(false)
 	f.failAllLocked(reason)
 }
 
-// failAllLocked fails every pending operation with err and empties the
-// posting indexes.
+// failAllLocked fails every pending operation — slow-lane and fast-parked —
+// with err and empties the posting indexes. The caller must already have
+// cleared fastOK so newly arriving fast ops escalate and observe the
+// closed/aborted state.
 func (f *Fabric) failAllLocked(err error) {
-	for owner, list := range f.byOwner {
+	for _, list := range f.byOwner {
 		for _, o := range list {
-			if !o.g.committed {
-				o.g.committed = true
-				o.g.errCh <- err
+			g := o.g
+			if !g.claim() {
+				continue // a sibling op already failed this group
 			}
+			if g.hotIdx >= 0 {
+				f.hot[g.hotIdx].Add(-1)
+				g.hotIdx = -1
+			}
+			g.ops = nil
+			g.res <- result{err: err}
 		}
-		delete(f.byOwner, owner)
 	}
-	f.sendersTo = make(map[Addr]map[*op]bool)
+	clear(f.byOwner)
+	clear(f.sendersTo)
+	f.failAllParkedLocked(err)
 }
 
 // Waiting reports whether addr currently owns a pending (uncommitted)
-// operation — i.e. it is blocked inside the fabric trying to communicate.
-// The script layer uses this to tell a wedged role (enrolled but never
-// communicating) apart from its blocked co-performers when picking the
-// culprit of a deadline abort.
+// operation — i.e. it is blocked inside the fabric trying to communicate,
+// in either lane. The script layer uses this to tell a wedged role (enrolled
+// but never communicating) apart from its blocked co-performers when picking
+// the culprit of a deadline abort.
 func (f *Fabric) Waiting(addr Addr) bool {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	for _, o := range f.byOwner[addr] {
-		if !o.g.committed {
+		if !o.g.claimed() {
 			return true
 		}
 	}
-	return false
+	return f.parkedBy(addr)
 }
 
 // Reset returns a closed (or idle) fabric to its initial empty state so it
@@ -599,20 +757,60 @@ func (f *Fabric) Reset() {
 	defer f.mu.Unlock()
 	f.closed = false
 	f.aborted = nil
-	f.seq = 0
+	f.seq.Store(0)
+	// Hot slots are only non-zero at quiescence when something bumped them
+	// permanently (Terminate) or left posted groups armed; both imply a
+	// non-empty index. Scripts that never communicated skip the 256 stores.
+	if len(f.terminated) > 0 || len(f.byOwner) > 0 {
+		for i := range f.hot {
+			f.hot[i].Store(0)
+		}
+	}
 	clear(f.byOwner)
 	clear(f.sendersTo)
 	clear(f.terminated)
+	// Likewise the 64-shard sweep runs only if some op ever parked: cells
+	// gain keys nowhere else, and fast commits pop previously parked ops.
+	if f.cellsUsed.Load() {
+		f.cellsUsed.Store(false)
+		for i := range f.shards {
+			sh := &f.shards[i]
+			sh.mu.Lock()
+			clear(sh.cells)
+			sh.fastCommits = 0
+			sh.mu.Unlock()
+		}
+		for i := range f.parkedAt {
+			f.parkedAt[i].Store(0)
+		}
+	}
+	f.parked.Store(0)
+	f.faults = nil
+	f.fastOK.Store(!f.noFast && f.rng == nil)
 }
 
-// PendingCount returns the number of pending (uncommitted) operations,
-// for tests and diagnostics.
+// PendingCount returns the number of pending (uncommitted) operations in
+// both lanes, for tests and diagnostics.
 func (f *Fabric) PendingCount() int {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	n := 0
+	n := int(f.parked.Load())
 	for _, list := range f.byOwner {
 		n += len(list)
+	}
+	return n
+}
+
+// FastCommits returns how many rendezvous have committed entirely on the
+// fast lane (both parties bypassing the fabric lock), for tests and
+// benchmarks asserting that the lane actually engages.
+func (f *Fabric) FastCommits() uint64 {
+	var n uint64
+	for i := range f.shards {
+		sh := &f.shards[i]
+		sh.mu.Lock()
+		n += sh.fastCommits
+		sh.mu.Unlock()
 	}
 	return n
 }

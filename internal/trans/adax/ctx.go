@@ -64,6 +64,17 @@ func (rc *hostCtx) SendTag(to ids.RoleRef, tag string, v any) error {
 	return nil
 }
 
+// SendAll calls each target's msg entry in turn: Ada entry calls are
+// inherently serial from one task, so there is no vectorized form.
+func (rc *hostCtx) SendAll(tos []ids.RoleRef, v any) error {
+	for _, to := range tos {
+		if err := rc.SendTag(to, "", v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // acceptOne accepts the next msg rendezvous on this role's task.
 func (rc *hostCtx) acceptOne() (message, error) {
 	var got message

@@ -51,6 +51,18 @@ func (rc *hostCtx) SendTag(to ids.RoleRef, tag string, v any) error {
 	return nil
 }
 
+// SendAll deposits v into each target's mailbox in turn; under the mailbox
+// scheme a send only blocks while the peer's box is full, so the serial loop
+// is already cheap.
+func (rc *hostCtx) SendAll(tos []ids.RoleRef, v any) error {
+	for _, to := range tos {
+		if err := rc.SendTag(to, "", v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 func (rc *hostCtx) Recv(from ids.RoleRef) (any, error) { return rc.RecvTag(from, "") }
 
 func (rc *hostCtx) RecvTag(from ids.RoleRef, tag string) (any, error) {
