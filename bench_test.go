@@ -20,6 +20,7 @@ import (
 	"github.com/scriptabs/goscript/internal/locktable"
 	"github.com/scriptabs/goscript/internal/match"
 	"github.com/scriptabs/goscript/internal/patterns"
+	"github.com/scriptabs/goscript/internal/remote"
 	"github.com/scriptabs/goscript/internal/sim"
 	"github.com/scriptabs/goscript/internal/trans/adax"
 	"github.com/scriptabs/goscript/internal/trans/cspx"
@@ -645,6 +646,71 @@ func BenchmarkE14Fairness(b *testing.B) {
 			cancel()
 			in.Close()
 			wg.Wait()
+		})
+	}
+}
+
+// BenchmarkE17RemoteStarBroadcast is E03 pushed through the wire: a
+// remote.Host serves the star broadcast on loopback TCP, n resident
+// recipients re-enroll through a shared Enroller (one pooled connection
+// per concurrent enrollment), and each iteration is one sender enrollment
+// — a full broadcast performance whose every role body runs client-side,
+// each communication op one request/response frame pair. Compare with E03
+// at equal N for the process-boundary cost (BENCH_E7.json records it).
+func BenchmarkE17RemoteStarBroadcast(b *testing.B) {
+	for _, n := range []int{4, 16, 64} {
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			in := core.NewInstance(patterns.StarBroadcast(n))
+			h := remote.NewHost(in, remote.HostConfig{})
+			if err := h.Listen("127.0.0.1:0"); err != nil {
+				b.Fatal(err)
+			}
+			go h.Serve()
+			enr := remote.NewEnroller(h.Addr().String(), remote.EnrollerConfig{Script: "star_broadcast"})
+			ctx, cancel := context.WithCancel(context.Background())
+			recvBody := func(rc core.Ctx) error {
+				v, err := rc.Recv(ids.Role(patterns.RoleSender))
+				if err != nil {
+					return err
+				}
+				rc.SetResult(0, v)
+				return nil
+			}
+			tos := make([]ids.RoleRef, n)
+			for i := 1; i <= n; i++ {
+				tos[i-1] = ids.Member(patterns.RoleRecipient, i)
+			}
+			var wg sync.WaitGroup
+			for i := 1; i <= n; i++ {
+				pid := ids.PID(fmt.Sprintf("R%d", i))
+				role := ids.Member(patterns.RoleRecipient, i)
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						if _, err := enr.Enroll(ctx, core.Enrollment{PID: pid, Role: role, Body: recvBody}); err != nil {
+							return
+						}
+					}
+				}()
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				val := i
+				_, err := enr.Enroll(ctx, core.Enrollment{
+					PID: "T", Role: ids.Role(patterns.RoleSender),
+					Body: func(rc core.Ctx) error { return rc.SendAll(tos, val) },
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			cancel()
+			wg.Wait()
+			enr.Close()
+			h.Close()
+			in.Close()
 		})
 	}
 }

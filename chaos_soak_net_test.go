@@ -1,0 +1,185 @@
+//go:build chaos
+
+package script_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/scriptabs/goscript/internal/chaos"
+	"github.com/scriptabs/goscript/internal/conform"
+	"github.com/scriptabs/goscript/internal/core"
+	"github.com/scriptabs/goscript/internal/ids"
+	"github.com/scriptabs/goscript/internal/remote"
+	"github.com/scriptabs/goscript/internal/trace"
+)
+
+// TestChaosSoakNet extends the chaos soak across the wire: every enrollment
+// goes through a remote.Host over loopback TCP, with the injector severing
+// connections at frame boundaries (disconnect during rendezvous → the
+// culprit-attributed abort path), stalling client heartbeats past the
+// host's timeout (silent-peer abort path), and delaying frames. The
+// hardening contract is the same as the local soak: no deadlock, no lost
+// enrollment, a clean final drain, and a conforming trace — plus every
+// error a client sees must belong to a known class.
+func TestChaosSoakNet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak is not short")
+	}
+	dur := 5 * time.Second
+	if s := os.Getenv("SCRIPT_CHAOS_SOAK"); s != "" {
+		d, err := time.ParseDuration(s)
+		if err != nil {
+			t.Fatalf("SCRIPT_CHAOS_SOAK=%q: %v", s, err)
+		}
+		dur = d
+	}
+	runChaosSoakNet(t, 20260806, dur)
+}
+
+func runChaosSoakNet(t *testing.T, seed int64, dur time.Duration) {
+	inj := chaos.New(chaos.Config{
+		Seed:        seed,
+		NetDelayP:   0.05,
+		NetDelayMax: 2 * time.Millisecond,
+		// Per-frame drop probability; at a handful of frames per enrollment
+		// this severs a few percent of them, some mid-rendezvous.
+		NetDropP: 0.004,
+		// Stalls are drawn up to twice the host's heartbeat timeout, so
+		// roughly half the stalled heartbeats look like a dead peer.
+		NetStallP:   0.02,
+		NetStallMax: 500 * time.Millisecond,
+	})
+
+	def := core.NewScript("chaotic_net").
+		Role("a", func(rc core.Ctx) error { return errors.New("local body must not run") }).
+		Role("b", func(rc core.Ctx) error { return errors.New("local body must not run") }).
+		Initiation(core.DelayedInitiation).
+		Termination(core.DelayedTermination).
+		MustBuild()
+
+	var log trace.Log
+	in := core.NewInstance(def,
+		core.WithTracer(&log),
+		core.WithPerformanceDeadline(500*time.Millisecond),
+	)
+
+	h := remote.NewHost(in, remote.HostConfig{
+		HeartbeatTimeout: 250 * time.Millisecond,
+		WriteTimeout:     5 * time.Second,
+		Faults:           inj,
+	})
+	if err := h.Listen("127.0.0.1:0"); err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	go h.Serve()
+	addr := h.Addr().String()
+
+	enr := remote.NewEnroller(addr, remote.EnrollerConfig{
+		Script:            "chaotic_net",
+		HeartbeatInterval: 50 * time.Millisecond,
+		Faults:            inj,
+	})
+	defer enr.Close()
+
+	clientBody := func(role string, rng *rand.Rand, panicky bool) core.RoleBody {
+		return func(rc core.Ctx) error {
+			if panicky {
+				panic("chaos: remote body panics")
+			}
+			if role == "a" {
+				return rc.Send(ids.Role("b"), 1)
+			}
+			_, err := rc.Recv(ids.Role("a"))
+			return err
+		}
+	}
+
+	const workers = 4 // per role
+	var attempts, resolved atomic.Uint64
+	stop := time.Now().Add(dur)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		for _, role := range []string{"a", "b"} {
+			w, role := w, role
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(seed + int64(w)*2 + int64(role[0])))
+				for time.Now().Before(stop) {
+					attempts.Add(1)
+					ectx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+					if rng.Intn(10) == 0 {
+						cancel() // withdrawn offer / interrupted performance
+					}
+					_, err := enr.Enroll(ectx, core.Enrollment{
+						PID:  ids.PID(fmt.Sprintf("%s%d", role, w)),
+						Role: ids.Role(role),
+						Body: clientBody(role, rng, rng.Intn(25) == 0),
+					})
+					cancel()
+					resolved.Add(1)
+					switch {
+					case err == nil,
+						errors.Is(err, context.Canceled),
+						errors.Is(err, context.DeadlineExceeded),
+						errors.Is(err, core.ErrPerformanceAborted),
+						errors.Is(err, core.ErrDraining),
+						errors.Is(err, core.ErrClosed),
+						errors.Is(err, remote.ErrConnLost):
+					default:
+						var re *core.RoleError
+						if !errors.As(err, &re) {
+							t.Errorf("unexpected enrollment error class: %v", err)
+							return
+						}
+					}
+				}
+			}()
+		}
+	}
+
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(dur + 30*time.Second):
+		t.Fatalf("net chaos soak deadlocked (seed %d): workers still blocked 30s past the workload window", seed)
+	}
+
+	dctx, dcancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer dcancel()
+	if err := h.Drain(dctx); err != nil {
+		t.Fatalf("final Drain = %v (seed %d)", err, seed)
+	}
+	if !in.Closed() {
+		t.Fatalf("instance not closed after final Drain (seed %d)", seed)
+	}
+	if got, want := resolved.Load(), attempts.Load(); got != want {
+		t.Fatalf("lost enrollments: %d attempted, %d resolved (seed %d)", want, got, seed)
+	}
+	if p := in.PendingEnrollments(); p != 0 {
+		t.Fatalf("%d offers still pending after drain (seed %d)", p, seed)
+	}
+
+	for _, v := range conform.CheckSemantics(log.Events()) {
+		t.Errorf("semantics (seed %d): %s", seed, v)
+	}
+
+	netDelays, netDrops, netStalls := inj.NetStats()
+	t.Logf("seed %d: %d enrollments, %d frame delays, %d dropped conns, %d heartbeat stalls, %d performances",
+		seed, attempts.Load(), netDelays, netDrops, netStalls, in.Performances())
+	if netDelays+netDrops+netStalls == 0 {
+		t.Error("network fault injector was never consulted — harness not wired in")
+	}
+}

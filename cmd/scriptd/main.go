@@ -1,0 +1,104 @@
+// Command scriptd serves a script over TCP: it builds one of the named
+// pattern definitions (internal/patterns), wraps it in a remote.Host, and
+// accepts remote.Enroller connections until interrupted. Each enrolling
+// process supplies its own role body; scriptd only runs the shared
+// performance machinery — scheduling, rendezvous, abort, drain.
+//
+// Usage:
+//
+//	scriptd -script star_broadcast -n 3 [-addr 127.0.0.1:0] [-deadline 5s]
+//	scriptd -list
+//
+// The resolved listen address is printed to stdout as "listening on ADDR"
+// so callers binding port 0 can scrape it. SIGINT/SIGTERM triggers a
+// graceful drain: in-flight performances finish, new offers are rejected
+// with ErrDraining, then the process exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/scriptabs/goscript/internal/core"
+	"github.com/scriptabs/goscript/internal/patterns"
+	"github.com/scriptabs/goscript/internal/remote"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("scriptd", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:0", "TCP address to listen on (port 0 picks a free port)")
+	script := fs.String("script", "star_broadcast", "pattern definition to serve (see -list)")
+	n := fs.Int("n", 3, "pattern size parameter (recipients, parties, capacity, ...)")
+	deadline := fs.Duration("deadline", 0, "per-performance deadline (0 disables)")
+	hbTimeout := fs.Duration("heartbeat-timeout", remote.DefaultHeartbeatTimeout,
+		"abort a performance whose enroller has been silent this long")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "how long a signal-triggered drain may take")
+	list := fs.Bool("list", false, "print the servable script names and exit")
+	verbose := fs.Bool("v", false, "log connection-level events to stderr")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, name := range patterns.Names() {
+			fmt.Fprintln(out, name)
+		}
+		return nil
+	}
+
+	def, err := patterns.ByName(*script, *n)
+	if err != nil {
+		return err
+	}
+	var opts []core.Option
+	if *deadline > 0 {
+		opts = append(opts, core.WithPerformanceDeadline(*deadline))
+	}
+	in := core.NewInstance(def, opts...)
+
+	cfg := remote.HostConfig{HeartbeatTimeout: *hbTimeout}
+	if *verbose {
+		cfg.Logf = func(format string, a ...any) {
+			fmt.Fprintf(os.Stderr, "scriptd: "+format+"\n", a...)
+		}
+	}
+	h := remote.NewHost(in, cfg)
+	if err := h.Listen(*addr); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "serving %q (n=%d)\n", def.Name(), *n)
+	fmt.Fprintf(out, "listening on %s\n", h.Addr())
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	errCh := make(chan error, 1)
+	go func() { errCh <- h.Serve() }()
+
+	select {
+	case err := <-errCh:
+		return err
+	case sig := <-sigCh:
+		fmt.Fprintf(out, "%s: draining\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := h.Drain(ctx); err != nil {
+			return fmt.Errorf("drain: %w", err)
+		}
+		<-errCh // Serve returns nil once the listener closes
+		fmt.Fprintln(out, "drained")
+		return nil
+	}
+}

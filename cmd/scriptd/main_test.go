@@ -1,0 +1,191 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/scriptabs/goscript/internal/core"
+	"github.com/scriptabs/goscript/internal/ids"
+	"github.com/scriptabs/goscript/internal/patterns"
+	"github.com/scriptabs/goscript/internal/remote"
+)
+
+func TestList(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-list"}, &buf); err != nil {
+		t.Fatalf("run -list: %v", err)
+	}
+	got := strings.Fields(buf.String())
+	want := patterns.Names()
+	if len(got) != len(want) {
+		t.Fatalf("-list printed %d names, want %d: %q", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("-list[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestUnknownScript(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-script", "no_such_pattern"}, &buf); err == nil ||
+		!strings.Contains(err.Error(), "no_such_pattern") {
+		t.Fatalf("run -script no_such_pattern = %v, want unknown-script error", err)
+	}
+}
+
+// TestEndToEnd is the multi-process acceptance test: a scriptd child
+// process serves the quickstart broadcast script, and this process plays
+// all four quickstart parties over loopback TCP via remote.Enroller —
+// three listeners enrolling for two rounds and an announcer broadcasting
+// "hello" then "world". A final SIGINT must drain the daemon cleanly.
+func TestEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns a child process; skipped with -short")
+	}
+
+	bin := filepath.Join(t.TempDir(), "scriptd")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("go build scriptd: %v", err)
+	}
+
+	daemon := exec.Command(bin, "-addr", "127.0.0.1:0", "-script", "star_broadcast", "-n", "3")
+	stdout, err := daemon.StdoutPipe()
+	if err != nil {
+		t.Fatalf("StdoutPipe: %v", err)
+	}
+	daemon.Stderr = os.Stderr
+	if err := daemon.Start(); err != nil {
+		t.Fatalf("start scriptd: %v", err)
+	}
+	defer daemon.Process.Kill()
+
+	// Scrape the resolved listen address from the daemon's stdout, then keep
+	// reading so the final drain lines are captured too.
+	sc := bufio.NewScanner(stdout)
+	addr := ""
+	for sc.Scan() {
+		if a, ok := strings.CutPrefix(sc.Text(), "listening on "); ok {
+			addr = a
+			break
+		}
+	}
+	if addr == "" {
+		t.Fatalf("scriptd exited without printing its address (scan err %v)", sc.Err())
+	}
+	tail := make(chan string, 1)
+	go func() {
+		var rest []string
+		for sc.Scan() {
+			rest = append(rest, sc.Text())
+		}
+		tail <- strings.Join(rest, "\n")
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	enr := remote.NewEnroller(addr, remote.EnrollerConfig{Script: "star_broadcast"})
+	defer enr.Close()
+
+	// The quickstart logic, with every party in this process and the script
+	// machinery in the daemon. Values[0] of each listener's Result must match
+	// what the announcer sent in that performance.
+	var mu sync.Mutex
+	byPerf := map[int][]any{} // performance -> values seen by listeners
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for i := 1; i <= 3; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for round := 1; round <= 2; round++ {
+				res, err := enr.Enroll(ctx, core.Enrollment{
+					PID:  ids.PID(fmt.Sprintf("listener-%d", i)),
+					Role: ids.Member("recipient", i),
+					Body: func(rc core.Ctx) error {
+						v, err := rc.Recv(ids.Role("sender"))
+						if err != nil {
+							return err
+						}
+						rc.SetResult(0, v)
+						return nil
+					},
+				})
+				if err != nil {
+					errs <- fmt.Errorf("listener-%d round %d: %w", i, round, err)
+					return
+				}
+				mu.Lock()
+				byPerf[res.Performance] = append(byPerf[res.Performance], res.Values[0])
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, msg := range []string{"hello", "world"} {
+		msg := msg
+		if _, err := enr.Enroll(ctx, core.Enrollment{
+			PID:  "announcer",
+			Role: ids.Role("sender"),
+			Body: func(rc core.Ctx) error {
+				for i := 1; i <= 3; i++ {
+					if err := rc.Send(ids.Member("recipient", i), msg); err != nil {
+						return err
+					}
+				}
+				return nil
+			},
+		}); err != nil {
+			t.Fatalf("announcer %q: %v", msg, err)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	if len(byPerf) != 2 {
+		t.Fatalf("listeners saw %d performances, want 2: %v", len(byPerf), byPerf)
+	}
+	seen := map[any]bool{}
+	for perf, vals := range byPerf {
+		if len(vals) != 3 {
+			t.Errorf("performance %d delivered to %d listeners, want 3", perf, len(vals))
+		}
+		for _, v := range vals {
+			if v != vals[0] {
+				t.Errorf("performance %d mixed broadcasts: %v", perf, vals)
+			}
+		}
+		seen[vals[0]] = true
+	}
+	if !seen["hello"] || !seen["world"] {
+		t.Errorf("broadcast values = %v, want hello and world", byPerf)
+	}
+
+	// Graceful shutdown: SIGINT → drain → clean exit. The pipe must be read
+	// to EOF before Wait, which closes it.
+	if err := daemon.Process.Signal(os.Interrupt); err != nil {
+		t.Fatalf("SIGINT: %v", err)
+	}
+	out := <-tail
+	if err := daemon.Wait(); err != nil {
+		t.Fatalf("scriptd exited uncleanly: %v", err)
+	}
+	if !strings.Contains(out, "drained") {
+		t.Errorf("daemon output after startup = %q, want a drain acknowledgement", out)
+	}
+}

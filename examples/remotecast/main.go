@@ -1,0 +1,87 @@
+// Remotecast: the quickstart broadcast with the script machinery in
+// another OS process. Start the daemon first:
+//
+//	go run ./cmd/scriptd -script star_broadcast -n 3 -addr 127.0.0.1:7341
+//
+// then run this program (in one or several terminals — the four parties
+// may be split across processes arbitrarily):
+//
+//	go run ./examples/remotecast -addr 127.0.0.1:7341
+//
+// Every role body below executes in THIS process; the daemon only hosts
+// the shared performance state — matching, rendezvous, deadlines, abort.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/scriptabs/goscript/internal/core"
+	"github.com/scriptabs/goscript/internal/ids"
+	"github.com/scriptabs/goscript/internal/remote"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7341", "scriptd address")
+	msgs := flag.String("msgs", "hello,world", "comma-separated broadcasts, one performance each")
+	flag.Parse()
+	values := strings.Split(*msgs, ",")
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	enr := remote.NewEnroller(*addr, remote.EnrollerConfig{Script: "star_broadcast"})
+	defer enr.Close()
+
+	var wg sync.WaitGroup
+	for i := 1; i <= 3; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for range values {
+				res, err := enr.Enroll(ctx, core.Enrollment{
+					PID:  ids.PID(fmt.Sprintf("listener-%d", i)),
+					Role: ids.Member("recipient", i),
+					Body: func(rc core.Ctx) error {
+						v, err := rc.Recv(ids.Role("sender"))
+						if err != nil {
+							return err
+						}
+						rc.SetResult(0, v)
+						return nil
+					},
+				})
+				if err != nil {
+					log.Printf("listener-%d: %v", i, err)
+					return
+				}
+				fmt.Printf("performance %d: listener-%d received %v\n",
+					res.Performance, i, res.Values[0])
+			}
+		}()
+	}
+
+	for _, msg := range values {
+		msg := msg
+		if _, err := enr.Enroll(ctx, core.Enrollment{
+			PID:  "announcer",
+			Role: ids.Role("sender"),
+			Body: func(rc core.Ctx) error {
+				for i := 1; i <= 3; i++ {
+					if err := rc.Send(ids.Member("recipient", i), msg); err != nil {
+						return err
+					}
+				}
+				return nil
+			},
+		}); err != nil {
+			log.Fatalf("announcer: %v", err)
+		}
+	}
+	wg.Wait()
+}

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"github.com/scriptabs/goscript/internal/core"
+	"github.com/scriptabs/goscript/internal/remote"
 	"github.com/scriptabs/goscript/internal/rendezvous"
 )
 
@@ -57,6 +58,23 @@ type Config struct {
 	// evicted from its exchange cell and re-routed through the slow lane —
 	// a pure rerouting fault that must never change what the op matches.
 	FastEvictP float64
+
+	// NetDelayP is the probability that a wire frame write is delayed (slow
+	// or congested link), and NetDelayMax the largest injected latency.
+	NetDelayP   float64
+	NetDelayMax time.Duration
+
+	// NetDropP is the probability that a connection is severed at a frame
+	// boundary — a partition or crashed peer. The remote host maps the drop
+	// onto its disconnect path: the victim's performance aborts, blaming the
+	// vanished role.
+	NetDropP float64
+
+	// NetStallP is the probability that a client heartbeat stalls before
+	// sending, and NetStallMax the largest stall. Stalls beyond the host's
+	// heartbeat timeout are indistinguishable from a dead peer.
+	NetStallP   float64
+	NetStallMax time.Duration
 }
 
 // Injector implements core.FaultInjector with seeded randomness and
@@ -72,12 +90,16 @@ type Injector struct {
 	cancels     atomic.Uint64
 	fastDelays  atomic.Uint64
 	fastEvicts  atomic.Uint64
+	netDelays   atomic.Uint64
+	netDrops    atomic.Uint64
+	netStalls   atomic.Uint64
 	consultions atomic.Uint64
 }
 
 var (
 	_ core.FaultInjector    = (*Injector)(nil)
 	_ rendezvous.FastFaults = (*Injector)(nil)
+	_ remote.NetFaults      = (*Injector)(nil)
 )
 
 // New returns an Injector drawing from a PRNG seeded with cfg.Seed.
@@ -152,6 +174,48 @@ func (j *Injector) FastEvict() bool {
 		j.fastEvicts.Add(1)
 	}
 	return hit
+}
+
+// FrameDelay implements remote.NetFaults: a latency imposed before a wire
+// frame write.
+func (j *Injector) FrameDelay() time.Duration {
+	d := j.draw(j.cfg.NetDelayP, j.cfg.NetDelayMax)
+	if d > 0 {
+		j.netDelays.Add(1)
+	}
+	return d
+}
+
+// DropConn implements remote.NetFaults: with probability NetDropP the
+// connection is severed at this frame boundary.
+func (j *Injector) DropConn() bool {
+	j.consultions.Add(1)
+	if j.cfg.NetDropP <= 0 {
+		return false
+	}
+	j.mu.Lock()
+	hit := j.rng.Float64() < j.cfg.NetDropP
+	j.mu.Unlock()
+	if hit {
+		j.netDrops.Add(1)
+	}
+	return hit
+}
+
+// StallHeartbeat implements remote.NetFaults: how long a client heartbeat
+// stalls before sending.
+func (j *Injector) StallHeartbeat() time.Duration {
+	d := j.draw(j.cfg.NetStallP, j.cfg.NetStallMax)
+	if d > 0 {
+		j.netStalls.Add(1)
+	}
+	return d
+}
+
+// NetStats reports how many network faults of each class have been
+// injected.
+func (j *Injector) NetStats() (netDelays, netDrops, netStalls uint64) {
+	return j.netDelays.Load(), j.netDrops.Load(), j.netStalls.Load()
 }
 
 // Stats reports how many faults of each class have been injected and how

@@ -36,6 +36,13 @@ type Enrollment struct {
 	// context instead. See also WithPerformanceDeadline for a per-instance
 	// bound on every performance.
 	Deadline time.Time
+	// Body, when non-nil, overrides the definition's body for this
+	// enrollment. The paper makes a role body "a logical continuation of the
+	// enrolling process"; Body lets the enrolling process actually supply
+	// that continuation. The remote host (internal/remote) uses it to bridge
+	// a network enroller: the override proxies Ctx operations to the client
+	// process, where the real body runs.
+	Body RoleBody
 }
 
 // Result reports a completed enrollment.
@@ -441,7 +448,11 @@ func (in *Instance) Enroll(ctx context.Context, e Enrollment) (Result, error) {
 	perf, rc := st.perf, st.rc
 	in.mu.Unlock()
 
-	bodyErr := runBody(in.def.bodyFor(e.Role), rc)
+	body := in.def.bodyFor(e.Role)
+	if e.Body != nil {
+		body = e.Body
+	}
+	bodyErr := runBody(body, rc)
 
 	in.mu.Lock()
 	in.record(trace.Event{
@@ -692,30 +703,46 @@ func (in *Instance) deadlineFired(p *performance) {
 // order) assigned role that has neither finished nor is blocked inside the
 // fabric waiting to communicate — the paper's "partner that never
 // communicates"; if every unfinished role is blocked communicating (a
-// genuine cycle), the first unfinished role is blamed.
+// genuine cycle), the first unfinished role is blamed. The waiting set is
+// taken as one fabric snapshot (Fabric.WaitingSnapshot) so the attribution
+// reflects a state the fabric was actually in, rather than a series of
+// per-role probes that racing commits could interleave with.
+func (in *Instance) abortPerformanceLocked(p *performance, reason string) {
+	in.abortAsLocked(p, ids.RoleRef{}, reason)
+}
+
+// abortAsLocked aborts performance p blaming culprit; a zero culprit means
+// "attribute it" (see abortPerformanceLocked). The remote host passes an
+// explicit culprit when it *knows* which role's enroller disconnected.
 //
 // Unlike Close, which takes the whole instance down, an abort is scoped to
 // one performance. The fabric is not recycled: a wedged role body may call
 // into it arbitrarily late, and it keeps answering with the abort reason.
-func (in *Instance) abortPerformanceLocked(p *performance, reason string) {
+func (in *Instance) abortAsLocked(p *performance, culprit ids.RoleRef, reason string) {
 	if p.done {
 		return
 	}
-	var culprit ids.RoleRef
-	unfinished := make([]ids.RoleRef, 0, len(p.assigned))
-	for _, r := range p.assigned.Roles().Sorted() {
-		if !p.finished.Contains(r) {
-			unfinished = append(unfinished, r)
+	if culprit.Name == "" {
+		waiting := p.fabric.WaitingSnapshot()
+		parked := make(map[rendezvous.Addr]bool, len(waiting))
+		for _, a := range waiting {
+			parked[a] = true
 		}
-	}
-	for _, r := range unfinished {
-		if !p.fabric.Waiting(addrOf(r)) {
-			culprit = r
-			break
+		unfinished := make([]ids.RoleRef, 0, len(p.assigned))
+		for _, r := range p.assigned.Roles().Sorted() {
+			if !p.finished.Contains(r) {
+				unfinished = append(unfinished, r)
+			}
 		}
-	}
-	if culprit.Name == "" && len(unfinished) > 0 {
-		culprit = unfinished[0]
+		for _, r := range unfinished {
+			if !parked[addrOf(r)] {
+				culprit = r
+				break
+			}
+		}
+		if culprit.Name == "" && len(unfinished) > 0 {
+			culprit = unfinished[0]
+		}
 	}
 	p.abortErr = &AbortError{
 		Script:      in.def.name,

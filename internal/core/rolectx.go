@@ -387,6 +387,41 @@ func (rc *RoleCtx) EnrollIn(other *Instance, e Enrollment) (Result, error) {
 	return other.Enroll(rc.ctx, e)
 }
 
+// PerformanceDone returns a channel closed when this role's performance
+// ends — normally or by abort. After it closes, AbortErr distinguishes the
+// two. The remote host's bridge selects on it so a client idling between
+// operations can be told promptly that its performance was aborted.
+func (rc *RoleCtx) PerformanceDone() <-chan struct{} { return rc.perf.doneCh }
+
+// AbortErr returns the *AbortError that ended this performance, or nil if
+// the performance is still running or ended normally.
+func (rc *RoleCtx) AbortErr() error {
+	rc.inst.mu.Lock()
+	defer rc.inst.mu.Unlock()
+	if rc.perf.abortErr != nil {
+		return rc.perf.abortErr
+	}
+	return nil
+}
+
+// AbortPerformance aborts this role's performance, blaming this role with
+// the given reason. It is safe to call from any goroutine — the remote host
+// (internal/remote) calls it from a connection reader when the process
+// behind this role disconnects mid-performance — and is a no-op once the
+// performance has ended or the instance is closed. Co-performers blocked in
+// (or later attempting) communication fail with an *AbortError naming this
+// role as the culprit, and the instance moves on to the next cast.
+func (rc *RoleCtx) AbortPerformance(reason string) {
+	in := rc.inst
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if rc.perf.done || in.closed {
+		return
+	}
+	in.abortAsLocked(rc.perf, rc.role, reason)
+	in.advanceLocked()
+}
+
 type peerState int
 
 const (

@@ -1,0 +1,48 @@
+package patterns
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/scriptabs/goscript/internal/core"
+)
+
+// ByName constructs the named pattern definition with size parameter n
+// (recipients, parties, workers, managers, or buffer capacity — whatever
+// the pattern scales by) — the lookup cmd/scriptd uses to serve a script
+// chosen by flag. Names are the definitions' own, as listed by Names.
+func ByName(name string, n int) (core.Definition, error) {
+	switch name {
+	case "star_broadcast":
+		return StarBroadcast(n), nil
+	case "pipeline_broadcast":
+		return PipelineBroadcast(n), nil
+	case "tree_broadcast":
+		return TreeBroadcast(n, 2), nil
+	case "barrier":
+		return Barrier(n), nil
+	case "scatter_gather":
+		return ScatterGather(n), nil
+	case "bounded_buffer":
+		return BoundedBuffer(n), nil
+	case "lock_manager":
+		return LockManager(n, OneReadAllWrite()), nil
+	case "lock_manager_guarded":
+		return LockManagerGuarded(n, OneReadAllWrite()), nil
+	case "membership_change":
+		return MembershipChange(), nil
+	default:
+		return core.Definition{}, fmt.Errorf("patterns: unknown script %q (have %v)", name, Names())
+	}
+}
+
+// Names lists the scripts ByName can construct, sorted.
+func Names() []string {
+	names := []string{
+		"star_broadcast", "pipeline_broadcast", "tree_broadcast",
+		"barrier", "scatter_gather", "bounded_buffer",
+		"lock_manager", "lock_manager_guarded", "membership_change",
+	}
+	sort.Strings(names)
+	return names
+}

@@ -11,11 +11,14 @@
 //	E4  script.Pool of 4 instances vs a single instance, 64 enrollers
 //	E5  fabric point-to-point ping-pong: fast lane vs forced slow lane
 //	E6  fabric star scatter to 64 recipients vs a loop of serial sends
+//	E7  remote star broadcast over loopback TCP vs the same run in-process
 //
 // Each Spec.Run executes under testing.Benchmark so iteration counts are
 // chosen the same way `go test -bench` chooses them. E5/E6 measure the
 // rendezvous fabric directly and record their own comparison run in
-// baseline_ns_per_op (fast vs slow lane, scatter vs serial).
+// baseline_ns_per_op (fast vs slow lane, scatter vs serial); E7 records
+// the in-process E1 workload as its baseline, so delta_pct is the (large,
+// negative) cost of moving every role body across the wire.
 package perfbench
 
 import (
@@ -31,6 +34,7 @@ import (
 	"github.com/scriptabs/goscript/internal/core"
 	"github.com/scriptabs/goscript/internal/ids"
 	"github.com/scriptabs/goscript/internal/patterns"
+	"github.com/scriptabs/goscript/internal/remote"
 	"github.com/scriptabs/goscript/internal/rendezvous"
 )
 
@@ -104,6 +108,12 @@ func Suite() []Spec {
 			Description: "one 64-recipient fabric Scatter per op; baseline is a loop of 64 serial sends (GOMAXPROCS>=4)",
 			Enrollers:   64,
 		},
+		{
+			ID:          "E7",
+			Name:        "remote-star-broadcast-64",
+			Description: "one StarBroadcast(64) performance per op with every role enrolled over loopback TCP; baseline is the identical in-process workload (E1)",
+			Enrollers:   65,
+		},
 	}
 	specs[0].Run = func() Result { return finish(specs[0], runStarBroadcast(64)) }
 	specs[1].Run = func() Result { return finish(specs[1], runSuccessive()) }
@@ -133,6 +143,9 @@ func Suite() []Spec {
 			serial = runScatter(64, true)
 		})
 		return withIntrinsicBaseline(finish(specs[5], scatter), serial)
+	}
+	specs[6].Run = func() Result {
+		return withIntrinsicBaseline(finish(specs[6], runRemoteStar(64)), runStarBroadcast(64))
 	}
 	return specs
 }
@@ -333,6 +346,70 @@ func runPool(size int) testing.BenchmarkResult {
 		if failures.Load() > 0 {
 			b.Fatalf("%d enrollments failed", failures.Load())
 		}
+	})
+}
+
+// runRemoteStar is E7: the E1 workload pushed through the wire. A
+// remote.Host serves StarBroadcast(n) on loopback; n resident recipients
+// re-enroll forever through one shared Enroller (whose idle pool keeps a
+// TCP connection per concurrent enrollment), and the measured op is one
+// sender enrollment — a complete broadcast performance in which every
+// role body runs client-side, each communication op a request/response
+// frame pair.
+func runRemoteStar(n int) testing.BenchmarkResult {
+	return testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		in := core.NewInstance(patterns.StarBroadcast(n))
+		h := remote.NewHost(in, remote.HostConfig{})
+		if err := h.Listen("127.0.0.1:0"); err != nil {
+			b.Fatal(err)
+		}
+		go h.Serve()
+		enr := remote.NewEnroller(h.Addr().String(), remote.EnrollerConfig{Script: "star_broadcast"})
+		ctx, cancel := context.WithCancel(context.Background())
+		recvBody := func(rc core.Ctx) error {
+			v, err := rc.Recv(ids.Role(patterns.RoleSender))
+			if err != nil {
+				return err
+			}
+			rc.SetResult(0, v)
+			return nil
+		}
+		tos := make([]ids.RoleRef, n)
+		for i := 1; i <= n; i++ {
+			tos[i-1] = ids.Member(patterns.RoleRecipient, i)
+		}
+		var wg sync.WaitGroup
+		for i := 1; i <= n; i++ {
+			pid := ids.PID(fmt.Sprintf("R%d", i))
+			role := ids.Member(patterns.RoleRecipient, i)
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					if _, err := enr.Enroll(ctx, core.Enrollment{PID: pid, Role: role, Body: recvBody}); err != nil {
+						return
+					}
+				}
+			}()
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			val := i
+			_, err := enr.Enroll(ctx, core.Enrollment{
+				PID: "T", Role: ids.Role(patterns.RoleSender),
+				Body: func(rc core.Ctx) error { return rc.SendAll(tos, val) },
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		cancel()
+		wg.Wait()
+		enr.Close()
+		h.Close()
+		in.Close()
 	})
 }
 

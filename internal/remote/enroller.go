@@ -1,0 +1,507 @@
+package remote
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/scriptabs/goscript/internal/core"
+	"github.com/scriptabs/goscript/internal/ids"
+	"github.com/scriptabs/goscript/internal/wire"
+)
+
+// EnrollerConfig configures an Enroller.
+type EnrollerConfig struct {
+	// Script, when non-empty, asserts the host's script name during the
+	// handshake; a mismatched host is rejected.
+	Script string
+	// HeartbeatInterval is how often an otherwise-quiet connection sends a
+	// liveness frame. It must be comfortably under the host's heartbeat
+	// timeout. 0 means the default of 3 seconds.
+	HeartbeatInterval time.Duration
+	// DialTimeout bounds connection establishment (0 = 5 seconds).
+	DialTimeout time.Duration
+	// Faults, when non-nil, injects network faults (chaos testing).
+	Faults NetFaults
+}
+
+// DefaultHeartbeatInterval is the client's liveness cadence when
+// EnrollerConfig.HeartbeatInterval is zero.
+const DefaultHeartbeatInterval = 3 * time.Second
+
+// Enroller enrolls this process into a script served by a remote Host. It
+// keeps a pool of idle connections: sequential enrollments reuse one
+// connection, concurrent enrollments each get their own.
+type Enroller struct {
+	addr string
+	cfg  EnrollerConfig
+
+	mu     sync.Mutex
+	idle   []*clientConn
+	closed bool
+}
+
+// NewEnroller creates an enroller for the host at addr. No connection is
+// made until the first Enroll.
+func NewEnroller(addr string, cfg EnrollerConfig) *Enroller {
+	if cfg.HeartbeatInterval <= 0 {
+		cfg.HeartbeatInterval = DefaultHeartbeatInterval
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 5 * time.Second
+	}
+	return &Enroller{addr: addr, cfg: cfg}
+}
+
+// Close closes the idle connections. Enrollments in flight keep their
+// connections and fail or finish on their own.
+func (e *Enroller) Close() error {
+	e.mu.Lock()
+	idle := e.idle
+	e.idle = nil
+	e.closed = true
+	e.mu.Unlock()
+	for _, cc := range idle {
+		cc.close()
+	}
+	return nil
+}
+
+// Enroll offers to play enr.Role at the remote host and blocks until the
+// process is released, exactly like Instance.Enroll — except the role body
+// must be supplied in enr.Body, because the definition lives in the serving
+// process. The body runs in *this* process, against a Ctx whose operations
+// are proxied over the connection; ctx cancellation withdraws a pending
+// offer (and, mid-performance, severs the connection, aborting the
+// performance host-side with this role as culprit).
+func (e *Enroller) Enroll(ctx context.Context, enr core.Enrollment) (core.Result, error) {
+	if enr.Body == nil {
+		return core.Result{}, errors.New("script/remote: Enroll requires Enrollment.Body (the definition lives in the host)")
+	}
+	if err := ctx.Err(); err != nil {
+		return core.Result{}, err
+	}
+	cc, err := e.conn(ctx)
+	if err != nil {
+		return core.Result{}, err
+	}
+	healthy := false
+	defer func() {
+		if healthy {
+			e.putIdle(cc)
+		} else {
+			cc.close()
+		}
+	}()
+
+	// The withdraw path: context cancellation severs the connection, which
+	// fails whatever read or write the enrollment is blocked in. The host
+	// maps it to an offer withdrawal (pending) or an abort (performing).
+	watchDone := make(chan struct{})
+	defer close(watchDone)
+	go func() {
+		select {
+		case <-ctx.Done():
+			cc.close()
+		case <-watchDone:
+		}
+	}()
+	wrapErr := func(err error) error {
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
+		return fmt.Errorf("%w: %v", ErrConnLost, err)
+	}
+
+	msg := wire.Enroll{
+		PID:  string(enr.PID),
+		Role: enr.Role.String(),
+		Args: enr.Args,
+		With: wire.EncodeWith(enr.With),
+	}
+	if !enr.Deadline.IsZero() {
+		msg.DeadlineMS = enr.Deadline.UnixMilli()
+	}
+	if err := cc.c.WriteMsg(wire.MsgEnroll, msg); err != nil {
+		return core.Result{}, wrapErr(err)
+	}
+
+	// Await assignment (or rejection).
+	var ack wire.OfferAck
+await:
+	for {
+		t, payload, err := cc.c.ReadMsg()
+		if err != nil {
+			return core.Result{}, wrapErr(err)
+		}
+		switch t {
+		case wire.MsgOfferAck:
+			if err := wire.Decode(payload, &ack); err != nil {
+				return core.Result{}, wrapErr(err)
+			}
+			break await
+		case wire.MsgDrain:
+			// The host is draining; its network side is going away, so the
+			// connection is not worth pooling.
+			return core.Result{}, core.ErrDraining
+		case wire.MsgComplete:
+			// Rejected before any performance: unknown role, closed, ...
+			var cm wire.Complete
+			if err := wire.Decode(payload, &cm); err != nil {
+				return core.Result{}, wrapErr(err)
+			}
+			if cm.Err != nil {
+				return core.Result{}, cm.Err.Err()
+			}
+			return core.Result{}, fmt.Errorf("%w: COMPLETE before OFFER-ACK", ErrConnLost)
+		case wire.MsgError:
+			var pe wire.ProtoError
+			_ = wire.Decode(payload, &pe)
+			return core.Result{}, fmt.Errorf("script/remote: host error: %s", pe.Msg)
+		default:
+			return core.Result{}, fmt.Errorf("script/remote: unexpected %s awaiting offer", t)
+		}
+	}
+
+	role := enr.Role
+	if r, err := wire.DecodeRoleRef(ack.Role); err == nil {
+		role = r
+	}
+	rctx := &remoteCtx{
+		ParamBag: core.ParamBag{In: enr.Args},
+		ctx:      ctx,
+		cc:       cc,
+		role:     role,
+		pid:      enr.PID,
+		perf:     ack.Performance,
+	}
+	bodyErr := runClientBody(enr.Body, rctx)
+	if err := cc.c.WriteMsg(wire.MsgBodyDone, wire.BodyDone{
+		Results: rctx.Out,
+		Err:     wire.EncodeError(bodyErr),
+	}); err != nil {
+		return core.Result{}, wrapErr(err)
+	}
+
+	// Await release.
+	for {
+		t, payload, err := cc.c.ReadMsg()
+		if err != nil {
+			return core.Result{}, wrapErr(err)
+		}
+		switch t {
+		case wire.MsgAbort:
+			continue // already reflected in the COMPLETE to come
+		case wire.MsgComplete:
+			var cm wire.Complete
+			if err := wire.Decode(payload, &cm); err != nil {
+				return core.Result{}, wrapErr(err)
+			}
+			if cm.Err != nil {
+				return core.Result{}, cm.Err.Err()
+			}
+			res := core.Result{Performance: cm.Performance, Role: role, Values: cm.Values}
+			if r, err := wire.DecodeRoleRef(cm.Role); err == nil {
+				res.Role = r
+			}
+			healthy = true
+			return res, nil
+		case wire.MsgError:
+			var pe wire.ProtoError
+			_ = wire.Decode(payload, &pe)
+			return core.Result{}, fmt.Errorf("script/remote: host error: %s", pe.Msg)
+		default:
+			return core.Result{}, fmt.Errorf("script/remote: unexpected %s awaiting release", t)
+		}
+	}
+}
+
+// runClientBody runs the body with the same panic containment the local
+// scheduler applies: a panicking body surfaces as an error, not a crash of
+// the enrolling process's runtime.
+func runClientBody(body core.RoleBody, rc core.Ctx) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("script: role body panicked: %v", r)
+		}
+	}()
+	return body(rc)
+}
+
+// conn pops an idle connection or dials a fresh one.
+func (e *Enroller) conn(ctx context.Context) (*clientConn, error) {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil, core.ErrClosed
+	}
+	for len(e.idle) > 0 {
+		cc := e.idle[len(e.idle)-1]
+		e.idle = e.idle[:len(e.idle)-1]
+		if !cc.dead.Load() {
+			e.mu.Unlock()
+			return cc, nil
+		}
+		cc.close()
+	}
+	e.mu.Unlock()
+	return e.dial(ctx)
+}
+
+func (e *Enroller) putIdle(cc *clientConn) {
+	if cc.dead.Load() {
+		cc.close()
+		return
+	}
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		cc.close()
+		return
+	}
+	e.idle = append(e.idle, cc)
+	e.mu.Unlock()
+}
+
+func (e *Enroller) dial(ctx context.Context) (*clientConn, error) {
+	d := net.Dialer{Timeout: e.cfg.DialTimeout}
+	nc, err := d.DialContext(ctx, "tcp", e.addr)
+	if err != nil {
+		return nil, fmt.Errorf("script/remote: dial %s: %w", e.addr, err)
+	}
+	c := wire.NewConn(nc)
+	if e.cfg.Faults != nil {
+		c.SetFrameDelay(e.cfg.Faults.FrameDelay)
+	}
+	if _, err := wire.ClientHandshake(c, e.cfg.Script); err != nil {
+		c.Close()
+		return nil, err
+	}
+	cc := &clientConn{c: c, stop: make(chan struct{})}
+	go cc.heartbeat(e.cfg.HeartbeatInterval, e.cfg.Faults)
+	return cc, nil
+}
+
+// clientConn is one pooled connection with its heartbeat pump.
+type clientConn struct {
+	c    *wire.Conn
+	stop chan struct{}
+	once sync.Once
+	dead atomic.Bool
+}
+
+func (cc *clientConn) close() {
+	cc.dead.Store(true)
+	cc.once.Do(func() { close(cc.stop) })
+	cc.c.Close()
+}
+
+// heartbeat keeps the host's silence clock from expiring while the body
+// computes between operations. Frame writes are serialized with the body's
+// by the connection's write lock.
+func (cc *clientConn) heartbeat(interval time.Duration, faults NetFaults) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-cc.stop:
+			return
+		case <-t.C:
+			if faults != nil {
+				if d := faults.StallHeartbeat(); d > 0 {
+					select {
+					case <-cc.stop:
+						return
+					case <-time.After(d):
+					}
+				}
+			}
+			if cc.c.WriteMsg(wire.MsgHeartbeat, wire.Heartbeat{}) != nil {
+				cc.dead.Store(true)
+				return
+			}
+		}
+	}
+}
+
+// remoteCtx is the client-side Ctx: the body's view of a performance whose
+// coordination state lives in the serving process. Every communication and
+// predicate is one request/response exchange; data parameters and results
+// stay local (they cross the wire at ENROLL and BODY-DONE).
+type remoteCtx struct {
+	core.ParamBag
+	ctx  context.Context
+	cc   *clientConn
+	role ids.RoleRef
+	pid  ids.PID
+	perf int
+	// abortErr, once set, fails every subsequent operation locally: the
+	// host told us (via ABORT or an operation result) that the performance
+	// was aborted. Mirrors the local semantics — the body keeps running,
+	// its communications fail.
+	abortErr error
+}
+
+var _ core.Ctx = (*remoteCtx)(nil)
+
+func (r *remoteCtx) Context() context.Context { return r.ctx }
+func (r *remoteCtx) Role() ids.RoleRef        { return r.role }
+func (r *remoteCtx) Index() int               { return r.role.Index }
+func (r *remoteCtx) PID() ids.PID             { return r.pid }
+func (r *remoteCtx) Performance() int         { return r.perf }
+
+// op runs one request/response exchange. The protocol is lock-step: the
+// host answers every operation with exactly one OP-RESULT, possibly
+// preceded by an ABORT notification.
+func (r *remoteCtx) op(t wire.MsgType, req any) (wire.OpResult, error) {
+	if r.abortErr != nil {
+		return wire.OpResult{}, r.abortErr
+	}
+	if err := r.ctx.Err(); err != nil {
+		return wire.OpResult{}, err
+	}
+	if err := r.cc.c.WriteMsg(t, req); err != nil {
+		return wire.OpResult{}, r.netErr(err)
+	}
+	for {
+		mt, payload, err := r.cc.c.ReadMsg()
+		if err != nil {
+			return wire.OpResult{}, r.netErr(err)
+		}
+		switch mt {
+		case wire.MsgAbort:
+			var a wire.Abort
+			if err := wire.Decode(payload, &a); err == nil {
+				r.abortErr = (&wire.ErrInfo{
+					Code:        wire.CodeAborted,
+					Performance: a.Performance,
+					Culprit:     a.Culprit,
+					Reason:      a.Reason,
+				}).Err()
+			}
+			continue
+		case wire.MsgOpResult:
+			var res wire.OpResult
+			if err := wire.Decode(payload, &res); err != nil {
+				return wire.OpResult{}, r.netErr(err)
+			}
+			if res.Err != nil {
+				opErr := res.Err.Err()
+				if errors.Is(opErr, core.ErrPerformanceAborted) {
+					r.abortErr = opErr
+				}
+				return wire.OpResult{}, opErr
+			}
+			return res, nil
+		default:
+			r.cc.dead.Store(true)
+			return wire.OpResult{}, fmt.Errorf("script/remote: unexpected %s awaiting OP-RESULT", mt)
+		}
+	}
+}
+
+func (r *remoteCtx) netErr(err error) error {
+	r.cc.dead.Store(true)
+	if cerr := r.ctx.Err(); cerr != nil {
+		return cerr
+	}
+	return fmt.Errorf("%w: %v", ErrConnLost, err)
+}
+
+func (r *remoteCtx) Send(to ids.RoleRef, v any) error { return r.SendTag(to, "", v) }
+
+func (r *remoteCtx) SendTag(to ids.RoleRef, tag string, v any) error {
+	_, err := r.op(wire.MsgSend, wire.Send{To: to.String(), Tag: tag, Val: v})
+	return err
+}
+
+func (r *remoteCtx) SendAll(tos []ids.RoleRef, v any) error {
+	if len(tos) == 0 {
+		return nil
+	}
+	wtos := make([]string, len(tos))
+	for i, to := range tos {
+		wtos[i] = to.String()
+	}
+	_, err := r.op(wire.MsgSendAll, wire.SendAll{Tos: wtos, Val: v})
+	return err
+}
+
+func (r *remoteCtx) Recv(from ids.RoleRef) (any, error) { return r.RecvTag(from, "") }
+
+func (r *remoteCtx) RecvTag(from ids.RoleRef, tag string) (any, error) {
+	res, err := r.op(wire.MsgRecv, wire.Recv{From: from.String(), Tag: tag})
+	if err != nil {
+		return nil, err
+	}
+	return res.Val, nil
+}
+
+func (r *remoteCtx) RecvAny() (ids.RoleRef, string, any, error) {
+	res, err := r.op(wire.MsgRecvAny, wire.Recv{})
+	if err != nil {
+		return ids.RoleRef{}, "", nil, err
+	}
+	from, perr := wire.DecodeRoleRef(res.Peer)
+	if perr != nil {
+		return ids.RoleRef{}, "", nil, fmt.Errorf("script/remote: bad peer %q: %v", res.Peer, perr)
+	}
+	return from, res.Tag, res.Val, nil
+}
+
+func (r *remoteCtx) Select(branches ...core.SelectBranch) (core.Selected, error) {
+	wbs := make([]wire.SelectBranch, 0, len(branches))
+	for i, b := range branches {
+		if !b.Enabled() {
+			continue
+		}
+		peer, anyPeer := b.BranchPeer()
+		wb := wire.SelectBranch{
+			Send:    b.IsSend(),
+			AnyPeer: anyPeer,
+			Tag:     b.BranchTag(),
+			Val:     b.BranchValue(),
+			Index:   i,
+		}
+		if !anyPeer {
+			wb.Peer = peer.String()
+		}
+		wbs = append(wbs, wb)
+	}
+	// All guards false is decided locally, as in the local runtime: no
+	// round trip, no fabric involvement.
+	if len(wbs) == 0 {
+		return core.Selected{}, core.ErrNoBranches
+	}
+	res, err := r.op(wire.MsgSelect, wire.Select{Branches: wbs})
+	if err != nil {
+		return core.Selected{}, err
+	}
+	peer, perr := wire.DecodeRoleRef(res.Peer)
+	if perr != nil {
+		return core.Selected{}, fmt.Errorf("script/remote: bad peer %q: %v", res.Peer, perr)
+	}
+	return core.Selected{Index: res.Index, Peer: peer, Tag: res.Tag, Val: res.Val}, nil
+}
+
+func (r *remoteCtx) Terminated(role ids.RoleRef) bool {
+	res, err := r.op(wire.MsgQuery, wire.Query{Kind: wire.QueryTerminated, Role: role.String()})
+	return err == nil && res.Bool
+}
+
+func (r *remoteCtx) Filled(role ids.RoleRef) bool {
+	res, err := r.op(wire.MsgQuery, wire.Query{Kind: wire.QueryFilled, Role: role.String()})
+	return err == nil && res.Bool
+}
+
+func (r *remoteCtx) FamilySize(name string) int {
+	res, err := r.op(wire.MsgQuery, wire.Query{Kind: wire.QueryFamilySize, Name: name})
+	if err != nil {
+		return 0
+	}
+	return res.N
+}

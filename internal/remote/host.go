@@ -1,0 +1,584 @@
+package remote
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/scriptabs/goscript/internal/core"
+	"github.com/scriptabs/goscript/internal/ids"
+	"github.com/scriptabs/goscript/internal/wire"
+)
+
+// HostConfig configures a Host.
+type HostConfig struct {
+	// HeartbeatTimeout bounds how long a connection may stay silent before
+	// the host presumes the enroller lost and aborts its performance. Any
+	// frame (heartbeats included) resets the clock. 0 means the default of
+	// 15 seconds; a negative value disables the bound.
+	HeartbeatTimeout time.Duration
+	// WriteTimeout bounds each frame write to a client (0 = unbounded). A
+	// client that stops reading mid-performance is indistinguishable from a
+	// dead one; the write timeout turns it into the disconnect path.
+	WriteTimeout time.Duration
+	// Faults, when non-nil, injects network faults (chaos testing).
+	Faults NetFaults
+	// Logf, when non-nil, receives connection-level diagnostics.
+	Logf func(format string, args ...any)
+}
+
+// DefaultHeartbeatTimeout is the host's silence bound when
+// HostConfig.HeartbeatTimeout is zero.
+const DefaultHeartbeatTimeout = 15 * time.Second
+
+// Host serves a script target to remote enrollers. It owns only the
+// network side: the caller keeps ownership of the target and its
+// lifecycle, except that Host.Drain delegates to Target.Drain.
+type Host struct {
+	target Target
+	script string
+	cfg    HostConfig
+
+	baseCtx context.Context
+	cancel  context.CancelFunc
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[*wire.Conn]struct{}
+	closed bool
+
+	connWG   sync.WaitGroup // connection handlers
+	enrollWG sync.WaitGroup // in-flight handleEnroll calls (Drain waits on it)
+}
+
+// NewHost creates a host serving target.
+func NewHost(target Target, cfg HostConfig) *Host {
+	if cfg.HeartbeatTimeout == 0 {
+		cfg.HeartbeatTimeout = DefaultHeartbeatTimeout
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Host{
+		target:  target,
+		script:  target.Definition().Name(),
+		cfg:     cfg,
+		baseCtx: ctx,
+		cancel:  cancel,
+		conns:   make(map[*wire.Conn]struct{}),
+	}
+}
+
+// Listen binds the host to addr (e.g. "127.0.0.1:0").
+func (h *Host) Listen(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		ln.Close()
+		return errors.New("script/remote: host closed")
+	}
+	h.ln = ln
+	return nil
+}
+
+// Addr returns the bound address, or nil before Listen.
+func (h *Host) Addr() net.Addr {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.ln == nil {
+		return nil
+	}
+	return h.ln.Addr()
+}
+
+// Serve accepts connections until the listener closes (Close or Drain).
+// It returns nil on orderly shutdown.
+func (h *Host) Serve() error {
+	h.mu.Lock()
+	ln := h.ln
+	h.mu.Unlock()
+	if ln == nil {
+		return errors.New("script/remote: Serve before Listen")
+	}
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			h.mu.Lock()
+			closed := h.closed || h.ln == nil
+			h.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		h.connWG.Add(1)
+		go h.serveConn(nc)
+	}
+}
+
+// ListenAndServe binds to addr and serves until shutdown.
+func (h *Host) ListenAndServe(addr string) error {
+	if err := h.Listen(addr); err != nil {
+		return err
+	}
+	return h.Serve()
+}
+
+// Drain shuts the host down gracefully: the listener closes, new offers on
+// existing connections are answered with DRAIN (the target rejects them
+// with ErrDraining), in-flight performances run to completion and their
+// COMPLETE frames are delivered, and then the remaining connections close.
+// If ctx ends first the forced close happens anyway and the context error
+// is reported.
+func (h *Host) Drain(ctx context.Context) error {
+	h.closeListener()
+	err := h.target.Drain(ctx)
+	// The target is drained once every admitted Enroll has returned; give
+	// the per-connection handlers the beat they need to flush COMPLETE.
+	done := make(chan struct{})
+	go func() {
+		h.enrollWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = errors.Join(err, ctx.Err())
+	}
+	h.Close()
+	return err
+}
+
+// Close tears the network side down immediately: listener and all
+// connections close, and performances with a remote role are left to the
+// disconnect path. Close is idempotent and does not touch the target.
+func (h *Host) Close() error {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return nil
+	}
+	h.closed = true
+	ln := h.ln
+	h.ln = nil
+	conns := make([]*wire.Conn, 0, len(h.conns))
+	for c := range h.conns {
+		conns = append(conns, c)
+	}
+	h.mu.Unlock()
+	h.cancel()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	h.connWG.Wait()
+	return nil
+}
+
+func (h *Host) closeListener() {
+	h.mu.Lock()
+	ln := h.ln
+	h.ln = nil
+	h.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+}
+
+func (h *Host) logf(format string, args ...any) {
+	if h.cfg.Logf != nil {
+		h.cfg.Logf(format, args...)
+	}
+}
+
+func (h *Host) track(c *wire.Conn) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return false
+	}
+	h.conns[c] = struct{}{}
+	return true
+}
+
+func (h *Host) untrack(c *wire.Conn) {
+	h.mu.Lock()
+	delete(h.conns, c)
+	h.mu.Unlock()
+}
+
+// frame is one message pulled off a connection by its reader.
+type frame struct {
+	typ     wire.MsgType
+	payload []byte
+}
+
+// serveConn runs one client connection: handshake, then sequential
+// enrollments. A dedicated reader goroutine pulls frames under the
+// heartbeat read deadline so a silent or severed connection is noticed
+// even while the bridge body is blocked inside the fabric.
+func (h *Host) serveConn(nc net.Conn) {
+	defer h.connWG.Done()
+	c := wire.NewConn(nc)
+	if !h.track(c) {
+		c.Close()
+		return
+	}
+	defer h.untrack(c)
+	defer c.Close()
+	if h.cfg.HeartbeatTimeout > 0 {
+		c.SetReadTimeout(h.cfg.HeartbeatTimeout)
+	}
+	if h.cfg.WriteTimeout > 0 {
+		c.SetWriteTimeout(h.cfg.WriteTimeout)
+	}
+	if h.cfg.Faults != nil {
+		c.SetFrameDelay(h.cfg.Faults.FrameDelay)
+	}
+	if err := wire.ServerHandshake(c, h.script); err != nil {
+		h.logf("remote: %s: handshake: %v", c.RemoteAddr(), err)
+		return
+	}
+
+	frames := make(chan frame, 4)
+	go func() {
+		defer close(frames)
+		for {
+			t, payload, err := c.ReadMsg()
+			if err != nil {
+				return
+			}
+			if t == wire.MsgHeartbeat {
+				continue
+			}
+			if h.cfg.Faults != nil && h.cfg.Faults.DropConn() {
+				c.Close()
+				return
+			}
+			frames <- frame{t, payload}
+		}
+	}()
+
+	for fr := range frames {
+		if fr.typ != wire.MsgEnroll {
+			h.logf("remote: %s: protocol violation: %s outside an enrollment", c.RemoteAddr(), fr.typ)
+			_ = c.WriteMsg(wire.MsgError, wire.ProtoError{Msg: fmt.Sprintf("expected ENROLL, got %s", fr.typ)})
+			return
+		}
+		if !h.handleEnroll(c, frames, fr.payload) {
+			return
+		}
+	}
+}
+
+// handleEnroll runs one enrollment conversation. It returns false when the
+// connection is no longer usable.
+func (h *Host) handleEnroll(c *wire.Conn, frames <-chan frame, payload []byte) bool {
+	h.enrollWG.Add(1)
+	defer h.enrollWG.Done()
+
+	var m wire.Enroll
+	if err := wire.Decode(payload, &m); err != nil {
+		_ = c.WriteMsg(wire.MsgError, wire.ProtoError{Msg: "malformed ENROLL"})
+		return false
+	}
+	role, err := wire.DecodeRoleRef(m.Role)
+	if err != nil {
+		return h.complete(c, ids.RoleRef{}, core.Result{}, fmt.Errorf("%w: %s", core.ErrUnknownRole, m.Role))
+	}
+	with, err := wire.DecodeWith(m.With)
+	if err != nil {
+		return h.complete(c, role, core.Result{}, err)
+	}
+
+	b := &bridge{conn: c, opCh: make(chan frame, 4), quit: make(chan struct{})}
+	e := core.Enrollment{
+		PID:  ids.PID(m.PID),
+		Role: role,
+		Args: m.Args,
+		With: with,
+		Body: b.run,
+	}
+	if m.DeadlineMS > 0 {
+		e.Deadline = time.UnixMilli(m.DeadlineMS)
+	}
+
+	ctx, cancel := context.WithCancel(h.baseCtx)
+	defer cancel()
+	type enrollRes struct {
+		res core.Result
+		err error
+	}
+	resCh := make(chan enrollRes, 1)
+	go func() {
+		res, err := h.target.Enroll(ctx, e)
+		resCh <- enrollRes{res, err}
+	}()
+
+	for {
+		select {
+		case r := <-resCh:
+			return h.complete(c, role, r.res, r.err)
+		case fr, ok := <-frames:
+			if !ok {
+				// The connection died (read error or heartbeat silence):
+				// reclaim the performance, blaming the vanished enroller,
+				// and withdraw a still-pending offer.
+				h.logf("remote: %s: enroller for %s disconnected", c.RemoteAddr(), role)
+				b.disconnect("remote enroller disconnected")
+				cancel()
+				<-resCh
+				return false
+			}
+			select {
+			case b.opCh <- fr:
+			default:
+				// Lock-step protocol: more than a few outstanding frames
+				// means a misbehaving client.
+				b.disconnect("protocol violation: operation flood")
+				cancel()
+				<-resCh
+				_ = c.WriteMsg(wire.MsgError, wire.ProtoError{Msg: "operation flood"})
+				return false
+			}
+		}
+	}
+}
+
+// complete reports the enrollment's outcome to the client. It returns
+// false when the connection is no longer usable.
+func (h *Host) complete(c *wire.Conn, role ids.RoleRef, res core.Result, err error) bool {
+	if errors.Is(err, core.ErrDraining) {
+		return c.WriteMsg(wire.MsgDrain, wire.Drain{}) == nil
+	}
+	msg := wire.Complete{
+		Performance: res.Performance,
+		Role:        role.String(),
+		Values:      res.Values,
+		Err:         wire.EncodeError(err),
+	}
+	if res.Role.Name != "" {
+		msg.Role = res.Role.String()
+	}
+	return c.WriteMsg(wire.MsgComplete, msg) == nil
+}
+
+// bridge is the server-side stand-in for a remote role body: it is
+// installed as the Enrollment.Body override, so the scheduler runs it on
+// the enroller's behalf. It relays the client's operation frames into the
+// real RoleCtx (and so into the shared fabric) and the results back out.
+type bridge struct {
+	conn *wire.Conn
+	opCh chan frame
+	quit chan struct{}
+
+	once sync.Once
+
+	mu       sync.Mutex
+	rc       core.Ctx
+	started  bool
+	finished bool
+}
+
+var errEnrollerLost = fmt.Errorf("%w: enroller disconnected mid-performance", ErrConnLost)
+
+// run is the bridge body. The scheduler calls it once the offer is
+// assigned to a performance.
+func (b *bridge) run(rc core.Ctx) error {
+	b.mu.Lock()
+	b.rc = rc
+	b.started = true
+	b.mu.Unlock()
+	defer func() {
+		b.mu.Lock()
+		b.finished = true
+		b.mu.Unlock()
+	}()
+
+	if err := b.conn.WriteMsg(wire.MsgOfferAck, wire.OfferAck{
+		Performance: rc.Performance(),
+		Role:        rc.Role().String(),
+	}); err != nil {
+		b.abortVia(rc, "write failure delivering offer")
+		return fmt.Errorf("remote: offer ack: %w", err)
+	}
+
+	// donech lets an idle bridge notice the performance aborting under it
+	// (deadline, a co-performer's disconnect) and tell the client, which
+	// then fails its subsequent operations locally. The protocol stays in
+	// lock-step: the bridge keeps serving until BODY-DONE arrives.
+	var donech <-chan struct{}
+	if po, ok := rc.(perfObserver); ok {
+		donech = po.PerformanceDone()
+	}
+	for {
+		select {
+		case <-b.quit:
+			return errEnrollerLost
+		case <-donech:
+			donech = nil
+			if po, ok := rc.(perfObserver); ok {
+				if ae, ok := po.AbortErr().(*core.AbortError); ok && ae != nil {
+					_ = b.conn.WriteMsg(wire.MsgAbort, wire.Abort{
+						Performance: ae.Performance,
+						Culprit:     ae.Culprit.String(),
+						Reason:      ae.Reason,
+					})
+				}
+			}
+		case fr := <-b.opCh:
+			if fr.typ == wire.MsgBodyDone {
+				var bd wire.BodyDone
+				if err := wire.Decode(fr.payload, &bd); err != nil {
+					b.abortVia(rc, "malformed BODY-DONE")
+					return fmt.Errorf("remote: malformed BODY-DONE: %v", err)
+				}
+				rc.Return(bd.Results...)
+				return bd.Err.Err()
+			}
+			res := serveOp(rc, fr)
+			if err := b.conn.WriteMsg(wire.MsgOpResult, res); err != nil {
+				// The client cannot learn this op's outcome; the
+				// enrollment is unrecoverable.
+				b.abortVia(rc, "write failure delivering operation result")
+				return fmt.Errorf("remote: op result: %w", err)
+			}
+		}
+	}
+}
+
+// disconnect reclaims the enrollment after the connection died: a started,
+// unfinished performance is aborted blaming this role, and the bridge body
+// (possibly blocked in the fabric or idle in its loop) is released.
+func (b *bridge) disconnect(reason string) {
+	b.once.Do(func() {
+		b.mu.Lock()
+		rc, started, finished := b.rc, b.started, b.finished
+		b.mu.Unlock()
+		if started && !finished {
+			b.abortVia(rc, reason)
+		}
+		close(b.quit)
+	})
+}
+
+func (b *bridge) abortVia(rc core.Ctx, reason string) {
+	if a, ok := rc.(aborter); ok {
+		a.AbortPerformance(reason)
+	}
+}
+
+// serveOp executes one client operation against the real RoleCtx.
+func serveOp(rc core.Ctx, fr frame) wire.OpResult {
+	fail := func(err error) wire.OpResult { return wire.OpResult{Err: wire.EncodeError(err)} }
+	switch fr.typ {
+	case wire.MsgSend:
+		var m wire.Send
+		if err := wire.Decode(fr.payload, &m); err != nil {
+			return fail(err)
+		}
+		to, err := wire.DecodeRoleRef(m.To)
+		if err != nil {
+			return fail(fmt.Errorf("%w: %s", core.ErrUnknownRole, m.To))
+		}
+		return fail(rc.SendTag(to, m.Tag, m.Val))
+	case wire.MsgSendAll:
+		var m wire.SendAll
+		if err := wire.Decode(fr.payload, &m); err != nil {
+			return fail(err)
+		}
+		tos := make([]ids.RoleRef, len(m.Tos))
+		for i, s := range m.Tos {
+			to, err := wire.DecodeRoleRef(s)
+			if err != nil {
+				return fail(fmt.Errorf("%w: %s", core.ErrUnknownRole, s))
+			}
+			tos[i] = to
+		}
+		return fail(rc.SendAll(tos, m.Val))
+	case wire.MsgRecv:
+		var m wire.Recv
+		if err := wire.Decode(fr.payload, &m); err != nil {
+			return fail(err)
+		}
+		from, err := wire.DecodeRoleRef(m.From)
+		if err != nil {
+			return fail(fmt.Errorf("%w: %s", core.ErrUnknownRole, m.From))
+		}
+		v, err := rc.RecvTag(from, m.Tag)
+		if err != nil {
+			return fail(err)
+		}
+		return wire.OpResult{Val: v}
+	case wire.MsgRecvAny:
+		from, tag, v, err := rc.RecvAny()
+		if err != nil {
+			return fail(err)
+		}
+		return wire.OpResult{Val: v, Peer: from.String(), Tag: tag}
+	case wire.MsgSelect:
+		var m wire.Select
+		if err := wire.Decode(fr.payload, &m); err != nil {
+			return fail(err)
+		}
+		branches := make([]core.SelectBranch, len(m.Branches))
+		for i, wb := range m.Branches {
+			switch {
+			case wb.Send:
+				to, err := wire.DecodeRoleRef(wb.Peer)
+				if err != nil {
+					return fail(fmt.Errorf("%w: %s", core.ErrUnknownRole, wb.Peer))
+				}
+				branches[i] = core.SendTagTo(to, wb.Tag, wb.Val)
+			case wb.AnyPeer:
+				branches[i] = core.RecvFromAnyone(wb.Tag)
+			default:
+				from, err := wire.DecodeRoleRef(wb.Peer)
+				if err != nil {
+					return fail(fmt.Errorf("%w: %s", core.ErrUnknownRole, wb.Peer))
+				}
+				branches[i] = core.RecvTagFrom(from, wb.Tag)
+			}
+		}
+		sel, err := rc.Select(branches...)
+		if err != nil {
+			return fail(err)
+		}
+		return wire.OpResult{
+			// Map back to the client's original branch numbering.
+			Index: m.Branches[sel.Index].Index,
+			Peer:  sel.Peer.String(),
+			Tag:   sel.Tag,
+			Val:   sel.Val,
+		}
+	case wire.MsgQuery:
+		var q wire.Query
+		if err := wire.Decode(fr.payload, &q); err != nil {
+			return fail(err)
+		}
+		switch q.Kind {
+		case wire.QueryTerminated, wire.QueryFilled:
+			r, err := wire.DecodeRoleRef(q.Role)
+			if err != nil {
+				return fail(fmt.Errorf("%w: %s", core.ErrUnknownRole, q.Role))
+			}
+			if q.Kind == wire.QueryTerminated {
+				return wire.OpResult{Bool: rc.Terminated(r)}
+			}
+			return wire.OpResult{Bool: rc.Filled(r)}
+		case wire.QueryFamilySize:
+			return wire.OpResult{N: rc.FamilySize(q.Name)}
+		default:
+			return fail(fmt.Errorf("script/remote: unknown query kind %q", q.Kind))
+		}
+	default:
+		return fail(fmt.Errorf("script/remote: unexpected %s during performance", fr.typ))
+	}
+}

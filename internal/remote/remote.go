@@ -1,0 +1,82 @@
+// Package remote lets an actual OS process enroll into a script served by
+// another process over TCP. It is the runtime's answer to the paper's
+// setting — genuinely separate processes joining a communication pattern —
+// where the rest of the repository models processes as goroutines.
+//
+// The split preserves the paper's key property: a role body stays "a
+// logical continuation of the enrolling process". The body executes in the
+// client, against a Ctx whose every operation is one request/response
+// exchange on the connection (see internal/wire for the framing). The
+// serving process keeps all coordination state: role matching, the
+// rendezvous fabric, performance deadlines, and the abort machinery.
+//
+//	client process                      serving process
+//	──────────────                      ───────────────
+//	Enroller.Enroll(e) ── ENROLL ──▶    Host: target.Enroll with a bridge
+//	  body runs here   ◀─ OFFER-ACK ──    body; the bridge proxies every
+//	  rc.Send(...)     ── SEND ──────▶    Ctx call into the real RoleCtx
+//	                   ◀─ OP-RESULT ──    and the shared fabric
+//	  body returns     ── BODY-DONE ─▶
+//	  released         ◀─ COMPLETE ───
+//
+// Failure maps onto the runtime's existing taxonomy (DESIGN.md "Failure
+// semantics"): a connection that drops or falls silent past the host's
+// heartbeat timeout mid-performance aborts that performance only, blaming
+// the disconnected role — its co-performers unwind with an *AbortError
+// exactly as if a local deadline had fired — and the instance accepts the
+// next cast. A draining host answers new offers with DRAIN, surfaced to the
+// client as ErrDraining.
+package remote
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"github.com/scriptabs/goscript/internal/core"
+)
+
+// Target is the script runtime a Host serves: a *core.Instance, a
+// script.Pool, or anything else that admits enrollments and can drain.
+type Target interface {
+	// Enroll admits one enrollment, blocking until the process is released
+	// (Enrollment.Body, when set, overrides the definition's body — the
+	// Host's bridge rides on that).
+	Enroll(ctx context.Context, e core.Enrollment) (core.Result, error)
+	// Drain stops admitting offers and waits for in-flight performances.
+	Drain(ctx context.Context) error
+	// Definition exposes the served script's definition (for its name).
+	Definition() core.Definition
+}
+
+// NetFaults injects network-level faults for robustness testing; the chaos
+// harness (internal/chaos) implements it. Each method is consulted at its
+// fault point and must be safe for concurrent use.
+type NetFaults interface {
+	// FrameDelay returns extra latency to impose before a frame write
+	// (0 = none).
+	FrameDelay() time.Duration
+	// DropConn reports whether to sever the connection now (a partition or
+	// crashed peer).
+	DropConn() bool
+	// StallHeartbeat returns how long a client heartbeat should stall
+	// before sending (long stalls trip the host's heartbeat timeout).
+	StallHeartbeat() time.Duration
+}
+
+// ErrConnLost reports a remote enrollment cut short because the connection
+// to the host failed.
+var ErrConnLost = errors.New("script/remote: connection lost")
+
+// aborter is the slice of *core.RoleCtx the host needs to reclaim a
+// performance whose remote enroller vanished.
+type aborter interface {
+	AbortPerformance(reason string)
+}
+
+// perfObserver is the slice of *core.RoleCtx the bridge uses to notice an
+// abort while the client is idle between operations.
+type perfObserver interface {
+	PerformanceDone() <-chan struct{}
+	AbortErr() error
+}

@@ -746,6 +746,48 @@ func (f *Fabric) Waiting(addr Addr) bool {
 	return f.parkedBy(addr)
 }
 
+// WaitingSnapshot returns every address that owns a pending (uncommitted)
+// operation — in either lane — as one consistent snapshot taken under the
+// fabric lock, sorted. Unlike probing Waiting once per address, which takes
+// and releases the lock between probes (an op can commit or park between two
+// probes, so the probe series is not a state the fabric was ever in), the
+// snapshot is a single linearization point. The script layer uses it for
+// abort-culprit attribution, and the remote host for diagnosing which role a
+// disconnected enroller left parked.
+func (f *Fabric) WaitingSnapshot() []Addr {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	set := make(map[Addr]struct{})
+	for a, list := range f.byOwner {
+		for _, o := range list {
+			if !o.g.claimed() {
+				set[a] = struct{}{}
+				break
+			}
+		}
+	}
+	if f.parked.Load() > 0 {
+		for i := range f.shards {
+			sh := &f.shards[i]
+			sh.mu.Lock()
+			for _, list := range sh.cells {
+				for _, o := range list {
+					if !o.g.claimed() {
+						set[o.owner] = struct{}{}
+					}
+				}
+			}
+			sh.mu.Unlock()
+		}
+	}
+	out := make([]Addr, 0, len(set))
+	for a := range set {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
 // Reset returns a closed (or idle) fabric to its initial empty state so it
 // can be reused for a new communication scope, retaining the allocated maps.
 // The caller must guarantee that no operation is in flight: every Do call on

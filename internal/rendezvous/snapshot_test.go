@@ -1,0 +1,126 @@
+package rendezvous
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestWaitingSnapshotObservesBothLanes pins the accessor's contract: an op
+// blocked in the slow lane (multi-branch Do) and one parked in a fast-lane
+// exchange cell both appear in a single snapshot.
+func TestWaitingSnapshotObservesBothLanes(t *testing.T) {
+	f := New()
+	defer f.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // slow lane: a two-branch alternative can never take the fast path
+		defer wg.Done()
+		_, _ = f.Do(ctx, "slowpoke", []Branch{
+			{Dir: DirRecv, Peer: "nobody1"},
+			{Dir: DirRecv, Peer: "nobody2"},
+		})
+	}()
+	go func() { // fast lane: a directed single-branch send parks in a cell
+		defer wg.Done()
+		_ = f.Send(ctx, "fastie", "absent", "t", 1)
+	}()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		snap := f.WaitingSnapshot()
+		seen := map[Addr]bool{}
+		for _, a := range snap {
+			seen[a] = true
+		}
+		if seen["slowpoke"] && seen["fastie"] {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("snapshot never saw both lanes: %v", snap)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	wg.Wait()
+	// After withdrawal the snapshot must drain back to empty.
+	deadline = time.Now().Add(5 * time.Second)
+	for len(f.WaitingSnapshot()) != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("snapshot still non-empty after withdrawal: %v", f.WaitingSnapshot())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestWaitingSnapshotRace hammers the snapshot from several goroutines while
+// pairs of addresses rendezvous through both lanes, asserting (under -race)
+// that the accessor is safe concurrently with parks, commits, escalations
+// and terminations, and that it only ever reports addresses that exist.
+func TestWaitingSnapshotRace(t *testing.T) {
+	f := New()
+	defer f.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	const pairs = 8
+	valid := map[Addr]bool{}
+	for p := 0; p < pairs; p++ {
+		valid[Addr(fmt.Sprintf("S%d", p))] = true
+		valid[Addr(fmt.Sprintf("R%d", p))] = true
+	}
+
+	var wg sync.WaitGroup
+	stop := time.Now().Add(300 * time.Millisecond)
+	for p := 0; p < pairs; p++ {
+		snd := Addr(fmt.Sprintf("S%d", p))
+		rcv := Addr(fmt.Sprintf("R%d", p))
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for i := 0; time.Now().Before(stop); i++ {
+				if err := f.Send(ctx, snd, rcv, "t", i); err != nil {
+					return
+				}
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for time.Now().Before(stop) {
+				if _, err := f.Recv(ctx, rcv, snd, "t"); err != nil {
+					return
+				}
+			}
+		}()
+	}
+	var snaps atomic.Int64
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for time.Now().Before(stop) {
+				for _, a := range f.WaitingSnapshot() {
+					if !valid[a] {
+						t.Errorf("snapshot reported unknown address %q", a)
+						return
+					}
+				}
+				snaps.Add(1)
+			}
+		}()
+	}
+	// Let the workload run its window, then release any straggler blocked
+	// with no surviving partner.
+	time.Sleep(time.Until(stop))
+	cancel()
+	wg.Wait()
+	if snaps.Load() == 0 {
+		t.Fatal("snapshot goroutines never ran")
+	}
+}

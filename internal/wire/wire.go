@@ -1,0 +1,620 @@
+// Package wire defines the remote-enrollment wire protocol: the framing,
+// the message vocabulary, and the error taxonomy mapping that let an actual
+// OS process enroll into a script instance served by another process over
+// TCP (see internal/remote for the host and client built on top).
+//
+// The paper's model assumes genuinely separate processes joining roles; in
+// this runtime a remote enrollment keeps the paper's key property — the role
+// body remains "a logical continuation of the enrolling process", executing
+// in the *client* — while the coordination state (matching, the rendezvous
+// fabric, deadlines, abort) stays in the serving process. Every Ctx
+// operation a remote body issues is one request/response exchange on its
+// connection.
+//
+// # Framing
+//
+// Every message is one frame:
+//
+//	uint32 (big endian)  frame length N (type byte + payload), 1 <= N <= MaxFrame
+//	uint8                message type (MsgType)
+//	N-1 bytes            payload, JSON-encoded
+//
+// JSON keeps the protocol debuggable with standard tools and imposes the
+// usual coercions: numeric values cross the wire as float64, []byte as
+// base64 strings. Applications exchanging richer types should encode them
+// explicitly at the edges.
+//
+// # Conversation
+//
+// A connection begins with a versioned handshake (MsgHello → MsgHelloAck).
+// Then, sequentially, any number of enrollments:
+//
+//	C→S  MsgEnroll                       offer to play a role
+//	S→C  MsgOfferAck                     assigned; the client runs the body
+//	C→S  MsgSend|MsgSendAll|MsgRecv|MsgRecvAny|MsgSelect|MsgQuery  (repeat)
+//	S→C  MsgOpResult                     one per operation
+//	C→S  MsgBodyDone                     body returned (results + its error)
+//	S→C  MsgComplete                     enrollment released (values + error)
+//
+// MsgDrain answers an enrollment rejected by a draining host, MsgAbort
+// notifies of a performance aborted between operations, MsgHeartbeat flows
+// client→server at any time as a liveness signal (the server treats *any*
+// frame as liveness and aborts the enroller's performance when the
+// connection stays silent past its heartbeat timeout), and MsgError reports
+// a protocol violation before the connection closes.
+package wire
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/scriptabs/goscript/internal/core"
+	"github.com/scriptabs/goscript/internal/ids"
+)
+
+// Protocol constants.
+const (
+	// Magic identifies the protocol in the handshake.
+	Magic = "SCRW"
+	// Version is the protocol version this package speaks. The handshake
+	// fails closed on any mismatch.
+	Version = 1
+	// MaxFrame bounds a frame (type byte + payload) so a corrupt or
+	// malicious length prefix cannot make a peer allocate unboundedly.
+	MaxFrame = 8 << 20
+)
+
+// MsgType identifies a frame's message type.
+type MsgType uint8
+
+// Message types.
+const (
+	MsgHello MsgType = iota + 1
+	MsgHelloAck
+	MsgEnroll
+	MsgOfferAck
+	MsgSend
+	MsgSendAll
+	MsgRecv
+	MsgRecvAny
+	MsgSelect
+	MsgQuery
+	MsgBodyDone
+	MsgOpResult
+	MsgComplete
+	MsgAbort
+	MsgDrain
+	MsgHeartbeat
+	MsgError
+)
+
+// String returns the protocol name of the message type.
+func (t MsgType) String() string {
+	switch t {
+	case MsgHello:
+		return "HELLO"
+	case MsgHelloAck:
+		return "HELLO-ACK"
+	case MsgEnroll:
+		return "ENROLL"
+	case MsgOfferAck:
+		return "OFFER-ACK"
+	case MsgSend:
+		return "SEND"
+	case MsgSendAll:
+		return "SEND-ALL"
+	case MsgRecv:
+		return "RECV"
+	case MsgRecvAny:
+		return "RECV-ANY"
+	case MsgSelect:
+		return "SELECT"
+	case MsgQuery:
+		return "QUERY"
+	case MsgBodyDone:
+		return "BODY-DONE"
+	case MsgOpResult:
+		return "OP-RESULT"
+	case MsgComplete:
+		return "COMPLETE"
+	case MsgAbort:
+		return "ABORT"
+	case MsgDrain:
+		return "DRAIN"
+	case MsgHeartbeat:
+		return "HEARTBEAT"
+	case MsgError:
+		return "ERROR"
+	default:
+		return fmt.Sprintf("msg(%d)", uint8(t))
+	}
+}
+
+// Hello is the client's opening frame.
+type Hello struct {
+	Magic   string `json:"magic"`
+	Version int    `json:"version"`
+	// Script, when non-empty, is the script name the client expects; the
+	// host rejects the handshake if it serves a different script.
+	Script string `json:"script,omitempty"`
+}
+
+// HelloAck is the host's handshake reply.
+type HelloAck struct {
+	Version int    `json:"version"`
+	Script  string `json:"script"`
+}
+
+// Enroll is the client's offer to play a role.
+type Enroll struct {
+	PID  string `json:"pid"`
+	Role string `json:"role"`
+	Args []any  `json:"args,omitempty"`
+	// With carries partner constraints: role reference → acceptable PIDs.
+	With map[string][]string `json:"with,omitempty"`
+	// DeadlineMS is Enrollment.Deadline as Unix milliseconds (0 = none); it
+	// feeds the host instance's performance-deadline machinery.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+}
+
+// OfferAck tells the client its offer was assigned to a performance and the
+// role body may start.
+type OfferAck struct {
+	Performance int    `json:"performance"`
+	Role        string `json:"role"`
+}
+
+// Send requests a synchronous transfer to a peer role.
+type Send struct {
+	To  string `json:"to"`
+	Tag string `json:"tag,omitempty"`
+	Val any    `json:"val"`
+}
+
+// SendAll requests a vectorized scatter to several peer roles.
+type SendAll struct {
+	Tos []string `json:"tos"`
+	Val any      `json:"val"`
+}
+
+// Recv requests the next message from a peer role.
+type Recv struct {
+	From string `json:"from"`
+	Tag  string `json:"tag,omitempty"`
+}
+
+// SelectBranch is one enabled alternative of a remote Select. Index is the
+// branch's position in the client's original call, so disabled branches can
+// be filtered client-side without losing the caller's numbering.
+type SelectBranch struct {
+	Send    bool   `json:"send"`
+	Peer    string `json:"peer,omitempty"`
+	AnyPeer bool   `json:"any_peer,omitempty"`
+	Tag     string `json:"tag,omitempty"`
+	Val     any    `json:"val,omitempty"`
+	Index   int    `json:"index"`
+}
+
+// Select requests a guarded alternative over the enabled branches.
+type Select struct {
+	Branches []SelectBranch `json:"branches"`
+}
+
+// Query kinds.
+const (
+	QueryTerminated = "terminated"
+	QueryFilled     = "filled"
+	QueryFamilySize = "family_size"
+)
+
+// Query requests a predicate about the performance (Terminated, Filled,
+// FamilySize).
+type Query struct {
+	Kind string `json:"kind"`
+	// Role is the role reference for terminated/filled; Name the family name
+	// for family_size.
+	Role string `json:"role,omitempty"`
+	Name string `json:"name,omitempty"`
+}
+
+// BodyDone tells the host the client's role body returned.
+type BodyDone struct {
+	Results []any    `json:"results,omitempty"`
+	Err     *ErrInfo `json:"err,omitempty"`
+}
+
+// OpResult answers one operation request.
+type OpResult struct {
+	Val   any      `json:"val,omitempty"`
+	Peer  string   `json:"peer,omitempty"`
+	Tag   string   `json:"tag,omitempty"`
+	Index int      `json:"index,omitempty"`
+	N     int      `json:"n,omitempty"`
+	Bool  bool     `json:"bool,omitempty"`
+	Err   *ErrInfo `json:"err,omitempty"`
+}
+
+// Complete reports the enrollment's final outcome: the process is released.
+type Complete struct {
+	Performance int      `json:"performance"`
+	Role        string   `json:"role,omitempty"`
+	Values      []any    `json:"values,omitempty"`
+	Err         *ErrInfo `json:"err,omitempty"`
+}
+
+// Abort notifies the client that its performance was aborted by the runtime
+// (sent between operations; an in-flight operation carries the abort in its
+// OpResult instead).
+type Abort struct {
+	Performance int    `json:"performance"`
+	Culprit     string `json:"culprit,omitempty"`
+	Reason      string `json:"reason,omitempty"`
+}
+
+// Drain answers an enrollment rejected because the host is draining.
+type Drain struct{}
+
+// Heartbeat is the client's liveness signal.
+type Heartbeat struct{}
+
+// ProtoError reports a protocol violation; the sender closes the connection
+// after it.
+type ProtoError struct {
+	Msg string `json:"msg"`
+}
+
+// Error codes carried by ErrInfo, mapping the runtime's error taxonomy
+// (DESIGN.md "Failure semantics") across the wire.
+const (
+	CodeRoleAbsent   = "role_absent"
+	CodeRoleFinished = "role_finished"
+	CodeUnknownRole  = "unknown_role"
+	CodeClosed       = "closed"
+	CodeDraining     = "draining"
+	CodeAborted      = "aborted"
+	CodeNoBranches   = "no_branches"
+	CodeCanceled     = "canceled"
+	CodeDeadline     = "deadline"
+	CodeRoleError    = "role_error"
+	CodeOther        = "other"
+)
+
+// ErrInfo is an error crossing the wire: a taxonomy code plus the fields
+// needed to reconstruct the concrete error type on the far side, so
+// errors.Is / errors.As work identically for local and remote enrollment.
+type ErrInfo struct {
+	Code string `json:"code"`
+	Msg  string `json:"msg"`
+	// Abort details (CodeAborted).
+	Script      string `json:"script,omitempty"`
+	Performance int    `json:"performance,omitempty"`
+	Culprit     string `json:"culprit,omitempty"`
+	Reason      string `json:"reason,omitempty"`
+	// Role details (CodeRoleError).
+	Role string `json:"role,omitempty"`
+}
+
+// EncodeError maps err onto its wire representation. A nil error encodes as
+// nil.
+func EncodeError(err error) *ErrInfo {
+	if err == nil {
+		return nil
+	}
+	e := &ErrInfo{Code: CodeOther, Msg: err.Error()}
+	var ae *core.AbortError
+	var re *core.RoleError
+	switch {
+	case errors.As(err, &ae):
+		e.Code = CodeAborted
+		e.Script = ae.Script
+		e.Performance = ae.Performance
+		e.Reason = ae.Reason
+		if ae.Culprit.Name != "" {
+			e.Culprit = ae.Culprit.String()
+		}
+	case errors.As(err, &re):
+		e.Code = CodeRoleError
+		e.Script = re.Script
+		e.Role = re.Role.String()
+		e.Msg = re.Err.Error()
+	case errors.Is(err, core.ErrRoleAbsent):
+		e.Code = CodeRoleAbsent
+	case errors.Is(err, core.ErrRoleFinished):
+		e.Code = CodeRoleFinished
+	case errors.Is(err, core.ErrUnknownRole):
+		e.Code = CodeUnknownRole
+	case errors.Is(err, core.ErrDraining):
+		e.Code = CodeDraining
+	case errors.Is(err, core.ErrClosed):
+		e.Code = CodeClosed
+	case errors.Is(err, core.ErrNoBranches):
+		e.Code = CodeNoBranches
+	case errors.Is(err, context.Canceled):
+		e.Code = CodeCanceled
+	case errors.Is(err, context.DeadlineExceeded):
+		e.Code = CodeDeadline
+	}
+	return e
+}
+
+// codedError preserves the original error text while unwrapping to the
+// matching sentinel, so a remotely surfaced error satisfies the same
+// errors.Is checks as its local counterpart.
+type codedError struct {
+	sentinel error
+	msg      string
+}
+
+func (e *codedError) Error() string { return e.msg }
+func (e *codedError) Unwrap() error { return e.sentinel }
+
+// Err reconstructs the concrete error. A nil ErrInfo yields nil.
+func (e *ErrInfo) Err() error {
+	if e == nil {
+		return nil
+	}
+	switch e.Code {
+	case CodeAborted:
+		var culprit ids.RoleRef
+		if e.Culprit != "" {
+			if r, err := ids.ParseRoleRef(e.Culprit); err == nil {
+				culprit = r
+			}
+		}
+		return &core.AbortError{
+			Script:      e.Script,
+			Performance: e.Performance,
+			Culprit:     culprit,
+			Reason:      e.Reason,
+		}
+	case CodeRoleError:
+		role, err := ids.ParseRoleRef(e.Role)
+		if err != nil {
+			role = ids.RoleRef{Name: e.Role, Index: ids.ScalarIndex}
+		}
+		return &core.RoleError{Script: e.Script, Role: role, Err: errors.New(e.Msg)}
+	case CodeRoleAbsent:
+		return &codedError{core.ErrRoleAbsent, e.Msg}
+	case CodeRoleFinished:
+		return &codedError{core.ErrRoleFinished, e.Msg}
+	case CodeUnknownRole:
+		return &codedError{core.ErrUnknownRole, e.Msg}
+	case CodeDraining:
+		return &codedError{core.ErrDraining, e.Msg}
+	case CodeClosed:
+		return &codedError{core.ErrClosed, e.Msg}
+	case CodeNoBranches:
+		return &codedError{core.ErrNoBranches, e.Msg}
+	case CodeCanceled:
+		return &codedError{context.Canceled, e.Msg}
+	case CodeDeadline:
+		return &codedError{context.DeadlineExceeded, e.Msg}
+	default:
+		return errors.New(e.Msg)
+	}
+}
+
+// Conn frames messages over a net.Conn. Writes are serialized by an
+// internal mutex (the client's heartbeat goroutine and its body share one
+// connection; the host's bridge and orchestrator likewise), reads must stay
+// single-goroutine. The zero read/write timeouts mean "no deadline".
+type Conn struct {
+	nc net.Conn
+	br *bufio.Reader
+
+	wmu sync.Mutex
+	bw  *bufio.Writer
+
+	readTimeout  time.Duration
+	writeTimeout time.Duration
+	// frameDelay, when non-nil, injects latency before each frame write
+	// (chaos network faults).
+	frameDelay func() time.Duration
+}
+
+// NewConn wraps nc for framed message exchange.
+func NewConn(nc net.Conn) *Conn {
+	return &Conn{
+		nc: nc,
+		br: bufio.NewReaderSize(nc, 16<<10),
+		bw: bufio.NewWriterSize(nc, 16<<10),
+	}
+}
+
+// SetReadTimeout bounds each subsequent ReadMsg (0 = unbounded). The host
+// sets it to its heartbeat timeout: a connection silent for longer is
+// presumed lost.
+func (c *Conn) SetReadTimeout(d time.Duration) { c.readTimeout = d }
+
+// SetWriteTimeout bounds each subsequent WriteMsg (0 = unbounded).
+func (c *Conn) SetWriteTimeout(d time.Duration) { c.writeTimeout = d }
+
+// SetFrameDelay injects fn's latency before every frame write; nil disables
+// injection. Used by the chaos harness's network faults.
+func (c *Conn) SetFrameDelay(fn func() time.Duration) { c.frameDelay = fn }
+
+// RemoteAddr returns the peer's network address.
+func (c *Conn) RemoteAddr() net.Addr { return c.nc.RemoteAddr() }
+
+// Close closes the underlying connection. Safe concurrently with blocked
+// reads and writes, which then fail.
+func (c *Conn) Close() error { return c.nc.Close() }
+
+// WriteMsg marshals v and writes one framed message.
+func (c *Conn) WriteMsg(t MsgType, v any) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("wire: marshal %s: %w", t, err)
+	}
+	if len(payload)+1 > MaxFrame {
+		return fmt.Errorf("wire: %s frame exceeds %d bytes", t, MaxFrame)
+	}
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if c.frameDelay != nil {
+		if d := c.frameDelay(); d > 0 {
+			time.Sleep(d)
+		}
+	}
+	if c.writeTimeout > 0 {
+		if err := c.nc.SetWriteDeadline(time.Now().Add(c.writeTimeout)); err != nil {
+			return err
+		}
+	}
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)+1))
+	hdr[4] = byte(t)
+	if _, err := c.bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := c.bw.Write(payload); err != nil {
+		return err
+	}
+	return c.bw.Flush()
+}
+
+// ReadMsg reads one framed message and returns its type and raw payload.
+func (c *Conn) ReadMsg() (MsgType, []byte, error) {
+	if c.readTimeout > 0 {
+		if err := c.nc.SetReadDeadline(time.Now().Add(c.readTimeout)); err != nil {
+			return 0, nil, err
+		}
+	}
+	var hdr [4]byte
+	if _, err := io.ReadFull(c.br, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n < 1 || n > MaxFrame {
+		return 0, nil, fmt.Errorf("wire: frame length %d out of range [1, %d]", n, MaxFrame)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(c.br, body); err != nil {
+		return 0, nil, err
+	}
+	return MsgType(body[0]), body[1:], nil
+}
+
+// Decode unmarshals a frame payload into v.
+func Decode(payload []byte, v any) error {
+	return json.Unmarshal(payload, v)
+}
+
+// ClientHandshake runs the client side of the handshake. script, when
+// non-empty, asserts the served script's name.
+func ClientHandshake(c *Conn, script string) (HelloAck, error) {
+	if err := c.WriteMsg(MsgHello, Hello{Magic: Magic, Version: Version, Script: script}); err != nil {
+		return HelloAck{}, err
+	}
+	t, payload, err := c.ReadMsg()
+	if err != nil {
+		return HelloAck{}, err
+	}
+	switch t {
+	case MsgHelloAck:
+		var ack HelloAck
+		if err := Decode(payload, &ack); err != nil {
+			return HelloAck{}, err
+		}
+		if ack.Version != Version {
+			return HelloAck{}, fmt.Errorf("wire: host speaks protocol v%d, client v%d", ack.Version, Version)
+		}
+		return ack, nil
+	case MsgError:
+		var pe ProtoError
+		_ = Decode(payload, &pe)
+		return HelloAck{}, fmt.Errorf("wire: host rejected handshake: %s", pe.Msg)
+	default:
+		return HelloAck{}, fmt.Errorf("wire: unexpected %s during handshake", t)
+	}
+}
+
+// ServerHandshake runs the host side of the handshake: it validates the
+// client's hello against the served script name and protocol version,
+// replying MsgHelloAck on success or MsgError (and an error) on mismatch.
+func ServerHandshake(c *Conn, script string) error {
+	t, payload, err := c.ReadMsg()
+	if err != nil {
+		return err
+	}
+	if t != MsgHello {
+		return c.reject(fmt.Sprintf("expected HELLO, got %s", t))
+	}
+	var h Hello
+	if err := Decode(payload, &h); err != nil {
+		return c.reject("malformed HELLO")
+	}
+	if h.Magic != Magic {
+		return c.reject("bad magic")
+	}
+	if h.Version != Version {
+		return c.reject(fmt.Sprintf("host speaks protocol v%d, client v%d", Version, h.Version))
+	}
+	if h.Script != "" && h.Script != script {
+		return c.reject(fmt.Sprintf("host serves script %q, client wants %q", script, h.Script))
+	}
+	return c.WriteMsg(MsgHelloAck, HelloAck{Version: Version, Script: script})
+}
+
+func (c *Conn) reject(msg string) error {
+	_ = c.WriteMsg(MsgError, ProtoError{Msg: msg})
+	return fmt.Errorf("wire: handshake rejected: %s", msg)
+}
+
+// EncodeRoleRef renders a role reference for the wire.
+func EncodeRoleRef(r ids.RoleRef) string { return r.String() }
+
+// DecodeRoleRef parses a wire role reference.
+func DecodeRoleRef(s string) (ids.RoleRef, error) { return ids.ParseRoleRef(s) }
+
+// EncodeWith renders partner constraints for the wire. Nil (unconstrained)
+// sets are dropped: absence of a constraint and a nil set mean the same
+// thing on both sides.
+func EncodeWith(with map[ids.RoleRef]ids.PIDSet) map[string][]string {
+	if len(with) == 0 {
+		return nil
+	}
+	out := make(map[string][]string, len(with))
+	for r, set := range with {
+		if set == nil {
+			continue
+		}
+		pids := make([]string, 0, len(set))
+		for _, p := range set.Sorted() {
+			pids = append(pids, string(p))
+		}
+		out[r.String()] = pids
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// DecodeWith parses wire partner constraints.
+func DecodeWith(with map[string][]string) (map[ids.RoleRef]ids.PIDSet, error) {
+	if len(with) == 0 {
+		return nil, nil
+	}
+	out := make(map[ids.RoleRef]ids.PIDSet, len(with))
+	for rs, pids := range with {
+		r, err := ids.ParseRoleRef(rs)
+		if err != nil {
+			return nil, fmt.Errorf("wire: partner constraint: %w", err)
+		}
+		set := make(ids.PIDSet, len(pids))
+		for _, p := range pids {
+			set[ids.PID(p)] = struct{}{}
+		}
+		out[r] = set
+	}
+	return out, nil
+}

@@ -1,0 +1,213 @@
+package wire
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/scriptabs/goscript/internal/core"
+	"github.com/scriptabs/goscript/internal/ids"
+)
+
+func pipeConns(t *testing.T) (*Conn, *Conn) {
+	t.Helper()
+	a, b := net.Pipe()
+	ca, cb := NewConn(a), NewConn(b)
+	t.Cleanup(func() { ca.Close(); cb.Close() })
+	return ca, cb
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	ca, cb := pipeConns(t)
+	go func() {
+		_ = ca.WriteMsg(MsgEnroll, Enroll{
+			PID:  "listener-1",
+			Role: "recipient[1]",
+			Args: []any{"hello", 3.0},
+			With: map[string][]string{"sender": {"A", "B"}},
+		})
+	}()
+	typ, payload, err := cb.ReadMsg()
+	if err != nil {
+		t.Fatalf("ReadMsg: %v", err)
+	}
+	if typ != MsgEnroll {
+		t.Fatalf("type = %v, want MsgEnroll", typ)
+	}
+	var e Enroll
+	if err := Decode(payload, &e); err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if e.PID != "listener-1" || e.Role != "recipient[1]" || len(e.Args) != 2 {
+		t.Fatalf("round trip mangled enrollment: %+v", e)
+	}
+	if got := e.With["sender"]; len(got) != 2 || got[0] != "A" {
+		t.Fatalf("partner constraints mangled: %+v", e.With)
+	}
+}
+
+func TestHandshake(t *testing.T) {
+	ca, cb := pipeConns(t)
+	errCh := make(chan error, 1)
+	go func() { errCh <- ServerHandshake(cb, "broadcast") }()
+	ack, err := ClientHandshake(ca, "broadcast")
+	if err != nil {
+		t.Fatalf("ClientHandshake: %v", err)
+	}
+	if ack.Script != "broadcast" || ack.Version != Version {
+		t.Fatalf("ack = %+v", ack)
+	}
+	if err := <-errCh; err != nil {
+		t.Fatalf("ServerHandshake: %v", err)
+	}
+}
+
+func TestHandshakeScriptMismatch(t *testing.T) {
+	ca, cb := pipeConns(t)
+	errCh := make(chan error, 1)
+	go func() { errCh <- ServerHandshake(cb, "lock_manager") }()
+	_, err := ClientHandshake(ca, "broadcast")
+	if err == nil || !strings.Contains(err.Error(), "lock_manager") {
+		t.Fatalf("client err = %v, want script-mismatch rejection", err)
+	}
+	if err := <-errCh; err == nil {
+		t.Fatal("server accepted mismatched script")
+	}
+}
+
+func TestHandshakeVersionMismatch(t *testing.T) {
+	ca, cb := pipeConns(t)
+	errCh := make(chan error, 1)
+	go func() { errCh <- ServerHandshake(cb, "s") }()
+	if err := ca.WriteMsg(MsgHello, Hello{Magic: Magic, Version: Version + 7}); err != nil {
+		t.Fatal(err)
+	}
+	typ, _, err := ca.ReadMsg()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != MsgError {
+		t.Fatalf("reply = %v, want MsgError", typ)
+	}
+	if err := <-errCh; err == nil {
+		t.Fatal("server accepted wrong version")
+	}
+}
+
+func TestFrameLengthGuard(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	go func() {
+		// A frame claiming to be larger than MaxFrame must be rejected
+		// before any allocation of that size.
+		hdr := []byte{0xFF, 0xFF, 0xFF, 0xFF, byte(MsgHello)}
+		a.Write(hdr)
+	}()
+	c := NewConn(b)
+	c.SetReadTimeout(2 * time.Second)
+	if _, _, err := c.ReadMsg(); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("ReadMsg = %v, want out-of-range error", err)
+	}
+}
+
+func TestErrorTaxonomyRoundTrip(t *testing.T) {
+	cases := []struct {
+		name string
+		in   error
+		is   error
+	}{
+		{"nil", nil, nil},
+		{"role absent", fmt.Errorf("%w: recipient[2]", core.ErrRoleAbsent), core.ErrRoleAbsent},
+		{"role finished", fmt.Errorf("%w: sender", core.ErrRoleFinished), core.ErrRoleFinished},
+		{"unknown role", fmt.Errorf("%w: ghost", core.ErrUnknownRole), core.ErrUnknownRole},
+		{"draining", core.ErrDraining, core.ErrDraining},
+		{"closed", core.ErrClosed, core.ErrClosed},
+		{"no branches", core.ErrNoBranches, core.ErrNoBranches},
+		{"canceled", context.Canceled, context.Canceled},
+		{"deadline", context.DeadlineExceeded, context.DeadlineExceeded},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			out := EncodeError(tc.in).Err()
+			if tc.in == nil {
+				if out != nil {
+					t.Fatalf("nil error round-tripped to %v", out)
+				}
+				return
+			}
+			if !errors.Is(out, tc.is) {
+				t.Fatalf("errors.Is(%v, %v) = false after round trip", out, tc.is)
+			}
+			if out.Error() != tc.in.Error() {
+				t.Fatalf("message changed: %q -> %q", tc.in.Error(), out.Error())
+			}
+		})
+	}
+}
+
+func TestAbortErrorRoundTrip(t *testing.T) {
+	in := &core.AbortError{
+		Script:      "broadcast",
+		Performance: 7,
+		Culprit:     ids.Member("recipient", 2),
+		Reason:      "enroller disconnected",
+	}
+	out := EncodeError(in).Err()
+	if !errors.Is(out, core.ErrPerformanceAborted) {
+		t.Fatal("reconstructed abort does not unwrap to ErrPerformanceAborted")
+	}
+	var ae *core.AbortError
+	if !errors.As(out, &ae) {
+		t.Fatal("reconstructed abort is not *core.AbortError")
+	}
+	if ae.Culprit != in.Culprit || ae.Performance != 7 || ae.Script != "broadcast" || ae.Reason != in.Reason {
+		t.Fatalf("abort fields mangled: %+v", ae)
+	}
+}
+
+func TestRoleErrorRoundTrip(t *testing.T) {
+	in := &core.RoleError{Script: "s", Role: ids.Role("sender"), Err: errors.New("boom")}
+	out := EncodeError(in).Err()
+	var re *core.RoleError
+	if !errors.As(out, &re) {
+		t.Fatalf("reconstructed %v is not *core.RoleError", out)
+	}
+	if re.Role != in.Role || re.Err.Error() != "boom" {
+		t.Fatalf("role error mangled: %+v", re)
+	}
+}
+
+func TestWithRoundTrip(t *testing.T) {
+	with := map[ids.RoleRef]ids.PIDSet{
+		ids.Role("sender"):        ids.NewPIDSet("A", "B"),
+		ids.Member("helper", 2):   ids.NewPIDSet("C"),
+		ids.Role("unconstrained"): nil,
+	}
+	enc := EncodeWith(with)
+	if _, ok := enc["unconstrained"]; ok {
+		t.Fatal("nil (unconstrained) set should be dropped from the wire form")
+	}
+	dec, err := DecodeWith(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec[ids.Role("sender")].Contains("A") || !dec[ids.Role("sender")].Contains("B") {
+		t.Fatalf("sender constraint mangled: %v", dec)
+	}
+	if !dec[ids.Member("helper", 2)].Contains("C") {
+		t.Fatalf("helper constraint mangled: %v", dec)
+	}
+}
+
+func TestWriteAfterCloseFails(t *testing.T) {
+	ca, _ := pipeConns(t)
+	ca.Close()
+	if err := ca.WriteMsg(MsgHeartbeat, Heartbeat{}); err == nil {
+		t.Fatal("WriteMsg on closed conn succeeded")
+	}
+}
