@@ -133,7 +133,11 @@ func runChaosSoakNet(t *testing.T, seed int64, dur time.Duration) {
 						errors.Is(err, core.ErrPerformanceAborted),
 						errors.Is(err, core.ErrDraining),
 						errors.Is(err, core.ErrClosed),
-						errors.Is(err, remote.ErrConnLost):
+						errors.Is(err, remote.ErrConnLost),
+						// The enroller's default circuit breaker can open
+						// under a burst of severed connections; the fail-fast
+						// rejection is a legitimate client-visible class.
+						errors.Is(err, remote.ErrCircuitOpen):
 					default:
 						var re *core.RoleError
 						if !errors.As(err, &re) {

@@ -1,0 +1,177 @@
+//go:build chaos
+
+package script_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/scriptabs/goscript/internal/chaos"
+	"github.com/scriptabs/goscript/internal/conform"
+	"github.com/scriptabs/goscript/internal/core"
+	"github.com/scriptabs/goscript/internal/ids"
+	"github.com/scriptabs/goscript/internal/remote"
+	"github.com/scriptabs/goscript/internal/trace"
+)
+
+// TestChaosSoakOverload saturates a capped host: 4× the admission cap of
+// concurrent remote clients hammer one script instance while the injector
+// fires extra ErrOverloaded bursts on top of the genuine cap sheds. The
+// overload-protection contract under test:
+//
+//   - shedding is admission-only — zero in-flight performances abort (every
+//     enrollment, admitted or retried, ultimately returns nil);
+//   - every retrying client eventually completes under the backoff policy;
+//   - the trace still conforms after the stampede.
+//
+// The matching side (role b) enrolls locally, bypassing host admission, so
+// the cap can never be filled by unmatched offers of a single role — the
+// soak exercises overload shedding, not an application-level pairing
+// deadlock.
+func TestChaosSoakOverload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak is not short")
+	}
+	runChaosSoakOverload(t, 20260806)
+}
+
+func runChaosSoakOverload(t *testing.T, seed int64) {
+	inj := chaos.New(chaos.Config{
+		Seed: seed,
+		// Injected overload bursts ride on top of the genuine cap sheds.
+		// No drops or stalls: this soak asserts *zero* aborted
+		// performances, so the only faults are admission-level ones that
+		// must never touch admitted work.
+		OverloadP: 0.05,
+	})
+
+	const (
+		capN    = 4          // host admission cap
+		clients = 4 * capN   // concurrent remote enrollers: 4× the cap
+		rounds  = 25         // completed enrollments per client
+		total   = clients * rounds
+	)
+
+	def := core.NewScript("overload_net").
+		Role("a", func(rc core.Ctx) error { return errors.New("local body must not run") }).
+		Role("b", func(rc core.Ctx) error {
+			_, err := rc.Recv(ids.Role("a"))
+			return err
+		}).
+		Initiation(core.DelayedInitiation).
+		Termination(core.DelayedTermination).
+		MustBuild()
+
+	var log trace.Log
+	in := core.NewInstance(def, core.WithTracer(&log))
+
+	h := remote.NewHost(in, remote.HostConfig{
+		MaxEnrollments: capN,
+		RetryAfter:     5 * time.Millisecond,
+		Faults:         inj,
+	})
+	if err := h.Listen("127.0.0.1:0"); err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	go h.Serve()
+	addr := h.Addr().String()
+
+	enr := remote.NewEnroller(addr, remote.EnrollerConfig{
+		Script: "overload_net",
+		Retry: remote.RetryPolicy{
+			MaxAttempts: 10000,
+			BaseBackoff: time.Millisecond,
+			MaxBackoff:  25 * time.Millisecond,
+			Seed:        seed,
+		},
+	})
+	defer enr.Close()
+
+	// Local b-side feeder: always ready to match an admitted a, stops once
+	// every remote client is done.
+	feedCtx, stopFeed := context.WithCancel(context.Background())
+	defer stopFeed()
+	var feedWG sync.WaitGroup
+	var matched atomic.Uint64
+	for f := 0; f < capN; f++ {
+		feedWG.Add(1)
+		go func(f int) {
+			defer feedWG.Done()
+			for feedCtx.Err() == nil {
+				ctx, cancel := context.WithTimeout(feedCtx, time.Second)
+				_, err := in.Enroll(ctx, core.Enrollment{PID: ids.PID(fmt.Sprintf("b%d", f)), Role: ids.Role("b")})
+				cancel()
+				switch {
+				case err == nil:
+					matched.Add(1)
+				case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+					// No a to match inside the window; offer again.
+				default:
+					t.Errorf("local b enrollment: %v", err)
+					return
+				}
+			}
+		}(f)
+	}
+
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+				_, err := enr.Enroll(ctx, core.Enrollment{
+					PID:  ids.PID(fmt.Sprintf("a%d", c)),
+					Role: ids.Role("a"),
+					Body: func(rc core.Ctx) error { return rc.Send(ids.Role("b"), r) },
+				})
+				cancel()
+				if err != nil {
+					t.Errorf("client %d round %d did not complete under retry: %v", c, r, err)
+					return
+				}
+			}
+		}(c)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(120 * time.Second):
+		t.Fatalf("overload soak wedged (seed %d): clients still retrying after 120s", seed)
+	}
+	stopFeed()
+	feedWG.Wait()
+
+	dctx, dcancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer dcancel()
+	if err := h.Drain(dctx); err != nil {
+		t.Fatalf("final Drain = %v (seed %d)", err, seed)
+	}
+
+	if got := matched.Load(); got != total {
+		t.Fatalf("matched %d b-sides, want %d (seed %d)", got, total, seed)
+	}
+	stats := h.Stats()
+	if stats.ShedEnrollments == 0 {
+		t.Errorf("no enrollments shed at 4× the admission cap — overload path never exercised (seed %d)", seed)
+	}
+	if inj.OverloadCount() == 0 {
+		t.Errorf("overload fault injector never fired (seed %d)", seed)
+	}
+	for _, v := range conform.CheckSemantics(log.Events()) {
+		t.Errorf("semantics (seed %d): %s", seed, v)
+	}
+	t.Logf("seed %d: %d enrollments completed, %d shed (%d injected bursts), %d performances",
+		seed, total, stats.ShedEnrollments, inj.OverloadCount(), in.Performances())
+}

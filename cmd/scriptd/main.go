@@ -13,6 +13,12 @@
 // so callers binding port 0 can scrape it. SIGINT/SIGTERM triggers a
 // graceful drain: in-flight performances finish, new offers are rejected
 // with ErrDraining, then the process exits.
+//
+// Admission control: -max-conns, -max-enrollments, and -max-pending-offers
+// cap the host's concurrent connections, admitted enrollments, and pending
+// offer backlog; work over a cap is shed fast with ErrOverloaded carrying
+// the -retry-after backoff hint, and in-flight performances are never
+// aborted by shedding.
 package main
 
 import (
@@ -46,6 +52,11 @@ func run(args []string, out io.Writer) error {
 	hbTimeout := fs.Duration("heartbeat-timeout", remote.DefaultHeartbeatTimeout,
 		"abort a performance whose enroller has been silent this long")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "how long a signal-triggered drain may take")
+	maxConns := fs.Int("max-conns", 0, "cap on concurrently-served connections (0 = unlimited)")
+	maxEnrollments := fs.Int("max-enrollments", 0, "cap on concurrently-admitted enrollments (0 = unlimited)")
+	maxPending := fs.Int("max-pending-offers", 0, "cap on pending (unmatched) offers (0 = unlimited)")
+	retryAfter := fs.Duration("retry-after", remote.DefaultRetryAfter,
+		"backoff hint carried by overload rejections (negative disables the hint)")
 	list := fs.Bool("list", false, "print the servable script names and exit")
 	verbose := fs.Bool("v", false, "log connection-level events to stderr")
 	if err := fs.Parse(args); err != nil {
@@ -69,7 +80,13 @@ func run(args []string, out io.Writer) error {
 	}
 	in := core.NewInstance(def, opts...)
 
-	cfg := remote.HostConfig{HeartbeatTimeout: *hbTimeout}
+	cfg := remote.HostConfig{
+		HeartbeatTimeout: *hbTimeout,
+		MaxConns:         *maxConns,
+		MaxEnrollments:   *maxEnrollments,
+		MaxPendingOffers: *maxPending,
+		RetryAfter:       *retryAfter,
+	}
 	if *verbose {
 		cfg.Logf = func(format string, a ...any) {
 			fmt.Fprintf(os.Stderr, "scriptd: "+format+"\n", a...)

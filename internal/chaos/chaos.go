@@ -75,6 +75,13 @@ type Config struct {
 	// heartbeat timeout are indistinguishable from a dead peer.
 	NetStallP   float64
 	NetStallMax time.Duration
+
+	// OverloadP is the probability that the remote host sheds an enrollment
+	// with ErrOverloaded even under its admission caps — an injected
+	// overload burst. Admission-only by construction: the fault is consulted
+	// before the enrollment enters the scheduler, so it can never abort
+	// in-flight work.
+	OverloadP float64
 }
 
 // Injector implements core.FaultInjector with seeded randomness and
@@ -93,6 +100,7 @@ type Injector struct {
 	netDelays   atomic.Uint64
 	netDrops    atomic.Uint64
 	netStalls   atomic.Uint64
+	overloads   atomic.Uint64
 	consultions atomic.Uint64
 }
 
@@ -212,11 +220,30 @@ func (j *Injector) StallHeartbeat() time.Duration {
 	return d
 }
 
+// Overload implements remote.NetFaults: with probability OverloadP the host
+// sheds the enrollment with ErrOverloaded (an injected overload burst).
+func (j *Injector) Overload() bool {
+	j.consultions.Add(1)
+	if j.cfg.OverloadP <= 0 {
+		return false
+	}
+	j.mu.Lock()
+	hit := j.rng.Float64() < j.cfg.OverloadP
+	j.mu.Unlock()
+	if hit {
+		j.overloads.Add(1)
+	}
+	return hit
+}
+
 // NetStats reports how many network faults of each class have been
 // injected.
 func (j *Injector) NetStats() (netDelays, netDrops, netStalls uint64) {
 	return j.netDelays.Load(), j.netDrops.Load(), j.netStalls.Load()
 }
+
+// OverloadCount reports how many injected overload sheds have fired.
+func (j *Injector) OverloadCount() uint64 { return j.overloads.Load() }
 
 // Stats reports how many faults of each class have been injected and how
 // many decisions were drawn in total.

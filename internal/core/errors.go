@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"github.com/scriptabs/goscript/internal/ids"
 )
@@ -34,7 +35,46 @@ var (
 	ErrPerformanceAborted = errors.New("script: performance aborted")
 	// ErrNoBranches reports a Select call with no enabled branches.
 	ErrNoBranches = errors.New("script: select has no enabled branches")
+	// ErrOverloaded reports an enrollment offer shed by admission control:
+	// the serving side is at capacity and rejected the offer *before* it
+	// entered the scheduler, so nothing was enqueued and the offer is safe
+	// to retry. Errors surfaced to enrollers wrap this sentinel in an
+	// *OverloadError carrying the server's retry hint; test with errors.Is
+	// and extract with errors.As.
+	ErrOverloaded = errors.New("script: host overloaded")
 )
+
+// OverloadError reports an enrollment shed by admission control. It wraps
+// ErrOverloaded and carries the shedding side's hint for when the offer is
+// worth retrying. Shedding is strictly an admission decision: an overload
+// rejection never aborts a performance already in flight.
+type OverloadError struct {
+	Script string
+	// RetryAfter is the server's backoff hint (zero = none given). Clients
+	// with a retry policy treat it as a floor under their own backoff.
+	RetryAfter time.Duration
+	// Reason names the exhausted resource ("connections", "enrollments",
+	// "pending offers", ...).
+	Reason string
+}
+
+// Error implements error.
+func (e *OverloadError) Error() string {
+	msg := fmt.Sprintf("script %s: host overloaded", e.Script)
+	if e.Script == "" {
+		msg = "script: host overloaded"
+	}
+	if e.Reason != "" {
+		msg += ": " + e.Reason
+	}
+	if e.RetryAfter > 0 {
+		msg += fmt.Sprintf(" (retry after %v)", e.RetryAfter)
+	}
+	return msg
+}
+
+// Unwrap exposes ErrOverloaded to errors.Is.
+func (e *OverloadError) Unwrap() error { return ErrOverloaded }
 
 // AbortError reports a performance aborted by the runtime. It wraps
 // ErrPerformanceAborted, names the performance, the culprit role (the role

@@ -130,6 +130,10 @@ type Instance struct {
 	// load counts enrollments in flight (pending, playing, or held), for
 	// Pool dispatch. Kept outside mu so Load() never contends.
 	load atomic.Int64
+	// pendingCount mirrors len(pending) in an atomic, so admission control
+	// (the remote host sheds offers when the backlog is deep) can consult it
+	// on every ENROLL without contending with the scheduler.
+	pendingCount atomic.Int64
 
 	mu       sync.Mutex
 	closed   bool
@@ -264,6 +268,15 @@ func (in *Instance) PendingEnrollments() int {
 // never contends with the scheduler.
 func (in *Instance) Load() int {
 	return int(in.load.Load())
+}
+
+// PendingOffers returns the number of enrollment offers waiting to be
+// matched or admitted, like PendingEnrollments, but from a single atomic
+// counter: an admission-control layer (the remote host's per-instance
+// pending-offer cap) consults it on every offer, and must never contend
+// with the scheduler to decide whether to shed.
+func (in *Instance) PendingOffers() int {
+	return int(in.pendingCount.Load())
 }
 
 // Close aborts the instance: pending enrollments fail with ErrClosed, and
@@ -929,6 +942,7 @@ func (in *Instance) finishPerformanceLocked(p *performance) {
 // matcher and admission caches.
 func (in *Instance) addPendingLocked(st *enrollState) {
 	in.pending = append(in.pending, st)
+	in.pendingCount.Store(int64(len(in.pending)))
 	in.pendingByRole[st.offer.Role]++
 	in.offersDirty = true
 	in.admitDirty = true
@@ -957,6 +971,7 @@ func (in *Instance) removePendingLocked(st *enrollState) {
 }
 
 func (in *Instance) pendingRemovedLocked(st *enrollState) {
+	in.pendingCount.Store(int64(len(in.pending)))
 	if n := in.pendingByRole[st.offer.Role]; n <= 1 {
 		delete(in.pendingByRole, st.offer.Role)
 	} else {

@@ -12,19 +12,25 @@
 //	E5  fabric point-to-point ping-pong: fast lane vs forced slow lane
 //	E6  fabric star scatter to 64 recipients vs a loop of serial sends
 //	E7  remote star broadcast over loopback TCP vs the same run in-process
+//	E8  goodput under saturation: 1×/2×/4× the host's admission cap,
+//	    with vs. without client retry
 //
 // Each Spec.Run executes under testing.Benchmark so iteration counts are
 // chosen the same way `go test -bench` chooses them. E5/E6 measure the
 // rendezvous fabric directly and record their own comparison run in
 // baseline_ns_per_op (fast vs slow lane, scatter vs serial); E7 records
 // the in-process E1 workload as its baseline, so delta_pct is the (large,
-// negative) cost of moving every role body across the wire.
+// negative) cost of moving every role body across the wire. E8 is the odd
+// one out: it drives fixed-duration load points instead of b.N iterations,
+// reporting completed-enrollment throughput and p99 latency per point in
+// the saturation array.
 package perfbench
 
 import (
 	"context"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -58,6 +64,29 @@ type Result struct {
 	// slow lane, serial sends).
 	BaselineNsPerOp float64 `json:"baseline_ns_per_op,omitempty"`
 	DeltaPct        float64 `json:"delta_pct,omitempty"`
+
+	// E8 only: one entry per offered-load point. The headline ns_per_op is
+	// the 4×-cap-with-retry point's per-completed-enrollment cost.
+	Saturation []SaturationPoint `json:"saturation,omitempty"`
+}
+
+// SaturationPoint is one E8 load point: LoadFactor × the host's admission
+// cap of concurrent remote enrollers hammering a capped single-role script,
+// with or without the client retry policy. Attempted counts application-level
+// operations; without retry a shed attempt fails outright (Failed, lost
+// goodput), with retry sheds are absorbed by backoff and every attempt
+// completes. Shed is the host-side ErrOverloaded rejection count (with retry
+// on, one attempt may bounce several times). Throughput and p99 latency
+// cover completed attempts only.
+type SaturationPoint struct {
+	LoadFactor   int     `json:"load_factor"`
+	Retry        bool    `json:"retry"`
+	Attempted    uint64  `json:"attempted"`
+	Completed    uint64  `json:"completed"`
+	Failed       uint64  `json:"failed"`
+	Shed         uint64  `json:"shed"`
+	Throughput   float64 `json:"throughput_per_sec"`
+	P99LatencyMS float64 `json:"p99_latency_ms"`
 }
 
 // Spec names one measurement of the suite.
@@ -114,6 +143,12 @@ func Suite() []Spec {
 			Description: "one StarBroadcast(64) performance per op with every role enrolled over loopback TCP; baseline is the identical in-process workload (E1)",
 			Enrollers:   65,
 		},
+		{
+			ID:          "E8",
+			Name:        "goodput-under-saturation",
+			Description: "remote single-role enrollments at 1x/2x/4x the host's admission cap, with vs. without client retry; per-point completed throughput and p99 latency",
+			Enrollers:   4 * saturationCap,
+		},
 	}
 	specs[0].Run = func() Result { return finish(specs[0], runStarBroadcast(64)) }
 	specs[1].Run = func() Result { return finish(specs[1], runSuccessive()) }
@@ -147,6 +182,7 @@ func Suite() []Spec {
 	specs[6].Run = func() Result {
 		return withIntrinsicBaseline(finish(specs[6], runRemoteStar(64)), runStarBroadcast(64))
 	}
+	specs[7].Run = func() Result { return runSaturationSuite(specs[7]) }
 	return specs
 }
 
@@ -411,6 +447,132 @@ func runRemoteStar(n int) testing.BenchmarkResult {
 		h.Close()
 		in.Close()
 	})
+}
+
+// saturationCap is E8's host admission cap (MaxEnrollments); offered load
+// is expressed as multiples of it.
+const saturationCap = 4
+
+// saturationWindow is how long each E8 load point runs.
+const saturationWindow = 400 * time.Millisecond
+
+// runSaturationSuite is E8: a capped remote host is offered 1×, 2×, and 4×
+// its admission cap of concurrent single-role enrollments, once with the
+// client retry policy off (over-cap offers bounce with ErrOverloaded and
+// are lost goodput) and once with it on (sheds are retried under backoff
+// until admitted). Each point reports completed-enrollment throughput and
+// the p99 latency of completions; the headline ns_per_op is the 4×-with-
+// retry point's per-completion cost.
+func runSaturationSuite(s Spec) Result {
+	res := Result{
+		ID:          s.ID,
+		Name:        s.Name,
+		Description: s.Description,
+		Enrollers:   s.Enrollers,
+	}
+	for _, factor := range []int{1, 2, 4} {
+		for _, retry := range []bool{false, true} {
+			res.Saturation = append(res.Saturation, runSaturationPoint(saturationCap, factor, retry))
+		}
+	}
+	headline := res.Saturation[len(res.Saturation)-1] // 4× with retry
+	res.Iterations = int(headline.Completed)
+	if headline.Throughput > 0 {
+		res.NsPerOp = 1e9 / headline.Throughput
+	}
+	return res
+}
+
+func runSaturationPoint(cap, factor int, retry bool) SaturationPoint {
+	def := core.NewScript("slot").
+		Role("only", func(rc core.Ctx) error { return fmt.Errorf("local body must not run") }).
+		MustBuild()
+	in := core.NewInstance(def)
+	h := remote.NewHost(in, remote.HostConfig{
+		MaxEnrollments: cap,
+		RetryAfter:     2 * time.Millisecond,
+	})
+	if err := h.Listen("127.0.0.1:0"); err != nil {
+		panic(err)
+	}
+	go h.Serve()
+	cfg := remote.EnrollerConfig{
+		// The breaker would turn sustained overload into client-local
+		// fail-fast rejections; E8 measures the host's shedding, so it is
+		// disabled for both modes.
+		Breaker: remote.BreakerConfig{FailureThreshold: -1},
+	}
+	if retry {
+		cfg.Retry = remote.RetryPolicy{
+			MaxAttempts: 100,
+			BaseBackoff: time.Millisecond,
+			MaxBackoff:  8 * time.Millisecond,
+			Seed:        42,
+		}
+	}
+	enr := remote.NewEnroller(h.Addr().String(), cfg)
+
+	// The body spins (not sleeps) ~200µs so each admitted enrollment holds
+	// its slot for a consistent service time — time.Sleep's wakeup latency
+	// varies with how busy the process is, which would let the shed traffic
+	// itself distort per-point service times.
+	body := func(rc core.Ctx) error {
+		for t0 := time.Now(); time.Since(t0) < 200*time.Microsecond; {
+		}
+		return nil
+	}
+	clients := cap * factor
+	ctx := context.Background()
+	var attempted, completed, failed atomic.Uint64
+	samples := make([][]time.Duration, clients)
+	stop := time.Now().Add(saturationWindow)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		pid := ids.PID(fmt.Sprintf("C%d", c))
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for time.Now().Before(stop) {
+				attempted.Add(1)
+				t0 := time.Now()
+				if _, err := enr.Enroll(ctx, core.Enrollment{PID: pid, Role: ids.Role("only"), Body: body}); err != nil {
+					failed.Add(1)
+					continue
+				}
+				completed.Add(1)
+				samples[c] = append(samples[c], time.Since(t0))
+			}
+		}(c)
+	}
+	wg.Wait()
+	shed := h.Stats().ShedEnrollments
+	enr.Close()
+	h.Close()
+	in.Close()
+
+	var all []time.Duration
+	for _, s := range samples {
+		all = append(all, s...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	var p99 time.Duration
+	if n := len(all); n > 0 {
+		i := n * 99 / 100
+		if i >= n {
+			i = n - 1
+		}
+		p99 = all[i]
+	}
+	return SaturationPoint{
+		LoadFactor:   factor,
+		Retry:        retry,
+		Attempted:    attempted.Load(),
+		Completed:    completed.Load(),
+		Failed:       failed.Load(),
+		Shed:         shed,
+		Throughput:   float64(completed.Load()) / saturationWindow.Seconds(),
+		P99LatencyMS: float64(p99.Nanoseconds()) / 1e6,
+	}
 }
 
 // runPingPong is E5: `pairs` disjoint (sender, receiver) pairs exchange b.N

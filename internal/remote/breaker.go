@@ -1,0 +1,149 @@
+package remote
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerConfig configures the Enroller's per-host circuit breaker.
+type BreakerConfig struct {
+	// FailureThreshold is how many consecutive host-health failures (dial
+	// failures, lost connections, overload or drain rejections) open the
+	// circuit. 0 means the default of 5; a negative value disables the
+	// breaker for every host.
+	FailureThreshold int
+	// Cooldown is how long an open circuit rejects attempts before letting
+	// one probe enrollment through (half-open). 0 means the default of
+	// 500ms.
+	Cooldown time.Duration
+}
+
+// DefaultFailureThreshold and DefaultBreakerCooldown are the breaker
+// defaults when the corresponding BreakerConfig field is zero.
+const (
+	DefaultFailureThreshold = 5
+	DefaultBreakerCooldown  = 500 * time.Millisecond
+)
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int
+
+// Breaker states: closed (attempts flow), open (attempts rejected until the
+// cooldown elapses), half-open (exactly one probe in flight).
+const (
+	BreakerClosed BreakerState = iota
+	BreakerOpen
+	BreakerHalfOpen
+)
+
+// String returns the conventional state name.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "breaker(?)"
+	}
+}
+
+// breaker is one host's circuit breaker: closed → (threshold consecutive
+// failures) → open → (cooldown) → half-open, where a single probe
+// enrollment decides between closed (success) and open again (failure).
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+
+	mu       sync.Mutex
+	state    BreakerState
+	failures int
+	openedAt time.Time
+}
+
+func (b *breaker) disabled() bool { return b.threshold <= 0 }
+
+// allow reports whether an attempt against the host may proceed at `now`.
+// An open breaker whose cooldown has elapsed transitions to half-open and
+// admits exactly this attempt as the probe; until the probe resolves
+// (onSuccess, onFailure, or onNeutral) every other attempt is rejected.
+func (b *breaker) allow(now time.Time) bool {
+	if b.disabled() {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if now.Sub(b.openedAt) >= b.cooldown {
+			b.state = BreakerHalfOpen
+			return true
+		}
+		return false
+	default: // BreakerHalfOpen: the probe is still in flight
+		return false
+	}
+}
+
+// onSuccess records contact with a healthy host: the circuit closes and the
+// failure count resets. Any completed conversation counts — an enrollment
+// that surfaces an *AbortError or *RoleError still proves the host up.
+func (b *breaker) onSuccess() {
+	if b.disabled() {
+		return
+	}
+	b.mu.Lock()
+	b.state = BreakerClosed
+	b.failures = 0
+	b.mu.Unlock()
+}
+
+// onFailure records a host-health failure: a failed half-open probe
+// re-opens the circuit for a fresh cooldown; in the closed state the
+// consecutive-failure count advances and opens the circuit at the
+// threshold.
+func (b *breaker) onFailure(now time.Time) {
+	if b.disabled() {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerHalfOpen:
+		b.state = BreakerOpen
+		b.openedAt = now
+	case BreakerClosed:
+		b.failures++
+		if b.failures >= b.threshold {
+			b.state = BreakerOpen
+			b.openedAt = now
+		}
+	default: // already open (a straggling attempt admitted before it opened)
+	}
+}
+
+// onNeutral resolves an attempt that proved nothing about the host (the
+// enroller's own context ended first). A half-open probe falls back to
+// open with its original timestamp, so the next attempt may probe again at
+// once.
+func (b *breaker) onNeutral() {
+	if b.disabled() {
+		return
+	}
+	b.mu.Lock()
+	if b.state == BreakerHalfOpen {
+		b.state = BreakerOpen
+	}
+	b.mu.Unlock()
+}
+
+// snapshot returns the state and consecutive-failure count.
+func (b *breaker) snapshot() (BreakerState, int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state, b.failures
+}

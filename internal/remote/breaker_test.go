@@ -1,0 +1,122 @@
+package remote
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBreakerTransitions walks the full state machine with synthetic
+// clocks: closed → open at the threshold, cooldown gating, the half-open
+// single-probe guarantee, probe failure re-opening, and probe success
+// closing.
+func TestBreakerTransitions(t *testing.T) {
+	b := &breaker{threshold: 2, cooldown: 100 * time.Millisecond}
+	t0 := time.Unix(1000, 0)
+
+	if !b.allow(t0) {
+		t.Fatal("fresh breaker rejects")
+	}
+	b.onFailure(t0)
+	if st, fails := b.snapshot(); st != BreakerClosed || fails != 1 {
+		t.Fatalf("after 1 failure: %v/%d, want closed/1", st, fails)
+	}
+	if !b.allow(t0) {
+		t.Fatal("closed breaker under threshold rejects")
+	}
+
+	// Second consecutive failure trips the threshold: closed → open.
+	b.onFailure(t0)
+	if st, _ := b.snapshot(); st != BreakerOpen {
+		t.Fatalf("after threshold failures state = %v, want open", st)
+	}
+	if b.allow(t0) || b.allow(t0.Add(99*time.Millisecond)) {
+		t.Fatal("open breaker admitted an attempt inside the cooldown")
+	}
+
+	// Cooldown elapsed: open → half-open, exactly one probe.
+	t1 := t0.Add(100 * time.Millisecond)
+	if !b.allow(t1) {
+		t.Fatal("cooldown elapsed but probe rejected")
+	}
+	if st, _ := b.snapshot(); st != BreakerHalfOpen {
+		t.Fatalf("state after probe admission = %v, want half-open", st)
+	}
+	if b.allow(t1) {
+		t.Fatal("second attempt admitted while the probe is in flight")
+	}
+
+	// Failed probe: half-open → open, fresh cooldown.
+	b.onFailure(t1)
+	if st, _ := b.snapshot(); st != BreakerOpen {
+		t.Fatalf("state after failed probe = %v, want open", st)
+	}
+	if b.allow(t1.Add(50 * time.Millisecond)) {
+		t.Fatal("re-opened breaker admitted inside the new cooldown")
+	}
+
+	// Successful probe: half-open → closed, failures reset.
+	t2 := t1.Add(100 * time.Millisecond)
+	if !b.allow(t2) {
+		t.Fatal("second probe rejected after cooldown")
+	}
+	b.onSuccess()
+	if st, fails := b.snapshot(); st != BreakerClosed || fails != 0 {
+		t.Fatalf("after successful probe: %v/%d, want closed/0", st, fails)
+	}
+	if !b.allow(t2) {
+		t.Fatal("closed breaker rejects after recovery")
+	}
+}
+
+// TestBreakerNeutralProbe checks that a probe resolving without evidence
+// (context canceled mid-attempt) releases the half-open slot back to open
+// without consuming the cooldown, so the next attempt may probe again
+// immediately.
+func TestBreakerNeutralProbe(t *testing.T) {
+	b := &breaker{threshold: 1, cooldown: 100 * time.Millisecond}
+	t0 := time.Unix(1000, 0)
+	b.onFailure(t0)
+
+	t1 := t0.Add(100 * time.Millisecond)
+	if !b.allow(t1) {
+		t.Fatal("probe rejected after cooldown")
+	}
+	b.onNeutral()
+	if st, _ := b.snapshot(); st != BreakerOpen {
+		t.Fatalf("state after neutral probe = %v, want open", st)
+	}
+	if !b.allow(t1) {
+		t.Fatal("neutral probe consumed the half-open slot for good")
+	}
+}
+
+// TestBreakerDisabled checks that a negative threshold disables the breaker
+// entirely.
+func TestBreakerDisabled(t *testing.T) {
+	b := &breaker{threshold: -1, cooldown: time.Millisecond}
+	t0 := time.Unix(1000, 0)
+	for i := 0; i < 10; i++ {
+		b.onFailure(t0)
+	}
+	if !b.allow(t0) {
+		t.Fatal("disabled breaker rejected an attempt")
+	}
+	if st, _ := b.snapshot(); st != BreakerClosed {
+		t.Fatalf("disabled breaker state = %v, want closed", st)
+	}
+}
+
+// TestBreakerSuccessResetsFailures checks that intervening successes keep a
+// flaky-but-working host's circuit closed: failures must be consecutive to
+// trip the threshold.
+func TestBreakerSuccessResetsFailures(t *testing.T) {
+	b := &breaker{threshold: 2, cooldown: time.Second}
+	t0 := time.Unix(1000, 0)
+	for i := 0; i < 5; i++ {
+		b.onFailure(t0)
+		b.onSuccess()
+	}
+	if st, fails := b.snapshot(); st != BreakerClosed || fails != 0 {
+		t.Fatalf("alternating failure/success: %v/%d, want closed/0", st, fails)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -12,6 +13,31 @@ import (
 	"github.com/scriptabs/goscript/internal/core"
 	"github.com/scriptabs/goscript/internal/ids"
 	"github.com/scriptabs/goscript/internal/wire"
+)
+
+// RetryPolicy configures how an Enroller re-offers an enrollment after a
+// retryable failure (see Retryable). Backoff is exponential with full
+// jitter: the wait before retry n is uniform in (0, min(MaxBackoff,
+// BaseBackoff<<n)], raised to the host's RetryAfter hint when the failure
+// carried one.
+type RetryPolicy struct {
+	// MaxAttempts is the total attempt budget, including the first offer.
+	// 0 or 1 disables retries (the default: an Enroller without an explicit
+	// policy behaves exactly as before).
+	MaxAttempts int
+	// BaseBackoff is the first retry's jitter window (0 = 25ms).
+	BaseBackoff time.Duration
+	// MaxBackoff caps the jitter window (0 = 1s).
+	MaxBackoff time.Duration
+	// Seed, when non-zero, makes the jitter stream deterministic (tests,
+	// chaos soaks). 0 seeds from the clock.
+	Seed int64
+}
+
+// Retry backoff defaults when the corresponding RetryPolicy field is zero.
+const (
+	DefaultBaseBackoff = 25 * time.Millisecond
+	DefaultMaxBackoff  = time.Second
 )
 
 // EnrollerConfig configures an Enroller.
@@ -25,6 +51,13 @@ type EnrollerConfig struct {
 	HeartbeatInterval time.Duration
 	// DialTimeout bounds connection establishment (0 = 5 seconds).
 	DialTimeout time.Duration
+	// Retry is the re-offer policy for retryable failures. The zero value
+	// disables retries.
+	Retry RetryPolicy
+	// Breaker is the per-host circuit breaker policy. The zero value enables
+	// the breaker with its defaults; set FailureThreshold negative to
+	// disable it.
+	Breaker BreakerConfig
 	// Faults, when non-nil, injects network faults (chaos testing).
 	Faults NetFaults
 }
@@ -33,66 +66,263 @@ type EnrollerConfig struct {
 // EnrollerConfig.HeartbeatInterval is zero.
 const DefaultHeartbeatInterval = 3 * time.Second
 
-// Enroller enrolls this process into a script served by a remote Host. It
-// keeps a pool of idle connections: sequential enrollments reuse one
-// connection, concurrent enrollments each get their own.
+// Enroller enrolls this process into a script served by one or more remote
+// Hosts. Per host it keeps a pool of idle connections (sequential
+// enrollments reuse one connection, concurrent enrollments each get their
+// own) and a circuit breaker. Hosts are tried in the order given: the first
+// address is the primary, later ones take over while earlier circuits are
+// open, and a recovered host wins traffic back through its half-open probe.
 type Enroller struct {
-	addr string
-	cfg  EnrollerConfig
+	hosts []*hostState
+	cfg   EnrollerConfig
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
 
 	mu     sync.Mutex
-	idle   []*clientConn
 	closed bool
 }
 
-// NewEnroller creates an enroller for the host at addr. No connection is
-// made until the first Enroll.
+// hostState is one host's address, idle-connection pool, and breaker.
+type hostState struct {
+	addr string
+	brk  breaker
+
+	mu   sync.Mutex
+	idle []*clientConn
+}
+
+// HostHealth is one host's circuit-breaker view, for introspection.
+type HostHealth struct {
+	Addr     string
+	State    BreakerState
+	Failures int // consecutive counted failures while closed
+}
+
+// NewEnroller creates an enroller for the single host at addr. No
+// connection is made until the first Enroll.
 func NewEnroller(addr string, cfg EnrollerConfig) *Enroller {
+	return NewEnrollerMulti([]string{addr}, cfg)
+}
+
+// NewEnrollerMulti creates an enroller that fails over across addrs (tried
+// in order; len(addrs) must be ≥ 1). No connection is made until the first
+// Enroll.
+func NewEnrollerMulti(addrs []string, cfg EnrollerConfig) *Enroller {
+	if len(addrs) == 0 {
+		panic("script/remote: NewEnrollerMulti requires at least one address")
+	}
 	if cfg.HeartbeatInterval <= 0 {
 		cfg.HeartbeatInterval = DefaultHeartbeatInterval
 	}
 	if cfg.DialTimeout <= 0 {
 		cfg.DialTimeout = 5 * time.Second
 	}
-	return &Enroller{addr: addr, cfg: cfg}
+	if cfg.Retry.MaxAttempts < 1 {
+		cfg.Retry.MaxAttempts = 1
+	}
+	if cfg.Retry.BaseBackoff <= 0 {
+		cfg.Retry.BaseBackoff = DefaultBaseBackoff
+	}
+	if cfg.Retry.MaxBackoff <= 0 {
+		cfg.Retry.MaxBackoff = DefaultMaxBackoff
+	}
+	if cfg.Breaker.FailureThreshold == 0 {
+		cfg.Breaker.FailureThreshold = DefaultFailureThreshold
+	}
+	if cfg.Breaker.Cooldown <= 0 {
+		cfg.Breaker.Cooldown = DefaultBreakerCooldown
+	}
+	seed := cfg.Retry.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	e := &Enroller{cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+	for _, addr := range addrs {
+		e.hosts = append(e.hosts, &hostState{
+			addr: addr,
+			brk: breaker{
+				threshold: cfg.Breaker.FailureThreshold,
+				cooldown:  cfg.Breaker.Cooldown,
+			},
+		})
+	}
+	return e
+}
+
+// Hosts reports each configured host's breaker state, in failover order.
+func (e *Enroller) Hosts() []HostHealth {
+	out := make([]HostHealth, len(e.hosts))
+	for i, hs := range e.hosts {
+		st, fails := hs.brk.snapshot()
+		out[i] = HostHealth{Addr: hs.addr, State: st, Failures: fails}
+	}
+	return out
 }
 
 // Close closes the idle connections. Enrollments in flight keep their
 // connections and fail or finish on their own.
 func (e *Enroller) Close() error {
 	e.mu.Lock()
-	idle := e.idle
-	e.idle = nil
 	e.closed = true
 	e.mu.Unlock()
-	for _, cc := range idle {
-		cc.close()
+	for _, hs := range e.hosts {
+		hs.mu.Lock()
+		idle := hs.idle
+		hs.idle = nil
+		hs.mu.Unlock()
+		for _, cc := range idle {
+			cc.close()
+		}
 	}
 	return nil
 }
 
-// Enroll offers to play enr.Role at the remote host and blocks until the
+// Retryable reports whether an Enroll failure is safe and useful to offer
+// again. Safe means no performance can have run: dial and handshake
+// failures, overload sheds, drain rejections, and open circuits all reject
+// the offer before any assignment. A lost connection after assignment
+// (ErrConnLost), an aborted performance, or a role-body error is not
+// retryable — work happened, and re-offering could duplicate it.
+func Retryable(err error) bool {
+	var re *core.RoleError
+	switch {
+	case err == nil:
+		return false
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return false
+	case errors.Is(err, core.ErrPerformanceAborted):
+		return false
+	case errors.As(err, &re):
+		return false
+	case errors.Is(err, ErrDialFailed):
+		return true
+	case errors.Is(err, core.ErrOverloaded):
+		return true
+	case errors.Is(err, core.ErrDraining):
+		return true
+	case errors.Is(err, ErrCircuitOpen):
+		return true
+	default:
+		return false
+	}
+}
+
+// countsForBreaker reports whether a failure is evidence of an unhealthy
+// host: unreachable (dial), flaky (lost connection), saturated (overload
+// shed), or going away (draining). Performance-level failures — aborts,
+// role errors — prove the host is up and do not count.
+func countsForBreaker(err error) bool {
+	switch {
+	case err == nil:
+		return false
+	case errors.Is(err, ErrDialFailed), errors.Is(err, ErrConnLost):
+		return true
+	case errors.Is(err, core.ErrOverloaded), errors.Is(err, core.ErrDraining):
+		return true
+	default:
+		return false
+	}
+}
+
+// retryAfterHint extracts the host's backoff hint from an overload
+// rejection, or 0.
+func retryAfterHint(err error) time.Duration {
+	var oe *core.OverloadError
+	if errors.As(err, &oe) {
+		return oe.RetryAfter
+	}
+	return 0
+}
+
+// backoff returns the full-jitter wait before retry attempt n (0-based),
+// floored at the host's hint.
+func (e *Enroller) backoff(n int, hint time.Duration) time.Duration {
+	w := e.cfg.Retry.MaxBackoff
+	if shifted := e.cfg.Retry.BaseBackoff << n; n < 32 && shifted > 0 && shifted < w {
+		w = shifted
+	}
+	e.rngMu.Lock()
+	d := time.Duration(e.rng.Int63n(int64(w))) + 1
+	e.rngMu.Unlock()
+	if hint > d {
+		d = hint
+	}
+	return d
+}
+
+// pickHost returns the first host in failover order whose breaker admits an
+// attempt now, or nil when every circuit is open. allow is only consulted
+// on hosts up to the first admission, so a half-open probe token is never
+// claimed by an attempt that then lands elsewhere.
+func (e *Enroller) pickHost(now time.Time) *hostState {
+	for _, hs := range e.hosts {
+		if hs.brk.allow(now) {
+			return hs
+		}
+	}
+	return nil
+}
+
+// Enroll offers to play enr.Role at a remote host and blocks until the
 // process is released, exactly like Instance.Enroll — except the role body
 // must be supplied in enr.Body, because the definition lives in the serving
 // process. The body runs in *this* process, against a Ctx whose operations
 // are proxied over the connection; ctx cancellation withdraws a pending
 // offer (and, mid-performance, severs the connection, aborting the
 // performance host-side with this role as culprit).
+//
+// Failures that reject the offer before any assignment (see Retryable) are
+// re-offered under cfg.Retry, rotating across hosts as circuit breakers
+// open and close; the final error is the last attempt's.
 func (e *Enroller) Enroll(ctx context.Context, enr core.Enrollment) (core.Result, error) {
 	if enr.Body == nil {
 		return core.Result{}, errors.New("script/remote: Enroll requires Enrollment.Body (the definition lives in the host)")
 	}
-	if err := ctx.Err(); err != nil {
-		return core.Result{}, err
+	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return core.Result{}, err
+		}
+		var res core.Result
+		var err error
+		if hs := e.pickHost(time.Now()); hs == nil {
+			err = fmt.Errorf("%w: all %d host(s) cooling down", ErrCircuitOpen, len(e.hosts))
+		} else {
+			res, err = e.enrollOnce(ctx, hs, enr)
+			switch {
+			case err == nil:
+				hs.brk.onSuccess()
+				return res, nil
+			case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+				hs.brk.onNeutral()
+			case countsForBreaker(err):
+				hs.brk.onFailure(time.Now())
+			default:
+				// The host answered — performance-level failure, host healthy.
+				hs.brk.onSuccess()
+			}
+		}
+		if attempt+1 >= e.cfg.Retry.MaxAttempts || !Retryable(err) {
+			return res, err
+		}
+		select {
+		case <-ctx.Done():
+			return core.Result{}, ctx.Err()
+		case <-time.After(e.backoff(attempt, retryAfterHint(err))):
+		}
 	}
-	cc, err := e.conn(ctx)
+}
+
+// enrollOnce runs one offer against one host, start to release.
+func (e *Enroller) enrollOnce(ctx context.Context, hs *hostState, enr core.Enrollment) (core.Result, error) {
+	cc, err := e.conn(ctx, hs)
 	if err != nil {
 		return core.Result{}, err
 	}
 	healthy := false
 	defer func() {
 		if healthy {
-			e.putIdle(cc)
+			e.putIdle(hs, cc)
 		} else {
 			cc.close()
 		}
@@ -149,12 +379,16 @@ await:
 			// connection is not worth pooling.
 			return core.Result{}, core.ErrDraining
 		case wire.MsgComplete:
-			// Rejected before any performance: unknown role, closed, ...
+			// Rejected before any performance: unknown role, closed, shed by
+			// admission control (ErrOverloaded), ...
 			var cm wire.Complete
 			if err := wire.Decode(payload, &cm); err != nil {
 				return core.Result{}, wrapErr(err)
 			}
 			if cm.Err != nil {
+				// The host stays healthy and lock-step: rejection is a clean
+				// exchange, so the connection is reusable.
+				healthy = true
 				return core.Result{}, cm.Err.Err()
 			}
 			return core.Result{}, fmt.Errorf("%w: COMPLETE before OFFER-ACK", ErrConnLost)
@@ -202,6 +436,7 @@ await:
 				return core.Result{}, wrapErr(err)
 			}
 			if cm.Err != nil {
+				healthy = true
 				return core.Result{}, cm.Err.Err()
 			}
 			res := core.Result{Performance: cm.Performance, Role: role, Values: cm.Values}
@@ -232,46 +467,66 @@ func runClientBody(body core.RoleBody, rc core.Ctx) (err error) {
 	return body(rc)
 }
 
-// conn pops an idle connection or dials a fresh one.
-func (e *Enroller) conn(ctx context.Context) (*clientConn, error) {
+// conn pops an idle connection (reclaiming it from its idle watcher) or
+// dials a fresh one.
+func (e *Enroller) conn(ctx context.Context, hs *hostState) (*clientConn, error) {
 	e.mu.Lock()
-	if e.closed {
-		e.mu.Unlock()
+	closed := e.closed
+	e.mu.Unlock()
+	if closed {
 		return nil, core.ErrClosed
 	}
-	for len(e.idle) > 0 {
-		cc := e.idle[len(e.idle)-1]
-		e.idle = e.idle[:len(e.idle)-1]
-		if !cc.dead.Load() {
-			e.mu.Unlock()
+	for {
+		hs.mu.Lock()
+		if len(hs.idle) == 0 {
+			hs.mu.Unlock()
+			break
+		}
+		cc := hs.idle[len(hs.idle)-1]
+		hs.idle = hs.idle[:len(hs.idle)-1]
+		hs.mu.Unlock()
+		if cc.claimIdle() {
 			return cc, nil
 		}
 		cc.close()
 	}
-	e.mu.Unlock()
-	return e.dial(ctx)
+	return e.dial(ctx, hs.addr)
 }
 
-func (e *Enroller) putIdle(cc *clientConn) {
+// putIdle returns a connection to its host's pool and posts an idle watcher
+// on it, so a host-side close is noticed (and the heartbeat pump stopped)
+// the moment it happens rather than at the next checkout.
+func (e *Enroller) putIdle(hs *hostState, cc *clientConn) {
 	if cc.dead.Load() {
 		cc.close()
 		return
 	}
 	e.mu.Lock()
-	if e.closed {
-		e.mu.Unlock()
+	closed := e.closed
+	e.mu.Unlock()
+	hs.mu.Lock()
+	if closed {
+		hs.mu.Unlock()
 		cc.close()
 		return
 	}
-	e.idle = append(e.idle, cc)
-	e.mu.Unlock()
+	cc.startIdleWatch()
+	hs.idle = append(hs.idle, cc)
+	hs.mu.Unlock()
 }
 
-func (e *Enroller) dial(ctx context.Context) (*clientConn, error) {
+// dial establishes and handshakes one connection. Failures wrap
+// ErrDialFailed — except an overload rejection of the handshake itself
+// (the host's connection cap), which surfaces as the *core.OverloadError
+// it is.
+func (e *Enroller) dial(ctx context.Context, addr string) (*clientConn, error) {
 	d := net.Dialer{Timeout: e.cfg.DialTimeout}
-	nc, err := d.DialContext(ctx, "tcp", e.addr)
+	nc, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
-		return nil, fmt.Errorf("script/remote: dial %s: %w", e.addr, err)
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
+		return nil, fmt.Errorf("%w: %s: %v", ErrDialFailed, addr, err)
 	}
 	c := wire.NewConn(nc)
 	if e.cfg.Faults != nil {
@@ -279,19 +534,30 @@ func (e *Enroller) dial(ctx context.Context) (*clientConn, error) {
 	}
 	if _, err := wire.ClientHandshake(c, e.cfg.Script); err != nil {
 		c.Close()
-		return nil, err
+		if errors.Is(err, core.ErrOverloaded) {
+			return nil, err
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
+		return nil, fmt.Errorf("%w: %s: %v", ErrDialFailed, addr, err)
 	}
 	cc := &clientConn{c: c, stop: make(chan struct{})}
 	go cc.heartbeat(e.cfg.HeartbeatInterval, e.cfg.Faults)
 	return cc, nil
 }
 
-// clientConn is one pooled connection with its heartbeat pump.
+// clientConn is one pooled connection with its heartbeat pump and, while
+// idle in the pool, an idle watcher.
 type clientConn struct {
 	c    *wire.Conn
 	stop chan struct{}
 	once sync.Once
 	dead atomic.Bool
+
+	idleMu      sync.Mutex
+	idleClaimed bool
+	idleDone    chan struct{} // non-nil while an idle watcher runs
 }
 
 func (cc *clientConn) close() {
@@ -300,9 +566,56 @@ func (cc *clientConn) close() {
 	cc.c.Close()
 }
 
+// startIdleWatch posts a goroutine that blocks reading the idle connection.
+// The host never sends unsolicited frames, so the read resolving means the
+// connection is finished: EOF or reset when the host closes it (the watcher
+// then close()s the conn, stopping the heartbeat pump deterministically),
+// or a deadline error when claimIdle reclaims the conn for the next
+// enrollment.
+func (cc *clientConn) startIdleWatch() {
+	done := make(chan struct{})
+	cc.idleMu.Lock()
+	cc.idleClaimed = false
+	cc.idleDone = done
+	cc.idleMu.Unlock()
+	go func() {
+		defer close(done)
+		_, _, err := cc.c.ReadMsg()
+		cc.idleMu.Lock()
+		claimed := cc.idleClaimed
+		cc.idleMu.Unlock()
+		var ne net.Error
+		if claimed && errors.As(err, &ne) && ne.Timeout() && cc.c.Buffered() == 0 {
+			// Cleanly reclaimed: the deadline broke the read between frames,
+			// nothing was half-consumed, the connection is reusable.
+			return
+		}
+		// Host-side close, an unexpected frame (err == nil), or a reclaim
+		// that caught a partial frame: the connection is done for.
+		cc.close()
+	}()
+}
+
+// claimIdle reclaims the connection from its idle watcher and reports
+// whether it is still usable.
+func (cc *clientConn) claimIdle() bool {
+	cc.idleMu.Lock()
+	done := cc.idleDone
+	cc.idleDone = nil
+	cc.idleClaimed = true
+	cc.idleMu.Unlock()
+	if done != nil {
+		cc.c.BreakRead()
+		<-done
+		cc.c.UnbreakRead()
+	}
+	return !cc.dead.Load()
+}
+
 // heartbeat keeps the host's silence clock from expiring while the body
 // computes between operations. Frame writes are serialized with the body's
-// by the connection's write lock.
+// by the connection's write lock. It exits when the connection is closed
+// (cc.stop) or a write fails.
 func (cc *clientConn) heartbeat(interval time.Duration, faults NetFaults) {
 	t := time.NewTicker(interval)
 	defer t.Stop()

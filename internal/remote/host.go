@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/scriptabs/goscript/internal/core"
@@ -24,6 +25,28 @@ type HostConfig struct {
 	// client that stops reading mid-performance is indistinguishable from a
 	// dead one; the write timeout turns it into the disconnect path.
 	WriteTimeout time.Duration
+
+	// MaxConns caps concurrently-served client connections (0 = unlimited).
+	// A connection accepted over the cap is rejected at handshake time with
+	// an OVERLOADED frame — before any protocol state is built for it — and
+	// closed.
+	MaxConns int
+	// MaxEnrollments caps enrollments concurrently admitted into the target
+	// (pending, performing, or held; 0 = unlimited). An ENROLL over the cap
+	// is answered with ErrOverloaded and the connection stays usable.
+	MaxEnrollments int
+	// MaxPendingOffers caps the target's pending (offered-but-unmatched)
+	// enrollment backlog (0 = unlimited). It applies only to targets that
+	// report it (core.Instance, script.Pool — anything with a
+	// PendingOffers() int method); an ENROLL arriving while the backlog is
+	// at the cap is shed with ErrOverloaded.
+	MaxPendingOffers int
+	// RetryAfter is the backoff hint carried by overload rejections
+	// (0 = DefaultRetryAfter, negative = no hint). Shedding never touches
+	// admitted work: an in-flight performance is never aborted by the
+	// admission layer.
+	RetryAfter time.Duration
+
 	// Faults, when non-nil, injects network faults (chaos testing).
 	Faults NetFaults
 	// Logf, when non-nil, receives connection-level diagnostics.
@@ -33,6 +56,17 @@ type HostConfig struct {
 // DefaultHeartbeatTimeout is the host's silence bound when
 // HostConfig.HeartbeatTimeout is zero.
 const DefaultHeartbeatTimeout = 15 * time.Second
+
+// DefaultRetryAfter is the backoff hint sent with overload rejections when
+// HostConfig.RetryAfter is zero.
+const DefaultRetryAfter = 50 * time.Millisecond
+
+// pendingOffersReporter is the optional Target facet the pending-offer cap
+// needs: a contention-free count of offered-but-unmatched enrollments.
+// *core.Instance and script.Pool both implement it.
+type pendingOffersReporter interface {
+	PendingOffers() int
+}
 
 // Host serves a script target to remote enrollers. It owns only the
 // network side: the caller keeps ownership of the target and its
@@ -45,13 +79,50 @@ type Host struct {
 	baseCtx context.Context
 	cancel  context.CancelFunc
 
-	mu     sync.Mutex
-	ln     net.Listener
-	conns  map[*wire.Conn]struct{}
-	closed bool
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[*wire.Conn]struct{}
+	closed   bool
+	draining bool // set by Drain under mu; new ENROLLs answer DRAIN at once
+
+	// pendingOf is the target's pending-offer counter, nil when the target
+	// does not report one (MaxPendingOffers is then inert).
+	pendingOf pendingOffersReporter
+
+	// enrolling counts enrollments currently admitted into the target;
+	// shedConns / shedEnrolls count admission-control rejections.
+	enrolling  atomic.Int64
+	shedConns  atomic.Uint64
+	shedEnrolls atomic.Uint64
 
 	connWG   sync.WaitGroup // connection handlers
 	enrollWG sync.WaitGroup // in-flight handleEnroll calls (Drain waits on it)
+}
+
+// HostStats is a snapshot of the host's admission-control counters.
+type HostStats struct {
+	// Conns is the number of connections currently served.
+	Conns int
+	// Enrolling is the number of enrollments currently admitted into the
+	// target (pending, performing, or held).
+	Enrolling int
+	// ShedConns counts connections rejected at the connection cap.
+	ShedConns uint64
+	// ShedEnrollments counts enrollments shed with ErrOverloaded.
+	ShedEnrollments uint64
+}
+
+// Stats returns a snapshot of the admission-control counters.
+func (h *Host) Stats() HostStats {
+	h.mu.Lock()
+	conns := len(h.conns)
+	h.mu.Unlock()
+	return HostStats{
+		Conns:           conns,
+		Enrolling:       int(h.enrolling.Load()),
+		ShedConns:       h.shedConns.Load(),
+		ShedEnrollments: h.shedEnrolls.Load(),
+	}
 }
 
 // NewHost creates a host serving target.
@@ -59,8 +130,11 @@ func NewHost(target Target, cfg HostConfig) *Host {
 	if cfg.HeartbeatTimeout == 0 {
 		cfg.HeartbeatTimeout = DefaultHeartbeatTimeout
 	}
+	if cfg.RetryAfter == 0 {
+		cfg.RetryAfter = DefaultRetryAfter
+	}
 	ctx, cancel := context.WithCancel(context.Background())
-	return &Host{
+	h := &Host{
 		target:  target,
 		script:  target.Definition().Name(),
 		cfg:     cfg,
@@ -68,6 +142,17 @@ func NewHost(target Target, cfg HostConfig) *Host {
 		cancel:  cancel,
 		conns:   make(map[*wire.Conn]struct{}),
 	}
+	h.pendingOf, _ = target.(pendingOffersReporter)
+	return h
+}
+
+// retryAfterHint is the configured overload backoff hint (zero when hints
+// are disabled with a negative RetryAfter).
+func (h *Host) retryAfterHint() time.Duration {
+	if h.cfg.RetryAfter < 0 {
+		return 0
+	}
+	return h.cfg.RetryAfter
 }
 
 // Listen binds the host to addr (e.g. "127.0.0.1:0").
@@ -130,12 +215,17 @@ func (h *Host) ListenAndServe(addr string) error {
 }
 
 // Drain shuts the host down gracefully: the listener closes, new offers on
-// existing connections are answered with DRAIN (the target rejects them
-// with ErrDraining), in-flight performances run to completion and their
+// existing connections are answered with DRAIN *immediately* — the host
+// replies without consulting the target, so an ENROLL landing mid-drain is
+// rejected at once instead of riding out a target that is busy draining
+// (or already closed) — in-flight performances run to completion and their
 // COMPLETE frames are delivered, and then the remaining connections close.
 // If ctx ends first the forced close happens anyway and the context error
 // is reported.
 func (h *Host) Drain(ctx context.Context) error {
+	h.mu.Lock()
+	h.draining = true
+	h.mu.Unlock()
 	h.closeListener()
 	err := h.target.Drain(ctx)
 	// The target is drained once every admitted Enroll has returned; give
@@ -198,14 +288,26 @@ func (h *Host) logf(format string, args ...any) {
 	}
 }
 
-func (h *Host) track(c *wire.Conn) bool {
+// trackVerdict is track's admission decision for a new connection.
+type trackVerdict int
+
+const (
+	trackOK trackVerdict = iota
+	trackClosed
+	trackOverCap
+)
+
+func (h *Host) track(c *wire.Conn) trackVerdict {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if h.closed {
-		return false
+		return trackClosed
+	}
+	if h.cfg.MaxConns > 0 && len(h.conns) >= h.cfg.MaxConns {
+		return trackOverCap
 	}
 	h.conns[c] = struct{}{}
-	return true
+	return trackOK
 }
 
 func (h *Host) untrack(c *wire.Conn) {
@@ -227,7 +329,23 @@ type frame struct {
 func (h *Host) serveConn(nc net.Conn) {
 	defer h.connWG.Done()
 	c := wire.NewConn(nc)
-	if !h.track(c) {
+	switch h.track(c) {
+	case trackClosed:
+		c.Close()
+		return
+	case trackOverCap:
+		// Shed before building any per-connection state: the OVERLOADED
+		// frame goes out in place of HELLO-ACK, without even reading the
+		// client's HELLO — rejection must stay cheaper than service.
+		h.shedConns.Add(1)
+		h.logf("remote: %s: connection cap (%d) reached, shedding", c.RemoteAddr(), h.cfg.MaxConns)
+		if h.cfg.WriteTimeout > 0 {
+			c.SetWriteTimeout(h.cfg.WriteTimeout)
+		}
+		_ = c.WriteMsg(wire.MsgOverloaded, wire.Overloaded{
+			RetryAfterMS: h.retryAfterHint().Milliseconds(),
+			Msg:          "connection cap reached",
+		})
 		c.Close()
 		return
 	}
@@ -278,12 +396,49 @@ func (h *Host) serveConn(nc net.Conn) {
 	}
 }
 
+// enrollVerdict is the admission decision for one ENROLL frame.
+type enrollVerdict int
+
+const (
+	enrollAdmit enrollVerdict = iota
+	enrollClosed
+	enrollDrain
+	enrollShed
+)
+
+// admitEnroll decides one ENROLL's admission under the host lock. Shedding
+// is an admission-time decision only: work already admitted (enrollWG) is
+// never touched. On enrollAdmit the enrollment is registered (enrollWG,
+// enrolling) and the caller must release it.
+func (h *Host) admitEnroll() (enrollVerdict, string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return enrollClosed, ""
+	}
+	if h.draining {
+		// Answer unadmitted enrollments at once: the target may be busy
+		// draining (or already closed), and a queued offer must not ride
+		// out the heartbeat timeout waiting for it.
+		return enrollDrain, ""
+	}
+	if f := h.cfg.Faults; f != nil && f.Overload() {
+		return enrollShed, "injected overload burst"
+	}
+	if h.cfg.MaxEnrollments > 0 && int(h.enrolling.Load()) >= h.cfg.MaxEnrollments {
+		return enrollShed, fmt.Sprintf("enrollment cap (%d) reached", h.cfg.MaxEnrollments)
+	}
+	if h.cfg.MaxPendingOffers > 0 && h.pendingOf != nil && h.pendingOf.PendingOffers() >= h.cfg.MaxPendingOffers {
+		return enrollShed, fmt.Sprintf("pending-offer cap (%d) reached", h.cfg.MaxPendingOffers)
+	}
+	h.enrollWG.Add(1)
+	h.enrolling.Add(1)
+	return enrollAdmit, ""
+}
+
 // handleEnroll runs one enrollment conversation. It returns false when the
 // connection is no longer usable.
 func (h *Host) handleEnroll(c *wire.Conn, frames <-chan frame, payload []byte) bool {
-	h.enrollWG.Add(1)
-	defer h.enrollWG.Done()
-
 	var m wire.Enroll
 	if err := wire.Decode(payload, &m); err != nil {
 		_ = c.WriteMsg(wire.MsgError, wire.ProtoError{Msg: "malformed ENROLL"})
@@ -293,6 +448,23 @@ func (h *Host) handleEnroll(c *wire.Conn, frames <-chan frame, payload []byte) b
 	if err != nil {
 		return h.complete(c, ids.RoleRef{}, core.Result{}, fmt.Errorf("%w: %s", core.ErrUnknownRole, m.Role))
 	}
+	switch verdict, reason := h.admitEnroll(); verdict {
+	case enrollClosed:
+		return false
+	case enrollDrain:
+		return c.WriteMsg(wire.MsgDrain, wire.Drain{}) == nil
+	case enrollShed:
+		h.shedEnrolls.Add(1)
+		h.logf("remote: %s: shedding ENROLL for %s: %s", c.RemoteAddr(), role, reason)
+		return h.complete(c, role, core.Result{}, &core.OverloadError{
+			Script:     h.script,
+			RetryAfter: h.retryAfterHint(),
+			Reason:     reason,
+		})
+	}
+	defer h.enrollWG.Done()
+	defer h.enrolling.Add(-1)
+
 	with, err := wire.DecodeWith(m.With)
 	if err != nil {
 		return h.complete(c, role, core.Result{}, err)

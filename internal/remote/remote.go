@@ -62,11 +62,29 @@ type NetFaults interface {
 	// StallHeartbeat returns how long a client heartbeat should stall
 	// before sending (long stalls trip the host's heartbeat timeout).
 	StallHeartbeat() time.Duration
+	// Overload reports whether the host should shed this enrollment with
+	// ErrOverloaded even under its admission caps — an injected overload
+	// burst. Shedding is admission-only, so the fault can never abort
+	// in-flight work.
+	Overload() bool
 }
 
 // ErrConnLost reports a remote enrollment cut short because the connection
 // to the host failed.
 var ErrConnLost = errors.New("script/remote: connection lost")
+
+// ErrDialFailed reports that a connection to a host could not be
+// established (TCP dial or protocol handshake). Nothing was offered, so the
+// enrollment is always safe to retry; the retry policy treats it as
+// retryable and the circuit breaker counts it against the host.
+var ErrDialFailed = errors.New("script/remote: dial failed")
+
+// ErrCircuitOpen reports an enrollment rejected client-side because every
+// configured host's circuit breaker is open: recent attempts against them
+// failed and the cooldown before the next probe has not elapsed. Nothing
+// was sent, so the enrollment is safe to retry (a retry that outlasts the
+// cooldown becomes the half-open probe).
+var ErrCircuitOpen = errors.New("script/remote: circuit open")
 
 // aborter is the slice of *core.RoleCtx the host needs to reclaim a
 // performance whose remote enroller vanished.

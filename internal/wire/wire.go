@@ -41,7 +41,11 @@
 // client→server at any time as a liveness signal (the server treats *any*
 // frame as liveness and aborts the enroller's performance when the
 // connection stays silent past its heartbeat timeout), and MsgError reports
-// a protocol violation before the connection closes.
+// a protocol violation before the connection closes. MsgOverloaded rejects
+// a connection at handshake time when the host is at its connection cap
+// (carrying a retry-after hint); an enrollment shed by admission control is
+// instead answered with an ordinary MsgComplete whose ErrInfo carries
+// CodeOverloaded, so the connection stays usable.
 package wire
 
 import (
@@ -94,6 +98,7 @@ const (
 	MsgDrain
 	MsgHeartbeat
 	MsgError
+	MsgOverloaded
 )
 
 // String returns the protocol name of the message type.
@@ -133,6 +138,8 @@ func (t MsgType) String() string {
 		return "HEARTBEAT"
 	case MsgError:
 		return "ERROR"
+	case MsgOverloaded:
+		return "OVERLOADED"
 	default:
 		return fmt.Sprintf("msg(%d)", uint8(t))
 	}
@@ -271,6 +278,17 @@ type ProtoError struct {
 	Msg string `json:"msg"`
 }
 
+// Overloaded rejects a connection at handshake time because the host is at
+// its connection cap: it is sent *in place of* HELLO-ACK (without reading
+// the client's HELLO — shedding must stay cheaper than serving), and the
+// host closes the connection after it. Enrollment-level shedding instead
+// rides the ordinary COMPLETE frame with a CodeOverloaded ErrInfo, keeping
+// the connection usable.
+type Overloaded struct {
+	RetryAfterMS int64  `json:"retry_after_ms,omitempty"`
+	Msg          string `json:"msg,omitempty"`
+}
+
 // Error codes carried by ErrInfo, mapping the runtime's error taxonomy
 // (DESIGN.md "Failure semantics") across the wire.
 const (
@@ -279,6 +297,7 @@ const (
 	CodeUnknownRole  = "unknown_role"
 	CodeClosed       = "closed"
 	CodeDraining     = "draining"
+	CodeOverloaded   = "overloaded"
 	CodeAborted      = "aborted"
 	CodeNoBranches   = "no_branches"
 	CodeCanceled     = "canceled"
@@ -300,6 +319,9 @@ type ErrInfo struct {
 	Reason      string `json:"reason,omitempty"`
 	// Role details (CodeRoleError).
 	Role string `json:"role,omitempty"`
+	// Overload details (CodeOverloaded): the shedding side's backoff hint in
+	// milliseconds (0 = none given).
+	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
 }
 
 // EncodeError maps err onto its wire representation. A nil error encodes as
@@ -311,7 +333,15 @@ func EncodeError(err error) *ErrInfo {
 	e := &ErrInfo{Code: CodeOther, Msg: err.Error()}
 	var ae *core.AbortError
 	var re *core.RoleError
+	var oe *core.OverloadError
 	switch {
+	case errors.As(err, &oe):
+		e.Code = CodeOverloaded
+		e.Script = oe.Script
+		e.Reason = oe.Reason
+		e.RetryAfterMS = oe.RetryAfter.Milliseconds()
+	case errors.Is(err, core.ErrOverloaded):
+		e.Code = CodeOverloaded
 	case errors.As(err, &ae):
 		e.Code = CodeAborted
 		e.Script = ae.Script
@@ -362,6 +392,12 @@ func (e *ErrInfo) Err() error {
 		return nil
 	}
 	switch e.Code {
+	case CodeOverloaded:
+		return &core.OverloadError{
+			Script:     e.Script,
+			Reason:     e.Reason,
+			RetryAfter: time.Duration(e.RetryAfterMS) * time.Millisecond,
+		}
 	case CodeAborted:
 		var culprit ids.RoleRef
 		if e.Culprit != "" {
@@ -443,6 +479,21 @@ func (c *Conn) SetFrameDelay(fn func() time.Duration) { c.frameDelay = fn }
 
 // RemoteAddr returns the peer's network address.
 func (c *Conn) RemoteAddr() net.Addr { return c.nc.RemoteAddr() }
+
+// BreakRead forces a concurrently blocked ReadMsg to return with a timeout
+// error by setting an already-expired read deadline. The enroller's idle
+// watcher uses it to reclaim a pooled connection from its watch read; pair
+// with UnbreakRead once the blocked read has returned.
+func (c *Conn) BreakRead() { _ = c.nc.SetReadDeadline(time.Unix(1, 0)) }
+
+// UnbreakRead clears a deadline installed by BreakRead. (A Conn with a
+// read timeout re-arms its deadline on every ReadMsg anyway.)
+func (c *Conn) UnbreakRead() { _ = c.nc.SetReadDeadline(time.Time{}) }
+
+// Buffered reports bytes received but not yet consumed by ReadMsg. A
+// connection reclaimed from an idle watch with buffered bytes was mid-frame
+// and must be treated as unusable.
+func (c *Conn) Buffered() int { return c.br.Buffered() }
 
 // Close closes the underlying connection. Safe concurrently with blocked
 // reads and writes, which then fail.
@@ -528,6 +579,13 @@ func ClientHandshake(c *Conn, script string) (HelloAck, error) {
 			return HelloAck{}, fmt.Errorf("wire: host speaks protocol v%d, client v%d", ack.Version, Version)
 		}
 		return ack, nil
+	case MsgOverloaded:
+		var ov Overloaded
+		_ = Decode(payload, &ov)
+		return HelloAck{}, &core.OverloadError{
+			Reason:     ov.Msg,
+			RetryAfter: time.Duration(ov.RetryAfterMS) * time.Millisecond,
+		}
 	case MsgError:
 		var pe ProtoError
 		_ = Decode(payload, &pe)

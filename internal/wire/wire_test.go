@@ -211,3 +211,70 @@ func TestWriteAfterCloseFails(t *testing.T) {
 		t.Fatal("WriteMsg on closed conn succeeded")
 	}
 }
+
+// TestOverloadErrorRoundTrip checks that an admission-control rejection
+// survives the wire with its identity (errors.Is/As) and its RetryAfter
+// hint intact.
+func TestOverloadErrorRoundTrip(t *testing.T) {
+	in := &core.OverloadError{
+		Script:     "broadcast",
+		RetryAfter: 75 * time.Millisecond,
+		Reason:     "enrollment cap (4) reached",
+	}
+	out := EncodeError(in).Err()
+	if !errors.Is(out, core.ErrOverloaded) {
+		t.Fatal("reconstructed overload does not unwrap to ErrOverloaded")
+	}
+	var oe *core.OverloadError
+	if !errors.As(out, &oe) {
+		t.Fatalf("reconstructed %v is not *core.OverloadError", out)
+	}
+	if oe.Script != in.Script || oe.Reason != in.Reason || oe.RetryAfter != in.RetryAfter {
+		t.Fatalf("overload fields mangled: %+v", oe)
+	}
+	if out.Error() != in.Error() {
+		t.Fatalf("message changed: %q -> %q", in.Error(), out.Error())
+	}
+}
+
+// TestOverloadSentinelRoundTrip checks the bare-sentinel form (no typed
+// detail) still crosses as ErrOverloaded.
+func TestOverloadSentinelRoundTrip(t *testing.T) {
+	out := EncodeError(fmt.Errorf("%w: busy", core.ErrOverloaded)).Err()
+	if !errors.Is(out, core.ErrOverloaded) {
+		t.Fatalf("errors.Is(%v, ErrOverloaded) = false after round trip", out)
+	}
+}
+
+// TestHandshakeOverloaded checks that a host at its connection cap can
+// reject the handshake with OVERLOADED and the client surfaces it as a
+// *core.OverloadError carrying the retry-after hint.
+func TestHandshakeOverloaded(t *testing.T) {
+	ca, cb := pipeConns(t)
+	ca.SetReadTimeout(2 * time.Second)
+	done := make(chan error, 1)
+	go func() {
+		// Host side at the conn cap: OVERLOADED in place of HELLO-ACK. (A
+		// real host skips reading HELLO; the synchronous test pipe has no
+		// kernel buffer, so drain it here.)
+		if _, _, err := cb.ReadMsg(); err != nil {
+			done <- err
+			return
+		}
+		done <- cb.WriteMsg(MsgOverloaded, Overloaded{RetryAfterMS: 50, Msg: "connection cap reached"})
+	}()
+	_, err := ClientHandshake(ca, "broadcast")
+	if werr := <-done; werr != nil {
+		t.Fatalf("host write: %v", werr)
+	}
+	if !errors.Is(err, core.ErrOverloaded) {
+		t.Fatalf("ClientHandshake err = %v, want ErrOverloaded", err)
+	}
+	var oe *core.OverloadError
+	if !errors.As(err, &oe) {
+		t.Fatalf("handshake rejection %v is not *core.OverloadError", err)
+	}
+	if oe.RetryAfter != 50*time.Millisecond {
+		t.Fatalf("RetryAfter = %v, want 50ms", oe.RetryAfter)
+	}
+}

@@ -82,6 +82,18 @@ func (p *Pool) PendingEnrollments() int {
 	return total
 }
 
+// PendingOffers returns the total number of pending offers across the pool,
+// read from each instance's atomic counter — the contention-free variant of
+// PendingEnrollments that admission control (the remote host's per-target
+// pending-offer cap) consults on every offer.
+func (p *Pool) PendingOffers() int {
+	total := 0
+	for _, in := range p.instances {
+		total += in.PendingOffers()
+	}
+	return total
+}
+
 // Closed reports whether the pool has fully closed: every instance closed
 // and the pool-level fast-fail flag accepted.
 func (p *Pool) Closed() bool { return p.closed.Load() }

@@ -77,6 +77,10 @@ type (
 	// AbortError reports a performance aborted by the runtime (deadline
 	// exceeded); it wraps ErrPerformanceAborted and names the culprit role.
 	AbortError = core.AbortError
+	// OverloadError reports an enrollment or connection shed by a remote
+	// host's admission control; it wraps ErrOverloaded and may carry the
+	// host's RetryAfter backoff hint.
+	OverloadError = core.OverloadError
 	// FaultInjector injects controlled latency, dropped wakeups and spurious
 	// cancellations for robustness testing; see WithFaultInjection.
 	FaultInjector = core.FaultInjector
@@ -140,6 +144,10 @@ var (
 	// ErrPerformanceAborted reports a performance aborted by the runtime;
 	// enrollers receive it wrapped in an *AbortError naming the culprit.
 	ErrPerformanceAborted = core.ErrPerformanceAborted
+	// ErrOverloaded reports work shed by a remote host's admission control
+	// before it was admitted; retrying after the *OverloadError's
+	// RetryAfter hint is always safe.
+	ErrOverloaded = core.ErrOverloaded
 	// ErrNoBranches reports a Select with no enabled branches.
 	ErrNoBranches = core.ErrNoBranches
 )
