@@ -82,12 +82,34 @@ func runChaosSoakNet(t *testing.T, seed int64, dur time.Duration) {
 	go h.Serve()
 	addr := h.Addr().String()
 
+	// A second host serves the same instance pinned to wire protocol v1:
+	// clients dialing it advertise v2 and are negotiated down mid-soak, so
+	// performances mix v2-multiplexed participants with fallback-v1 ones
+	// under the same fault injection.
+	hV1 := remote.NewHost(in, remote.HostConfig{
+		HeartbeatTimeout:   250 * time.Millisecond,
+		WriteTimeout:       5 * time.Second,
+		Faults:             inj,
+		MaxProtocolVersion: 1,
+	})
+	if err := hV1.Listen("127.0.0.1:0"); err != nil {
+		t.Fatalf("Listen (v1 host): %v", err)
+	}
+	go hV1.Serve()
+
 	enr := remote.NewEnroller(addr, remote.EnrollerConfig{
 		Script:            "chaotic_net",
 		HeartbeatInterval: 50 * time.Millisecond,
 		Faults:            inj,
 	})
 	defer enr.Close()
+	enrV1 := remote.NewEnroller(hV1.Addr().String(), remote.EnrollerConfig{
+		Script:            "chaotic_net",
+		HeartbeatInterval: 50 * time.Millisecond,
+		Faults:            inj,
+	})
+	defer enrV1.Close()
+	enrollers := []*remote.Enroller{enr, enrV1}
 
 	clientBody := func(role string, rng *rand.Rand, panicky bool) core.RoleBody {
 		return func(rc core.Ctx) error {
@@ -119,7 +141,7 @@ func runChaosSoakNet(t *testing.T, seed int64, dur time.Duration) {
 					if rng.Intn(10) == 0 {
 						cancel() // withdrawn offer / interrupted performance
 					}
-					_, err := enr.Enroll(ectx, core.Enrollment{
+					_, err := enrollers[rng.Intn(len(enrollers))].Enroll(ectx, core.Enrollment{
 						PID:  ids.PID(fmt.Sprintf("%s%d", role, w)),
 						Role: ids.Role(role),
 						Body: clientBody(role, rng, rng.Intn(25) == 0),
@@ -161,6 +183,7 @@ func runChaosSoakNet(t *testing.T, seed int64, dur time.Duration) {
 		t.Fatalf("net chaos soak deadlocked (seed %d): workers still blocked 30s past the workload window", seed)
 	}
 
+	hV1.Close()
 	dctx, dcancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer dcancel()
 	if err := h.Drain(dctx); err != nil {

@@ -57,6 +57,8 @@ func run(args []string, out io.Writer) error {
 	maxPending := fs.Int("max-pending-offers", 0, "cap on pending (unmatched) offers (0 = unlimited)")
 	retryAfter := fs.Duration("retry-after", remote.DefaultRetryAfter,
 		"backoff hint carried by overload rejections (negative disables the hint)")
+	maxProto := fs.Int("max-proto", 0,
+		"highest SCRW protocol version to negotiate (0 = newest; 1 pins the JSON v1 wire)")
 	list := fs.Bool("list", false, "print the servable script names and exit")
 	verbose := fs.Bool("v", false, "log connection-level events to stderr")
 	if err := fs.Parse(args); err != nil {
@@ -87,6 +89,7 @@ func run(args []string, out io.Writer) error {
 		MaxPendingOffers: *maxPending,
 		RetryAfter:       *retryAfter,
 	}
+	cfg.MaxProtocolVersion = *maxProto
 	if *verbose {
 		cfg.Logf = func(format string, a ...any) {
 			fmt.Fprintf(os.Stderr, "scriptd: "+format+"\n", a...)

@@ -60,6 +60,16 @@ type EnrollerConfig struct {
 	Breaker BreakerConfig
 	// Faults, when non-nil, injects network faults (chaos testing).
 	Faults NetFaults
+
+	// MaxProtocolVersion caps the wire protocol version the enroller
+	// negotiates (0 = wire.MaxVersion). Setting 1 pins the client to the v1
+	// JSON protocol. Against a host that only speaks v1, the enroller falls
+	// back to v1 automatically regardless of this setting.
+	MaxProtocolVersion int
+	// MaxStreamsPerConn caps concurrent enrollments multiplexed onto one v2
+	// connection (0 = DefaultMaxStreamsPerConn). 1 gives every enrollment a
+	// dedicated connection, v1-style, while keeping the v2 codec.
+	MaxStreamsPerConn int
 }
 
 // DefaultHeartbeatInterval is the client's liveness cadence when
@@ -83,13 +93,24 @@ type Enroller struct {
 	closed bool
 }
 
-// hostState is one host's address, idle-connection pool, and breaker.
+// hostState is one host's address, connection pools (v1 idle connections
+// and v2 multiplexed connections), and breaker.
 type hostState struct {
 	addr string
 	brk  breaker
 
 	mu   sync.Mutex
 	idle []*clientConn
+
+	// proto caches the host's negotiated protocol (0 unknown, else the wire
+	// version the last handshake settled on); a host that answered v1 is
+	// not re-probed for v2.
+	proto atomic.Int32
+	// dialMu serializes dials so a concurrent burst of enrollments shares
+	// the first dial's stream capacity instead of stampeding.
+	dialMu sync.Mutex
+	muxMu  sync.Mutex
+	muxes  []*muxConn
 }
 
 // HostHealth is one host's circuit-breaker view, for introspection.
@@ -174,6 +195,7 @@ func (e *Enroller) Close() error {
 		for _, cc := range idle {
 			cc.close()
 		}
+		hs.closeMuxes()
 	}
 	return nil
 }
@@ -313,11 +335,38 @@ func (e *Enroller) Enroll(ctx context.Context, enr core.Enrollment) (core.Result
 	}
 }
 
-// enrollOnce runs one offer against one host, start to release.
+// enrollOnce runs one offer against one host, start to release,
+// dispatching between the v2 multiplexed path and the v1 lock-step path
+// according to what the host negotiates.
 func (e *Enroller) enrollOnce(ctx context.Context, hs *hostState, enr core.Enrollment) (core.Result, error) {
-	cc, err := e.conn(ctx, hs)
-	if err != nil {
-		return core.Result{}, err
+	e.mu.Lock()
+	closed := e.closed
+	e.mu.Unlock()
+	if closed {
+		return core.Result{}, core.ErrClosed
+	}
+	if e.maxProto() >= 2 {
+		res, err, ok, cc := e.muxEnroll(ctx, hs, enr)
+		if ok {
+			return res, err
+		}
+		if cc != nil {
+			// The dial negotiated v1; spend the connection on the v1 path.
+			return e.enrollOnceV1(ctx, hs, enr, cc)
+		}
+	}
+	return e.enrollOnceV1(ctx, hs, enr, nil)
+}
+
+// enrollOnceV1 runs one offer over a dedicated v1 lock-step connection:
+// dialed if cc is nil, else the (freshly handshaken) connection handed in.
+func (e *Enroller) enrollOnceV1(ctx context.Context, hs *hostState, enr core.Enrollment, cc *clientConn) (core.Result, error) {
+	if cc == nil {
+		var err error
+		cc, err = e.conn(ctx, hs)
+		if err != nil {
+			return core.Result{}, err
+		}
 	}
 	healthy := false
 	defer func() {
@@ -515,11 +564,24 @@ func (e *Enroller) putIdle(hs *hostState, cc *clientConn) {
 	hs.mu.Unlock()
 }
 
-// dial establishes and handshakes one connection. Failures wrap
-// ErrDialFailed — except an overload rejection of the handshake itself
-// (the host's connection cap), which surfaces as the *core.OverloadError
-// it is.
+// dial establishes and handshakes one dedicated v1 connection with its
+// heartbeat pump. The version is pinned to 1: pooled lock-step connections
+// must never negotiate v2 (the v2 pool is hostState.muxes).
 func (e *Enroller) dial(ctx context.Context, addr string) (*clientConn, error) {
+	c, err := e.dialRaw(ctx, addr, 1)
+	if err != nil {
+		return nil, err
+	}
+	cc := &clientConn{c: c, stop: make(chan struct{})}
+	go cc.heartbeat(e.cfg.HeartbeatInterval, e.cfg.Faults)
+	return cc, nil
+}
+
+// dialRaw establishes and handshakes one connection, negotiating up to
+// maxVer. Failures wrap ErrDialFailed — except an overload rejection of
+// the handshake itself (the host's connection cap), which surfaces as the
+// *core.OverloadError it is.
+func (e *Enroller) dialRaw(ctx context.Context, addr string, maxVer int) (*wire.Conn, error) {
 	d := net.Dialer{Timeout: e.cfg.DialTimeout}
 	nc, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
@@ -532,7 +594,7 @@ func (e *Enroller) dial(ctx context.Context, addr string) (*clientConn, error) {
 	if e.cfg.Faults != nil {
 		c.SetFrameDelay(e.cfg.Faults.FrameDelay)
 	}
-	if _, err := wire.ClientHandshake(c, e.cfg.Script); err != nil {
+	if _, err := wire.ClientHandshakeV(c, e.cfg.Script, maxVer); err != nil {
 		c.Close()
 		if errors.Is(err, core.ErrOverloaded) {
 			return nil, err
@@ -542,9 +604,7 @@ func (e *Enroller) dial(ctx context.Context, addr string) (*clientConn, error) {
 		}
 		return nil, fmt.Errorf("%w: %s: %v", ErrDialFailed, addr, err)
 	}
-	cc := &clientConn{c: c, stop: make(chan struct{})}
-	go cc.heartbeat(e.cfg.HeartbeatInterval, e.cfg.Faults)
-	return cc, nil
+	return c, nil
 }
 
 // clientConn is one pooled connection with its heartbeat pump and, while
@@ -648,7 +708,8 @@ func (cc *clientConn) heartbeat(interval time.Duration, faults NetFaults) {
 type remoteCtx struct {
 	core.ParamBag
 	ctx  context.Context
-	cc   *clientConn
+	cc   *clientConn // v1 lock-step transport (nil on v2)
+	st   *muxStream  // v2 pipelined stream (nil on v1)
 	role ids.RoleRef
 	pid  ids.PID
 	perf int
@@ -667,7 +728,8 @@ func (r *remoteCtx) Index() int               { return r.role.Index }
 func (r *remoteCtx) PID() ids.PID             { return r.pid }
 func (r *remoteCtx) Performance() int         { return r.perf }
 
-// op runs one request/response exchange. The protocol is lock-step: the
+// op runs one operation exchange: on a v2 stream a pipelined
+// sequence-matched request, on v1 a lock-step request/response where the
 // host answers every operation with exactly one OP-RESULT, possibly
 // preceded by an ABORT notification.
 func (r *remoteCtx) op(t wire.MsgType, req any) (wire.OpResult, error) {
@@ -676,6 +738,9 @@ func (r *remoteCtx) op(t wire.MsgType, req any) (wire.OpResult, error) {
 	}
 	if err := r.ctx.Err(); err != nil {
 		return wire.OpResult{}, err
+	}
+	if r.st != nil {
+		return r.opMux(t, req)
 	}
 	if err := r.cc.c.WriteMsg(t, req); err != nil {
 		return wire.OpResult{}, r.netErr(err)
@@ -715,6 +780,35 @@ func (r *remoteCtx) op(t wire.MsgType, req any) (wire.OpResult, error) {
 			return wire.OpResult{}, fmt.Errorf("script/remote: unexpected %s awaiting OP-RESULT", mt)
 		}
 	}
+}
+
+// opMux runs one op on the v2 stream, mapping the outcome onto the same
+// abort/cancel semantics as the lock-step path.
+func (r *remoteCtx) opMux(t wire.MsgType, req any) (wire.OpResult, error) {
+	if aerr := r.st.abortError(); aerr != nil {
+		r.abortErr = aerr
+		return wire.OpResult{}, aerr
+	}
+	res, err := r.st.op(r.ctx, t, req)
+	if err != nil {
+		if errors.Is(err, ErrConnLost) {
+			if cerr := r.ctx.Err(); cerr != nil {
+				return wire.OpResult{}, cerr
+			}
+		}
+		if errors.Is(err, core.ErrPerformanceAborted) {
+			r.abortErr = err
+		}
+		return wire.OpResult{}, err
+	}
+	if res.Err != nil {
+		opErr := res.Err.Err()
+		if errors.Is(opErr, core.ErrPerformanceAborted) {
+			r.abortErr = opErr
+		}
+		return wire.OpResult{}, opErr
+	}
+	return res, nil
 }
 
 func (r *remoteCtx) netErr(err error) error {

@@ -47,6 +47,12 @@ type HostConfig struct {
 	// admission layer.
 	RetryAfter time.Duration
 
+	// MaxProtocolVersion caps the wire protocol version the host will
+	// negotiate (0 = wire.MaxVersion). Setting 1 pins the host to the v1
+	// JSON protocol — useful for staged rollouts and for testing clients'
+	// fallback path.
+	MaxProtocolVersion int
+
 	// Faults, when non-nil, injects network faults (chaos testing).
 	Faults NetFaults
 	// Logf, when non-nil, receives connection-level diagnostics.
@@ -316,16 +322,37 @@ func (h *Host) untrack(c *wire.Conn) {
 	h.mu.Unlock()
 }
 
-// frame is one message pulled off a connection by its reader.
+// frame is one message pulled off a v1 connection by its reader.
 type frame struct {
 	typ     wire.MsgType
 	payload []byte
 }
 
-// serveConn runs one client connection: handshake, then sequential
-// enrollments. A dedicated reader goroutine pulls frames under the
-// heartbeat read deadline so a silent or severed connection is noticed
-// even while the bridge body is blocked inside the fabric.
+// hostOp is one decoded client operation, the unit both protocol paths
+// feed to the bridge: m is the concrete message struct (decoded before
+// routing, so v2's reused read buffer is never retained), seq the v2
+// pipelining sequence the OP-RESULT must echo (0 on v1), and err a decode
+// failure to be answered in-band.
+type hostOp struct {
+	typ wire.MsgType
+	seq uint64
+	m   any
+	err error
+}
+
+// maxProto is the newest protocol version the host negotiates.
+func (h *Host) maxProto() int {
+	if h.cfg.MaxProtocolVersion > 0 {
+		return h.cfg.MaxProtocolVersion
+	}
+	return wire.MaxVersion
+}
+
+// serveConn runs one client connection: handshake, then enrollments —
+// sequential on a v1 connection, multiplexed streams on v2. A dedicated
+// reader (the v1 reader goroutine; the v2 loop itself) pulls frames under
+// the heartbeat read deadline so a silent or severed connection is noticed
+// even while a bridge body is blocked inside the fabric.
 func (h *Host) serveConn(nc net.Conn) {
 	defer h.connWG.Done()
 	c := wire.NewConn(nc)
@@ -360,8 +387,12 @@ func (h *Host) serveConn(nc net.Conn) {
 	if h.cfg.Faults != nil {
 		c.SetFrameDelay(h.cfg.Faults.FrameDelay)
 	}
-	if err := wire.ServerHandshake(c, h.script); err != nil {
+	if err := wire.ServerHandshakeV(c, h.script, h.maxProto()); err != nil {
 		h.logf("remote: %s: handshake: %v", c.RemoteAddr(), err)
+		return
+	}
+	if c.Version() >= 2 {
+		h.serveConnV2(c)
 		return
 	}
 
@@ -470,7 +501,7 @@ func (h *Host) handleEnroll(c *wire.Conn, frames <-chan frame, payload []byte) b
 		return h.complete(c, role, core.Result{}, err)
 	}
 
-	b := &bridge{conn: c, opCh: make(chan frame, 4), quit: make(chan struct{})}
+	b := &bridge{conn: c, opCh: make(chan hostOp, 4), quit: make(chan struct{})}
 	e := core.Enrollment{
 		PID:  ids.PID(m.PID),
 		Role: role,
@@ -510,7 +541,7 @@ func (h *Host) handleEnroll(c *wire.Conn, frames <-chan frame, payload []byte) b
 				return false
 			}
 			select {
-			case b.opCh <- fr:
+			case b.opCh <- decodeOpV1(fr):
 			default:
 				// Lock-step protocol: more than a few outstanding frames
 				// means a misbehaving client.
@@ -542,14 +573,33 @@ func (h *Host) complete(c *wire.Conn, role ids.RoleRef, res core.Result, err err
 	return c.WriteMsg(wire.MsgComplete, msg) == nil
 }
 
+// decodeOpV1 decodes one v1 op frame into the bridge's unit of work. Op
+// types the v1 codec knows are decoded here (a failure travels in-band via
+// hostOp.err); anything else passes through for serveOp's unexpected-type
+// answer.
+func decodeOpV1(fr frame) hostOp {
+	switch fr.typ {
+	case wire.MsgSend, wire.MsgSendAll, wire.MsgRecv, wire.MsgRecvAny,
+		wire.MsgSelect, wire.MsgQuery, wire.MsgBodyDone:
+		_, _, m, err := wire.ParsePayload(1, fr.typ, fr.payload)
+		return hostOp{typ: fr.typ, m: m, err: err}
+	default:
+		return hostOp{typ: fr.typ}
+	}
+}
+
 // bridge is the server-side stand-in for a remote role body: it is
 // installed as the Enrollment.Body override, so the scheduler runs it on
 // the enroller's behalf. It relays the client's operation frames into the
 // real RoleCtx (and so into the shared fabric) and the results back out.
+// On a v2 connection it writes stream-addressed frames (streamID) and
+// echoes each op's sequence ID on its OP-RESULT.
 type bridge struct {
-	conn *wire.Conn
-	opCh chan frame
-	quit chan struct{}
+	conn     *wire.Conn
+	opCh     chan hostOp
+	quit     chan struct{}
+	v2       bool
+	streamID uint64
 
 	once sync.Once
 
@@ -557,6 +607,15 @@ type bridge struct {
 	rc       core.Ctx
 	started  bool
 	finished bool
+}
+
+// write sends one frame to the bridge's enroller with the connection's
+// negotiated codec.
+func (b *bridge) write(t wire.MsgType, seq uint64, m any) error {
+	if b.v2 {
+		return b.conn.WriteFrame(t, b.streamID, seq, m)
+	}
+	return b.conn.WriteMsg(t, m)
 }
 
 var errEnrollerLost = fmt.Errorf("%w: enroller disconnected mid-performance", ErrConnLost)
@@ -574,7 +633,7 @@ func (b *bridge) run(rc core.Ctx) error {
 		b.mu.Unlock()
 	}()
 
-	if err := b.conn.WriteMsg(wire.MsgOfferAck, wire.OfferAck{
+	if err := b.write(wire.MsgOfferAck, 0, wire.OfferAck{
 		Performance: rc.Performance(),
 		Role:        rc.Role().String(),
 	}); err != nil {
@@ -598,25 +657,30 @@ func (b *bridge) run(rc core.Ctx) error {
 			donech = nil
 			if po, ok := rc.(perfObserver); ok {
 				if ae, ok := po.AbortErr().(*core.AbortError); ok && ae != nil {
-					_ = b.conn.WriteMsg(wire.MsgAbort, wire.Abort{
+					_ = b.write(wire.MsgAbort, 0, wire.Abort{
 						Performance: ae.Performance,
 						Culprit:     ae.Culprit.String(),
 						Reason:      ae.Reason,
 					})
 				}
 			}
-		case fr := <-b.opCh:
-			if fr.typ == wire.MsgBodyDone {
-				var bd wire.BodyDone
-				if err := wire.Decode(fr.payload, &bd); err != nil {
+		case op := <-b.opCh:
+			if op.typ == wire.MsgBodyDone {
+				if op.err != nil {
 					b.abortVia(rc, "malformed BODY-DONE")
-					return fmt.Errorf("remote: malformed BODY-DONE: %v", err)
+					return fmt.Errorf("remote: malformed BODY-DONE: %v", op.err)
 				}
+				bd := op.m.(*wire.BodyDone)
 				rc.Return(bd.Results...)
 				return bd.Err.Err()
 			}
-			res := serveOp(rc, fr)
-			if err := b.conn.WriteMsg(wire.MsgOpResult, res); err != nil {
+			var res wire.OpResult
+			if op.err != nil {
+				res = wire.OpResult{Err: wire.EncodeError(op.err)}
+			} else {
+				res = serveOp(rc, op)
+			}
+			if err := b.write(wire.MsgOpResult, op.seq, res); err != nil {
 				// The client cannot learn this op's outcome; the
 				// enrollment is unrecoverable.
 				b.abortVia(rc, "write failure delivering operation result")
@@ -647,25 +711,19 @@ func (b *bridge) abortVia(rc core.Ctx, reason string) {
 	}
 }
 
-// serveOp executes one client operation against the real RoleCtx.
-func serveOp(rc core.Ctx, fr frame) wire.OpResult {
+// serveOp executes one decoded client operation against the real RoleCtx.
+func serveOp(rc core.Ctx, op hostOp) wire.OpResult {
 	fail := func(err error) wire.OpResult { return wire.OpResult{Err: wire.EncodeError(err)} }
-	switch fr.typ {
+	switch op.typ {
 	case wire.MsgSend:
-		var m wire.Send
-		if err := wire.Decode(fr.payload, &m); err != nil {
-			return fail(err)
-		}
+		m := op.m.(*wire.Send)
 		to, err := wire.DecodeRoleRef(m.To)
 		if err != nil {
 			return fail(fmt.Errorf("%w: %s", core.ErrUnknownRole, m.To))
 		}
 		return fail(rc.SendTag(to, m.Tag, m.Val))
 	case wire.MsgSendAll:
-		var m wire.SendAll
-		if err := wire.Decode(fr.payload, &m); err != nil {
-			return fail(err)
-		}
+		m := op.m.(*wire.SendAll)
 		tos := make([]ids.RoleRef, len(m.Tos))
 		for i, s := range m.Tos {
 			to, err := wire.DecodeRoleRef(s)
@@ -676,10 +734,7 @@ func serveOp(rc core.Ctx, fr frame) wire.OpResult {
 		}
 		return fail(rc.SendAll(tos, m.Val))
 	case wire.MsgRecv:
-		var m wire.Recv
-		if err := wire.Decode(fr.payload, &m); err != nil {
-			return fail(err)
-		}
+		m := op.m.(*wire.Recv)
 		from, err := wire.DecodeRoleRef(m.From)
 		if err != nil {
 			return fail(fmt.Errorf("%w: %s", core.ErrUnknownRole, m.From))
@@ -696,10 +751,7 @@ func serveOp(rc core.Ctx, fr frame) wire.OpResult {
 		}
 		return wire.OpResult{Val: v, Peer: from.String(), Tag: tag}
 	case wire.MsgSelect:
-		var m wire.Select
-		if err := wire.Decode(fr.payload, &m); err != nil {
-			return fail(err)
-		}
+		m := op.m.(*wire.Select)
 		branches := make([]core.SelectBranch, len(m.Branches))
 		for i, wb := range m.Branches {
 			switch {
@@ -731,10 +783,7 @@ func serveOp(rc core.Ctx, fr frame) wire.OpResult {
 			Val:   sel.Val,
 		}
 	case wire.MsgQuery:
-		var q wire.Query
-		if err := wire.Decode(fr.payload, &q); err != nil {
-			return fail(err)
-		}
+		q := op.m.(*wire.Query)
 		switch q.Kind {
 		case wire.QueryTerminated, wire.QueryFilled:
 			r, err := wire.DecodeRoleRef(q.Role)
@@ -751,6 +800,6 @@ func serveOp(rc core.Ctx, fr frame) wire.OpResult {
 			return fail(fmt.Errorf("script/remote: unknown query kind %q", q.Kind))
 		}
 	default:
-		return fail(fmt.Errorf("script/remote: unexpected %s during performance", fr.typ))
+		return fail(fmt.Errorf("script/remote: unexpected %s during performance", op.typ))
 	}
 }

@@ -1,0 +1,243 @@
+package remote
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/scriptabs/goscript/internal/core"
+	"github.com/scriptabs/goscript/internal/ids"
+	"github.com/scriptabs/goscript/internal/wire"
+)
+
+// This file is the host side of SCRW v2 connection multiplexing: one
+// connection carries many concurrent enrollments, each on its own stream
+// ID. The connection loop owns the read side and routes decoded frames to
+// per-stream goroutines; writes interleave on the shared connection under
+// wire.Conn's write lock. Compare serveConn's v1 path in host.go, where one
+// connection serves exactly one enrollment conversation at a time.
+
+// streamOpBacklog bounds undrained ops buffered per stream. The client
+// pipelines ops without awaiting results, so the backlog is deeper than
+// v1's lock-step window; a client exceeding it is flooding. (Kept modest:
+// the channel is allocated per enrollment, so its capacity is hot-path
+// garbage.)
+const streamOpBacklog = 16
+
+// hostStream is the connection loop's handle on one in-flight enrollment.
+type hostStream struct {
+	b   *bridge
+	ctx context.Context
+	// cancel ends the enrollment's context: offer withdrawal before
+	// assignment, part of teardown after.
+	cancel context.CancelFunc
+}
+
+// streamTask is one enrollment handed to a connection's stream workers.
+type streamTask struct {
+	stream uint64
+	st     *hostStream
+	m      *wire.Enroll
+}
+
+// serveConnV2 serves one v2 multiplexed connection until it dies. The loop
+// is the single reader; stream workers write their own frames.
+//
+// Enrollments run on a small pool of per-connection worker goroutines that
+// grows to the connection's concurrency high-water mark: a worker is
+// spawned only when no idle one is ready to take the task, and workers
+// are reused across enrollments so their (deep: core engine + codec)
+// stacks are grown once, not per enrollment.
+func (h *Host) serveConnV2(c *wire.Conn) {
+	var (
+		smu     sync.Mutex
+		streams = make(map[uint64]*hostStream)
+		wg      sync.WaitGroup
+		tasks   = make(chan streamTask)
+	)
+	work := func(t streamTask) {
+		h.serveStream(t.st.ctx, c, t.stream, t.st, t.m)
+		smu.Lock()
+		delete(streams, t.stream)
+		c.SetWriteBatching(len(streams) > 1)
+		smu.Unlock()
+		t.st.cancel()
+	}
+	// Conn death (read error, heartbeat silence, protocol violation): every
+	// live stream lost its enroller — reclaim performances exactly like a
+	// v1 disconnect, then wait out the stream workers.
+	defer func() {
+		c.Close()
+		close(tasks)
+		smu.Lock()
+		for _, st := range streams {
+			st.b.disconnect("remote enroller disconnected")
+			st.cancel()
+		}
+		smu.Unlock()
+		wg.Wait()
+	}()
+
+	violate := func(format string, args ...any) {
+		msg := fmt.Sprintf(format, args...)
+		h.logf("remote: %s: protocol violation: %s", c.RemoteAddr(), msg)
+		_ = c.WriteFrame(wire.MsgError, 0, 0, wire.ProtoError{Msg: msg})
+	}
+
+	for {
+		t, stream, seq, m, err := c.ReadFrame()
+		if err != nil {
+			return
+		}
+		if t == wire.MsgHeartbeat {
+			continue
+		}
+		if h.cfg.Faults != nil && h.cfg.Faults.DropConn() {
+			return
+		}
+		switch t {
+		case wire.MsgEnroll:
+			if stream == 0 {
+				violate("ENROLL on reserved stream 0")
+				return
+			}
+			smu.Lock()
+			_, exists := streams[stream]
+			smu.Unlock()
+			if exists {
+				violate("ENROLL reuses live stream %d", stream)
+				return
+			}
+			ctx, cancel := context.WithCancel(h.baseCtx)
+			st := &hostStream{
+				b: &bridge{
+					conn:     c,
+					opCh:     make(chan hostOp, streamOpBacklog),
+					quit:     make(chan struct{}),
+					v2:       true,
+					streamID: stream,
+				},
+				ctx:    ctx,
+				cancel: cancel,
+			}
+			smu.Lock()
+			streams[stream] = st
+			c.SetWriteBatching(len(streams) > 1)
+			smu.Unlock()
+			task := streamTask{stream: stream, st: st, m: m.(*wire.Enroll)}
+			select {
+			case tasks <- task:
+				// An idle worker took it.
+			default:
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					work(task)
+					for t := range tasks {
+						work(t)
+					}
+				}()
+			}
+		case wire.MsgCancel:
+			// The enroller withdrew this enrollment (its context ended). A
+			// missing stream is the benign race with COMPLETE, not an error.
+			smu.Lock()
+			st := streams[stream]
+			smu.Unlock()
+			if st != nil {
+				st.b.disconnect("enrollment canceled by enroller")
+				st.cancel()
+			}
+		case wire.MsgSend, wire.MsgSendAll, wire.MsgRecv, wire.MsgRecvAny,
+			wire.MsgSelect, wire.MsgQuery, wire.MsgBodyDone:
+			smu.Lock()
+			st := streams[stream]
+			smu.Unlock()
+			if st == nil {
+				// Raced with the stream's terminal frame (cancel, abort):
+				// drop, the enrollment already has its outcome.
+				continue
+			}
+			select {
+			case st.b.opCh <- hostOp{typ: t, seq: seq, m: m}:
+			default:
+				st.b.disconnect("protocol violation: operation flood")
+				violate("operation flood on stream %d", stream)
+				return
+			}
+		default:
+			violate("unexpected %s", t)
+			return
+		}
+	}
+}
+
+// serveStream runs one enrollment conversation on its stream: admission,
+// target enrollment (the bridge body relays ops meanwhile), terminal
+// COMPLETE/DRAIN. It is handleEnroll's multiplexed sibling; disconnect
+// detection lives with the connection loop instead of a frames select.
+func (h *Host) serveStream(ctx context.Context, c *wire.Conn, stream uint64, st *hostStream, m *wire.Enroll) {
+	role, err := wire.DecodeRoleRef(m.Role)
+	if err != nil {
+		h.completeV2(c, stream, ids.RoleRef{}, core.Result{}, fmt.Errorf("%w: %s", core.ErrUnknownRole, m.Role))
+		return
+	}
+	switch verdict, reason := h.admitEnroll(); verdict {
+	case enrollClosed:
+		return
+	case enrollDrain:
+		_ = c.WriteFrame(wire.MsgDrain, stream, 0, wire.Drain{})
+		return
+	case enrollShed:
+		h.shedEnrolls.Add(1)
+		h.logf("remote: %s: shedding ENROLL for %s: %s", c.RemoteAddr(), role, reason)
+		h.completeV2(c, stream, role, core.Result{}, &core.OverloadError{
+			Script:     h.script,
+			RetryAfter: h.retryAfterHint(),
+			Reason:     reason,
+		})
+		return
+	}
+	defer h.enrollWG.Done()
+	defer h.enrolling.Add(-1)
+
+	with, err := wire.DecodeWith(m.With)
+	if err != nil {
+		h.completeV2(c, stream, role, core.Result{}, err)
+		return
+	}
+	e := core.Enrollment{
+		PID:  ids.PID(m.PID),
+		Role: role,
+		Args: m.Args,
+		With: with,
+		Body: st.b.run,
+	}
+	if m.DeadlineMS > 0 {
+		e.Deadline = time.UnixMilli(m.DeadlineMS)
+	}
+	res, err := h.target.Enroll(ctx, e)
+	h.completeV2(c, stream, role, res, err)
+}
+
+// completeV2 reports an enrollment's outcome on its stream. A write
+// failure means the connection died; the connection loop notices on its
+// next read.
+func (h *Host) completeV2(c *wire.Conn, stream uint64, role ids.RoleRef, res core.Result, err error) {
+	if errors.Is(err, core.ErrDraining) {
+		_ = c.WriteFrame(wire.MsgDrain, stream, 0, wire.Drain{})
+		return
+	}
+	msg := wire.Complete{
+		Performance: res.Performance,
+		Role:        role.String(),
+		Values:      res.Values,
+		Err:         wire.EncodeError(err),
+	}
+	if res.Role.Name != "" {
+		msg.Role = res.Role.String()
+	}
+	_ = c.WriteFrame(wire.MsgComplete, stream, 0, msg)
+}

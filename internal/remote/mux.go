@@ -1,0 +1,586 @@
+package remote
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/scriptabs/goscript/internal/core"
+	"github.com/scriptabs/goscript/internal/wire"
+)
+
+// This file is the client side of SCRW v2 connection multiplexing: many
+// concurrent enrollments share one pooled connection, each on its own
+// stream ID with its own op-pipelining sequence space, under a single
+// heartbeat pump. Compare enrollOnce in enroller.go — the v1 path, where
+// every concurrent enrollment needs a dedicated connection because the v1
+// conversation is lock-step per connection.
+
+// DefaultMaxStreamsPerConn is the per-connection stream cap when
+// EnrollerConfig.MaxStreamsPerConn is zero.
+const DefaultMaxStreamsPerConn = 32
+
+// streamEvent is one control-flow event delivered to an enrollment's
+// conversation loop (as opposed to op results, which are matched to their
+// waiting op by sequence ID). err non-nil means the connection died.
+type streamEvent struct {
+	typ wire.MsgType // MsgOfferAck | MsgDrain | MsgComplete | MsgError
+	ack wire.OfferAck
+	cm  wire.Complete
+	msg string // ProtoError text
+	err error
+}
+
+// muxConn is one v2 connection shared by up to maxStreams concurrent
+// enrollments. A dedicated reader goroutine demuxes frames to streams; the
+// heartbeat pump is shared by all of them.
+type muxConn struct {
+	c    *wire.Conn
+	hs   *hostState
+	stop chan struct{}
+	once sync.Once
+
+	maxStreams int
+
+	mu       sync.Mutex
+	streams  map[uint64]*muxStream
+	nextID   uint64
+	reserved int // slots claimed by enrollments that haven't opened yet
+	dead     bool
+	deadErr  error
+}
+
+// muxStream is one enrollment's lane on a muxConn: its op-pipelining state
+// (pending results keyed by sequence ID) and its control-event channel.
+type muxStream struct {
+	id uint64
+	mc *muxConn
+	// events is sized for the worst case per stream: OFFER-ACK, one
+	// terminal frame, one connection-death notice.
+	events chan streamEvent
+
+	mu       sync.Mutex
+	pending  map[uint64]chan opOutcome
+	nextSeq  uint64
+	abortErr error // performance aborted between ops (ABORT frame)
+	failed   error // connection died
+}
+
+type opOutcome struct {
+	res wire.OpResult
+	err error
+}
+
+// tryReserve claims a stream slot, or reports the connection full/dead.
+func (mc *muxConn) tryReserve() bool {
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
+	if mc.dead || len(mc.streams)+mc.reserved >= mc.maxStreams {
+		return false
+	}
+	mc.reserved++
+	return true
+}
+
+// openStream converts a reservation into a live stream. Stream IDs are
+// never reused on a connection, so frames racing a completed stream cannot
+// be misdelivered to a successor.
+func (mc *muxConn) openStream() (*muxStream, error) {
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
+	mc.reserved--
+	if mc.dead {
+		return nil, mc.deadErr
+	}
+	mc.nextID++
+	st := &muxStream{
+		id:      mc.nextID,
+		mc:      mc,
+		events:  make(chan streamEvent, 4),
+		pending: make(map[uint64]chan opOutcome),
+	}
+	mc.streams[st.id] = st
+	mc.c.SetWriteBatching(len(mc.streams) > 1)
+	return st, nil
+}
+
+// closeStream removes a finished stream; late frames for it are dropped by
+// the reader.
+func (mc *muxConn) closeStream(st *muxStream) {
+	mc.mu.Lock()
+	delete(mc.streams, st.id)
+	mc.c.SetWriteBatching(len(mc.streams) > 1)
+	mc.mu.Unlock()
+}
+
+// active reports live + reserved stream slots.
+func (mc *muxConn) active() int {
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
+	return len(mc.streams) + mc.reserved
+}
+
+// fail tears the connection down: every stream's pending ops and event
+// loops learn the error, the heartbeat stops, and the pool forgets the
+// connection. Idempotent.
+func (mc *muxConn) fail(err error) {
+	mc.once.Do(func() {
+		mc.mu.Lock()
+		mc.dead = true
+		mc.deadErr = err
+		streams := make([]*muxStream, 0, len(mc.streams))
+		for _, st := range mc.streams {
+			streams = append(streams, st)
+		}
+		mc.mu.Unlock()
+		close(mc.stop)
+		mc.c.Close()
+		mc.hs.removeMux(mc)
+		for _, st := range streams {
+			st.fatal(err)
+		}
+	})
+}
+
+// readLoop is the connection's single reader: it demuxes every inbound
+// frame to its stream until the connection dies.
+func (mc *muxConn) readLoop() {
+	for {
+		t, stream, seq, m, err := mc.c.ReadFrame()
+		if err != nil {
+			mc.fail(fmt.Errorf("%w: %v", ErrConnLost, err))
+			return
+		}
+		if stream == 0 {
+			// Connection-level frame. The only one the protocol defines is
+			// ERROR before the host severs the connection.
+			if t == wire.MsgError {
+				pe := m.(*wire.ProtoError)
+				mc.fail(fmt.Errorf("script/remote: host error: %s", pe.Msg))
+				return
+			}
+			continue
+		}
+		mc.mu.Lock()
+		st := mc.streams[stream]
+		mc.mu.Unlock()
+		if st == nil {
+			continue // raced with closeStream; the enrollment has its outcome
+		}
+		st.deliver(t, seq, m)
+	}
+}
+
+// heartbeat is the connection's shared liveness pump — one per connection,
+// however many enrollments share it.
+func (mc *muxConn) heartbeat(interval time.Duration, faults NetFaults) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-mc.stop:
+			return
+		case <-t.C:
+			if faults != nil {
+				if d := faults.StallHeartbeat(); d > 0 {
+					select {
+					case <-mc.stop:
+						return
+					case <-time.After(d):
+					}
+				}
+			}
+			if mc.c.WriteFrame(wire.MsgHeartbeat, 0, 0, wire.Heartbeat{}) != nil {
+				mc.fail(fmt.Errorf("%w: heartbeat write failed", ErrConnLost))
+				return
+			}
+		}
+	}
+}
+
+// deliver routes one inbound frame to the stream's waiting op or its event
+// channel. Called only from the connection's reader.
+func (st *muxStream) deliver(t wire.MsgType, seq uint64, m any) {
+	switch t {
+	case wire.MsgOpResult:
+		st.mu.Lock()
+		ch := st.pending[seq]
+		delete(st.pending, seq)
+		st.mu.Unlock()
+		if ch != nil {
+			ch <- opOutcome{res: *(m.(*wire.OpResult))}
+		}
+	case wire.MsgAbort:
+		// Performance aborted between ops: subsequent ops fail locally, as
+		// in the local runtime. In-flight ops still get their own results.
+		a := m.(*wire.Abort)
+		st.mu.Lock()
+		if st.abortErr == nil {
+			st.abortErr = (&wire.ErrInfo{
+				Code:        wire.CodeAborted,
+				Performance: a.Performance,
+				Culprit:     a.Culprit,
+				Reason:      a.Reason,
+			}).Err()
+		}
+		st.mu.Unlock()
+	case wire.MsgOfferAck:
+		st.event(streamEvent{typ: t, ack: *(m.(*wire.OfferAck))})
+	case wire.MsgComplete:
+		// Terminal. Release any still-pending ops first (a cancel or abort
+		// race can terminate the stream with an op in flight), so the body
+		// unwinds before the conversation loop takes the event.
+		cm := *(m.(*wire.Complete))
+		termErr := cm.Err.Err()
+		if termErr == nil {
+			termErr = fmt.Errorf("%w: stream completed with operation in flight", ErrConnLost)
+		}
+		st.failPending(termErr)
+		st.event(streamEvent{typ: t, cm: cm})
+	case wire.MsgDrain:
+		st.failPending(core.ErrDraining)
+		st.event(streamEvent{typ: t})
+	case wire.MsgError:
+		pe := m.(*wire.ProtoError)
+		err := fmt.Errorf("script/remote: host error: %s", pe.Msg)
+		st.failPending(err)
+		st.event(streamEvent{typ: t, msg: pe.Msg})
+	}
+}
+
+// event delivers a control event; the channel's capacity covers the
+// protocol's per-stream maximum, so this never blocks the reader.
+func (st *muxStream) event(ev streamEvent) {
+	select {
+	case st.events <- ev:
+	default:
+	}
+}
+
+// failPending releases every op waiter with err.
+func (st *muxStream) failPending(err error) {
+	st.mu.Lock()
+	pending := st.pending
+	st.pending = make(map[uint64]chan opOutcome)
+	st.mu.Unlock()
+	for _, ch := range pending {
+		ch <- opOutcome{err: err}
+	}
+}
+
+// fatal is the connection-death path: fail ops, then the event loop.
+func (st *muxStream) fatal(err error) {
+	st.mu.Lock()
+	st.failed = err
+	st.mu.Unlock()
+	st.failPending(err)
+	st.event(streamEvent{err: err})
+}
+
+// abortError reports the performance-abort error recorded for this stream,
+// if any.
+func (st *muxStream) abortError() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.abortErr
+}
+
+// op runs one pipelined operation exchange: assign a sequence ID, register
+// the waiter, write the frame, block for the matched OP-RESULT. Multiple
+// ops may be in flight on one stream; results match by sequence, not
+// arrival order. ctx ending abandons the wait (the frame, if delivered,
+// is answered into a discarded channel).
+func (st *muxStream) op(ctx context.Context, t wire.MsgType, req any) (wire.OpResult, error) {
+	st.mu.Lock()
+	if st.failed != nil {
+		err := st.failed
+		st.mu.Unlock()
+		return wire.OpResult{}, err
+	}
+	st.nextSeq++
+	seq := st.nextSeq
+	ch := make(chan opOutcome, 1)
+	st.pending[seq] = ch
+	st.mu.Unlock()
+
+	if err := st.mc.c.WriteFrame(t, st.id, seq, req); err != nil {
+		st.mu.Lock()
+		delete(st.pending, seq)
+		st.mu.Unlock()
+		st.mc.fail(fmt.Errorf("%w: %v", ErrConnLost, err))
+		return wire.OpResult{}, fmt.Errorf("%w: %v", ErrConnLost, err)
+	}
+	select {
+	case out := <-ch:
+		return out.res, out.err
+	case <-ctx.Done():
+		st.mu.Lock()
+		delete(st.pending, seq)
+		st.mu.Unlock()
+		return wire.OpResult{}, ctx.Err()
+	}
+}
+
+// maxStreams is the per-connection stream cap.
+func (e *Enroller) maxStreams() int {
+	if e.cfg.MaxStreamsPerConn > 0 {
+		return e.cfg.MaxStreamsPerConn
+	}
+	return DefaultMaxStreamsPerConn
+}
+
+// maxProto is the newest protocol version the enroller negotiates.
+func (e *Enroller) maxProto() int {
+	if e.cfg.MaxProtocolVersion > 0 {
+		return e.cfg.MaxProtocolVersion
+	}
+	return wire.MaxVersion
+}
+
+// reserveMux finds a pooled connection with a free stream slot, compacting
+// dead entries on the way.
+func (hs *hostState) reserveMux() *muxConn {
+	hs.muxMu.Lock()
+	defer hs.muxMu.Unlock()
+	live := hs.muxes[:0]
+	var found *muxConn
+	for _, mc := range hs.muxes {
+		mc.mu.Lock()
+		dead := mc.dead
+		mc.mu.Unlock()
+		if dead {
+			continue
+		}
+		live = append(live, mc)
+		if found == nil && mc.tryReserve() {
+			found = mc
+		}
+	}
+	hs.muxes = live
+	return found
+}
+
+func (hs *hostState) addMux(mc *muxConn) {
+	hs.muxMu.Lock()
+	hs.muxes = append(hs.muxes, mc)
+	hs.muxMu.Unlock()
+}
+
+func (hs *hostState) removeMux(mc *muxConn) {
+	hs.muxMu.Lock()
+	live := hs.muxes[:0]
+	for _, m := range hs.muxes {
+		if m != mc {
+			live = append(live, m)
+		}
+	}
+	hs.muxes = live
+	hs.muxMu.Unlock()
+}
+
+// closeMuxes tears down every pooled multiplexed connection (Enroller.Close).
+func (hs *hostState) closeMuxes() {
+	hs.muxMu.Lock()
+	muxes := append([]*muxConn(nil), hs.muxes...)
+	hs.muxMu.Unlock()
+	for _, mc := range muxes {
+		mc.fail(core.ErrClosed)
+	}
+}
+
+// muxEnroll attempts the v2 multiplexed path against hs. ok reports
+// whether the attempt was v2 at all: false (with a nil error) means the
+// host negotiated v1 and the caller should take the v1 path — the dialed
+// v1 connection, if any, is handed back via cc.
+func (e *Enroller) muxEnroll(ctx context.Context, hs *hostState, enr core.Enrollment) (res core.Result, err error, ok bool, cc *clientConn) {
+	// Existing capacity first: no dial, no lock beyond the pool scan.
+	if mc := hs.reserveMux(); mc != nil {
+		res, err := e.enrollMux(ctx, mc, enr)
+		return res, err, true, nil
+	}
+	if hs.proto.Load() == 1 {
+		// The host answered v1 last time we asked; don't re-dial v2.
+		return core.Result{}, nil, false, nil
+	}
+	// Serialize dials per host: a concurrent burst of enrollments (a
+	// 64-role cast) must not each dial — the first dial provides stream
+	// capacity the rest share.
+	hs.dialMu.Lock()
+	if mc := hs.reserveMux(); mc != nil {
+		hs.dialMu.Unlock()
+		res, err := e.enrollMux(ctx, mc, enr)
+		return res, err, true, nil
+	}
+	c, err := e.dialRaw(ctx, hs.addr, e.maxProto())
+	if err != nil {
+		hs.dialMu.Unlock()
+		return core.Result{}, err, true, nil
+	}
+	if c.Version() < 2 {
+		// v1 host: remember, and hand the connection to the v1 path.
+		hs.proto.Store(1)
+		hs.dialMu.Unlock()
+		cc := &clientConn{c: c, stop: make(chan struct{})}
+		go cc.heartbeat(e.cfg.HeartbeatInterval, e.cfg.Faults)
+		return core.Result{}, nil, false, cc
+	}
+	hs.proto.Store(2)
+	mc := &muxConn{
+		c:          c,
+		hs:         hs,
+		stop:       make(chan struct{}),
+		maxStreams: e.maxStreams(),
+		streams:    make(map[uint64]*muxStream),
+	}
+	mc.reserved++ // the dialing enrollment's own slot
+	hs.addMux(mc)
+	hs.dialMu.Unlock()
+	go mc.readLoop()
+	go mc.heartbeat(e.cfg.HeartbeatInterval, e.cfg.Faults)
+	res, err = e.enrollMux(ctx, mc, enr)
+	return res, err, true, nil
+}
+
+// enrollMux runs one offer on a reserved mux slot and applies the
+// withdraw-retirement policy: a v1 client's withdrawal severs its
+// dedicated connection (freeing the host's connection slot); the v2
+// equivalent is to retire the shared connection once the withdrawn
+// enrollment was its last user, so caps and observable connection counts
+// behave identically across protocols.
+func (e *Enroller) enrollMux(ctx context.Context, mc *muxConn, enr core.Enrollment) (core.Result, error) {
+	res, err := e.enrollOnceV2(ctx, mc, enr)
+	if err != nil && ctx.Err() != nil && mc.active() == 0 {
+		mc.fail(fmt.Errorf("%w: connection retired after withdrawal", ErrConnLost))
+	}
+	return res, err
+}
+
+// enrollOnceV2 runs one offer on a reserved mux slot, start to release.
+func (e *Enroller) enrollOnceV2(ctx context.Context, mc *muxConn, enr core.Enrollment) (core.Result, error) {
+	st, err := mc.openStream()
+	if err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return core.Result{}, cerr
+		}
+		return core.Result{}, err
+	}
+	defer mc.closeStream(st)
+
+	wrapErr := func(err error) error {
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
+		if errors.Is(err, ErrConnLost) {
+			return err
+		}
+		return fmt.Errorf("%w: %v", ErrConnLost, err)
+	}
+
+	msg := wire.Enroll{
+		PID:  string(enr.PID),
+		Role: enr.Role.String(),
+		Args: enr.Args,
+		With: wire.EncodeWith(enr.With),
+	}
+	if !enr.Deadline.IsZero() {
+		msg.DeadlineMS = enr.Deadline.UnixMilli()
+	}
+	if err := mc.c.WriteFrame(wire.MsgEnroll, st.id, 0, msg); err != nil {
+		mc.fail(fmt.Errorf("%w: %v", ErrConnLost, err))
+		return core.Result{}, wrapErr(err)
+	}
+
+	// The withdraw path: unlike v1 — where cancellation severs the
+	// dedicated connection — a shared connection must stay up, so the
+	// watchdog sends a stream-addressed CANCEL instead. The host answers
+	// with the stream's terminal frame.
+	watchDone := make(chan struct{})
+	defer close(watchDone)
+	go func() {
+		select {
+		case <-ctx.Done():
+			_ = mc.c.WriteFrame(wire.MsgCancel, st.id, 0, wire.Cancel{})
+		case <-watchDone:
+		}
+	}()
+
+	// Await assignment (or rejection).
+	var ack wire.OfferAck
+await:
+	for {
+		select {
+		case <-ctx.Done():
+			return core.Result{}, ctx.Err()
+		case ev := <-st.events:
+			switch {
+			case ev.err != nil:
+				return core.Result{}, wrapErr(ev.err)
+			case ev.typ == wire.MsgOfferAck:
+				ack = ev.ack
+				break await
+			case ev.typ == wire.MsgDrain:
+				return core.Result{}, core.ErrDraining
+			case ev.typ == wire.MsgComplete:
+				if ev.cm.Err != nil {
+					if cerr := ctx.Err(); cerr != nil {
+						return core.Result{}, cerr
+					}
+					return core.Result{}, ev.cm.Err.Err()
+				}
+				return core.Result{}, fmt.Errorf("%w: COMPLETE before OFFER-ACK", ErrConnLost)
+			case ev.typ == wire.MsgError:
+				return core.Result{}, fmt.Errorf("script/remote: host error: %s", ev.msg)
+			}
+		}
+	}
+
+	role := enr.Role
+	if r, err := wire.DecodeRoleRef(ack.Role); err == nil {
+		role = r
+	}
+	rctx := &remoteCtx{
+		ParamBag: core.ParamBag{In: enr.Args},
+		ctx:      ctx,
+		st:       st,
+		role:     role,
+		pid:      enr.PID,
+		perf:     ack.Performance,
+	}
+	bodyErr := runClientBody(enr.Body, rctx)
+	if err := mc.c.WriteFrame(wire.MsgBodyDone, st.id, 0, wire.BodyDone{
+		Results: rctx.Out,
+		Err:     wire.EncodeError(bodyErr),
+	}); err != nil {
+		mc.fail(fmt.Errorf("%w: %v", ErrConnLost, err))
+		return core.Result{}, wrapErr(err)
+	}
+
+	// Await release.
+	for {
+		select {
+		case <-ctx.Done():
+			return core.Result{}, ctx.Err()
+		case ev := <-st.events:
+			switch {
+			case ev.err != nil:
+				return core.Result{}, wrapErr(ev.err)
+			case ev.typ == wire.MsgComplete:
+				if ev.cm.Err != nil {
+					if cerr := ctx.Err(); cerr != nil {
+						return core.Result{}, cerr
+					}
+					return core.Result{}, ev.cm.Err.Err()
+				}
+				res := core.Result{Performance: ev.cm.Performance, Role: role, Values: ev.cm.Values}
+				if r, err := wire.DecodeRoleRef(ev.cm.Role); err == nil {
+					res.Role = r
+				}
+				return res, nil
+			case ev.typ == wire.MsgError:
+				return core.Result{}, fmt.Errorf("script/remote: host error: %s", ev.msg)
+			}
+		}
+	}
+}

@@ -57,7 +57,9 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/scriptabs/goscript/internal/core"
@@ -99,6 +101,11 @@ const (
 	MsgHeartbeat
 	MsgError
 	MsgOverloaded
+	// MsgCancel (v2 only) withdraws one enrollment's pending offer on a
+	// multiplexed connection. v1 has no need for it — a v1 client withdraws
+	// by severing the connection, but a v2 connection is shared by other
+	// streams and must stay up.
+	MsgCancel
 )
 
 // String returns the protocol name of the message type.
@@ -140,15 +147,24 @@ func (t MsgType) String() string {
 		return "ERROR"
 	case MsgOverloaded:
 		return "OVERLOADED"
+	case MsgCancel:
+		return "CANCEL"
 	default:
 		return fmt.Sprintf("msg(%d)", uint8(t))
 	}
 }
 
-// Hello is the client's opening frame.
+// Hello is the client's opening frame. Version carries the floor the
+// client insists on (always 1, so a pre-v2 host accepts it), MaxVersion
+// the newest version the client can speak; a host that predates
+// MaxVersion ignores the unknown JSON field and acks v1, which is exactly
+// the fallback we want.
 type Hello struct {
 	Magic   string `json:"magic"`
 	Version int    `json:"version"`
+	// MaxVersion, when >= Version, advertises the newest protocol version
+	// the client speaks; 0 (absent) means Version is also the max.
+	MaxVersion int `json:"max_version,omitempty"`
 	// Script, when non-empty, is the script name the client expects; the
 	// host rejects the handshake if it serves a different script.
 	Script string `json:"script,omitempty"`
@@ -271,6 +287,12 @@ type Drain struct{}
 
 // Heartbeat is the client's liveness signal.
 type Heartbeat struct{}
+
+// Cancel withdraws one enrollment's pending offer on a v2 multiplexed
+// connection (identified by the frame's stream ID). The host answers with
+// the stream's terminal frame — COMPLETE carrying the withdrawal outcome —
+// and the connection stays usable for its other streams.
+type Cancel struct{}
 
 // ProtoError reports a protocol violation; the sender closes the connection
 // after it.
@@ -449,6 +471,41 @@ type Conn struct {
 	wmu sync.Mutex
 	bw  *bufio.Writer
 
+	// WriteFrame's flushes are asynchronous: writers buffer their frame
+	// under wmu, set dirty, and nudge the flusher goroutine via flushReq
+	// (capacity 1 — one nudge covers any number of buffered frames). The
+	// flusher issues one write syscall for everything buffered since its
+	// last pass, which collapses the fan-out bursts of a multiplexed
+	// connection (64 op results after one scatter, say) into a handful of
+	// syscalls. flushErr latches the first flush failure; every later
+	// WriteFrame returns it. All four fields are guarded by wmu except
+	// flushReq/quit, which are safe channels. The flusher starts lazily on
+	// the first WriteFrame (v1 connections never pay for it) and exits on
+	// Close.
+	dirty       bool
+	flushErr    error
+	flushReq    chan struct{}
+	quit        chan struct{}
+	flusherOnce sync.Once
+	closeOnce   sync.Once
+	// batchWrites hints that several writers share the connection (2+ live
+	// multiplexed streams): the flusher then yields briefly before
+	// flushing so a fan-out burst leaves in one syscall. Off (the
+	// default), frames flush as soon as the flusher sees them — the right
+	// call for a lock-step conversation, where deferring the only
+	// writer's frame is pure latency.
+	batchWrites atomic.Bool
+
+	// version is the protocol version negotiated by the handshake (1 until
+	// a handshake says otherwise). It selects the payload codec used by
+	// WriteFrame/ReadFrame.
+	version int
+	// rbuf is ReadFrame's reused frame buffer: each v2 frame is decoded
+	// (fully copied into its message struct) before the next read, so one
+	// buffer per connection suffices. v1's ReadMsg must NOT use it — v1
+	// callers retain raw payloads across reads.
+	rbuf []byte
+
 	readTimeout  time.Duration
 	writeTimeout time.Duration
 	// frameDelay, when non-nil, injects latency before each frame write
@@ -459,11 +516,29 @@ type Conn struct {
 // NewConn wraps nc for framed message exchange.
 func NewConn(nc net.Conn) *Conn {
 	return &Conn{
-		nc: nc,
-		br: bufio.NewReaderSize(nc, 16<<10),
-		bw: bufio.NewWriterSize(nc, 16<<10),
+		nc:       nc,
+		br:       bufio.NewReaderSize(nc, 16<<10),
+		bw:       bufio.NewWriterSize(nc, 16<<10),
+		version:  Version,
+		flushReq: make(chan struct{}, 1),
+		quit:     make(chan struct{}),
 	}
 }
+
+// Version reports the protocol version negotiated on this connection
+// (Version until a handshake upgrades it).
+func (c *Conn) Version() int { return c.version }
+
+// SetVersion overrides the negotiated protocol version. Tests and bench
+// harnesses use it to exercise a specific codec; production code lets the
+// handshake set it.
+func (c *Conn) SetVersion(v int) { c.version = v }
+
+// SetWriteBatching hints whether several concurrent writers share this
+// connection (see batchWrites). The multiplexing layers toggle it as the
+// live stream count crosses 2; it is advisory, so races with in-flight
+// writes are harmless.
+func (c *Conn) SetWriteBatching(on bool) { c.batchWrites.Store(on) }
 
 // SetReadTimeout bounds each subsequent ReadMsg (0 = unbounded). The host
 // sets it to its heartbeat timeout: a connection silent for longer is
@@ -495,9 +570,21 @@ func (c *Conn) UnbreakRead() { _ = c.nc.SetReadDeadline(time.Time{}) }
 // and must be treated as unusable.
 func (c *Conn) Buffered() int { return c.br.Buffered() }
 
-// Close closes the underlying connection. Safe concurrently with blocked
-// reads and writes, which then fail.
-func (c *Conn) Close() error { return c.nc.Close() }
+// Close closes the underlying connection after a bounded best-effort
+// flush of any frames still buffered (a protocol-error frame written just
+// before teardown, say). Safe concurrently with blocked reads and writes,
+// which then fail.
+func (c *Conn) Close() error {
+	c.closeOnce.Do(func() { close(c.quit) })
+	c.wmu.Lock()
+	if c.dirty && c.flushErr == nil {
+		_ = c.nc.SetWriteDeadline(time.Now().Add(100 * time.Millisecond))
+		c.flushErr = c.bw.Flush()
+		c.dirty = false
+	}
+	c.wmu.Unlock()
+	return c.nc.Close()
+}
 
 // WriteMsg marshals v and writes one framed message.
 func (c *Conn) WriteMsg(t MsgType, v any) error {
@@ -557,6 +644,151 @@ func (c *Conn) ReadMsg() (MsgType, []byte, error) {
 // Decode unmarshals a frame payload into v.
 func Decode(payload []byte, v any) error {
 	return json.Unmarshal(payload, v)
+}
+
+// writeBufPool recycles frame-encode buffers across connections so the v2
+// hot path writes without per-frame allocation. Buffers that grew beyond
+// 64 KiB are dropped rather than pinned.
+var writeBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 1024)
+		return &b
+	},
+}
+
+const maxPooledBuf = 64 << 10
+
+// WriteFrame encodes m with the connection's negotiated codec and writes
+// one framed message. stream and seq are the v2 multiplexing envelope and
+// must be zero on a v1 connection. The encode buffer is pooled: steady-state
+// v2 writes allocate nothing.
+func (c *Conn) WriteFrame(t MsgType, stream, seq uint64, m any) error {
+	bp := writeBufPool.Get().(*[]byte)
+	buf := (*bp)[:0]
+	// Reserve the 5-byte header up front so payload bytes append in place.
+	buf = append(buf, 0, 0, 0, 0, 0)
+	buf, err := AppendPayload(buf, c.version, t, stream, seq, m)
+	if err != nil {
+		writeBufPool.Put(bp)
+		return err
+	}
+	if len(buf)-4 > MaxFrame {
+		writeBufPool.Put(bp)
+		return fmt.Errorf("wire: %s frame exceeds %d bytes", t, MaxFrame)
+	}
+	binary.BigEndian.PutUint32(buf[:4], uint32(len(buf)-4))
+	buf[4] = byte(t)
+	err = c.writeRaw(buf)
+	if cap(buf) <= maxPooledBuf {
+		*bp = buf
+		writeBufPool.Put(bp)
+	}
+	return err
+}
+
+// writeRaw writes one fully assembled frame (header + payload) under the
+// write mutex, honoring the chaos frame delay and write timeout.
+func (c *Conn) writeRaw(frame []byte) error {
+	c.flusherOnce.Do(func() { go c.flusher() })
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if c.flushErr != nil {
+		return c.flushErr
+	}
+	if c.frameDelay != nil {
+		if d := c.frameDelay(); d > 0 {
+			time.Sleep(d)
+		}
+	}
+	if _, err := c.bw.Write(frame); err != nil {
+		return err
+	}
+	c.dirty = true
+	select {
+	case c.flushReq <- struct{}{}:
+	default: // a nudge is already queued; one flush covers both frames
+	}
+	return nil
+}
+
+// flusher drains flushReq, issuing one flush (one write syscall) per pass
+// for however many frames writers buffered meanwhile. It runs from the
+// first WriteFrame until Close.
+func (c *Conn) flusher() {
+	for {
+		select {
+		case <-c.quit:
+			return
+		case <-c.flushReq:
+		}
+		// With batching on, yield before flushing: the writers of a
+		// fan-out burst (64 scatter results, say) are runnable but
+		// staggered, and a scheduler pass lets them buffer their frames so
+		// the burst leaves in one syscall. Keep yielding while the buffer
+		// is still growing (bounded, so a steady writer cannot starve the
+		// flush); each pass costs well under a µs when the connection is
+		// quiet. A frame is never left unflushed, only briefly deferred.
+		if c.batchWrites.Load() {
+			buffered := -1
+			for i := 0; i < 4; i++ {
+				runtime.Gosched()
+				c.wmu.Lock()
+				n := c.bw.Buffered()
+				c.wmu.Unlock()
+				if n == buffered {
+					break
+				}
+				buffered = n
+			}
+		}
+		c.wmu.Lock()
+		if c.dirty && c.flushErr == nil {
+			if c.writeTimeout > 0 {
+				if err := c.nc.SetWriteDeadline(time.Now().Add(c.writeTimeout)); err != nil {
+					c.flushErr = err
+				}
+			}
+			if c.flushErr == nil {
+				c.flushErr = c.bw.Flush()
+			}
+			c.dirty = false
+		}
+		c.wmu.Unlock()
+	}
+}
+
+// ReadFrame reads one framed message and decodes it with the connection's
+// negotiated codec, returning the concrete message struct (see
+// ParsePayload). The internal read buffer is reused: everything returned is
+// fully copied out of it, so ReadFrame is allocation-lean but the caller
+// must not hold raw payload bytes (it never sees them).
+func (c *Conn) ReadFrame() (t MsgType, stream, seq uint64, m any, err error) {
+	if c.readTimeout > 0 {
+		if err := c.nc.SetReadDeadline(time.Now().Add(c.readTimeout)); err != nil {
+			return 0, 0, 0, nil, err
+		}
+	}
+	var hdr [4]byte
+	if _, err := io.ReadFull(c.br, hdr[:]); err != nil {
+		return 0, 0, 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n < 1 || n > MaxFrame {
+		return 0, 0, 0, nil, fmt.Errorf("wire: frame length %d out of range [1, %d]", n, MaxFrame)
+	}
+	if cap(c.rbuf) < int(n) {
+		c.rbuf = make([]byte, n)
+	}
+	body := c.rbuf[:n]
+	if _, err := io.ReadFull(c.br, body); err != nil {
+		return 0, 0, 0, nil, err
+	}
+	t = MsgType(body[0])
+	stream, seq, m, err = ParsePayload(c.version, t, body[1:])
+	if err != nil {
+		return 0, 0, 0, nil, fmt.Errorf("wire: decode %s: %w", t, err)
+	}
+	return t, stream, seq, m, nil
 }
 
 // ClientHandshake runs the client side of the handshake. script, when
@@ -625,6 +857,99 @@ func ServerHandshake(c *Conn, script string) error {
 func (c *Conn) reject(msg string) error {
 	_ = c.WriteMsg(MsgError, ProtoError{Msg: msg})
 	return fmt.Errorf("wire: handshake rejected: %s", msg)
+}
+
+// ClientHandshakeV runs the client side of the version-negotiating
+// handshake: it offers every version in [Version, maxVersion] and accepts
+// whichever the host picks, recording it on the connection (see
+// Conn.Version). A host that predates version negotiation ignores the
+// MaxVersion field and acks v1 — the compatible fallback. maxVersion is
+// clamped to [Version, MaxVersion].
+func ClientHandshakeV(c *Conn, script string, maxVersion int) (HelloAck, error) {
+	if maxVersion > MaxVersion {
+		maxVersion = MaxVersion
+	}
+	if maxVersion < Version {
+		maxVersion = Version
+	}
+	if err := c.WriteMsg(MsgHello, Hello{Magic: Magic, Version: Version, MaxVersion: maxVersion, Script: script}); err != nil {
+		return HelloAck{}, err
+	}
+	t, payload, err := c.ReadMsg()
+	if err != nil {
+		return HelloAck{}, err
+	}
+	switch t {
+	case MsgHelloAck:
+		var ack HelloAck
+		if err := Decode(payload, &ack); err != nil {
+			return HelloAck{}, err
+		}
+		if ack.Version < Version || ack.Version > maxVersion {
+			return HelloAck{}, fmt.Errorf("wire: host picked protocol v%d, client offered v%d..v%d", ack.Version, Version, maxVersion)
+		}
+		c.version = ack.Version
+		return ack, nil
+	case MsgOverloaded:
+		var ov Overloaded
+		_ = Decode(payload, &ov)
+		return HelloAck{}, &core.OverloadError{
+			Reason:     ov.Msg,
+			RetryAfter: time.Duration(ov.RetryAfterMS) * time.Millisecond,
+		}
+	case MsgError:
+		var pe ProtoError
+		_ = Decode(payload, &pe)
+		return HelloAck{}, fmt.Errorf("wire: host rejected handshake: %s", pe.Msg)
+	default:
+		return HelloAck{}, fmt.Errorf("wire: unexpected %s during handshake", t)
+	}
+}
+
+// ServerHandshakeV runs the host side of the version-negotiating handshake,
+// picking the highest version both sides speak (at most maxVersion, clamped
+// to [Version, MaxVersion]) and recording it on the connection. Clients
+// that don't advertise MaxVersion — every pre-v2 client — negotiate v1.
+func ServerHandshakeV(c *Conn, script string, maxVersion int) error {
+	if maxVersion > MaxVersion {
+		maxVersion = MaxVersion
+	}
+	if maxVersion < Version {
+		maxVersion = Version
+	}
+	t, payload, err := c.ReadMsg()
+	if err != nil {
+		return err
+	}
+	if t != MsgHello {
+		return c.reject(fmt.Sprintf("expected HELLO, got %s", t))
+	}
+	var h Hello
+	if err := Decode(payload, &h); err != nil {
+		return c.reject("malformed HELLO")
+	}
+	if h.Magic != Magic {
+		return c.reject("bad magic")
+	}
+	clientMax := h.MaxVersion
+	if clientMax < h.Version {
+		clientMax = h.Version
+	}
+	if h.Version > maxVersion || clientMax < Version {
+		return c.reject(fmt.Sprintf("host speaks protocol v%d..v%d, client v%d..v%d", Version, maxVersion, h.Version, clientMax))
+	}
+	if h.Script != "" && h.Script != script {
+		return c.reject(fmt.Sprintf("host serves script %q, client wants %q", script, h.Script))
+	}
+	ver := clientMax
+	if ver > maxVersion {
+		ver = maxVersion
+	}
+	if err := c.WriteMsg(MsgHelloAck, HelloAck{Version: ver, Script: script}); err != nil {
+		return err
+	}
+	c.version = ver
+	return nil
 }
 
 // EncodeRoleRef renders a role reference for the wire.
