@@ -19,21 +19,33 @@
 // offer backlog; work over a cap is shed fast with ErrOverloaded carrying
 // the -retry-after backoff hint, and in-flight performances are never
 // aborted by shedding.
+//
+// Observability: -metrics-addr starts an HTTP listener exposing the
+// process's always-on counters (performances, sheds, lane hits, wire
+// versions, trace drops) in Prometheus text format at /metrics, plus the
+// host's live gauges and Go's expvar at /debug/vars. The resolved address
+// is printed as "metrics on ADDR". -trace-sample enables sampled tracing of
+// the served performances.
 package main
 
 import (
 	"context"
+	"expvar"
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"github.com/scriptabs/goscript/internal/core"
+	"github.com/scriptabs/goscript/internal/metrics"
 	"github.com/scriptabs/goscript/internal/patterns"
 	"github.com/scriptabs/goscript/internal/remote"
+	"github.com/scriptabs/goscript/internal/trace"
 )
 
 func main() {
@@ -59,6 +71,11 @@ func run(args []string, out io.Writer) error {
 		"backoff hint carried by overload rejections (negative disables the hint)")
 	maxProto := fs.Int("max-proto", 0,
 		"highest SCRW protocol version to negotiate (0 = newest; 1 pins the JSON v1 wire)")
+	metricsAddr := fs.String("metrics-addr", "",
+		"TCP address for the /metrics and /debug/vars HTTP endpoint (empty disables; port 0 picks a free port)")
+	sampleFrac := fs.Float64("trace-sample", 0,
+		"fraction of performances to trace, 0..1 (0 disables sampled tracing)")
+	sampleSeed := fs.Uint64("trace-seed", 1, "seed for the deterministic trace sampler")
 	list := fs.Bool("list", false, "print the servable script names and exit")
 	verbose := fs.Bool("v", false, "log connection-level events to stderr")
 	if err := fs.Parse(args); err != nil {
@@ -79,6 +96,18 @@ func run(args []string, out io.Writer) error {
 	var opts []core.Option
 	if *deadline > 0 {
 		opts = append(opts, core.WithPerformanceDeadline(*deadline))
+	}
+	var asyncTracer *trace.Async
+	if *sampleFrac > 0 {
+		// Sampled tracing: events of sampled performances land in an
+		// in-memory log behind an async ring, counters in the metrics
+		// registry track drops. The log is a placeholder sink — the point
+		// in scriptd is the sampling and the trace IDs on the wire.
+		asyncTracer = trace.NewAsync(&trace.Log{}, 0)
+		defer asyncTracer.Close()
+		opts = append(opts,
+			core.WithTracer(asyncTracer),
+			core.WithSampler(trace.NewProbabilitySampler(*sampleFrac, *sampleSeed)))
 	}
 	in := core.NewInstance(def, opts...)
 
@@ -102,6 +131,18 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "serving %q (n=%d)\n", def.Name(), *n)
 	fmt.Fprintf(out, "listening on %s\n", h.Addr())
 
+	if *metricsAddr != "" {
+		mln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		defer mln.Close()
+		srv := &http.Server{Handler: metricsMux(h, in)}
+		go func() { _ = srv.Serve(mln) }()
+		defer srv.Close()
+		fmt.Fprintf(out, "metrics on %s\n", mln.Addr())
+	}
+
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
 	errCh := make(chan error, 1)
@@ -121,4 +162,35 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintln(out, "drained")
 		return nil
 	}
+}
+
+// metricsMux builds the observability endpoint: /metrics serves the
+// process-wide counter registry plus the host's live gauges in Prometheus
+// text format, /debug/vars serves Go's expvar JSON.
+func metricsMux(h *remote.Host, in *core.Instance) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		_ = metrics.Default.WritePrometheus(w)
+		st := h.Stats()
+		for _, g := range []struct {
+			name string
+			val  int64
+		}{
+			{"scriptd_host_conns", int64(st.Conns)},
+			{"scriptd_host_enrolling", int64(st.Enrolling)},
+			{"scriptd_host_active_streams", int64(st.ActiveStreams)},
+			{"scriptd_host_shed_conns_total", int64(st.ShedConns)},
+			{"scriptd_host_shed_enrollments_total", int64(st.ShedEnrollments)},
+			{"scriptd_host_conns_v1_total", int64(st.ConnsV1)},
+			{"scriptd_host_conns_v2_total", int64(st.ConnsV2)},
+			{"scriptd_instance_performances", int64(in.Performances())},
+			{"scriptd_instance_pending_offers", int64(in.PendingOffers())},
+			{"scriptd_instance_live_traces", int64(len(in.TraceContexts()))},
+		} {
+			fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", g.name, g.name, g.val)
+		}
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	return mux
 }

@@ -5,6 +5,8 @@ import (
 	"bytes"
 	"context"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -61,7 +63,8 @@ func TestEndToEnd(t *testing.T) {
 		t.Fatalf("go build scriptd: %v", err)
 	}
 
-	daemon := exec.Command(bin, "-addr", "127.0.0.1:0", "-script", "star_broadcast", "-n", "3")
+	daemon := exec.Command(bin, "-addr", "127.0.0.1:0", "-script", "star_broadcast", "-n", "3",
+		"-metrics-addr", "127.0.0.1:0", "-trace-sample", "1", "-trace-seed", "7")
 	stdout, err := daemon.StdoutPipe()
 	if err != nil {
 		t.Fatalf("StdoutPipe: %v", err)
@@ -72,18 +75,22 @@ func TestEndToEnd(t *testing.T) {
 	}
 	defer daemon.Process.Kill()
 
-	// Scrape the resolved listen address from the daemon's stdout, then keep
-	// reading so the final drain lines are captured too.
+	// Scrape the resolved listen and metrics addresses from the daemon's
+	// stdout ("metrics on" prints after "listening on"), then keep reading so
+	// the final drain lines are captured too.
 	sc := bufio.NewScanner(stdout)
-	addr := ""
+	addr, maddr := "", ""
 	for sc.Scan() {
 		if a, ok := strings.CutPrefix(sc.Text(), "listening on "); ok {
 			addr = a
+		}
+		if a, ok := strings.CutPrefix(sc.Text(), "metrics on "); ok {
+			maddr = a
 			break
 		}
 	}
-	if addr == "" {
-		t.Fatalf("scriptd exited without printing its address (scan err %v)", sc.Err())
+	if addr == "" || maddr == "" {
+		t.Fatalf("scriptd exited without printing its addresses (scan err %v)", sc.Err())
 	}
 	tail := make(chan string, 1)
 	go func() {
@@ -174,6 +181,27 @@ func TestEndToEnd(t *testing.T) {
 	}
 	if !seen["hello"] || !seen["world"] {
 		t.Errorf("broadcast values = %v, want hello and world", byPerf)
+	}
+
+	// The metrics endpoint must be live and reflect the work just done: two
+	// completed performances and at least one served connection.
+	resp, err := http.Get("http://" + maddr + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("read /metrics: %v", err)
+	}
+	for _, want := range []string{
+		"script_performances_completed_total 2",
+		"scriptd_host_conns",
+		"trace_sampled_total",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/metrics missing %q in:\n%s", want, body)
+		}
 	}
 
 	// Graceful shutdown: SIGINT → drain → clean exit. The pipe must be read

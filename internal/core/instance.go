@@ -10,8 +10,16 @@ import (
 
 	"github.com/scriptabs/goscript/internal/ids"
 	"github.com/scriptabs/goscript/internal/match"
+	"github.com/scriptabs/goscript/internal/metrics"
 	"github.com/scriptabs/goscript/internal/rendezvous"
 	"github.com/scriptabs/goscript/internal/trace"
+)
+
+// Always-on performance lifecycle counters (see internal/metrics).
+var (
+	perfStartedTotal   = metrics.Get(metrics.PerformancesStarted)
+	perfCompletedTotal = metrics.Get(metrics.PerformancesCompleted)
+	perfAbortedTotal   = metrics.Get(metrics.PerformancesAborted)
 )
 
 // Enrollment is a request by a process to play a role in an instance.
@@ -43,6 +51,12 @@ type Enrollment struct {
 	// a network enroller: the override proxies Ctx operations to the client
 	// process, where the real body runs.
 	Body RoleBody
+	// TraceID, when non-zero, is a trace ID minted by the enrolling side
+	// (typically a remote client whose own sampler chose to trace the call).
+	// If this enrollment initiates a performance, the performance adopts the
+	// ID instead of consulting the instance's sampler, so both sides of the
+	// wire record events on the same timeline.
+	TraceID trace.TraceID
 }
 
 // Result reports a completed enrollment.
@@ -53,6 +67,9 @@ type Result struct {
 	Role ids.RoleRef
 	// Values are the result (out) parameters set by the role body.
 	Values []any
+	// TraceID is the performance's trace ID when it was sampled for tracing,
+	// zero otherwise.
+	TraceID trace.TraceID
 }
 
 // Option configures an Instance.
@@ -68,6 +85,27 @@ func WithTracer(t trace.Tracer) Option {
 			_, in.nopTrace = t.(trace.Nop)
 		}
 	}
+}
+
+// WithSampler installs a trace sampler: at each performance's initiation the
+// sampler decides, once, whether that performance's events are recorded. A
+// sampled performance gets a trace ID stamped on all its events (and echoed
+// in Result.TraceID); an unsampled one records nothing, so a 0.1% sampler
+// makes tracing affordable at full load. An enrollment carrying its own
+// TraceID (a remote client that already sampled the call) bypasses the
+// sampler — the performance is traced under the adopted ID. Without a
+// sampler every performance is traced, preserving the record-everything
+// behavior tests rely on.
+func WithSampler(s trace.Sampler) Option {
+	return func(in *Instance) { in.sampler = s }
+}
+
+// WithMaxLiveTraces caps the retained-context table of live traced
+// performances (default trace.DefaultMaxLiveTraces). When the table is full,
+// newly sampled performances run untraced rather than holding unbounded
+// state — the cap is motan-go's MaxTraceSize idea.
+func WithMaxLiveTraces(n int) Option {
+	return func(in *Instance) { in.maxLiveTraces = n }
 }
 
 // WithFairness selects how contention among enrollments is resolved:
@@ -113,8 +151,14 @@ type Instance struct {
 	def      Definition
 	tracer   trace.Tracer
 	nopTrace bool
-	fairness match.Fairness
-	seed     int64
+	// sampler, when non-nil, decides per performance (at initiation) whether
+	// its events are recorded; traces is the bounded table of live traced
+	// performances (see WithSampler / WithMaxLiveTraces).
+	sampler       trace.Sampler
+	traces        *trace.Table
+	maxLiveTraces int
+	fairness      match.Fairness
+	seed          int64
 	// perfDeadline bounds every performance (WithPerformanceDeadline);
 	// 0 = unbounded.
 	perfDeadline time.Duration
@@ -180,7 +224,8 @@ type enrollState struct {
 	offer    match.Offer
 	args     []any
 	ctx      context.Context
-	deadline time.Time // Enrollment.Deadline; zero = none
+	deadline time.Time     // Enrollment.Deadline; zero = none
+	traceID  trace.TraceID // Enrollment.TraceID; zero = none
 	phase    enrollPhase
 	perf     *performance
 	rc       *RoleCtx
@@ -216,6 +261,11 @@ type performance struct {
 	// abortErr is non-nil once the runtime aborted the performance; it is
 	// the error blocked co-performers unwind with.
 	abortErr *AbortError
+	// traceID and sampled are the initiation-time sampling verdict: sampled
+	// gates whether per-performance events are recorded at all, traceID (when
+	// non-zero) is stamped on each of them. See Instance.samplePerfLocked.
+	traceID trace.TraceID
+	sampled bool
 }
 
 // fabricPool recycles rendezvous fabrics across performances: a performance
@@ -241,6 +291,7 @@ func NewInstance(def Definition, opts ...Option) *Instance {
 	for _, o := range opts {
 		o(in)
 	}
+	in.traces = trace.NewTable(in.maxLiveTraces)
 	return in
 }
 
@@ -423,11 +474,18 @@ func (in *Instance) Enroll(ctx context.Context, e Enrollment) (Result, error) {
 		args:     append([]any(nil), e.Args...),
 		ctx:      ctx,
 		deadline: e.Deadline,
+		traceID:  e.TraceID,
 		phase:    phasePending,
 		wake:     make(chan struct{}, 1),
 	}
 	in.addPendingLocked(st)
-	in.record(trace.Event{Kind: trace.KindEnroll, Script: in.def.name, Role: e.Role, PID: e.PID})
+	// Offer-time events predate any performance, so they cannot be sampled
+	// per-performance; with a sampler installed the tracer sees only the
+	// events of sampled performances, or the unconditional offer stream
+	// would dominate event volume at production sampling rates.
+	if in.sampler == nil {
+		in.record(trace.Event{Kind: trace.KindEnroll, Script: in.def.name, Role: e.Role, PID: e.PID})
+	}
 
 	in.advanceLocked()
 	for st.phase == phasePending {
@@ -468,7 +526,7 @@ func (in *Instance) Enroll(ctx context.Context, e Enrollment) (Result, error) {
 	bodyErr := runBody(body, rc)
 
 	in.mu.Lock()
-	in.record(trace.Event{
+	in.recordPerf(perf, trace.Event{
 		Kind: trace.KindFinish, Script: in.def.name,
 		Performance: perf.number, Role: e.Role, PID: e.PID,
 	})
@@ -496,14 +554,14 @@ func (in *Instance) Enroll(ctx context.Context, e Enrollment) (Result, error) {
 			in.mu.Lock()
 		}
 	}
-	in.record(trace.Event{
+	in.recordPerf(perf, trace.Event{
 		Kind: trace.KindRelease, Script: in.def.name,
 		Performance: perf.number, Role: e.Role, PID: e.PID,
 	})
 	abortErr := perf.abortErr
 	in.mu.Unlock()
 
-	res := Result{Performance: perf.number, Role: e.Role, Values: rc.results}
+	res := Result{Performance: perf.number, Role: e.Role, Values: rc.results, TraceID: perf.traceID}
 	switch {
 	case bodyErr != nil && abortErr != nil && errors.Is(bodyErr, ErrPerformanceAborted):
 		// The body unwound because the runtime aborted the performance;
@@ -667,7 +725,9 @@ func (in *Instance) startPerformanceLocked(asg match.Assignment) {
 		openMax:  make(map[string]int),
 	}
 	in.active = p
-	in.record(trace.Event{Kind: trace.KindPerfStart, Script: in.def.name, Performance: p.number})
+	perfStartedTotal.Inc()
+	in.samplePerfLocked(p, asg)
+	in.recordPerf(p, trace.Event{Kind: trace.KindPerfStart, Script: in.def.name, Performance: p.number})
 	if in.perfDeadline > 0 {
 		in.armDeadlineLocked(p, time.Now().Add(in.perfDeadline))
 	}
@@ -677,6 +737,54 @@ func (in *Instance) startPerformanceLocked(asg match.Assignment) {
 	if asg != nil {
 		in.closeMembershipLocked(p)
 	}
+}
+
+// samplePerfLocked makes the once-per-performance tracing decision at
+// initiation. An enrollment that arrived with its own trace ID wins (the
+// remote side already sampled the call and both ends must share a timeline):
+// for delayed initiation only the matched offers are consulted, for immediate
+// initiation any pending offer (the cast is not yet known). Otherwise the
+// instance's sampler decides; with no sampler every performance is traced
+// and, when a real tracer is attached, gets a freshly minted ID so even
+// record-everything setups produce stitchable timelines. A sampled ID is
+// retained in the bounded live-trace table; when the table is full the
+// performance runs untraced.
+func (in *Instance) samplePerfLocked(p *performance, asg match.Assignment) {
+	var adopted trace.TraceID
+	var member map[uint64]bool
+	if asg != nil {
+		member = make(map[uint64]bool, len(asg))
+		for _, o := range asg {
+			member[o.ID] = true
+		}
+	}
+	for _, st := range in.pending {
+		if st.traceID == 0 || (member != nil && !member[st.offer.ID]) {
+			continue
+		}
+		adopted = st.traceID
+		break
+	}
+	switch {
+	case adopted != 0:
+		p.traceID, p.sampled = adopted, true
+	case in.sampler != nil:
+		p.traceID, p.sampled = in.sampler.Sample()
+	case in.nopTrace:
+		p.sampled = true // record() discards everything anyway
+	default:
+		p.traceID, p.sampled = trace.NextID(), true
+	}
+	if p.traceID != 0 && !in.traces.Add(trace.PerfContext{
+		ID: p.traceID, Script: in.def.name, Performance: p.number,
+	}) {
+		p.traceID, p.sampled = 0, false
+	}
+}
+
+// TraceContexts returns a snapshot of the live traced performances.
+func (in *Instance) TraceContexts() []trace.PerfContext {
+	return in.traces.Contexts()
 }
 
 // armDeadlineLocked arms (or tightens) performance p's abort timer to fire
@@ -770,10 +878,14 @@ func (in *Instance) abortAsLocked(p *performance, culprit ids.RoleRef, reason st
 	p.done = true
 	p.cancel()
 	p.fabric.Abort(p.abortErr)
-	in.record(trace.Event{
+	perfAbortedTotal.Inc()
+	in.recordPerf(p, trace.Event{
 		Kind: trace.KindAbort, Script: in.def.name,
 		Performance: p.number, Role: culprit, Detail: reason,
 	})
+	if p.traceID != 0 {
+		in.traces.Remove(p.traceID)
+	}
 	if in.active == p {
 		in.active = nil
 	}
@@ -831,7 +943,7 @@ func (in *Instance) assignLocked(p *performance, offer match.Offer) {
 		default: // already signalled; the phase check makes a second signal moot
 		}
 	}
-	in.record(trace.Event{
+	in.recordPerf(p, trace.Event{
 		Kind: trace.KindStart, Script: in.def.name,
 		Performance: p.number, Role: r, PID: offer.PID,
 	})
@@ -894,7 +1006,7 @@ func (in *Instance) closeMembershipLocked(p *performance) {
 	for r := range in.def.closedRoles() {
 		if _, filled := p.assigned[r]; !filled {
 			p.absent.Add(r)
-			in.record(trace.Event{
+			in.recordPerf(p, trace.Event{
 				Kind: trace.KindAbsent, Script: in.def.name,
 				Performance: p.number, Role: r,
 			})
@@ -927,7 +1039,11 @@ func (in *Instance) finishPerformanceLocked(p *performance) {
 	p.done = true
 	p.cancel()
 	p.fabric.Close()
-	in.record(trace.Event{Kind: trace.KindPerfEnd, Script: in.def.name, Performance: p.number})
+	perfCompletedTotal.Inc()
+	in.recordPerf(p, trace.Event{Kind: trace.KindPerfEnd, Script: in.def.name, Performance: p.number})
+	if p.traceID != 0 {
+		in.traces.Remove(p.traceID)
+	}
 	if in.active == p {
 		in.active = nil
 	}
@@ -987,6 +1103,17 @@ func (in *Instance) record(e trace.Event) {
 		return
 	}
 	in.tracer.Record(e)
+}
+
+// recordPerf records a per-performance event, stamping the performance's
+// trace ID. When a sampler decided against tracing p, the event is skipped —
+// that skip, decided once at initiation, is what makes sampled tracing cheap.
+func (in *Instance) recordPerf(p *performance, e trace.Event) {
+	if !p.sampled {
+		return
+	}
+	e.TraceID = p.traceID
+	in.record(e)
 }
 
 func addrOf(r ids.RoleRef) rendezvous.Addr { return rendezvous.Addr(r.String()) }

@@ -92,7 +92,7 @@ func (rc *RoleCtx) SendTag(to ids.RoleRef, tag string, v any) error {
 	if err != nil {
 		return rc.mapCommErr(to, err)
 	}
-	rc.inst.record(trace.Event{
+	rc.inst.recordPerf(rc.perf, trace.Event{
 		Kind: trace.KindSend, Script: rc.inst.def.name, Performance: rc.perf.number,
 		Role: rc.role, Peer: to, PID: rc.pid, Detail: tag,
 	})
@@ -125,7 +125,7 @@ func (rc *RoleCtx) SendAll(tos []ids.RoleRef, v any) error {
 		return rc.mapCommErr(ids.RoleRef{}, err)
 	}
 	for _, to := range tos {
-		rc.inst.record(trace.Event{
+		rc.inst.recordPerf(rc.perf, trace.Event{
 			Kind: trace.KindSend, Script: rc.inst.def.name, Performance: rc.perf.number,
 			Role: rc.role, Peer: to, PID: rc.pid,
 		})
@@ -149,7 +149,7 @@ func (rc *RoleCtx) RecvTag(from ids.RoleRef, tag string) (any, error) {
 	if err != nil {
 		return nil, rc.mapCommErr(from, err)
 	}
-	rc.inst.record(trace.Event{
+	rc.inst.recordPerf(rc.perf, trace.Event{
 		Kind: trace.KindRecv, Script: rc.inst.def.name, Performance: rc.perf.number,
 		Role: rc.role, Peer: from, PID: rc.pid, Detail: tag,
 	})
@@ -173,7 +173,7 @@ func (rc *RoleCtx) RecvAny() (ids.RoleRef, string, any, error) {
 	if perr != nil {
 		return ids.RoleRef{}, "", nil, fmt.Errorf("script: bad peer address %q: %w", out.Peer, perr)
 	}
-	rc.inst.record(trace.Event{
+	rc.inst.recordPerf(rc.perf, trace.Event{
 		Kind: trace.KindRecv, Script: rc.inst.def.name, Performance: rc.perf.number,
 		Role: rc.role, Peer: from, PID: rc.pid, Detail: string(out.Tag),
 	})
@@ -323,7 +323,7 @@ func (rc *RoleCtx) Select(branches ...SelectBranch) (Selected, error) {
 	if m.br.Dir == rendezvous.DirRecv {
 		kind = trace.KindRecv
 	}
-	rc.inst.record(trace.Event{
+	rc.inst.recordPerf(rc.perf, trace.Event{
 		Kind: kind, Script: rc.inst.def.name, Performance: rc.perf.number,
 		Role: rc.role, Peer: peer, PID: rc.pid, Detail: string(out.Tag),
 	})
@@ -386,6 +386,13 @@ func (rc *RoleCtx) EnrollIn(other *Instance, e Enrollment) (Result, error) {
 	}
 	return other.Enroll(rc.ctx, e)
 }
+
+// TraceID returns the performance's trace ID: non-zero when the performance
+// was sampled for tracing, zero otherwise. The remote host echoes it in the
+// OFFER-ACK so the client records its events on the same timeline. (The
+// sampling verdict is written once at initiation, before any role body is
+// woken, so this read is safe from the body's goroutine.)
+func (rc *RoleCtx) TraceID() trace.TraceID { return rc.perf.traceID }
 
 // PerformanceDone returns a channel closed when this role's performance
 // ends — normally or by abort. After it closes, AbortErr distinguishes the

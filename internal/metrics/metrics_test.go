@@ -1,0 +1,67 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestGetReturnsStableCounter(t *testing.T) {
+	r := NewRegistry()
+	a := r.Get("x_total")
+	b := r.Get("x_total")
+	if a != b {
+		t.Fatalf("Get returned different counters for the same name")
+	}
+	a.Inc()
+	a.Add(4)
+	if got := b.Load(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+}
+
+func TestConcurrentGetAndInc(t *testing.T) {
+	r := NewRegistry()
+	const workers, each = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				r.Get("hot_total").Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Get("hot_total").Load(); got != workers*each {
+		t.Fatalf("counter = %d, want %d", got, workers*each)
+	}
+}
+
+func TestSnapshotAndPrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Get("b_total").Add(2)
+	r.Get("a_total").Inc()
+	snap := r.Snapshot()
+	if snap["a_total"] != 1 || snap["b_total"] != 2 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "# TYPE a_total counter\na_total 1\n# TYPE b_total counter\nb_total 2\n"
+	if sb.String() != want {
+		t.Fatalf("prometheus text:\n%s\nwant:\n%s", sb.String(), want)
+	}
+}
+
+func TestDefaultRegistry(t *testing.T) {
+	c := Get("metrics_test_only_total")
+	before := c.Load()
+	c.Inc()
+	if got := Get("metrics_test_only_total").Load(); got != before+1 {
+		t.Fatalf("default registry counter = %d, want %d", got, before+1)
+	}
+}

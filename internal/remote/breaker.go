@@ -3,7 +3,13 @@ package remote
 import (
 	"sync"
 	"time"
+
+	"github.com/scriptabs/goscript/internal/metrics"
 )
+
+// breakerTransitions counts every breaker state change process-wide; a
+// climbing rate means some host is flapping between open and closed.
+var breakerTransitions = metrics.Get(metrics.BreakerTransitions)
 
 // BreakerConfig configures the Enroller's per-host circuit breaker.
 type BreakerConfig struct {
@@ -81,6 +87,7 @@ func (b *breaker) allow(now time.Time) bool {
 	case BreakerOpen:
 		if now.Sub(b.openedAt) >= b.cooldown {
 			b.state = BreakerHalfOpen
+			breakerTransitions.Inc()
 			return true
 		}
 		return false
@@ -97,6 +104,9 @@ func (b *breaker) onSuccess() {
 		return
 	}
 	b.mu.Lock()
+	if b.state != BreakerClosed {
+		breakerTransitions.Inc()
+	}
 	b.state = BreakerClosed
 	b.failures = 0
 	b.mu.Unlock()
@@ -116,11 +126,13 @@ func (b *breaker) onFailure(now time.Time) {
 	case BreakerHalfOpen:
 		b.state = BreakerOpen
 		b.openedAt = now
+		breakerTransitions.Inc()
 	case BreakerClosed:
 		b.failures++
 		if b.failures >= b.threshold {
 			b.state = BreakerOpen
 			b.openedAt = now
+			breakerTransitions.Inc()
 		}
 	default: // already open (a straggling attempt admitted before it opened)
 	}
@@ -137,6 +149,7 @@ func (b *breaker) onNeutral() {
 	b.mu.Lock()
 	if b.state == BreakerHalfOpen {
 		b.state = BreakerOpen
+		breakerTransitions.Inc()
 	}
 	b.mu.Unlock()
 }

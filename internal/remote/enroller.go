@@ -12,6 +12,7 @@ import (
 
 	"github.com/scriptabs/goscript/internal/core"
 	"github.com/scriptabs/goscript/internal/ids"
+	"github.com/scriptabs/goscript/internal/trace"
 	"github.com/scriptabs/goscript/internal/wire"
 )
 
@@ -58,6 +59,16 @@ type EnrollerConfig struct {
 	// the breaker with its defaults; set FailureThreshold negative to
 	// disable it.
 	Breaker BreakerConfig
+	// Sampler, when non-nil, decides once per Enroll call whether the call
+	// is traced. A sampled call mints a trace ID that rides the ENROLL
+	// frame; the host's performance adopts it, so both processes record
+	// events on one timeline. Enrollments arriving with a TraceID already
+	// set bypass the sampler.
+	Sampler trace.Sampler
+	// Tracer, when non-nil, receives the client-side events of traced calls
+	// (role start, send/recv, finish). Recording happens on the enrolling
+	// goroutine; wrap heavyweight sinks in a trace.Async.
+	Tracer trace.Tracer
 	// Faults, when non-nil, injects network faults (chaos testing).
 	Faults NetFaults
 
@@ -301,6 +312,13 @@ func (e *Enroller) Enroll(ctx context.Context, enr core.Enrollment) (core.Result
 	if enr.Body == nil {
 		return core.Result{}, errors.New("script/remote: Enroll requires Enrollment.Body (the definition lives in the host)")
 	}
+	// The sampling decision is made once per Enroll call, before the retry
+	// loop, so every re-offer of the same call shares one trace ID.
+	if enr.TraceID == 0 && e.cfg.Sampler != nil {
+		if id, ok := e.cfg.Sampler.Sample(); ok {
+			enr.TraceID = id
+		}
+	}
 	for attempt := 0; ; attempt++ {
 		if err := ctx.Err(); err != nil {
 			return core.Result{}, err
@@ -397,10 +415,11 @@ func (e *Enroller) enrollOnceV1(ctx context.Context, hs *hostState, enr core.Enr
 	}
 
 	msg := wire.Enroll{
-		PID:  string(enr.PID),
-		Role: enr.Role.String(),
-		Args: enr.Args,
-		With: wire.EncodeWith(enr.With),
+		PID:     string(enr.PID),
+		Role:    enr.Role.String(),
+		Args:    enr.Args,
+		With:    wire.EncodeWith(enr.With),
+		TraceID: enr.TraceID.String(),
 	}
 	if !enr.Deadline.IsZero() {
 		msg.DeadlineMS = enr.Deadline.UnixMilli()
@@ -462,7 +481,10 @@ await:
 		pid:      enr.PID,
 		perf:     ack.Performance,
 	}
+	e.bindTrace(rctx, ack.TraceID, enr.TraceID)
+	rctx.trace(trace.Event{Kind: trace.KindStart})
 	bodyErr := runClientBody(enr.Body, rctx)
+	rctx.trace(trace.Event{Kind: trace.KindFinish})
 	if err := cc.c.WriteMsg(wire.MsgBodyDone, wire.BodyDone{
 		Results: rctx.Out,
 		Err:     wire.EncodeError(bodyErr),
@@ -488,7 +510,7 @@ await:
 				healthy = true
 				return core.Result{}, cm.Err.Err()
 			}
-			res := core.Result{Performance: cm.Performance, Role: role, Values: cm.Values}
+			res := core.Result{Performance: cm.Performance, Role: role, Values: cm.Values, TraceID: rctx.tid}
 			if r, err := wire.DecodeRoleRef(cm.Role); err == nil {
 				res.Role = r
 			}
@@ -718,7 +740,44 @@ type remoteCtx struct {
 	// was aborted. Mirrors the local semantics — the body keeps running,
 	// its communications fail.
 	abortErr error
+	// tid is the performance's trace ID (echoed by the host's OFFER-ACK, or
+	// the client-minted one against a pre-tracing host); tr and script feed
+	// the client-side event recording of traced calls. All zero/nil when
+	// the call is untraced.
+	tid    trace.TraceID
+	tr     trace.Tracer
+	script string
 }
+
+// bindTrace wires the client-side tracing of one assigned enrollment: the
+// host's echoed trace ID wins (it is the performance's canonical ID), the
+// client-minted one is the fallback against hosts that predate tracing.
+func (e *Enroller) bindTrace(r *remoteCtx, ackID string, minted trace.TraceID) {
+	r.tid, _ = trace.ParseTraceID(ackID)
+	if r.tid == 0 {
+		r.tid = minted
+	}
+	r.tr = e.cfg.Tracer
+	r.script = e.cfg.Script
+}
+
+// trace records a client-side event of a traced call, stamping the shared
+// performance identity; a no-op when the call is untraced or no Tracer is
+// configured.
+func (r *remoteCtx) trace(e trace.Event) {
+	if r.tr == nil || r.tid == 0 {
+		return
+	}
+	e.TraceID = r.tid
+	e.Script = r.script
+	e.Performance = r.perf
+	e.Role = r.role
+	e.PID = r.pid
+	r.tr.Record(e)
+}
+
+// TraceID returns the performance's trace ID (zero when untraced).
+func (r *remoteCtx) TraceID() trace.TraceID { return r.tid }
 
 var _ core.Ctx = (*remoteCtx)(nil)
 
@@ -823,6 +882,9 @@ func (r *remoteCtx) Send(to ids.RoleRef, v any) error { return r.SendTag(to, "",
 
 func (r *remoteCtx) SendTag(to ids.RoleRef, tag string, v any) error {
 	_, err := r.op(wire.MsgSend, wire.Send{To: to.String(), Tag: tag, Val: v})
+	if err == nil {
+		r.trace(trace.Event{Kind: trace.KindSend, Peer: to, Detail: tag})
+	}
 	return err
 }
 
@@ -835,6 +897,11 @@ func (r *remoteCtx) SendAll(tos []ids.RoleRef, v any) error {
 		wtos[i] = to.String()
 	}
 	_, err := r.op(wire.MsgSendAll, wire.SendAll{Tos: wtos, Val: v})
+	if err == nil {
+		for _, to := range tos {
+			r.trace(trace.Event{Kind: trace.KindSend, Peer: to})
+		}
+	}
 	return err
 }
 
@@ -845,6 +912,7 @@ func (r *remoteCtx) RecvTag(from ids.RoleRef, tag string) (any, error) {
 	if err != nil {
 		return nil, err
 	}
+	r.trace(trace.Event{Kind: trace.KindRecv, Peer: from, Detail: tag})
 	return res.Val, nil
 }
 
@@ -857,6 +925,7 @@ func (r *remoteCtx) RecvAny() (ids.RoleRef, string, any, error) {
 	if perr != nil {
 		return ids.RoleRef{}, "", nil, fmt.Errorf("script/remote: bad peer %q: %v", res.Peer, perr)
 	}
+	r.trace(trace.Event{Kind: trace.KindRecv, Peer: from, Detail: res.Tag})
 	return from, res.Tag, res.Val, nil
 }
 
@@ -892,6 +961,11 @@ func (r *remoteCtx) Select(branches ...core.SelectBranch) (core.Selected, error)
 	if perr != nil {
 		return core.Selected{}, fmt.Errorf("script/remote: bad peer %q: %v", res.Peer, perr)
 	}
+	kind := trace.KindRecv
+	if res.Index >= 0 && res.Index < len(branches) && branches[res.Index].IsSend() {
+		kind = trace.KindSend
+	}
+	r.trace(trace.Event{Kind: kind, Peer: peer, Detail: res.Tag})
 	return core.Selected{Index: res.Index, Peer: peer, Tag: res.Tag, Val: res.Val}, nil
 }
 

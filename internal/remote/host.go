@@ -11,7 +11,16 @@ import (
 
 	"github.com/scriptabs/goscript/internal/core"
 	"github.com/scriptabs/goscript/internal/ids"
+	"github.com/scriptabs/goscript/internal/metrics"
+	"github.com/scriptabs/goscript/internal/trace"
 	"github.com/scriptabs/goscript/internal/wire"
+)
+
+// Process-wide shed counters, mirroring the per-Host ones in HostStats so a
+// metrics scrape sees overload pressure without enumerating hosts.
+var (
+	shedConnsTotal   = metrics.Get(metrics.RemoteShedConns)
+	shedEnrollsTotal = metrics.Get(metrics.RemoteShedEnrollments)
 )
 
 // HostConfig configures a Host.
@@ -97,15 +106,21 @@ type Host struct {
 
 	// enrolling counts enrollments currently admitted into the target;
 	// shedConns / shedEnrolls count admission-control rejections.
-	enrolling  atomic.Int64
-	shedConns  atomic.Uint64
+	enrolling   atomic.Int64
+	shedConns   atomic.Uint64
 	shedEnrolls atomic.Uint64
+	// connsV1/connsV2 count accepted connections by negotiated protocol
+	// version; activeStreams counts currently-open v2 multiplexed streams.
+	connsV1       atomic.Uint64
+	connsV2       atomic.Uint64
+	activeStreams atomic.Int64
 
 	connWG   sync.WaitGroup // connection handlers
 	enrollWG sync.WaitGroup // in-flight handleEnroll calls (Drain waits on it)
 }
 
-// HostStats is a snapshot of the host's admission-control counters.
+// HostStats is a snapshot of the host's admission-control and connection
+// counters.
 type HostStats struct {
 	// Conns is the number of connections currently served.
 	Conns int
@@ -116,9 +131,20 @@ type HostStats struct {
 	ShedConns uint64
 	// ShedEnrollments counts enrollments shed with ErrOverloaded.
 	ShedEnrollments uint64
+	// ActiveStreams is the number of currently-open v2 multiplexed streams
+	// (concurrent enrollment conversations across all v2 connections).
+	ActiveStreams int
+	// ConnsV1 / ConnsV2 count connections accepted since the host started,
+	// by negotiated wire protocol version.
+	ConnsV1 uint64
+	ConnsV2 uint64
 }
 
-// Stats returns a snapshot of the admission-control counters.
+// Stats returns a snapshot of the host's counters. Each field is read
+// atomically, but the snapshot as a whole is not a consistent cut: the
+// counters keep moving while it is taken, so cross-field invariants (for
+// example Conns >= ActiveStreams's connections) may be transiently violated.
+// That is the usual contract for a metrics scrape.
 func (h *Host) Stats() HostStats {
 	h.mu.Lock()
 	conns := len(h.conns)
@@ -128,6 +154,9 @@ func (h *Host) Stats() HostStats {
 		Enrolling:       int(h.enrolling.Load()),
 		ShedConns:       h.shedConns.Load(),
 		ShedEnrollments: h.shedEnrolls.Load(),
+		ActiveStreams:   int(h.activeStreams.Load()),
+		ConnsV1:         h.connsV1.Load(),
+		ConnsV2:         h.connsV2.Load(),
 	}
 }
 
@@ -365,6 +394,7 @@ func (h *Host) serveConn(nc net.Conn) {
 		// frame goes out in place of HELLO-ACK, without even reading the
 		// client's HELLO — rejection must stay cheaper than service.
 		h.shedConns.Add(1)
+		shedConnsTotal.Inc()
 		h.logf("remote: %s: connection cap (%d) reached, shedding", c.RemoteAddr(), h.cfg.MaxConns)
 		if h.cfg.WriteTimeout > 0 {
 			c.SetWriteTimeout(h.cfg.WriteTimeout)
@@ -392,9 +422,11 @@ func (h *Host) serveConn(nc net.Conn) {
 		return
 	}
 	if c.Version() >= 2 {
+		h.connsV2.Add(1)
 		h.serveConnV2(c)
 		return
 	}
+	h.connsV1.Add(1)
 
 	frames := make(chan frame, 4)
 	go func() {
@@ -486,6 +518,7 @@ func (h *Host) handleEnroll(c *wire.Conn, frames <-chan frame, payload []byte) b
 		return c.WriteMsg(wire.MsgDrain, wire.Drain{}) == nil
 	case enrollShed:
 		h.shedEnrolls.Add(1)
+		shedEnrollsTotal.Inc()
 		h.logf("remote: %s: shedding ENROLL for %s: %s", c.RemoteAddr(), role, reason)
 		return h.complete(c, role, core.Result{}, &core.OverloadError{
 			Script:     h.script,
@@ -512,6 +545,9 @@ func (h *Host) handleEnroll(c *wire.Conn, frames <-chan frame, payload []byte) b
 	if m.DeadlineMS > 0 {
 		e.Deadline = time.UnixMilli(m.DeadlineMS)
 	}
+	// A malformed client trace ID is not worth failing the call over — the
+	// enrollment just runs without the client's timeline.
+	e.TraceID, _ = trace.ParseTraceID(m.TraceID)
 
 	ctx, cancel := context.WithCancel(h.baseCtx)
 	defer cancel()
@@ -633,10 +669,17 @@ func (b *bridge) run(rc core.Ctx) error {
 		b.mu.Unlock()
 	}()
 
-	if err := b.write(wire.MsgOfferAck, 0, wire.OfferAck{
+	ack := wire.OfferAck{
 		Performance: rc.Performance(),
 		Role:        rc.Role().String(),
-	}); err != nil {
+	}
+	// Echo the performance's trace ID (the client's, or one the host
+	// sampler minted) so the client records onto the same timeline. The
+	// optional assertion keeps core.Ctx unextended for other implementors.
+	if tr, ok := rc.(interface{ TraceID() trace.TraceID }); ok {
+		ack.TraceID = tr.TraceID().String()
+	}
+	if err := b.write(wire.MsgOfferAck, 0, ack); err != nil {
 		b.abortVia(rc, "write failure delivering offer")
 		return fmt.Errorf("remote: offer ack: %w", err)
 	}

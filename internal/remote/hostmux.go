@@ -9,6 +9,7 @@ import (
 
 	"github.com/scriptabs/goscript/internal/core"
 	"github.com/scriptabs/goscript/internal/ids"
+	"github.com/scriptabs/goscript/internal/trace"
 	"github.com/scriptabs/goscript/internal/wire"
 )
 
@@ -58,7 +59,9 @@ func (h *Host) serveConnV2(c *wire.Conn) {
 		tasks   = make(chan streamTask)
 	)
 	work := func(t streamTask) {
+		h.activeStreams.Add(1)
 		h.serveStream(t.st.ctx, c, t.stream, t.st, t.m)
+		h.activeStreams.Add(-1)
 		smu.Lock()
 		delete(streams, t.stream)
 		c.SetWriteBatching(len(streams) > 1)
@@ -192,6 +195,7 @@ func (h *Host) serveStream(ctx context.Context, c *wire.Conn, stream uint64, st 
 		return
 	case enrollShed:
 		h.shedEnrolls.Add(1)
+		shedEnrollsTotal.Inc()
 		h.logf("remote: %s: shedding ENROLL for %s: %s", c.RemoteAddr(), role, reason)
 		h.completeV2(c, stream, role, core.Result{}, &core.OverloadError{
 			Script:     h.script,
@@ -218,6 +222,9 @@ func (h *Host) serveStream(ctx context.Context, c *wire.Conn, stream uint64, st 
 	if m.DeadlineMS > 0 {
 		e.Deadline = time.UnixMilli(m.DeadlineMS)
 	}
+	// As in handleEnroll: a malformed client trace ID degrades to an
+	// untraced call rather than an error.
+	e.TraceID, _ = trace.ParseTraceID(m.TraceID)
 	res, err := h.target.Enroll(ctx, e)
 	h.completeV2(c, stream, role, res, err)
 }

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"github.com/scriptabs/goscript/internal/core"
+	"github.com/scriptabs/goscript/internal/trace"
 	"github.com/scriptabs/goscript/internal/wire"
 )
 
@@ -479,10 +480,11 @@ func (e *Enroller) enrollOnceV2(ctx context.Context, mc *muxConn, enr core.Enrol
 	}
 
 	msg := wire.Enroll{
-		PID:  string(enr.PID),
-		Role: enr.Role.String(),
-		Args: enr.Args,
-		With: wire.EncodeWith(enr.With),
+		PID:     string(enr.PID),
+		Role:    enr.Role.String(),
+		Args:    enr.Args,
+		With:    wire.EncodeWith(enr.With),
+		TraceID: enr.TraceID.String(),
 	}
 	if !enr.Deadline.IsZero() {
 		msg.DeadlineMS = enr.Deadline.UnixMilli()
@@ -548,7 +550,10 @@ await:
 		pid:      enr.PID,
 		perf:     ack.Performance,
 	}
+	e.bindTrace(rctx, ack.TraceID, enr.TraceID)
+	rctx.trace(trace.Event{Kind: trace.KindStart})
 	bodyErr := runClientBody(enr.Body, rctx)
+	rctx.trace(trace.Event{Kind: trace.KindFinish})
 	if err := mc.c.WriteFrame(wire.MsgBodyDone, st.id, 0, wire.BodyDone{
 		Results: rctx.Out,
 		Err:     wire.EncodeError(bodyErr),
@@ -573,7 +578,7 @@ await:
 					}
 					return core.Result{}, ev.cm.Err.Err()
 				}
-				res := core.Result{Performance: ev.cm.Performance, Role: role, Values: ev.cm.Values}
+				res := core.Result{Performance: ev.cm.Performance, Role: role, Values: ev.cm.Values, TraceID: rctx.tid}
 				if r, err := wire.DecodeRoleRef(ev.cm.Role); err == nil {
 					res.Role = r
 				}

@@ -39,6 +39,17 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"github.com/scriptabs/goscript/internal/metrics"
+)
+
+// Always-on lane-hit counters: how many point operations committed in the
+// lock-free fast lane versus falling through to the locked matcher. The
+// fast/slow ratio is the fabric's key health signal (a slow-lane-heavy
+// workload is paying the global lock on every op).
+var (
+	fastLaneOps = metrics.Get(metrics.FabricFastLaneOps)
+	slowLaneOps = metrics.Get(metrics.FabricSlowLaneOps)
 )
 
 // Addr identifies a communication endpoint (a role instance, a CSP process,
@@ -258,6 +269,7 @@ type op struct {
 func (f *Fabric) Send(ctx context.Context, owner, peer Addr, tag Tag, v any) error {
 	br := Branch{Dir: DirSend, Peer: peer, Tag: tag, Val: v}
 	if _, handled, err := f.fastPoint(ctx, owner, br); handled {
+		fastLaneOps.Inc()
 		return err
 	}
 	_, err := f.doSlow(ctx, owner, []Branch{br}, newGroup(), 0)
@@ -269,7 +281,9 @@ func (f *Fabric) Send(ctx context.Context, owner, peer Addr, tag Tag, v any) err
 func (f *Fabric) Recv(ctx context.Context, owner, peer Addr, tag Tag) (any, error) {
 	br := Branch{Dir: DirRecv, Peer: peer, Tag: tag}
 	out, handled, err := f.fastPoint(ctx, owner, br)
-	if !handled {
+	if handled {
+		fastLaneOps.Inc()
+	} else {
 		out, err = f.doSlow(ctx, owner, []Branch{br}, newGroup(), 0)
 	}
 	if err != nil {
@@ -301,6 +315,7 @@ func (f *Fabric) Do(ctx context.Context, owner Addr, branches []Branch) (Outcome
 	}
 	if len(branches) == 1 {
 		if out, handled, err := f.fastPoint(ctx, owner, branches[0]); handled {
+			fastLaneOps.Inc()
 			return out, err
 		}
 	}
@@ -312,6 +327,7 @@ func (f *Fabric) Do(ctx context.Context, owner Addr, branches []Branch) (Outcome
 // non-zero, is a previously assigned post order to preserve (an op escalated
 // from the fast lane keeps its place in the FIFO).
 func (f *Fabric) doSlow(ctx context.Context, owner Addr, branches []Branch, g *group, fixedSeq uint64) (Outcome, error) {
+	slowLaneOps.Inc()
 	// Entry guard: make the owner's address slot hot for the duration of the
 	// posting pass, so a fast-lane op racing with us escalates instead of
 	// parking invisibly (see the package comment's Dekker handshake).

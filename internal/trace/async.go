@@ -4,6 +4,14 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"github.com/scriptabs/goscript/internal/metrics"
+)
+
+// Always-on drop accounting, split by cause (see Dropped / DroppedClosed).
+var (
+	droppedFullTotal   = metrics.Get(metrics.TraceDroppedFull)
+	droppedClosedTotal = metrics.Get(metrics.TraceDroppedClosed)
 )
 
 // Async decouples event recording from event storage: Record enqueues onto a
@@ -15,7 +23,8 @@ import (
 // atomic operations and never blocks.
 //
 // Drop semantics: when the ring is full — or the tracer has been closed —
-// Record drops the event and increments the drop counter instead of
+// Record drops the event and increments the matching drop counter (Dropped
+// for ring-full, DroppedClosed for post-Close) instead of
 // blocking the hot path or resurrecting a stopped drainer. Dropped
 // events are simply missing from the sink; the events that are delivered
 // preserve their recording order (the ring is FIFO). Tests that need a
@@ -27,9 +36,13 @@ type Async struct {
 	mask  uint64
 	cells []asyncCell
 
-	enq     atomic.Uint64 // next enqueue position
-	deq     atomic.Uint64 // next dequeue position (advanced only by drain)
-	dropped atomic.Uint64
+	enq atomic.Uint64 // next enqueue position
+	deq atomic.Uint64 // next dequeue position (advanced only by drain)
+	// droppedFull counts ring-full drops, droppedClosed post-Close drops;
+	// the split matters because the first means "size the ring up or slow
+	// the producers" while the second is normal shutdown accounting.
+	droppedFull   atomic.Uint64
+	droppedClosed atomic.Uint64
 
 	// stopped and recorders fence Record against Close: Record registers in
 	// recorders for its whole critical section and bails out (counting the
@@ -48,16 +61,27 @@ type Async struct {
 	wg     sync.WaitGroup
 }
 
+// asyncCell holds the claimed event behind a pointer rather than inline:
+// the cells array lives (and is scanned by every GC mark cycle) for the
+// tracer's whole lifetime, so an idle ring's resident footprint is one word
+// per cell instead of a full Event. The price is one heap copy per recorded
+// event — paid only for events that pass sampling, where the sink write
+// dominates anyway.
 type asyncCell struct {
 	seq atomic.Uint64
-	ev  Event
+	ev  *Event
 }
 
 var _ Tracer = (*Async)(nil)
 
 // DefaultAsyncSize is the ring capacity used when NewAsync is given a
-// non-positive size.
-const DefaultAsyncSize = 1 << 14
+// non-positive size. The cells hold events by value and live for the
+// tracer's whole lifetime, so the GC scans the full ring every mark cycle
+// whether or not anything was recorded — the default is sized to absorb
+// bursts while keeping that always-on footprint (and a small-heap
+// process's GC bill) negligible. Pass an explicit size to trade memory for
+// burst headroom.
+const DefaultAsyncSize = 1 << 10
 
 // NewAsync wraps sink in an asynchronous ring-buffer tracer with the given
 // capacity (rounded up to a power of two; <= 0 selects DefaultAsyncSize).
@@ -89,8 +113,9 @@ func NewAsync(sink Tracer, size int) *Async {
 	return a
 }
 
-// Record enqueues e without blocking. If the ring is full, or the tracer
-// has been closed, the event is dropped and counted in Dropped(). Safe for
+// Record enqueues e without blocking. If the ring is full the event is
+// dropped and counted in Dropped(); if the tracer has been closed it is
+// dropped and counted in DroppedClosed(). Safe for
 // concurrent use by any number of recorders, including concurrently with
 // Close: a Record that races Close either delivers its event to the sink
 // before Close returns or counts it as dropped — it is never silently lost
@@ -99,7 +124,8 @@ func (a *Async) Record(e Event) {
 	a.recorders.Add(1)
 	defer a.recorders.Add(-1)
 	if a.stopped.Load() {
-		a.dropped.Add(1)
+		a.droppedClosed.Add(1)
+		droppedClosedTotal.Inc()
 		return
 	}
 	for {
@@ -108,7 +134,7 @@ func (a *Async) Record(e Event) {
 		switch dif := int64(cell.seq.Load() - pos); {
 		case dif == 0: // cell free at this lap: try to claim it
 			if a.enq.CompareAndSwap(pos, pos+1) {
-				cell.ev = e
+				cell.ev = &e
 				cell.seq.Store(pos + 1) // publish to the drainer
 				select {
 				case a.notify <- struct{}{}:
@@ -117,7 +143,8 @@ func (a *Async) Record(e Event) {
 				return
 			}
 		case dif < 0: // cell still holds last lap's event: ring full, drop
-			a.dropped.Add(1)
+			a.droppedFull.Add(1)
+			droppedFullTotal.Inc()
 			return
 		default:
 			// Another producer claimed pos concurrently; reload and retry.
@@ -138,10 +165,10 @@ func (a *Async) drain() {
 				break // next event not published yet
 			}
 			e := cell.ev
-			cell.ev = Event{}
+			cell.ev = nil
 			cell.seq.Store(pos + capacity) // recycle the cell for the next lap
 			a.deq.Store(pos + 1)
-			a.sink.Record(e)
+			a.sink.Record(*e)
 			moved = true
 		}
 		if moved {
@@ -160,10 +187,10 @@ func (a *Async) drain() {
 					break
 				}
 				e := cell.ev
-				cell.ev = Event{}
+				cell.ev = nil
 				cell.seq.Store(pos + capacity)
 				a.deq.Store(pos + 1)
-				a.sink.Record(e)
+				a.sink.Record(*e)
 			}
 			a.mu.Lock()
 			a.cond.Broadcast()
@@ -174,24 +201,42 @@ func (a *Async) drain() {
 }
 
 // Flush blocks until every event enqueued before the call has been delivered
-// to the sink (or the tracer is closed). It does not wait for events
-// recorded concurrently with the flush.
+// to the sink (or dropped). It does not wait for events recorded
+// concurrently with the flush. A Flush racing (or following) Close waits for
+// the drainer's final sweep to finish, so a Record→Close→Flush caller
+// observes a complete sink: every event published before Close has reached
+// the sink by the time Flush returns.
 func (a *Async) Flush() {
 	target := a.enq.Load()
 	a.mu.Lock()
-	defer a.mu.Unlock()
 	for a.deq.Load() < target && !a.closed {
 		a.cond.Wait()
+	}
+	closed := a.closed
+	a.mu.Unlock()
+	if closed {
+		// The wait loop exited because Close began, but the drainer's final
+		// sweep may still be delivering published events; returning now
+		// would let the caller read the sink mid-sweep. Wait for drainer
+		// exit — outside the mutex, which the sweep needs for its own
+		// final broadcast.
+		a.wg.Wait()
 	}
 }
 
 // Dropped returns the number of events discarded because the ring was full.
-func (a *Async) Dropped() uint64 { return a.dropped.Load() }
+// Events discarded because the tracer was already closed are counted
+// separately in DroppedClosed.
+func (a *Async) Dropped() uint64 { return a.droppedFull.Load() }
+
+// DroppedClosed returns the number of events discarded because they were
+// recorded after the tracer was closed.
+func (a *Async) DroppedClosed() uint64 { return a.droppedClosed.Load() }
 
 // Close drains outstanding events into the sink and stops the background
 // goroutine. A Record concurrent with Close either gets its event delivered
 // or counted as dropped; Records issued after Close returns are guaranteed
-// no-ops counted in Dropped(). Close is idempotent.
+// no-ops counted in DroppedClosed(). Close is idempotent.
 func (a *Async) Close() {
 	a.mu.Lock()
 	if a.closed {

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 // countSink counts deliveries without the slowSink's latency.
@@ -37,7 +38,7 @@ func TestAsyncRecordVsCloseAccounting(t *testing.T) {
 		wg.Wait()
 
 		delivered := sink.n.Load()
-		dropped := a.Dropped()
+		dropped := a.Dropped() + a.DroppedClosed()
 		if delivered+dropped != workers*each {
 			t.Fatalf("round %d: delivered %d + dropped %d != recorded %d",
 				round, delivered, dropped, workers*each)
@@ -46,20 +47,82 @@ func TestAsyncRecordVsCloseAccounting(t *testing.T) {
 }
 
 // TestAsyncPostCloseRecordIsCountedNoop: after Close has returned, Record is
-// a guaranteed no-op that increments Dropped() and never reaches the sink.
+// a guaranteed no-op that increments DroppedClosed() — not the ring-full
+// counter — and never reaches the sink.
 func TestAsyncPostCloseRecordIsCountedNoop(t *testing.T) {
 	sink := &countSink{}
 	a := NewAsync(sink, 16)
 	a.Record(Event{Kind: KindEnroll})
 	a.Close()
-	before := a.Dropped()
+	before := a.DroppedClosed()
 	for i := 0; i < 25; i++ {
 		a.Record(Event{Kind: KindEnroll})
 	}
-	if got, want := a.Dropped()-before, uint64(25); got != want {
-		t.Fatalf("post-Close records counted %d drops, want %d", got, want)
+	if got, want := a.DroppedClosed()-before, uint64(25); got != want {
+		t.Fatalf("post-Close records counted %d closed-drops, want %d", got, want)
+	}
+	if got := a.Dropped(); got != 0 {
+		t.Fatalf("post-Close records leaked into the ring-full counter: %d", got)
 	}
 	if got := sink.n.Load(); got != 1 {
 		t.Fatalf("sink saw %d events, want only the 1 pre-Close event", got)
+	}
+}
+
+// TestAsyncFlushVsCloseRace is the regression test for Flush returning
+// early when it observes a closing tracer: a Flush that runs concurrently
+// with (or after) Close must not return while the drainer's final sweep is
+// still delivering published events. Run under -race this also exercises
+// the Flush/Close/drainer synchronization.
+func TestAsyncFlushVsCloseRace(t *testing.T) {
+	for round := 0; round < 50; round++ {
+		// A sink slow enough that events are still undelivered when Close's
+		// final sweep starts — the window the buggy Flush returned into.
+		sink := &laggySink{}
+		a := NewAsync(sink, 1<<10)
+		const events = 64
+		for i := 0; i < events; i++ {
+			a.Record(Event{Kind: KindSend})
+		}
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			a.Close()
+		}()
+		// Flush may observe any interleaving of the close: before closed is
+		// set, mid final-sweep, or after drainer exit. In every case, once
+		// it returns, everything published before the Flush must be in the
+		// sink or in a drop counter.
+		a.Flush()
+		if got := sink.n.Load() + a.Dropped() + a.DroppedClosed(); got != events {
+			t.Fatalf("round %d: after Flush, delivered+dropped = %d, want %d (final sweep still running?)",
+				round, got, events)
+		}
+		wg.Wait()
+	}
+}
+
+// laggySink delays each delivery just enough to keep the ring non-empty
+// while Close's final sweep runs.
+type laggySink struct{ n atomic.Uint64 }
+
+func (s *laggySink) Record(Event) {
+	time.Sleep(10 * time.Microsecond)
+	s.n.Add(1)
+}
+
+// TestAsyncFlushAfterClose: the documented Record→Close→Flush sequence
+// observes a complete sink.
+func TestAsyncFlushAfterClose(t *testing.T) {
+	sink := &countSink{}
+	a := NewAsync(sink, 64)
+	for i := 0; i < 40; i++ {
+		a.Record(Event{Kind: KindRecv})
+	}
+	a.Close()
+	a.Flush()
+	if got := sink.n.Load() + a.Dropped() + a.DroppedClosed(); got != 40 {
+		t.Fatalf("after Close+Flush, delivered+dropped = %d, want 40", got)
 	}
 }

@@ -19,6 +19,7 @@ type jsonEvent struct {
 	PID         string `json:"pid,omitempty"`
 	Peer        string `json:"peer,omitempty"`
 	Detail      string `json:"detail,omitempty"`
+	TraceID     string `json:"trace_id,omitempty"`
 }
 
 var kindByName = func() map[string]Kind {
@@ -41,6 +42,7 @@ func WriteJSON(w io.Writer, events []Event) error {
 			Performance: e.Performance,
 			PID:         string(e.PID),
 			Detail:      e.Detail,
+			TraceID:     e.TraceID.String(),
 		}
 		if e.Role.Name != "" {
 			je.Role = e.Role.String()
@@ -74,6 +76,13 @@ func ReadJSON(r io.Reader) ([]Event, error) {
 			Performance: je.Performance,
 			PID:         ids.PID(je.PID),
 			Detail:      je.Detail,
+		}
+		if je.TraceID != "" {
+			tid, err := ParseTraceID(je.TraceID)
+			if err != nil {
+				return nil, fmt.Errorf("trace: event %d: %w", i, err)
+			}
+			e.TraceID = tid
 		}
 		if je.Role != "" {
 			role, err := ids.ParseRoleRef(je.Role)

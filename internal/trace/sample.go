@@ -1,0 +1,275 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/scriptabs/goscript/internal/metrics"
+)
+
+// This file is the sampled-tracing layer: per-performance trace IDs, the
+// Sampler that decides at initiation whether a performance is traced, and
+// the bounded retained-context table of live traced performances. At
+// millions of performances per second nobody can record everything;
+// sampling keeps a representative, bounded slice of the traffic observable.
+// The shape follows motan-go's trace exemplars (RandomTrace's 1/N
+// probability decision, the MaxTraceSize-capped context table).
+
+// TraceID identifies one performance's timeline across process boundaries:
+// minted once at initiation (by whichever side samples the performance
+// first), carried in every recorded event, and propagated through the SCRW
+// ENROLL/OFFER-ACK exchange so a remote enrollment stitches into the same
+// timeline. Zero means "not traced".
+type TraceID uint64
+
+// String renders the ID as 16 lowercase hex digits — the wire form. The
+// zero ID renders as "".
+func (t TraceID) String() string {
+	if t == 0 {
+		return ""
+	}
+	return fmt.Sprintf("%016x", uint64(t))
+}
+
+// ParseTraceID parses the wire form produced by String. An empty string is
+// the zero ID (not traced); anything else must be valid hex.
+func ParseTraceID(s string) (TraceID, error) {
+	if s == "" {
+		return 0, nil
+	}
+	v, err := strconv.ParseUint(s, 16, 64)
+	if err != nil {
+		return 0, fmt.Errorf("trace: bad trace id %q: %w", s, err)
+	}
+	return TraceID(v), nil
+}
+
+// Sampler decides, once per performance at initiation, whether the
+// performance's events are recorded. A true verdict returns a freshly
+// minted non-zero TraceID. Implementations must be safe for concurrent use.
+type Sampler interface {
+	Sample() (TraceID, bool)
+}
+
+// splitmix64 is the ID/decision generator: a single atomic add per draw,
+// fully deterministic from the seed, with well-distributed output bits.
+const splitmixGamma = 0x9e3779b97f4a7c15
+
+func splitmix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// mintID derives a non-zero trace ID from a generator draw.
+func mintID(x uint64) TraceID {
+	id := TraceID(splitmix64(x + splitmixGamma))
+	if id == 0 {
+		id = 1
+	}
+	return id
+}
+
+// processIDState seeds NextID; the process start time keeps IDs distinct
+// across processes so a host-minted and a client-minted ID do not collide.
+var processIDState atomic.Uint64
+
+func init() {
+	processIDState.Store(uint64(time.Now().UnixNano()))
+}
+
+// NextID mints a process-unique non-zero trace ID. The core runtime uses it
+// for performances that are traced without a sampler (record-everything
+// tracing), so even unsampled setups get stitchable timelines.
+func NextID() TraceID {
+	return mintID(processIDState.Add(splitmixGamma))
+}
+
+// ProbabilitySampler samples each performance independently with a fixed
+// probability — motan-go's RandomTrace (1 in RandomTraceBase) generalized to
+// an arbitrary ratio. The decision sequence is a pure function of the seed:
+// two samplers with equal seeds, drawn the same number of times, make
+// identical decisions and mint identical IDs, which is what deterministic
+// tests need. Sample is one atomic add plus a few multiplies.
+type ProbabilitySampler struct {
+	state     atomic.Uint64
+	threshold uint64 // draw < threshold => sampled; MaxUint64 means always
+	always    bool
+}
+
+// NewProbabilitySampler returns a sampler tracing the given fraction of
+// performances (clamped to [0, 1]) with a deterministic seed.
+func NewProbabilitySampler(fraction float64, seed uint64) *ProbabilitySampler {
+	s := &ProbabilitySampler{}
+	s.state.Store(seed)
+	switch {
+	case fraction <= 0:
+		s.threshold = 0
+	case fraction >= 1:
+		s.threshold = math.MaxUint64
+		s.always = true
+	default:
+		s.threshold = uint64(fraction * float64(math.MaxUint64))
+	}
+	return s
+}
+
+// Sample implements Sampler.
+func (s *ProbabilitySampler) Sample() (TraceID, bool) {
+	draw := splitmix64(s.state.Add(splitmixGamma))
+	if !s.always && draw >= s.threshold {
+		return 0, false
+	}
+	sampledTotal.Inc()
+	return mintID(draw), true
+}
+
+// RateSampler admits at most perSec traced performances per second (token
+// bucket with the given burst), whatever the offered load — the right
+// sampler when traffic is spiky and a fixed probability would either drown
+// the sink at peak or starve it at trough. The clock is injectable so tests
+// are deterministic.
+type RateSampler struct {
+	mu     sync.Mutex
+	perSec float64
+	burst  float64
+	tokens float64
+	last   time.Time
+	now    func() time.Time
+	ids    uint64
+}
+
+// NewRateSampler returns a sampler admitting perSec traces per second with
+// the given burst capacity (minimum 1); seed makes the minted IDs
+// deterministic.
+func NewRateSampler(perSec float64, burst int, seed uint64) *RateSampler {
+	if burst < 1 {
+		burst = 1
+	}
+	return &RateSampler{
+		perSec: perSec,
+		burst:  float64(burst),
+		tokens: float64(burst),
+		now:    time.Now,
+		ids:    seed,
+	}
+}
+
+// SetClock overrides the sampler's clock; call before first use (tests).
+func (s *RateSampler) SetClock(now func() time.Time) {
+	s.mu.Lock()
+	s.now = now
+	s.mu.Unlock()
+}
+
+// Sample implements Sampler.
+func (s *RateSampler) Sample() (TraceID, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t := s.now()
+	if !s.last.IsZero() {
+		s.tokens += t.Sub(s.last).Seconds() * s.perSec
+		if s.tokens > s.burst {
+			s.tokens = s.burst
+		}
+	}
+	s.last = t
+	if s.tokens < 1 {
+		return 0, false
+	}
+	s.tokens--
+	s.ids += splitmixGamma
+	sampledTotal.Inc()
+	return mintID(splitmix64(s.ids)), true
+}
+
+// AlwaysSample traces every performance (motan-go's AlwaysTrace), minting
+// deterministic IDs from the seed. Useful in tests and for low-traffic
+// instances where sampling would only lose information.
+func AlwaysSample(seed uint64) Sampler { return NewProbabilitySampler(1, seed) }
+
+// NeverSample traces nothing; Result trace IDs stay zero.
+func NeverSample() Sampler { return NewProbabilitySampler(0, 0) }
+
+// PerfContext is one live traced performance retained in a Table.
+type PerfContext struct {
+	ID          TraceID
+	Script      string
+	Performance int
+}
+
+// DefaultMaxLiveTraces is the retained-context cap used when a Table is
+// created with a non-positive max.
+const DefaultMaxLiveTraces = 1024
+
+// Table is the bounded retained-context table: the set of currently-live
+// traced performances, capped like motan-go's MaxTraceSize so a burst of
+// sampled initiations cannot hold unbounded state. When the table is full,
+// Add refuses (counted in trace_table_full_total) and the performance runs
+// untraced; entries are removed when their performance ends or aborts.
+type Table struct {
+	mu   sync.Mutex
+	max  int
+	live map[TraceID]PerfContext
+}
+
+// NewTable returns a table retaining at most max live contexts
+// (DefaultMaxLiveTraces when max <= 0).
+func NewTable(max int) *Table {
+	if max <= 0 {
+		max = DefaultMaxLiveTraces
+	}
+	return &Table{max: max, live: make(map[TraceID]PerfContext)}
+}
+
+// Add retains pc and reports whether there was room; a false return means
+// the cap is reached and the caller should run the performance untraced.
+func (t *Table) Add(pc PerfContext) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.live[pc.ID]; ok {
+		return true
+	}
+	if len(t.live) >= t.max {
+		tableFullTotal.Inc()
+		return false
+	}
+	t.live[pc.ID] = pc
+	return true
+}
+
+// Remove releases the context for id (no-op when absent).
+func (t *Table) Remove(id TraceID) {
+	t.mu.Lock()
+	delete(t.live, id)
+	t.mu.Unlock()
+}
+
+// Len returns the number of live contexts.
+func (t *Table) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.live)
+}
+
+// Contexts returns a snapshot of the live contexts (motan-go's
+// GetTraceContexts), in no particular order.
+func (t *Table) Contexts() []PerfContext {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]PerfContext, 0, len(t.live))
+	for _, pc := range t.live {
+		out = append(out, pc)
+	}
+	return out
+}
+
+// Always-on counters this package feeds.
+var (
+	sampledTotal   = metrics.Get(metrics.TraceSampled)
+	tableFullTotal = metrics.Get(metrics.TraceTableFull)
+)

@@ -1,0 +1,205 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestProbabilitySamplerDeterministic: two samplers with the same seed make
+// identical decisions and mint identical IDs — the contract deterministic
+// tests and reproducible production sampling rely on.
+func TestProbabilitySamplerDeterministic(t *testing.T) {
+	a := NewProbabilitySampler(0.25, 42)
+	b := NewProbabilitySampler(0.25, 42)
+	sampled := 0
+	for i := 0; i < 1000; i++ {
+		idA, okA := a.Sample()
+		idB, okB := b.Sample()
+		if okA != okB || idA != idB {
+			t.Fatalf("draw %d diverged: (%v,%v) vs (%v,%v)", i, idA, okA, idB, okB)
+		}
+		if okA {
+			sampled++
+			if idA == 0 {
+				t.Fatalf("draw %d: sampled with zero trace ID", i)
+			}
+		}
+	}
+	if sampled < 150 || sampled > 350 {
+		t.Fatalf("0.25 sampler admitted %d/1000 draws — outside sanity band", sampled)
+	}
+	// A different seed must produce a different decision/ID sequence.
+	c := NewProbabilitySampler(0.25, 43)
+	same := 0
+	d := NewProbabilitySampler(0.25, 42)
+	for i := 0; i < 1000; i++ {
+		idC, _ := c.Sample()
+		idD, _ := d.Sample()
+		if idC == idD {
+			same++
+		}
+	}
+	if same == 1000 {
+		t.Fatal("seeds 42 and 43 produced identical sequences")
+	}
+}
+
+func TestProbabilitySamplerExtremes(t *testing.T) {
+	always := AlwaysSample(7)
+	for i := 0; i < 100; i++ {
+		if id, ok := always.Sample(); !ok || id == 0 {
+			t.Fatalf("AlwaysSample draw %d: (%v, %v)", i, id, ok)
+		}
+	}
+	never := NeverSample()
+	for i := 0; i < 100; i++ {
+		if id, ok := never.Sample(); ok || id != 0 {
+			t.Fatalf("NeverSample draw %d: (%v, %v)", i, id, ok)
+		}
+	}
+}
+
+// TestRateSampler drives the token bucket with an injected clock: burst is
+// honored, then admissions track the refill rate exactly.
+func TestRateSampler(t *testing.T) {
+	s := NewRateSampler(10, 2, 99)
+	now := time.Unix(1000, 0)
+	s.SetClock(func() time.Time { return now })
+
+	// Burst of 2 admits the first two draws; the third is refused.
+	for i := 0; i < 2; i++ {
+		if id, ok := s.Sample(); !ok || id == 0 {
+			t.Fatalf("burst draw %d refused", i)
+		}
+	}
+	if _, ok := s.Sample(); ok {
+		t.Fatal("third draw admitted with an empty bucket")
+	}
+	// 100ms at 10/sec refills exactly one token.
+	now = now.Add(100 * time.Millisecond)
+	if _, ok := s.Sample(); !ok {
+		t.Fatal("draw refused after refill")
+	}
+	if _, ok := s.Sample(); ok {
+		t.Fatal("second draw admitted after single-token refill")
+	}
+	// Idle time cannot accumulate beyond the burst.
+	now = now.Add(time.Hour)
+	admitted := 0
+	for i := 0; i < 10; i++ {
+		if _, ok := s.Sample(); ok {
+			admitted++
+		}
+	}
+	if admitted != 2 {
+		t.Fatalf("after long idle, admitted %d, want burst cap 2", admitted)
+	}
+}
+
+func TestRateSamplerDeterministicIDs(t *testing.T) {
+	mk := func() *RateSampler {
+		s := NewRateSampler(1000, 10, 7)
+		now := time.Unix(0, 0)
+		s.SetClock(func() time.Time { return now })
+		return s
+	}
+	a, b := mk(), mk()
+	for i := 0; i < 10; i++ {
+		idA, _ := a.Sample()
+		idB, _ := b.Sample()
+		if idA != idB || idA == 0 {
+			t.Fatalf("draw %d: %v vs %v", i, idA, idB)
+		}
+	}
+}
+
+func TestTraceIDRoundTrip(t *testing.T) {
+	for _, id := range []TraceID{0, 1, 0xdeadbeef, ^TraceID(0)} {
+		got, err := ParseTraceID(id.String())
+		if err != nil {
+			t.Fatalf("ParseTraceID(%q): %v", id.String(), err)
+		}
+		if got != id {
+			t.Fatalf("round trip %v -> %q -> %v", id, id.String(), got)
+		}
+	}
+	if _, err := ParseTraceID("not-hex"); err == nil {
+		t.Fatal("ParseTraceID accepted garbage")
+	}
+	if s := TraceID(0).String(); s != "" {
+		t.Fatalf("zero ID renders %q, want empty", s)
+	}
+	if s := TraceID(0xab).String(); s != "00000000000000ab" {
+		t.Fatalf("TraceID(0xab) = %q, want zero-padded 16 hex digits", s)
+	}
+}
+
+func TestNextIDUnique(t *testing.T) {
+	seen := make(map[TraceID]bool)
+	for i := 0; i < 1000; i++ {
+		id := NextID()
+		if id == 0 {
+			t.Fatal("NextID minted zero")
+		}
+		if seen[id] {
+			t.Fatalf("NextID repeated %v", id)
+		}
+		seen[id] = true
+	}
+}
+
+// TestTableCap: the retained-context table refuses additions beyond its cap
+// (the performance then runs untraced), re-admits after Remove, and treats
+// re-adding a live ID as success.
+func TestTableCap(t *testing.T) {
+	tbl := NewTable(2)
+	if !tbl.Add(PerfContext{ID: 1, Script: "s", Performance: 1}) {
+		t.Fatal("first Add refused")
+	}
+	if !tbl.Add(PerfContext{ID: 2, Script: "s", Performance: 2}) {
+		t.Fatal("second Add refused")
+	}
+	if tbl.Add(PerfContext{ID: 3, Script: "s", Performance: 3}) {
+		t.Fatal("Add beyond cap admitted")
+	}
+	if !tbl.Add(PerfContext{ID: 1, Script: "s", Performance: 1}) {
+		t.Fatal("re-Add of live ID refused")
+	}
+	if got := tbl.Len(); got != 2 {
+		t.Fatalf("Len = %d, want 2", got)
+	}
+	tbl.Remove(1)
+	if !tbl.Add(PerfContext{ID: 3, Script: "s", Performance: 3}) {
+		t.Fatal("Add after Remove refused")
+	}
+	ctxs := tbl.Contexts()
+	if len(ctxs) != 2 {
+		t.Fatalf("Contexts returned %d entries, want 2", len(ctxs))
+	}
+	ids := map[TraceID]bool{}
+	for _, pc := range ctxs {
+		ids[pc.ID] = true
+	}
+	if !ids[2] || !ids[3] {
+		t.Fatalf("Contexts = %v, want IDs 2 and 3", ctxs)
+	}
+}
+
+func TestEventJSONCarriesTraceID(t *testing.T) {
+	evs := []Event{
+		{Seq: 1, Kind: KindPerfStart, Script: "s", Performance: 1, TraceID: 0xfeed},
+		{Seq: 2, Kind: KindPerfEnd, Script: "s", Performance: 1},
+	}
+	var sb strings.Builder
+	if err := WriteJSON(&sb, evs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].TraceID != 0xfeed || got[1].TraceID != 0 {
+		t.Fatalf("round-tripped events = %+v", got)
+	}
+}

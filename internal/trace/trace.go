@@ -96,6 +96,9 @@ type Event struct {
 	Peer ids.RoleRef
 	// Detail is optional human-readable context (message tag, value, ...).
 	Detail string
+	// TraceID ties the event to a sampled performance's cross-process
+	// timeline; zero when the performance is not traced (see sample.go).
+	TraceID TraceID
 }
 
 // String renders the event compactly, e.g.
@@ -120,6 +123,9 @@ func (e Event) String() string {
 	}
 	if e.PID != ids.NoPID {
 		fmt.Fprintf(&b, " by %s", e.PID)
+	}
+	if e.TraceID != 0 {
+		fmt.Fprintf(&b, " trace=%s", e.TraceID)
 	}
 	return b.String()
 }

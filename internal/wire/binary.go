@@ -252,7 +252,12 @@ func appendBody(b []byte, t MsgType, m any) ([]byte, error) {
 		return appendBody(b, t, *m)
 	case OfferAck:
 		b = binary.AppendUvarint(b, uint64(m.Performance))
-		return appendString(b, m.Role), nil
+		b = appendString(b, m.Role)
+		// TraceID is an optional trailing field (see appendEnroll).
+		if m.TraceID != "" {
+			b = appendString(b, m.TraceID)
+		}
+		return b, nil
 	case Send:
 		b = appendString(b, m.To)
 		b = appendString(b, m.Tag)
@@ -345,6 +350,13 @@ func appendEnroll(b []byte, m *Enroll) ([]byte, error) {
 		for _, pid := range pids {
 			b = appendString(b, pid)
 		}
+	}
+	// TraceID rides as an optional trailing field: appended only when set,
+	// parsed only when bytes remain. An empty ID keeps the original frame
+	// layout byte-for-byte, so pre-tracing peers and the fuzz corpus stay
+	// compatible.
+	if m.TraceID != "" {
+		b = appendString(b, m.TraceID)
 	}
 	return b, nil
 }
@@ -719,6 +731,11 @@ func parseBody(c *cursor, t MsgType) (any, error) {
 		if m.Role, err = c.string(); err != nil {
 			return nil, err
 		}
+		if c.remaining() > 0 { // optional trailing trace ID
+			if m.TraceID, err = c.string(); err != nil {
+				return nil, err
+			}
+		}
 		return m, nil
 	case MsgSend:
 		m := &Send{}
@@ -932,6 +949,11 @@ func parseEnroll(c *cursor) (*Enroll, error) {
 				pids = append(pids, pid)
 			}
 			m.With[role] = pids
+		}
+	}
+	if c.remaining() > 0 { // optional trailing trace ID
+		if m.TraceID, err = c.string(); err != nil {
+			return nil, err
 		}
 	}
 	return m, nil

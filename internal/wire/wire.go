@@ -64,7 +64,25 @@ import (
 
 	"github.com/scriptabs/goscript/internal/core"
 	"github.com/scriptabs/goscript/internal/ids"
+	"github.com/scriptabs/goscript/internal/metrics"
 )
+
+// Always-on handshake counters, by negotiated protocol version. Incremented
+// at either end of a successful handshake, so on a host they count accepted
+// connections and on a client outbound ones; the v1/v2 split shows how much
+// of the fleet still falls back to the JSON protocol.
+var (
+	connsV1Total = metrics.Get(metrics.WireConnsV1)
+	connsV2Total = metrics.Get(metrics.WireConnsV2)
+)
+
+func countConn(version int) {
+	if version >= 2 {
+		connsV2Total.Inc()
+	} else {
+		connsV1Total.Inc()
+	}
+}
 
 // Protocol constants.
 const (
@@ -186,6 +204,11 @@ type Enroll struct {
 	// DeadlineMS is Enrollment.Deadline as Unix milliseconds (0 = none); it
 	// feeds the host instance's performance-deadline machinery.
 	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// TraceID, when non-empty, is a trace ID (16 hex digits) minted by the
+	// client's sampler; the performance this enrollment initiates adopts it,
+	// so both sides of the wire record events on one timeline. Hosts that
+	// predate tracing ignore the field — the call is still served, untraced.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // OfferAck tells the client its offer was assigned to a performance and the
@@ -193,6 +216,9 @@ type Enroll struct {
 type OfferAck struct {
 	Performance int    `json:"performance"`
 	Role        string `json:"role"`
+	// TraceID echoes the performance's trace ID (the client's, or one the
+	// host's sampler minted); empty when the performance is not traced.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // Send requests a synchronous transfer to a peer role.
@@ -810,6 +836,7 @@ func ClientHandshake(c *Conn, script string) (HelloAck, error) {
 		if ack.Version != Version {
 			return HelloAck{}, fmt.Errorf("wire: host speaks protocol v%d, client v%d", ack.Version, Version)
 		}
+		countConn(ack.Version)
 		return ack, nil
 	case MsgOverloaded:
 		var ov Overloaded
@@ -851,7 +878,11 @@ func ServerHandshake(c *Conn, script string) error {
 	if h.Script != "" && h.Script != script {
 		return c.reject(fmt.Sprintf("host serves script %q, client wants %q", script, h.Script))
 	}
-	return c.WriteMsg(MsgHelloAck, HelloAck{Version: Version, Script: script})
+	if err := c.WriteMsg(MsgHelloAck, HelloAck{Version: Version, Script: script}); err != nil {
+		return err
+	}
+	countConn(Version)
+	return nil
 }
 
 func (c *Conn) reject(msg string) error {
@@ -889,6 +920,7 @@ func ClientHandshakeV(c *Conn, script string, maxVersion int) (HelloAck, error) 
 			return HelloAck{}, fmt.Errorf("wire: host picked protocol v%d, client offered v%d..v%d", ack.Version, Version, maxVersion)
 		}
 		c.version = ack.Version
+		countConn(ack.Version)
 		return ack, nil
 	case MsgOverloaded:
 		var ov Overloaded
@@ -949,6 +981,7 @@ func ServerHandshakeV(c *Conn, script string, maxVersion int) error {
 		return err
 	}
 	c.version = ver
+	countConn(ver)
 	return nil
 }
 

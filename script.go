@@ -97,6 +97,11 @@ type (
 	// AsyncTracer decouples trace recording from the scheduler's critical
 	// section via a lock-free ring; see NewAsyncTracer.
 	AsyncTracer = trace.Async
+	// Sampler decides per performance, at initiation, whether to trace it;
+	// see WithSampler.
+	Sampler = trace.Sampler
+	// TraceID identifies one sampled performance's cross-process timeline.
+	TraceID = trace.TraceID
 
 	// PID identifies an enrolling process.
 	PID = ids.PID
@@ -173,6 +178,26 @@ func NewAsyncTracer(sink Tracer, size int) *AsyncTracer {
 		size = trace.DefaultAsyncSize
 	}
 	return trace.NewAsync(sink, size)
+}
+
+// WithSampler installs a trace sampler: each performance is traced (and
+// assigned a TraceID, reported in Result.TraceID) only when the sampler
+// says so at initiation; everything else records nothing. Combine with
+// WithTracer — typically an AsyncTracer — for production tracing at a
+// sampled rate.
+func WithSampler(s Sampler) Option { return core.WithSampler(s) }
+
+// NewProbabilitySampler samples each performance independently with the
+// given probability (0..1). The decision sequence is deterministic for a
+// given seed.
+func NewProbabilitySampler(fraction float64, seed uint64) Sampler {
+	return trace.NewProbabilitySampler(fraction, seed)
+}
+
+// NewRateSampler samples up to perSec performances per second (token
+// bucket with the given burst). IDs are deterministic for a given seed.
+func NewRateSampler(perSec float64, burst int, seed uint64) Sampler {
+	return trace.NewRateSampler(perSec, burst, seed)
 }
 
 // WithFairness selects the instance's contention policy.
