@@ -1,0 +1,208 @@
+//go:build chaos
+
+package script_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/scriptabs/goscript/internal/chaos"
+	"github.com/scriptabs/goscript/internal/conform"
+	"github.com/scriptabs/goscript/internal/core"
+	"github.com/scriptabs/goscript/internal/ids"
+	"github.com/scriptabs/goscript/internal/registry"
+	"github.com/scriptabs/goscript/internal/remote"
+	"github.com/scriptabs/goscript/internal/trace"
+)
+
+// TestChaosSoakFleet runs the fleet fabric under a hostile discovery plane:
+// three in-process hosts announce themselves over gossip whose packets the
+// injector drops, delays, duplicates, and stales, while injected overload
+// bursts force the balanced enroller to reroute mid-soak. The contracts
+// under test:
+//
+//   - gossip is anti-entropy: membership still converges to all three hosts
+//     and never evicts a live one, whatever the packet faults;
+//   - rerouting is admission-only: every enrollment completes somewhere and
+//     zero admitted performances abort;
+//   - every host's trace still conforms after the stampede.
+func TestChaosSoakFleet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak is not short")
+	}
+	runChaosSoakFleet(t, 20260808)
+}
+
+func runChaosSoakFleet(t *testing.T, seed int64) {
+	inj := chaos.New(chaos.Config{
+		Seed: seed,
+		// Discovery-plane faults: lossy, laggy, duplicating gossip with
+		// stale load digests. No conn drops or heartbeat stalls — the soak
+		// asserts zero aborts, so only faults that must never touch
+		// admitted work are in play.
+		GossipDropP:    0.2,
+		GossipDelayP:   0.2,
+		GossipDelayMax: 30 * time.Millisecond,
+		GossipDupP:     0.2,
+		GossipStaleP:   0.3,
+		// Admission-level overload bursts on top of the genuine cap sheds
+		// keep the balancer rerouting.
+		OverloadP: 0.05,
+	})
+
+	const (
+		fleetN  = 3
+		capN    = 4
+		clients = 16
+		rounds  = 20
+		total   = clients * rounds
+	)
+
+	type node struct {
+		in  *core.Instance
+		h   *remote.Host
+		g   *registry.Gossip
+		log *trace.Log
+	}
+	nodes := make([]*node, fleetN)
+	var seedAddrs []string
+	for i := range nodes {
+		def := core.NewScript("slot").
+			Role("only", func(rc core.Ctx) error { return errors.New("local body must not run") }).
+			MustBuild()
+		log := &trace.Log{}
+		in := core.NewInstance(def, core.WithTracer(log))
+		h := remote.NewHost(in, remote.HostConfig{
+			MaxEnrollments: capN,
+			RetryAfter:     5 * time.Millisecond,
+			Faults:         inj,
+		})
+		if err := h.Listen("127.0.0.1:0"); err != nil {
+			t.Fatalf("Listen: %v", err)
+		}
+		go h.Serve()
+		g, err := registry.NewGossip(registry.GossipConfig{
+			Bind:     "127.0.0.1:0",
+			Seeds:    seedAddrs,
+			Interval: 15 * time.Millisecond,
+			Seed:     seed + int64(i),
+			Faults:   inj,
+		})
+		if err != nil {
+			t.Fatalf("gossip %d: %v", i, err)
+		}
+		seedAddrs = append(seedAddrs, g.Addr())
+		g.Announce(
+			registry.Endpoint{Addr: h.Addr().String(), Scripts: []string{"slot"}},
+			func() registry.Load {
+				st := h.Stats()
+				return registry.Load{Conns: st.Conns, Enrolling: st.Enrolling, PendingOffers: in.PendingOffers()}
+			})
+		nodes[i] = &node{in: in, h: h, g: g, log: log}
+	}
+	defer func() {
+		for _, n := range nodes {
+			n.g.Close()
+			n.h.Close()
+			n.in.Close()
+		}
+	}()
+
+	// The client's own gossip node rides the same faulty plane.
+	cg, err := registry.NewGossip(registry.GossipConfig{
+		Bind:     "127.0.0.1:0",
+		Seeds:    []string{seedAddrs[0]},
+		Interval: 15 * time.Millisecond,
+		Seed:     seed + 100,
+		Faults:   inj,
+	})
+	if err != nil {
+		t.Fatalf("client gossip: %v", err)
+	}
+	defer cg.Close()
+	enr := remote.NewEnrollerRegistry(cg, remote.EnrollerConfig{
+		Script:   "slot",
+		Balancer: remote.NewLeastLoaded(),
+		Retry: remote.RetryPolicy{
+			MaxAttempts: 10000,
+			BaseBackoff: time.Millisecond,
+			MaxBackoff:  25 * time.Millisecond,
+			Seed:        seed,
+		},
+	})
+	defer enr.Close()
+
+	// Convergence under fire: drops and delays slow anti-entropy down but
+	// cannot stop it.
+	deadline := time.Now().Add(30 * time.Second)
+	for len(enr.Hosts()) != fleetN {
+		if time.Now().After(deadline) {
+			t.Fatalf("discovery did not converge (seed %d): %v", seed, enr.Hosts())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+				_, err := enr.Enroll(ctx, core.Enrollment{
+					PID:  ids.PID(fmt.Sprintf("C%d", c)),
+					Role: ids.Role("only"),
+					Body: func(rc core.Ctx) error { return nil },
+				})
+				cancel()
+				if err != nil {
+					t.Errorf("client %d round %d did not complete under retry: %v", c, r, err)
+					return
+				}
+			}
+		}(c)
+	}
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(120 * time.Second):
+		t.Fatalf("fleet soak wedged (seed %d): clients still retrying after 120s", seed)
+	}
+
+	// No live host was evicted by the faulty plane.
+	if got := len(enr.Hosts()); got != fleetN {
+		t.Errorf("host set shrank to %d under gossip faults (seed %d): %v", got, seed, enr.Hosts())
+	}
+
+	var performed int
+	for i, n := range nodes {
+		dctx, dcancel := context.WithTimeout(context.Background(), 30*time.Second)
+		if err := n.h.Drain(dctx); err != nil {
+			t.Fatalf("host %d final Drain = %v (seed %d)", i, err, seed)
+		}
+		dcancel()
+		performed += n.in.Performances()
+		for _, v := range conform.CheckSemantics(n.log.Events()) {
+			t.Errorf("host %d semantics (seed %d): %s", i, seed, v)
+		}
+	}
+	if performed != total {
+		t.Errorf("fleet performed %d enrollments, want %d (seed %d)", performed, total, seed)
+	}
+
+	drops, delays, dups, stales := inj.GossipStats()
+	if drops == 0 || delays == 0 || dups == 0 || stales == 0 {
+		t.Errorf("gossip faults never fired: drops=%d delays=%d dups=%d stales=%d (seed %d)",
+			drops, delays, dups, stales, seed)
+	}
+	t.Logf("seed %d: %d enrollments over %d hosts; gossip faults drops=%d delays=%d dups=%d stales=%d; injected overloads=%d",
+		seed, total, fleetN, drops, delays, dups, stales, inj.OverloadCount())
+}

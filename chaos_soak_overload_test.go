@@ -51,9 +51,9 @@ func runChaosSoakOverload(t *testing.T, seed int64) {
 	})
 
 	const (
-		capN    = 4          // host admission cap
-		clients = 4 * capN   // concurrent remote enrollers: 4× the cap
-		rounds  = 25         // completed enrollments per client
+		capN    = 4        // host admission cap
+		clients = 4 * capN // concurrent remote enrollers: 4× the cap
+		rounds  = 25       // completed enrollments per client
 		total   = clients * rounds
 	)
 

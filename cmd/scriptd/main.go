@@ -26,6 +26,15 @@
 // host's live gauges and Go's expvar at /debug/vars. The resolved address
 // is printed as "metrics on ADDR". -trace-sample enables sampled tracing of
 // the served performances.
+//
+// Fleet: -registry joins a cluster registry and announces this host (its
+// serve address, script name, and a live load digest refreshed every
+// announcement). "gossip:BIND" starts a UDP gossip node on BIND seeded from
+// -gossip-peers and prints the resolved address as "gossip on ADDR";
+// "static:FILE" re-reads a member file. -announce overrides the announced
+// serve address (for NAT or 0.0.0.0 binds). A signal-triggered drain
+// withdraws the announcement first, so clients stop routing here while
+// in-flight performances finish.
 package main
 
 import (
@@ -38,12 +47,15 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"github.com/scriptabs/goscript/internal/core"
 	"github.com/scriptabs/goscript/internal/metrics"
 	"github.com/scriptabs/goscript/internal/patterns"
+	"github.com/scriptabs/goscript/internal/registry"
 	"github.com/scriptabs/goscript/internal/remote"
 	"github.com/scriptabs/goscript/internal/trace"
 )
@@ -76,6 +88,14 @@ func run(args []string, out io.Writer) error {
 	sampleFrac := fs.Float64("trace-sample", 0,
 		"fraction of performances to trace, 0..1 (0 disables sampled tracing)")
 	sampleSeed := fs.Uint64("trace-seed", 1, "seed for the deterministic trace sampler")
+	registrySpec := fs.String("registry", "",
+		`cluster registry to join: "gossip:BIND-ADDR" (UDP gossip node) or "static:FILE" (member file, re-read periodically); empty disables`)
+	announceAddr := fs.String("announce", "",
+		"address to announce to the registry (default: the resolved listen address)")
+	gossipPeers := fs.String("gossip-peers", "",
+		"comma-separated seed gossip addresses of other hosts (with -registry gossip:...)")
+	gossipInterval := fs.Duration("gossip-interval", 500*time.Millisecond,
+		"gossip round cadence; membership eviction takes 10 rounds of silence")
 	list := fs.Bool("list", false, "print the servable script names and exit")
 	verbose := fs.Bool("v", false, "log connection-level events to stderr")
 	if err := fs.Parse(args); err != nil {
@@ -131,13 +151,66 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "serving %q (n=%d)\n", def.Name(), *n)
 	fmt.Fprintf(out, "listening on %s\n", h.Addr())
 
+	var reg registry.Registry
+	var stopAnnounce func()
+	if *registrySpec != "" {
+		switch {
+		case strings.HasPrefix(*registrySpec, "gossip:"):
+			gcfg := registry.GossipConfig{
+				Bind:     strings.TrimPrefix(*registrySpec, "gossip:"),
+				Interval: *gossipInterval,
+			}
+			if *gossipPeers != "" {
+				gcfg.Seeds = strings.Split(*gossipPeers, ",")
+			}
+			if *verbose {
+				gcfg.Logf = func(format string, a ...any) {
+					fmt.Fprintf(os.Stderr, "scriptd: "+format+"\n", a...)
+				}
+			}
+			g, err := registry.NewGossip(gcfg)
+			if err != nil {
+				return err
+			}
+			reg = g
+			fmt.Fprintf(out, "gossip on %s\n", g.Addr())
+		case strings.HasPrefix(*registrySpec, "static:"):
+			s, err := registry.NewStaticFile(strings.TrimPrefix(*registrySpec, "static:"), 2*time.Second)
+			if err != nil {
+				return err
+			}
+			reg = s
+		default:
+			return fmt.Errorf(`unknown -registry %q (want "gossip:BIND-ADDR" or "static:FILE")`, *registrySpec)
+		}
+		defer reg.Close()
+		ann := *announceAddr
+		if ann == "" {
+			ann = h.Addr().String()
+		}
+		var prevShed atomic.Uint64
+		stopAnnounce = reg.Announce(
+			registry.Endpoint{Addr: ann, Scripts: []string{def.Name()}},
+			func() registry.Load {
+				st := h.Stats()
+				shed := uint64(st.ShedEnrollments)
+				return registry.Load{
+					Conns:         st.Conns,
+					Enrolling:     st.Enrolling,
+					PendingOffers: in.PendingOffers(),
+					ShedRecent:    shed - prevShed.Swap(shed),
+				}
+			})
+		fmt.Fprintf(out, "announcing %s\n", ann)
+	}
+
 	if *metricsAddr != "" {
 		mln, err := net.Listen("tcp", *metricsAddr)
 		if err != nil {
 			return fmt.Errorf("metrics listener: %w", err)
 		}
 		defer mln.Close()
-		srv := &http.Server{Handler: metricsMux(h, in)}
+		srv := &http.Server{Handler: metricsMux(h, in, reg, def.Name())}
 		go func() { _ = srv.Serve(mln) }()
 		defer srv.Close()
 		fmt.Fprintf(out, "metrics on %s\n", mln.Addr())
@@ -153,6 +226,11 @@ func run(args []string, out io.Writer) error {
 		return err
 	case sig := <-sigCh:
 		fmt.Fprintf(out, "%s: draining\n", sig)
+		if stopAnnounce != nil {
+			// Leave the registry first: clients stop routing new offers
+			// here while the drain lets in-flight performances finish.
+			stopAnnounce()
+		}
 		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
 		if err := h.Drain(ctx); err != nil {
@@ -167,13 +245,13 @@ func run(args []string, out io.Writer) error {
 // metricsMux builds the observability endpoint: /metrics serves the
 // process-wide counter registry plus the host's live gauges in Prometheus
 // text format, /debug/vars serves Go's expvar JSON.
-func metricsMux(h *remote.Host, in *core.Instance) *http.ServeMux {
+func metricsMux(h *remote.Host, in *core.Instance, reg registry.Registry, script string) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		_ = metrics.Default.WritePrometheus(w)
 		st := h.Stats()
-		for _, g := range []struct {
+		gauges := []struct {
 			name string
 			val  int64
 		}{
@@ -187,7 +265,14 @@ func metricsMux(h *remote.Host, in *core.Instance) *http.ServeMux {
 			{"scriptd_instance_performances", int64(in.Performances())},
 			{"scriptd_instance_pending_offers", int64(in.PendingOffers())},
 			{"scriptd_instance_live_traces", int64(len(in.TraceContexts()))},
-		} {
+		}
+		if reg != nil {
+			gauges = append(gauges, struct {
+				name string
+				val  int64
+			}{"scriptd_registry_members", int64(len(reg.Snapshot(script)))})
+		}
+		for _, g := range gauges {
 			fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", g.name, g.name, g.val)
 		}
 	})

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"github.com/scriptabs/goscript/internal/core"
+	"github.com/scriptabs/goscript/internal/registry"
 	"github.com/scriptabs/goscript/internal/remote"
 	"github.com/scriptabs/goscript/internal/rendezvous"
 )
@@ -82,6 +83,26 @@ type Config struct {
 	// before the enrollment enters the scheduler, so it can never abort
 	// in-flight work.
 	OverloadP float64
+
+	// GossipDropP is the probability that an outgoing gossip announcement
+	// packet is dropped (lossy discovery plane). Gossip is anti-entropy, so
+	// drops may slow convergence but can never corrupt membership.
+	GossipDropP float64
+
+	// GossipDelayP is the probability that an outgoing gossip packet is
+	// delayed, and GossipDelayMax the largest injected latency — stale views
+	// and reordered announcements.
+	GossipDelayP   float64
+	GossipDelayMax time.Duration
+
+	// GossipDupP is the probability that an outgoing gossip packet is sent
+	// twice; merges must be idempotent under duplication.
+	GossipDupP float64
+
+	// GossipStaleP is the probability that a gossip round re-announces the
+	// previous load digest instead of reading a fresh one — a host whose
+	// load reporting lags its real load.
+	GossipStaleP float64
 }
 
 // Injector implements core.FaultInjector with seeded randomness and
@@ -92,22 +113,27 @@ type Injector struct {
 	mu  sync.Mutex
 	rng *rand.Rand
 
-	opDelays    atomic.Uint64
-	wakeDelays  atomic.Uint64
-	cancels     atomic.Uint64
-	fastDelays  atomic.Uint64
-	fastEvicts  atomic.Uint64
-	netDelays   atomic.Uint64
-	netDrops    atomic.Uint64
-	netStalls   atomic.Uint64
-	overloads   atomic.Uint64
-	consultions atomic.Uint64
+	opDelays     atomic.Uint64
+	wakeDelays   atomic.Uint64
+	cancels      atomic.Uint64
+	fastDelays   atomic.Uint64
+	fastEvicts   atomic.Uint64
+	netDelays    atomic.Uint64
+	netDrops     atomic.Uint64
+	netStalls    atomic.Uint64
+	overloads    atomic.Uint64
+	gossipDrops  atomic.Uint64
+	gossipDelays atomic.Uint64
+	gossipDups   atomic.Uint64
+	gossipStales atomic.Uint64
+	consultions  atomic.Uint64
 }
 
 var (
 	_ core.FaultInjector    = (*Injector)(nil)
 	_ rendezvous.FastFaults = (*Injector)(nil)
 	_ remote.NetFaults      = (*Injector)(nil)
+	_ registry.GossipFaults = (*Injector)(nil)
 )
 
 // New returns an Injector drawing from a PRNG seeded with cfg.Seed.
@@ -234,6 +260,64 @@ func (j *Injector) Overload() bool {
 		j.overloads.Add(1)
 	}
 	return hit
+}
+
+// DropGossip implements registry.GossipFaults: with probability GossipDropP
+// the outgoing announcement packet is dropped.
+func (j *Injector) DropGossip() bool {
+	hit := j.hit(j.cfg.GossipDropP)
+	if hit {
+		j.gossipDrops.Add(1)
+	}
+	return hit
+}
+
+// DelayGossip implements registry.GossipFaults: how long an outgoing gossip
+// packet is delayed.
+func (j *Injector) DelayGossip() time.Duration {
+	d := j.draw(j.cfg.GossipDelayP, j.cfg.GossipDelayMax)
+	if d > 0 {
+		j.gossipDelays.Add(1)
+	}
+	return d
+}
+
+// DupGossip implements registry.GossipFaults: with probability GossipDupP
+// the outgoing packet is sent twice.
+func (j *Injector) DupGossip() bool {
+	hit := j.hit(j.cfg.GossipDupP)
+	if hit {
+		j.gossipDups.Add(1)
+	}
+	return hit
+}
+
+// StaleLoad implements registry.GossipFaults: with probability GossipStaleP
+// a round re-announces the previous load digest.
+func (j *Injector) StaleLoad() bool {
+	hit := j.hit(j.cfg.GossipStaleP)
+	if hit {
+		j.gossipStales.Add(1)
+	}
+	return hit
+}
+
+// hit makes one boolean decision with probability p from the seeded stream.
+func (j *Injector) hit(p float64) bool {
+	j.consultions.Add(1)
+	if p <= 0 {
+		return false
+	}
+	j.mu.Lock()
+	hit := j.rng.Float64() < p
+	j.mu.Unlock()
+	return hit
+}
+
+// GossipStats reports how many gossip-plane faults of each class have been
+// injected.
+func (j *Injector) GossipStats() (drops, delays, dups, stales uint64) {
+	return j.gossipDrops.Load(), j.gossipDelays.Load(), j.gossipDups.Load(), j.gossipStales.Load()
 }
 
 // NetStats reports how many network faults of each class have been

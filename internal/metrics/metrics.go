@@ -119,6 +119,21 @@ const (
 	RemoteShedConns       = "remote_shed_conns_total"
 	RemoteShedEnrollments = "remote_shed_enrollments_total"
 	BreakerTransitions    = "remote_breaker_transitions_total"
+	// internal/remote balancer: picks per strategy (BalancerPicksPrefix +
+	// the strategy name + "_total", e.g. remote_balancer_picks_least_loaded_total)
+	// plus the least-loaded strategy's all-digests-stale fallback.
+	BalancerPicksPrefix = "remote_balancer_picks_"
+	StaleLoadFallbacks  = "remote_stale_load_fallbacks_total"
+	// Registry-driven host-set changes seen by an enroller.
+	RemoteHostsAdded   = "remote_hosts_added_total"
+	RemoteHostsRemoved = "remote_hosts_removed_total"
+	// internal/registry
+	RegistryMembersAdded   = "registry_members_added_total"
+	RegistryMembersEvicted = "registry_members_evicted_total"
+	RegistryGossipRounds   = "registry_gossip_rounds_total"
+	RegistryGossipSent     = "registry_gossip_packets_sent_total"
+	RegistryGossipRecv     = "registry_gossip_packets_recv_total"
+	RegistryGossipBad      = "registry_gossip_packets_bad_total"
 	// internal/trace
 	TraceSampled       = "trace_sampled_total"
 	TraceDroppedFull   = "trace_dropped_ring_full_total"

@@ -1,5 +1,5 @@
 // Package perfbench defines the performance acceptance suite: a small set
-// of named measurements (E1–E10) runnable from cmd/scriptbench -json, so
+// of named measurements (E1–E11) runnable from cmd/scriptbench -json, so
 // regressions in the enrollment and communication hot paths are visible as
 // numbers in BENCH_E*.json rather than only as `go test -bench` output.
 //
@@ -21,6 +21,9 @@
 //	E10 observability overhead: the E1 and E3 workloads with 0.1%
 //	    probability-sampled tracing (async ring sink) vs untraced; a
 //	    delta_pct near zero is the "sampling is free when off-path" claim
+//	E11 fleet goodput scaling: the E8 saturation drive against 1, 2, and
+//	    4 registry-announced hosts through one registry-backed balanced
+//	    enroller; aggregate goodput must scale with the fleet
 //
 // Each Spec.Run executes under testing.Benchmark so iteration counts are
 // chosen the same way `go test -bench` chooses them. E5/E6 measure the
@@ -51,6 +54,7 @@ import (
 	"github.com/scriptabs/goscript/internal/core"
 	"github.com/scriptabs/goscript/internal/ids"
 	"github.com/scriptabs/goscript/internal/patterns"
+	"github.com/scriptabs/goscript/internal/registry"
 	"github.com/scriptabs/goscript/internal/remote"
 	"github.com/scriptabs/goscript/internal/rendezvous"
 	"github.com/scriptabs/goscript/internal/trace"
@@ -98,6 +102,11 @@ type Result struct {
 	// the untraced one, so delta_pct ≈ 0 means the sampling fast path is
 	// unmeasurable.
 	Sampling []SamplingPoint `json:"sampling,omitempty"`
+
+	// E11 only: one entry per fleet size. The headline ns_per_op is the
+	// largest fleet's per-completion cost; scaling_vs_single on each point
+	// is its aggregate goodput over the single-host point's.
+	Fleet []FleetPoint `json:"fleet,omitempty"`
 }
 
 // SaturationPoint is one E8 load point: LoadFactor × the host's admission
@@ -118,6 +127,25 @@ type SaturationPoint struct {
 	Shed         uint64  `json:"shed"`
 	Throughput   float64 `json:"throughput_per_sec"`
 	P99LatencyMS float64 `json:"p99_latency_ms"`
+}
+
+// FleetPoint is one E11 fleet size: a fixed client population drives
+// sleep-bound single-role enrollments through a registry-backed enroller at
+// N capped hosts. Goodput is slot-capacity-bound (each host admits fleetCap
+// concurrent enrollments of a fixed service time), so aggregate throughput
+// must scale with the fleet and ScalingVsSingle is the headline claim.
+// MinHostShare is the least-used host's fraction of completions — 1/N is
+// perfectly even, near 0 means the balancer hot-spotted.
+type FleetPoint struct {
+	Hosts           int     `json:"hosts"`
+	Clients         int     `json:"clients"`
+	Attempted       uint64  `json:"attempted"`
+	Completed       uint64  `json:"completed"`
+	Failed          uint64  `json:"failed"`
+	Shed            uint64  `json:"shed"`
+	Throughput      float64 `json:"throughput_per_sec"`
+	ScalingVsSingle float64 `json:"scaling_vs_single,omitempty"`
+	MinHostShare    float64 `json:"min_host_share"`
 }
 
 // SamplingPoint is one E10 cell: a core workload run untraced or with a
@@ -202,6 +230,12 @@ func Suite() []Spec {
 			Description: "E1 (star broadcast 64) and E3 (contended enrollment 64) with 0.1% probability-sampled tracing vs untraced; headline is the sampled E1 run, baseline the untraced one",
 			Enrollers:   64,
 		},
+		{
+			ID:          "E11",
+			Name:        "fleet-goodput-scaling",
+			Description: "the E8 saturation drive against 1/2/4 registry-announced hosts (admission cap 4 each, sleep-bound bodies) through a registry-backed round-robin enroller; per-point aggregate goodput and scaling vs the single-host point",
+			Enrollers:   fleetClients,
+		},
 	}
 	specs[0].Run = func() Result { return finish(specs[0], runStarBroadcast(64)) }
 	specs[1].Run = func() Result { return finish(specs[1], runSuccessive()) }
@@ -250,6 +284,7 @@ func Suite() []Spec {
 		return withIntrinsicBaseline(finish(specs[8], runCodec(2)), runCodec(1))
 	}
 	specs[9].Run = func() Result { return runSamplingSuite(specs[9]) }
+	specs[10].Run = func() Result { return runFleetSuite(specs[10]) }
 	return specs
 }
 
@@ -654,6 +689,158 @@ func runSaturationPoint(cap, proto, factor int, retry bool) SaturationPoint {
 		Shed:         shed,
 		Throughput:   float64(completed.Load()) / saturationWindow.Seconds(),
 		P99LatencyMS: float64(p99.Nanoseconds()) / 1e6,
+	}
+}
+
+// fleetCap is E11's per-host admission cap: small enough that goodput is
+// bound by slot capacity, not CPU, so adding hosts adds capacity even on a
+// single-core machine.
+const fleetCap = 4
+
+// fleetServiceTime is how long each admitted E11 enrollment holds its slot.
+// Sleeping (not spinning) keeps N×fleetCap concurrent bodies from competing
+// for cycles — the point is slot scaling, not scheduler throughput.
+const fleetServiceTime = 3 * time.Millisecond
+
+// fleetWindow is how long each E11 fleet point runs.
+const fleetWindow = 600 * time.Millisecond
+
+// fleetClients is the client population offered to every fleet size — held
+// constant so the only variable across points is capacity.
+const fleetClients = 64
+
+// runFleetSuite is E11: the E8 saturation drive pointed at a fleet. Each
+// point announces N capped hosts to a registry with live load digests and
+// drives them through one registry-backed round-robin enroller shared by
+// fleetClients retrying clients. Aggregate completed-enrollment throughput
+// per point, plus its ratio over the single-host point — the scale-out
+// claim the CI gate asserts (≥1.7× at 2 hosts, ≥3.0× at 4).
+func runFleetSuite(s Spec) Result {
+	res := Result{
+		ID:          s.ID,
+		Name:        s.Name,
+		Description: s.Description,
+		Enrollers:   s.Enrollers,
+	}
+	for _, hosts := range []int{1, 2, 4} {
+		res.Fleet = append(res.Fleet, runFleetPoint(hosts))
+	}
+	single := res.Fleet[0].Throughput
+	for i := range res.Fleet {
+		if single > 0 {
+			res.Fleet[i].ScalingVsSingle = res.Fleet[i].Throughput / single
+		}
+	}
+	headline := res.Fleet[len(res.Fleet)-1]
+	res.Iterations = int(headline.Completed)
+	if headline.Throughput > 0 {
+		res.NsPerOp = 1e9 / headline.Throughput
+	}
+	res.BaselineNsPerOp = 1e9 / single
+	res.DeltaPct = (res.BaselineNsPerOp - res.NsPerOp) / res.BaselineNsPerOp * 100
+	return res
+}
+
+func runFleetPoint(nHosts int) FleetPoint {
+	reg := registry.NewStatic()
+	type member struct {
+		in *core.Instance
+		h  *remote.Host
+	}
+	members := make([]member, nHosts)
+	for i := range members {
+		def := core.NewScript("slot").
+			Role("only", func(rc core.Ctx) error { return fmt.Errorf("local body must not run") }).
+			MustBuild()
+		in := core.NewInstance(def)
+		h := remote.NewHost(in, remote.HostConfig{
+			MaxEnrollments: fleetCap,
+			RetryAfter:     2 * time.Millisecond,
+		})
+		if err := h.Listen("127.0.0.1:0"); err != nil {
+			panic(err)
+		}
+		go h.Serve()
+		reg.Announce(
+			registry.Endpoint{Addr: h.Addr().String(), Scripts: []string{"slot"}},
+			func() registry.Load {
+				st := h.Stats()
+				return registry.Load{
+					Conns:         st.Conns,
+					Enrolling:     st.Enrolling,
+					PendingOffers: in.PendingOffers(),
+				}
+			})
+		members[i] = member{in: in, h: h}
+	}
+	enr := remote.NewEnrollerRegistry(reg, remote.EnrollerConfig{
+		Script: "slot",
+		// Round-robin spreads blind but evenly; the 25ms-refresh load
+		// digests would herd a least-loaded pick under this many clients.
+		Balancer: remote.NewRoundRobin(),
+		// Sustained saturation is the workload, not a fault: the breaker
+		// must not turn expected sheds into client-local rejections.
+		Breaker: remote.BreakerConfig{FailureThreshold: -1},
+		Retry: remote.RetryPolicy{
+			MaxAttempts: 100,
+			BaseBackoff: time.Millisecond,
+			MaxBackoff:  8 * time.Millisecond,
+			Seed:        42,
+		},
+	})
+
+	body := func(rc core.Ctx) error {
+		time.Sleep(fleetServiceTime)
+		return nil
+	}
+	ctx := context.Background()
+	var attempted, completed, failed atomic.Uint64
+	stop := time.Now().Add(fleetWindow)
+	var wg sync.WaitGroup
+	for c := 0; c < fleetClients; c++ {
+		pid := ids.PID(fmt.Sprintf("C%d", c))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for time.Now().Before(stop) {
+				attempted.Add(1)
+				if _, err := enr.Enroll(ctx, core.Enrollment{PID: pid, Role: ids.Role("only"), Body: body}); err != nil {
+					failed.Add(1)
+					continue
+				}
+				completed.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+
+	var shed uint64
+	minShare := 1.0
+	for _, m := range members {
+		shed += uint64(m.h.Stats().ShedEnrollments)
+	}
+	if total := completed.Load(); total > 0 {
+		for _, m := range members {
+			if share := float64(m.in.Performances()) / float64(total); share < minShare {
+				minShare = share
+			}
+		}
+	}
+	enr.Close()
+	reg.Close()
+	for _, m := range members {
+		m.h.Close()
+		m.in.Close()
+	}
+	return FleetPoint{
+		Hosts:        nHosts,
+		Clients:      fleetClients,
+		Attempted:    attempted.Load(),
+		Completed:    completed.Load(),
+		Failed:       failed.Load(),
+		Shed:         shed,
+		Throughput:   float64(completed.Load()) / fleetWindow.Seconds(),
+		MinHostShare: minShare,
 	}
 }
 

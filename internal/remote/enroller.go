@@ -12,8 +12,15 @@ import (
 
 	"github.com/scriptabs/goscript/internal/core"
 	"github.com/scriptabs/goscript/internal/ids"
+	"github.com/scriptabs/goscript/internal/metrics"
+	"github.com/scriptabs/goscript/internal/registry"
 	"github.com/scriptabs/goscript/internal/trace"
 	"github.com/scriptabs/goscript/internal/wire"
+)
+
+var (
+	hostsAdded   = metrics.Get(metrics.RemoteHostsAdded)
+	hostsRemoved = metrics.Get(metrics.RemoteHostsRemoved)
 )
 
 // RetryPolicy configures how an Enroller re-offers an enrollment after a
@@ -72,6 +79,17 @@ type EnrollerConfig struct {
 	// Faults, when non-nil, injects network faults (chaos testing).
 	Faults NetFaults
 
+	// Balancer picks among the healthy hosts on each attempt (see
+	// balancer.go). nil keeps the historical failover order: the first
+	// healthy host in host order wins (rotated by attempt, so retries do
+	// not hammer one host). NewEnrollerRegistry defaults to NewLeastLoaded.
+	Balancer Balancer
+	// StaleLoadAfter is how old a host's load digest may be before the
+	// least-loaded strategy stops trusting it (0 = 3s). Digest age is
+	// bounded by the registry's announce cadence, so set this to a small
+	// multiple of the gossip interval.
+	StaleLoadAfter time.Duration
+
 	// MaxProtocolVersion caps the wire protocol version the enroller
 	// negotiates (0 = wire.MaxVersion). Setting 1 pins the client to the v1
 	// JSON protocol. Against a host that only speaks v1, the enroller falls
@@ -90,22 +108,36 @@ const DefaultHeartbeatInterval = 3 * time.Second
 // Enroller enrolls this process into a script served by one or more remote
 // Hosts. Per host it keeps a pool of idle connections (sequential
 // enrollments reuse one connection, concurrent enrollments each get their
-// own) and a circuit breaker. Hosts are tried in the order given: the first
-// address is the primary, later ones take over while earlier circuits are
-// open, and a recovered host wins traffic back through its half-open probe.
+// own) and a circuit breaker. The host set is either fixed
+// (NewEnrollerMulti) or follows a registry subscription
+// (NewEnrollerRegistry); each attempt picks a host by composing breaker
+// state, recent-shed demotion, and the configured Balancer.
 type Enroller struct {
-	hosts []*hostState
-	cfg   EnrollerConfig
+	cfg EnrollerConfig
+
+	hostsMu sync.RWMutex
+	hosts   []*hostState
 
 	rngMu sync.Mutex
 	rng   *rand.Rand
+
+	// Registry wiring (nil/zero on static enrollers): the subscription
+	// goroutine replaces the host set on membership changes, and picks
+	// refresh load digests from Snapshot at most every loadRefreshInterval.
+	reg           registry.Registry
+	regScript     string
+	unsub         func()
+	loadRefreshed atomic.Int64 // unix nanos of the last digest refresh
+
+	balancer  Balancer
+	pickCount *metrics.Counter
 
 	mu     sync.Mutex
 	closed bool
 }
 
 // hostState is one host's address, connection pools (v1 idle connections
-// and v2 multiplexed connections), and breaker.
+// and v2 multiplexed connections), breaker, and last known load digest.
 type hostState struct {
 	addr string
 	brk  breaker
@@ -122,6 +154,38 @@ type hostState struct {
 	dialMu sync.Mutex
 	muxMu  sync.Mutex
 	muxes  []*muxConn
+
+	// loadMu guards the registry-fed load digest; lastShed (unix nanos of
+	// the newest first-hand overload/drain rejection) demotes the host in
+	// pickHost for shedDemoteWindow even while its breaker is still closed.
+	loadMu   sync.Mutex
+	load     registry.Load
+	loadAt   time.Time
+	hasLoad  bool
+	lastShed atomic.Int64
+}
+
+// setLoad records a registry-announced load digest.
+func (hs *hostState) setLoad(l registry.Load, at time.Time) {
+	hs.loadMu.Lock()
+	hs.load = l
+	hs.loadAt = at
+	hs.hasLoad = true
+	hs.loadMu.Unlock()
+}
+
+// view snapshots the host for a balancer decision. The breaker is read
+// without claiming its half-open probe token.
+func (hs *hostState) view(now time.Time, staleAfter time.Duration) HostView {
+	st, _ := hs.brk.snapshot()
+	hs.loadMu.Lock()
+	v := HostView{Addr: hs.addr, Breaker: st, Load: hs.load, HasLoad: hs.hasLoad}
+	if hs.hasLoad {
+		v.LoadAge = now.Sub(hs.loadAt)
+	}
+	hs.loadMu.Unlock()
+	v.Stale = !v.HasLoad || v.LoadAge > staleAfter
+	return v
 }
 
 // HostHealth is one host's circuit-breaker view, for introspection.
@@ -139,11 +203,52 @@ func NewEnroller(addr string, cfg EnrollerConfig) *Enroller {
 
 // NewEnrollerMulti creates an enroller that fails over across addrs (tried
 // in order; len(addrs) must be ≥ 1). No connection is made until the first
-// Enroll.
+// Enroll. This is the static special case of the registry-backed enroller:
+// a fixed host list and (unless cfg.Balancer says otherwise) first-healthy
+// failover order.
 func NewEnrollerMulti(addrs []string, cfg EnrollerConfig) *Enroller {
 	if len(addrs) == 0 {
 		panic("script/remote: NewEnrollerMulti requires at least one address")
 	}
+	e := newEnroller(cfg)
+	for _, addr := range addrs {
+		e.hosts = append(e.hosts, e.newHostState(addr))
+	}
+	return e
+}
+
+// NewEnrollerRegistry creates an enroller whose host set follows a registry
+// subscription for cfg.Script: hosts announced to the registry join the
+// candidate set, evicted or withdrawn hosts leave it (their pooled
+// connections are closed), and announced load digests feed the balancer.
+// cfg.Balancer defaults to NewLeastLoaded. The registry is not closed by
+// Enroller.Close; it may back any number of enrollers.
+func NewEnrollerRegistry(reg registry.Registry, cfg EnrollerConfig) *Enroller {
+	if reg == nil {
+		panic("script/remote: NewEnrollerRegistry requires a registry")
+	}
+	if cfg.Script == "" {
+		panic("script/remote: NewEnrollerRegistry requires cfg.Script (hosts are discovered per script)")
+	}
+	if cfg.Balancer == nil {
+		cfg.Balancer = NewLeastLoaded()
+	}
+	e := newEnroller(cfg)
+	e.reg = reg
+	e.regScript = cfg.Script
+	ch, cancel := reg.Subscribe(cfg.Script)
+	e.unsub = cancel
+	e.applyEndpoints(reg.Snapshot(cfg.Script))
+	go func() {
+		for eps := range ch {
+			e.applyEndpoints(eps)
+		}
+	}()
+	return e
+}
+
+// newEnroller applies the config defaults shared by every constructor.
+func newEnroller(cfg EnrollerConfig) *Enroller {
 	if cfg.HeartbeatInterval <= 0 {
 		cfg.HeartbeatInterval = DefaultHeartbeatInterval
 	}
@@ -165,40 +270,133 @@ func NewEnrollerMulti(addrs []string, cfg EnrollerConfig) *Enroller {
 	if cfg.Breaker.Cooldown <= 0 {
 		cfg.Breaker.Cooldown = DefaultBreakerCooldown
 	}
+	if cfg.StaleLoadAfter <= 0 {
+		cfg.StaleLoadAfter = DefaultStaleLoadAfter
+	}
+	if cfg.Balancer == nil {
+		cfg.Balancer = NewFailover()
+	}
 	seed := cfg.Retry.Seed
 	if seed == 0 {
 		seed = time.Now().UnixNano()
 	}
-	e := &Enroller{cfg: cfg, rng: rand.New(rand.NewSource(seed))}
-	for _, addr := range addrs {
-		e.hosts = append(e.hosts, &hostState{
-			addr: addr,
-			brk: breaker{
-				threshold: cfg.Breaker.FailureThreshold,
-				cooldown:  cfg.Breaker.Cooldown,
-			},
-		})
+	return &Enroller{
+		cfg:       cfg,
+		rng:       rand.New(rand.NewSource(seed)),
+		balancer:  cfg.Balancer,
+		pickCount: metrics.Get(metrics.BalancerPicksPrefix + cfg.Balancer.Name() + "_total"),
 	}
-	return e
 }
 
-// Hosts reports each configured host's breaker state, in failover order.
+func (e *Enroller) newHostState(addr string) *hostState {
+	return &hostState{
+		addr: addr,
+		brk: breaker{
+			threshold: e.cfg.Breaker.FailureThreshold,
+			cooldown:  e.cfg.Breaker.Cooldown,
+		},
+	}
+}
+
+// hostList returns the current host slice. The slice is copy-on-write:
+// applyEndpoints installs a fresh slice, so holders may iterate it without
+// the lock.
+func (e *Enroller) hostList() []*hostState {
+	e.hostsMu.RLock()
+	hosts := e.hosts
+	e.hostsMu.RUnlock()
+	return hosts
+}
+
+// applyEndpoints replaces the host set with the registry's view, keeping
+// the state (breaker, pools, load history) of hosts that persist and
+// closing the pooled connections of hosts that left.
+func (e *Enroller) applyEndpoints(eps []registry.Endpoint) {
+	now := time.Now()
+	e.hostsMu.Lock()
+	old := make(map[string]*hostState, len(e.hosts))
+	for _, hs := range e.hosts {
+		old[hs.addr] = hs
+	}
+	hosts := make([]*hostState, 0, len(eps))
+	for _, ep := range eps {
+		hs := old[ep.Addr]
+		if hs != nil {
+			delete(old, ep.Addr)
+		} else {
+			hs = e.newHostState(ep.Addr)
+			hostsAdded.Inc()
+		}
+		hs.setLoad(ep.Load, now)
+		hosts = append(hosts, hs)
+	}
+	e.hosts = hosts
+	e.hostsMu.Unlock()
+	for _, hs := range old {
+		hostsRemoved.Inc()
+		hs.mu.Lock()
+		idle := hs.idle
+		hs.idle = nil
+		hs.mu.Unlock()
+		for _, cc := range idle {
+			cc.close()
+		}
+		hs.closeMuxes()
+	}
+}
+
+// maybeRefreshLoads pulls fresh load digests from the registry, at most
+// once per loadRefreshInterval across all enrolling goroutines, so the
+// balancer sees digests as fresh as the registry has without a snapshot
+// per enrollment.
+func (e *Enroller) maybeRefreshLoads(now time.Time) {
+	if e.reg == nil {
+		return
+	}
+	last := e.loadRefreshed.Load()
+	if now.UnixNano()-last < int64(loadRefreshInterval) {
+		return
+	}
+	if !e.loadRefreshed.CompareAndSwap(last, now.UnixNano()) {
+		return // another goroutine is refreshing
+	}
+	byAddr := make(map[string]registry.Load)
+	for _, ep := range e.reg.Snapshot(e.regScript) {
+		byAddr[ep.Addr] = ep.Load
+	}
+	for _, hs := range e.hostList() {
+		if l, ok := byAddr[hs.addr]; ok {
+			hs.setLoad(l, now)
+		}
+	}
+}
+
+// loadRefreshInterval bounds how often pickHost re-reads load digests from
+// the registry.
+const loadRefreshInterval = 25 * time.Millisecond
+
+// Hosts reports each current host's breaker state, in host order.
 func (e *Enroller) Hosts() []HostHealth {
-	out := make([]HostHealth, len(e.hosts))
-	for i, hs := range e.hosts {
+	hosts := e.hostList()
+	out := make([]HostHealth, len(hosts))
+	for i, hs := range hosts {
 		st, fails := hs.brk.snapshot()
 		out[i] = HostHealth{Addr: hs.addr, State: st, Failures: fails}
 	}
 	return out
 }
 
-// Close closes the idle connections. Enrollments in flight keep their
-// connections and fail or finish on their own.
+// Close closes the idle connections and, on a registry-backed enroller,
+// cancels the subscription. Enrollments in flight keep their connections
+// and fail or finish on their own.
 func (e *Enroller) Close() error {
 	e.mu.Lock()
 	e.closed = true
 	e.mu.Unlock()
-	for _, hs := range e.hosts {
+	if e.unsub != nil {
+		e.unsub()
+	}
+	for _, hs := range e.hostList() {
 		hs.mu.Lock()
 		idle := hs.idle
 		hs.idle = nil
@@ -235,6 +433,8 @@ func Retryable(err error) bool {
 	case errors.Is(err, core.ErrDraining):
 		return true
 	case errors.Is(err, ErrCircuitOpen):
+		return true
+	case errors.Is(err, ErrNoHosts):
 		return true
 	default:
 		return false
@@ -284,17 +484,125 @@ func (e *Enroller) backoff(n int, hint time.Duration) time.Duration {
 	return d
 }
 
-// pickHost returns the first host in failover order whose breaker admits an
-// attempt now, or nil when every circuit is open. allow is only consulted
-// on hosts up to the first admission, so a half-open probe token is never
-// claimed by an attempt that then lands elsewhere.
-func (e *Enroller) pickHost(now time.Time) *hostState {
-	for _, hs := range e.hosts {
-		if hs.brk.allow(now) {
-			return hs
+// shedDemoteWindow is how long a first-hand overload/drain rejection keeps
+// a host demoted below hosts that have not shed, even while its breaker is
+// still closed.
+const shedDemoteWindow = time.Second
+
+// pickHost chooses the host for one attempt, or nil when every circuit is
+// open and no probe is due. An open host whose cooldown has elapsed claims
+// its half-open probe and takes the attempt outright; otherwise candidates
+// are tiered:
+//
+//  1. preferred — breaker closed and no first-hand shed within
+//     shedDemoteWindow; the Balancer picks among these.
+//  2. demoted — breaker closed but recently shedding; consulted only when
+//     tier 1 is empty, again through the Balancer.
+//
+// Host order is rotated by attempt before tiering, so retries (and static
+// configs under the default failover balancer) do not restart the scan at
+// index 0 every time. Breaker classification uses snapshot(), so a probe
+// token is only ever claimed for the host actually chosen.
+func (e *Enroller) pickHost(now time.Time, attempt int) *hostState {
+	e.maybeRefreshLoads(now)
+	hosts := e.hostList()
+	n := len(hosts)
+	if n == 0 {
+		return nil
+	}
+	rotated := make([]*hostState, 0, n)
+	start := attempt % n
+	rotated = append(rotated, hosts[start:]...)
+	rotated = append(rotated, hosts[:start]...)
+
+	var preferred, demoted []*hostState
+	for _, hs := range rotated {
+		st, _ := hs.brk.snapshot()
+		switch st {
+		case BreakerClosed:
+			if shed := hs.lastShed.Load(); shed != 0 && now.UnixNano()-shed < int64(shedDemoteWindow) {
+				demoted = append(demoted, hs)
+			} else {
+				preferred = append(preferred, hs)
+			}
+		case BreakerOpen:
+			// A due half-open probe claims its token and takes this attempt
+			// outright: probing is the only way an open host recovers, and
+			// in failover configs it is how a recovered primary wins its
+			// traffic back (the PR 5 semantics). At most one enrollment per
+			// cooldown rides a probe, so healthy hosts lose almost nothing.
+			if hs.brk.allow(now) {
+				return hs
+			}
+		default:
+			// Half-open with its probe already claimed by another attempt:
+			// skip; the probe's outcome will resolve the host either way.
+		}
+	}
+	for _, tier := range [][]*hostState{preferred, demoted} {
+		if len(tier) == 0 {
+			continue
+		}
+		i := e.balance(tier, now)
+		// allow can refuse if the breaker opened since the snapshot (a
+		// concurrent failure burst); walk the rest of the tier from the
+		// balanced choice rather than giving up.
+		for k := range tier {
+			if hs := tier[(i+k)%len(tier)]; hs.brk.allow(now) {
+				return hs
+			}
 		}
 	}
 	return nil
+}
+
+// balance runs the configured Balancer over one tier and returns the
+// chosen index (clamped; a misbehaving balancer falls back to 0).
+func (e *Enroller) balance(tier []*hostState, now time.Time) int {
+	e.pickCount.Inc()
+	if len(tier) == 1 {
+		return 0
+	}
+	views := make([]HostView, len(tier))
+	for i, hs := range tier {
+		views[i] = hs.view(now, e.cfg.StaleLoadAfter)
+	}
+	e.rngMu.Lock()
+	i := e.balancer.Pick(views, e.rng)
+	e.rngMu.Unlock()
+	if i < 0 || i >= len(tier) {
+		i = 0
+	}
+	return i
+}
+
+// observe feeds one attempt's outcome into the chosen host's breaker and
+// shed-demotion clock.
+func (e *Enroller) observe(hs *hostState, err error) {
+	switch {
+	case err == nil:
+		hs.brk.onSuccess()
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		hs.brk.onNeutral()
+	case countsForBreaker(err):
+		now := time.Now()
+		hs.brk.onFailure(now)
+		if errors.Is(err, core.ErrOverloaded) || errors.Is(err, core.ErrDraining) {
+			hs.lastShed.Store(now.UnixNano())
+		}
+	default:
+		// The host answered — performance-level failure, host healthy.
+		hs.brk.onSuccess()
+	}
+}
+
+// noHostErr describes an attempt that found no usable host.
+func (e *Enroller) noHostErr() error {
+	n := len(e.hostList())
+	if n == 0 {
+		return ErrNoHosts
+	}
+	return fmt.Errorf("%w: all %d host(s) cooling down", ErrCircuitOpen, n)
 }
 
 // Enroll offers to play enr.Role at a remote host and blocks until the
@@ -325,22 +633,191 @@ func (e *Enroller) Enroll(ctx context.Context, enr core.Enrollment) (core.Result
 		}
 		var res core.Result
 		var err error
-		if hs := e.pickHost(time.Now()); hs == nil {
-			err = fmt.Errorf("%w: all %d host(s) cooling down", ErrCircuitOpen, len(e.hosts))
+		if hs := e.pickHost(time.Now(), attempt); hs == nil {
+			err = e.noHostErr()
 		} else {
 			res, err = e.enrollOnce(ctx, hs, enr)
-			switch {
-			case err == nil:
-				hs.brk.onSuccess()
+			e.observe(hs, err)
+			if err == nil {
 				return res, nil
-			case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
-				hs.brk.onNeutral()
-			case countsForBreaker(err):
-				hs.brk.onFailure(time.Now())
-			default:
-				// The host answered — performance-level failure, host healthy.
-				hs.brk.onSuccess()
 			}
+		}
+		if attempt+1 >= e.cfg.Retry.MaxAttempts || !Retryable(err) {
+			return res, err
+		}
+		select {
+		case <-ctx.Done():
+			return core.Result{}, ctx.Err()
+		case <-time.After(e.backoff(attempt, retryAfterHint(err))):
+		}
+	}
+}
+
+// EnrollBloc enrolls a whole cast atomically at ONE remote host, the remote
+// counterpart of Instance.EnrollBloc: every member's With constraints are
+// bound to the other members' PIDs, so co-performers can only rendezvous
+// with each other — which is exactly why the bloc must land on a single
+// host (members split across hosts would wait forever for partners that
+// enrolled elsewhere). Each member needs a Body, and members must have
+// distinct PIDs and distinct roles.
+//
+// Failure semantics: if any member fails terminally (abort, role error,
+// exhausted retries), the remaining members' offers are withdrawn and
+// EnrollBloc returns the joined errors. When every member failed
+// retryably before any assignment — the chosen host was full or draining —
+// the whole bloc re-offers at a (rotated) newly-picked host under
+// cfg.Retry.
+func (e *Enroller) EnrollBloc(ctx context.Context, members []core.Enrollment) ([]core.Result, error) {
+	if len(members) == 0 {
+		return nil, errors.New("script/remote: EnrollBloc requires at least one member")
+	}
+	bound := make([]core.Enrollment, len(members))
+	copy(bound, members)
+	seenPID := make(map[ids.PID]bool, len(bound))
+	seenRole := make(map[ids.RoleRef]bool, len(bound))
+	for _, m := range bound {
+		if m.Body == nil {
+			return nil, errors.New("script/remote: EnrollBloc requires Enrollment.Body on every member (the definition lives in the host)")
+		}
+		if seenPID[m.PID] {
+			return nil, fmt.Errorf("script: EnrollBloc: duplicate process %q", m.PID)
+		}
+		if seenRole[m.Role] {
+			return nil, fmt.Errorf("script: EnrollBloc: duplicate role %s", m.Role)
+		}
+		seenPID[m.PID] = true
+		seenRole[m.Role] = true
+	}
+	// One trace decision for the whole bloc: co-performers share a
+	// performance, so they share a timeline.
+	var tid trace.TraceID
+	for _, m := range bound {
+		if m.TraceID != 0 {
+			tid = m.TraceID
+			break
+		}
+	}
+	if tid == 0 && e.cfg.Sampler != nil {
+		if id, ok := e.cfg.Sampler.Sample(); ok {
+			tid = id
+		}
+	}
+	// Bind the cast: each member may only match a performance containing
+	// exactly its co-members (mirrors core.EnrollBloc).
+	for i := range bound {
+		with := make(map[ids.RoleRef]ids.PIDSet, len(bound)-1+len(bound[i].With))
+		for r, s := range bound[i].With {
+			with[r] = s
+		}
+		for j := range bound {
+			if j == i {
+				continue
+			}
+			with[bound[j].Role] = ids.NewPIDSet(bound[j].PID)
+		}
+		bound[i].With = with
+		bound[i].TraceID = tid
+	}
+
+	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		hs := e.pickHost(time.Now(), attempt)
+		var res []core.Result
+		var err error
+		var retryable bool
+		if hs == nil {
+			err, retryable = e.noHostErr(), true
+		} else {
+			res, err, retryable = e.blocAttempt(ctx, hs, bound)
+			if err == nil {
+				return res, nil
+			}
+		}
+		if attempt+1 >= e.cfg.Retry.MaxAttempts || !retryable {
+			return res, err
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(e.backoff(attempt, retryAfterHint(err))):
+		}
+	}
+}
+
+// blocAttempt offers every member of a bound cast at one host concurrently.
+// Members retry individually against that same host (pinned — the cast's
+// With constraints only resolve there); the first terminal member failure
+// cancels the others' offers. retryable reports whether re-offering the
+// whole bloc at a fresh host is safe: true only when no member was
+// assigned and every failure rejected the offer cleanly.
+func (e *Enroller) blocAttempt(ctx context.Context, hs *hostState, bound []core.Enrollment) (res []core.Result, err error, retryable bool) {
+	bctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type outcome struct {
+		idx int
+		res core.Result
+		err error
+	}
+	ch := make(chan outcome, len(bound))
+	for i := range bound {
+		go func(i int, m core.Enrollment) {
+			r, merr := e.enrollPinned(bctx, hs, m)
+			if merr != nil {
+				// Terminal for this member — withdraw the co-members still
+				// pending; their With constraints can never be satisfied.
+				cancel()
+			}
+			ch <- outcome{i, r, merr}
+		}(i, bound[i])
+	}
+	res = make([]core.Result, len(bound))
+	errs := make([]error, len(bound))
+	for range bound {
+		o := <-ch
+		res[o.idx], errs[o.idx] = o.res, o.err
+	}
+	var joined []error
+	succeeded := 0
+	retryable = true
+	for i, merr := range errs {
+		switch {
+		case merr == nil:
+			succeeded++
+		case errors.Is(merr, context.Canceled) && ctx.Err() == nil:
+			// Withdrawn by the bloc teardown, not by the caller: safe to
+			// re-offer, and not the interesting error.
+			joined = append(joined, fmt.Errorf("%s: withdrawn with bloc", bound[i].PID))
+		default:
+			if !Retryable(merr) {
+				retryable = false
+			}
+			joined = append(joined, fmt.Errorf("%s: %w", bound[i].PID, merr))
+		}
+	}
+	if len(joined) == 0 {
+		return res, nil, false
+	}
+	// Any member assigned (succeeded or aborted mid-performance) means work
+	// may have happened: never re-offer the bloc.
+	if succeeded > 0 {
+		retryable = false
+	}
+	return nil, errors.Join(joined...), retryable
+}
+
+// enrollPinned is Enroll's retry loop pinned to one host: used by bloc
+// members, whose With constraints bind them to co-members at that host.
+func (e *Enroller) enrollPinned(ctx context.Context, hs *hostState, enr core.Enrollment) (core.Result, error) {
+	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return core.Result{}, err
+		}
+		res, err := e.enrollOnce(ctx, hs, enr)
+		e.observe(hs, err)
+		if err == nil {
+			return res, nil
 		}
 		if attempt+1 >= e.cfg.Retry.MaxAttempts || !Retryable(err) {
 			return res, err

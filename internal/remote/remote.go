@@ -86,6 +86,12 @@ var ErrDialFailed = errors.New("script/remote: dial failed")
 // cooldown becomes the half-open probe).
 var ErrCircuitOpen = errors.New("script/remote: circuit open")
 
+// ErrNoHosts reports an enrollment attempted while a registry-backed
+// enroller knows of no host serving the script — none announced yet, or
+// all evicted. Nothing was sent, so the enrollment is safe to retry (a
+// retry may find membership has arrived).
+var ErrNoHosts = errors.New("script/remote: no hosts known")
+
 // aborter is the slice of *core.RoleCtx the host needs to reclaim a
 // performance whose remote enroller vanished.
 type aborter interface {
