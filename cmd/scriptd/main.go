@@ -96,6 +96,8 @@ func run(args []string, out io.Writer) error {
 		"comma-separated seed gossip addresses of other hosts (with -registry gossip:...)")
 	gossipInterval := fs.Duration("gossip-interval", 500*time.Millisecond,
 		"gossip round cadence; membership eviction takes 10 rounds of silence")
+	gossipSecret := fs.String("gossip-secret", "",
+		"shared secret authenticating gossip datagrams (HMAC-SHA256); empty trusts the network — required beyond loopback")
 	list := fs.Bool("list", false, "print the servable script names and exit")
 	verbose := fs.Bool("v", false, "log connection-level events to stderr")
 	if err := fs.Parse(args); err != nil {
@@ -162,6 +164,9 @@ func run(args []string, out io.Writer) error {
 			}
 			if *gossipPeers != "" {
 				gcfg.Seeds = strings.Split(*gossipPeers, ",")
+			}
+			if *gossipSecret != "" {
+				gcfg.Secret = []byte(*gossipSecret)
 			}
 			if *verbose {
 				gcfg.Logf = func(format string, a ...any) {

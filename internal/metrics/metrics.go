@@ -134,6 +134,7 @@ const (
 	RegistryGossipSent     = "registry_gossip_packets_sent_total"
 	RegistryGossipRecv     = "registry_gossip_packets_recv_total"
 	RegistryGossipBad      = "registry_gossip_packets_bad_total"
+	RegistryGossipOversize = "registry_gossip_oversize_records_total"
 	// internal/trace
 	TraceSampled       = "trace_sampled_total"
 	TraceDroppedFull   = "trace_dropped_ring_full_total"

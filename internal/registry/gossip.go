@@ -1,6 +1,8 @@
 package registry
 
 import (
+	"crypto/hmac"
+	"crypto/sha256"
 	"encoding/json"
 	"fmt"
 	"math/rand"
@@ -13,10 +15,11 @@ import (
 )
 
 var (
-	gossipRounds = metrics.Get(metrics.RegistryGossipRounds)
-	gossipSent   = metrics.Get(metrics.RegistryGossipSent)
-	gossipRecv   = metrics.Get(metrics.RegistryGossipRecv)
-	gossipBad    = metrics.Get(metrics.RegistryGossipBad)
+	gossipRounds   = metrics.Get(metrics.RegistryGossipRounds)
+	gossipSent     = metrics.Get(metrics.RegistryGossipSent)
+	gossipRecv     = metrics.Get(metrics.RegistryGossipRecv)
+	gossipBad      = metrics.Get(metrics.RegistryGossipBad)
+	gossipOversize = metrics.Get(metrics.RegistryGossipOversize)
 )
 
 // GossipFaults lets the chaos injector perturb the gossip plane: dropped,
@@ -55,6 +58,14 @@ type GossipConfig struct {
 	Fanout int
 	// Seed seeds peer selection; 0 derives one from the clock.
 	Seed int64
+	// Secret, when non-empty, authenticates gossip datagrams: every
+	// outgoing packet is prefixed with an HMAC-SHA256 tag over its payload,
+	// and inbound packets whose tag is missing or wrong are dropped
+	// (counted in registry_gossip_packets_bad_total). All nodes of a fleet
+	// must share the secret. Without one, anyone who can reach the gossip
+	// bind can inject membership — acceptable on loopback or a trusted
+	// network segment only; see the trust model in DESIGN.md.
+	Secret []byte
 	// Faults optionally injects gossip-plane faults (chaos testing).
 	Faults GossipFaults
 	// Logf optionally logs membership changes and decode errors.
@@ -154,8 +165,10 @@ func (g *Gossip) Addr() string { return g.addr }
 
 // Announce implements Registry. The node starts reporting ep (with a fresh
 // load digest from load, when non-nil) on every round; stop withdraws it
-// locally and lets the fleet evict it by heartbeat timeout. Seq is seeded
-// from the wall clock so a restarted host supersedes its own tombstones.
+// locally — leaving a tombstone so peers relaying the stale record cannot
+// re-add it — and lets the fleet evict it by heartbeat timeout. Seq is
+// seeded from the wall clock so a restarted host supersedes its own
+// tombstones.
 func (g *Gossip) Announce(ep Endpoint, load func() Load) (stop func()) {
 	g.mu.Lock()
 	if g.closed {
@@ -168,6 +181,7 @@ func (g *Gossip) Announce(ep Endpoint, load func() Load) (stop func()) {
 	g.self = ep
 	g.load = load
 	g.has = true
+	delete(g.tombs, ep.Addr) // a re-announcement supersedes our own withdrawal
 	g.refreshSelfLocked(time.Now())
 	g.notifyLocked()
 	g.mu.Unlock()
@@ -179,6 +193,12 @@ func (g *Gossip) Announce(ep Endpoint, load func() Load) (stop func()) {
 			if g.has {
 				g.has = false
 				g.load = nil
+				// Tombstone our own final Seq: with has false, merge no
+				// longer special-cases our address, so without this a peer
+				// relaying the stale self-record would re-add the withdrawn
+				// host locally until fleet-wide heartbeat eviction. A later
+				// re-Announce supersedes the tombstone (clock-seeded Seq).
+				g.tombs[g.self.Addr] = tombstone{seq: g.self.Seq, at: time.Now()}
 				if g.members[g.self.Addr] != nil {
 					delete(g.members, g.self.Addr)
 					membersEvicted.Inc()
@@ -299,8 +319,16 @@ func (g *Gossip) roundLoop() {
 	}
 }
 
+// maxGossipDatagram bounds one marshaled digest datagram. The receive
+// buffer is 64KiB and the UDP payload ceiling ~65507 bytes; staying well
+// under both keeps packets from truncating or failing to send as the
+// fleet grows. A digest that would exceed the bound is split across
+// datagrams — merge folds records independently, so any subset of chunks
+// converges the receiver.
+const maxGossipDatagram = 48 << 10
+
 // sendRound advances our own record, evicts stagnant members, and pushes
-// the full digest to Fanout peers.
+// the full digest — split across datagrams when large — to Fanout peers.
 func (g *Gossip) sendRound() {
 	now := time.Now()
 	g.mu.Lock()
@@ -311,26 +339,104 @@ func (g *Gossip) sendRound() {
 	gossipRounds.Inc()
 	g.refreshSelfLocked(now)
 	g.evictLocked(now)
-	msg := gossipMsg{
-		From:    g.addr,
-		Peers:   g.knownPeersLocked(),
-		Members: make([]Endpoint, 0, len(g.members)),
-	}
+	peers := g.knownPeersLocked()
+	members := make([]Endpoint, 0, len(g.members))
 	for _, m := range g.members {
-		msg.Members = append(msg.Members, m.ep)
+		members = append(members, m.ep)
 	}
 	targets := g.pickTargetsLocked()
 	g.mu.Unlock()
 	if len(targets) == 0 {
 		return
 	}
-	buf, err := json.Marshal(msg)
+	for _, buf := range g.packDigest(peers, members) {
+		for _, t := range targets {
+			g.sendTo(t, buf)
+		}
+	}
+}
+
+// packDigest marshals the membership into one or more datagrams, each a
+// self-contained gossipMsg under maxGossipDatagram (before the optional
+// HMAC tag). The peer exchange rides only the first datagram. A single
+// record that alone exceeds the bound is counted, logged, and sent anyway
+// (best effort — it may not survive the network).
+func (g *Gossip) packDigest(peers []string, members []Endpoint) [][]byte {
+	hdr, err := json.Marshal(gossipMsg{From: g.addr, Peers: peers})
 	if err != nil {
-		return
+		return nil
 	}
-	for _, t := range targets {
-		g.sendTo(t, buf)
+	// Per-chunk envelope overhead: the header fields plus `"members":[...]`.
+	overhead := len(hdr) + len(`,"members":[]`)
+	var out [][]byte
+	var chunk []Endpoint
+	size := overhead
+	flush := func() {
+		if len(chunk) == 0 {
+			return
+		}
+		msg := gossipMsg{From: g.addr, Members: chunk}
+		if len(out) == 0 {
+			msg.Peers = peers
+		}
+		if buf, err := json.Marshal(msg); err == nil {
+			out = append(out, buf)
+		}
+		chunk, size = nil, overhead
 	}
+	for _, ep := range members {
+		b, err := json.Marshal(ep)
+		if err != nil {
+			continue
+		}
+		if len(b)+1 > maxGossipDatagram-overhead {
+			// One record alone busts the bound: isolate it in its own
+			// datagram so it cannot take healthy records down with it.
+			gossipOversize.Inc()
+			g.logf("registry: gossip %s: member record %s marshals to %d bytes, past the %d-byte datagram bound", g.addr, ep.Addr, len(b), maxGossipDatagram)
+			flush()
+			chunk = []Endpoint{ep}
+			flush()
+			continue
+		}
+		if size+len(b)+1 > maxGossipDatagram {
+			flush()
+		}
+		chunk = append(chunk, ep)
+		size += len(b) + 1
+	}
+	flush()
+	if len(out) == 0 {
+		out = append(out, hdr) // no members: still gossip the peer exchange
+	}
+	return out
+}
+
+// seal prefixes the packet with its HMAC-SHA256 tag when a Secret is
+// configured; open verifies and strips it, reporting whether the packet is
+// acceptable.
+func (g *Gossip) seal(buf []byte) []byte {
+	if len(g.cfg.Secret) == 0 {
+		return buf
+	}
+	mac := hmac.New(sha256.New, g.cfg.Secret)
+	mac.Write(buf)
+	return append(mac.Sum(nil), buf...)
+}
+
+func (g *Gossip) open(pkt []byte) ([]byte, bool) {
+	if len(g.cfg.Secret) == 0 {
+		return pkt, true
+	}
+	if len(pkt) < sha256.Size {
+		return nil, false
+	}
+	mac := hmac.New(sha256.New, g.cfg.Secret)
+	mac.Write(pkt[sha256.Size:])
+	if !hmac.Equal(mac.Sum(nil), pkt[:sha256.Size]) {
+		return nil, false
+	}
+	return pkt[sha256.Size:], true
 }
 
 // evictLocked drops members whose Seq has stagnated past EvictAfter,
@@ -403,7 +509,8 @@ func (g *Gossip) pickTargetsLocked() []string {
 	return all
 }
 
-// sendTo writes one datagram, applying the injected gossip faults.
+// sendTo writes one datagram — sealed when a Secret is configured —
+// applying the injected gossip faults.
 func (g *Gossip) sendTo(addr string, buf []byte) {
 	udp, err := net.ResolveUDPAddr("udp", addr)
 	if err != nil {
@@ -413,8 +520,9 @@ func (g *Gossip) sendTo(addr string, buf []byte) {
 	if f != nil && f.DropGossip() {
 		return
 	}
+	sealed := g.seal(buf)
 	write := func() {
-		if _, err := g.pc.WriteTo(buf, udp); err == nil {
+		if _, err := g.pc.WriteTo(sealed, udp); err == nil {
 			gossipSent.Inc()
 		}
 	}
@@ -442,8 +550,14 @@ func (g *Gossip) receiveLoop() {
 		if err != nil {
 			return // socket closed
 		}
+		pkt, ok := g.open(buf[:n])
+		if !ok {
+			gossipBad.Inc()
+			g.logf("registry: gossip %s: unauthenticated packet from %v dropped", g.addr, src)
+			continue
+		}
 		var msg gossipMsg
-		if err := json.Unmarshal(buf[:n], &msg); err != nil {
+		if err := json.Unmarshal(pkt, &msg); err != nil {
 			gossipBad.Inc()
 			g.logf("registry: gossip %s: bad packet from %v: %v", g.addr, src, err)
 			continue

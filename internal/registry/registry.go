@@ -299,14 +299,18 @@ func (s *Static) Announce(ep Endpoint, load func() Load) (stop func()) {
 	if s.members[ep.Addr] == nil {
 		membersAdded.Inc()
 	}
-	s.members[ep.Addr] = &staticMember{ep: ep, load: load}
+	m := &staticMember{ep: ep, load: load}
+	s.members[ep.Addr] = m
 	s.notifyLocked()
 	s.mu.Unlock()
 	var once sync.Once
 	return func() {
 		once.Do(func() {
 			s.mu.Lock()
-			if m := s.members[ep.Addr]; m != nil && !m.fromFile {
+			// Only withdraw the member this Announce installed: a stale
+			// stop() from a superseded announcement must not take down the
+			// newer live one at the same address.
+			if s.members[ep.Addr] == m {
 				delete(s.members, ep.Addr)
 				membersEvicted.Inc()
 				s.notifyLocked()

@@ -1,8 +1,11 @@
 package registry
 
 import (
+	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 )
@@ -123,8 +126,30 @@ func TestStaticFilePollReload(t *testing.T) {
 	})
 }
 
+func TestStaticStaleStopKeepsNewerAnnouncement(t *testing.T) {
+	s := NewStatic()
+	defer s.Close()
+	stop1 := s.Announce(Endpoint{Addr: "127.0.0.1:7501"}, nil)
+	stop2 := s.Announce(Endpoint{Addr: "127.0.0.1:7501", Scripts: []string{"slot"}}, nil)
+	// stop1 belongs to the superseded announcement: it must not withdraw
+	// the live one at the same address.
+	stop1()
+	if eps := s.Snapshot(""); len(eps) != 1 || len(eps[0].Scripts) != 1 {
+		t.Fatalf("stale stop withdrew the live announcement: %v", eps)
+	}
+	stop2()
+	if eps := s.Snapshot(""); len(eps) != 0 {
+		t.Fatalf("live stop failed to withdraw: %v", eps)
+	}
+}
+
 // newTestGossip starts a gossip node with a fast cadence for tests.
 func newTestGossip(t *testing.T, seeds []string, seed int64) *Gossip {
+	return newTestGossipSecret(t, seeds, seed, nil)
+}
+
+// newTestGossipSecret is newTestGossip with a shared gossip secret.
+func newTestGossipSecret(t *testing.T, seeds []string, seed int64, secret []byte) *Gossip {
 	t.Helper()
 	g, err := NewGossip(GossipConfig{
 		Bind:     "127.0.0.1:0",
@@ -132,6 +157,7 @@ func newTestGossip(t *testing.T, seeds []string, seed int64) *Gossip {
 		Interval: 15 * time.Millisecond,
 		Fanout:   3,
 		Seed:     seed,
+		Secret:   secret,
 		Logf:     t.Logf,
 	})
 	if err != nil {
@@ -212,6 +238,103 @@ func TestGossipEvictsSilentHost(t *testing.T) {
 	time.Sleep(200 * time.Millisecond)
 	if eps := n1.Snapshot(""); len(eps) != 2 {
 		t.Fatalf("evicted member resurrected: %v", eps)
+	}
+}
+
+func TestGossipWithdrawTombstonesSelf(t *testing.T) {
+	n1 := newTestGossip(t, nil, 30)
+	n2 := newTestGossip(t, []string{n1.Addr()}, 31)
+	stop := n1.Announce(Endpoint{Addr: "127.0.0.1:7401"}, nil)
+	waitCond(t, 10*time.Second, "n2 to learn the member", func() bool {
+		return len(n2.Snapshot("")) == 1
+	})
+
+	// After the withdrawal, n2 keeps relaying the stale self-record until
+	// its heartbeat eviction fires. n1 must reject those relays (its own
+	// tombstone), not re-add itself to its snapshot.
+	stop()
+	if len(n1.Snapshot("")) != 0 {
+		t.Fatalf("withdraw did not clear the local view: %v", n1.Snapshot(""))
+	}
+	for end := time.Now().Add(120 * time.Millisecond); time.Now().Before(end); {
+		if eps := n1.Snapshot(""); len(eps) != 0 {
+			t.Fatalf("withdrawn self-record resurrected by a stale relay: %v", eps)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// A re-announcement supersedes our own tombstone.
+	n1.Announce(Endpoint{Addr: "127.0.0.1:7401"}, nil)
+	waitCond(t, 10*time.Second, "re-announcement to rejoin locally", func() bool {
+		return len(n1.Snapshot("")) == 1
+	})
+	waitCond(t, 10*time.Second, "re-announcement to propagate", func() bool {
+		return len(n2.Snapshot("")) == 1
+	})
+}
+
+func TestGossipPackDigestChunks(t *testing.T) {
+	g := newTestGossip(t, nil, 40)
+	// Enough fat records to need several datagrams.
+	members := make([]Endpoint, 1200)
+	for i := range members {
+		members[i] = Endpoint{
+			Addr:    fmt.Sprintf("10.1.2.3:%05d", i),
+			Scripts: []string{strings.Repeat("s", 100)},
+			Seq:     uint64(i + 1),
+		}
+	}
+	peers := []string{"10.0.0.1:9000", "10.0.0.2:9000"}
+	chunks := g.packDigest(peers, members)
+	if len(chunks) < 2 {
+		t.Fatalf("digest of %d fat members fit %d chunk(s); want a split", len(members), len(chunks))
+	}
+	seen := make(map[string]bool)
+	for i, buf := range chunks {
+		if len(buf) > maxGossipDatagram {
+			t.Fatalf("chunk %d is %d bytes, past the %d bound", i, len(buf), maxGossipDatagram)
+		}
+		var msg gossipMsg
+		if err := json.Unmarshal(buf, &msg); err != nil {
+			t.Fatalf("chunk %d does not parse: %v", i, err)
+		}
+		if i == 0 && len(msg.Peers) == 0 {
+			t.Fatal("first chunk must carry the peer exchange")
+		}
+		if i > 0 && len(msg.Peers) != 0 {
+			t.Fatalf("chunk %d repeats the peer exchange", i)
+		}
+		for _, ep := range msg.Members {
+			seen[ep.Addr] = true
+		}
+	}
+	if len(seen) != len(members) {
+		t.Fatalf("chunks cover %d members, want %d", len(seen), len(members))
+	}
+}
+
+func TestGossipSharedSecret(t *testing.T) {
+	secret := []byte("fleet-secret")
+	n1 := newTestGossipSecret(t, nil, 50, secret)
+	n2 := newTestGossipSecret(t, []string{n1.Addr()}, 51, secret)
+	n1.Announce(Endpoint{Addr: "127.0.0.1:7601"}, nil)
+	n2.Announce(Endpoint{Addr: "127.0.0.1:7602"}, nil)
+	for _, g := range []*Gossip{n1, n2} {
+		g := g
+		waitCond(t, 10*time.Second, "authenticated nodes to converge", func() bool {
+			return len(g.Snapshot("")) == 2
+		})
+	}
+
+	// A node without the secret cannot inject membership: its unsigned
+	// packets are dropped before merge.
+	intruder := newTestGossip(t, []string{n1.Addr()}, 52)
+	intruder.Announce(Endpoint{Addr: "127.0.0.1:7666"}, nil)
+	time.Sleep(150 * time.Millisecond) // ~10 rounds of injection attempts
+	for _, ep := range n1.Snapshot("") {
+		if ep.Addr == "127.0.0.1:7666" {
+			t.Fatal("unauthenticated gossip injected a member")
+		}
 	}
 }
 

@@ -154,6 +154,10 @@ type hostState struct {
 	dialMu sync.Mutex
 	muxMu  sync.Mutex
 	muxes  []*muxConn
+	// gone marks a host retired from the set (left the registry view, or
+	// the enroller closed): a mux dialed concurrently with the removal is
+	// retired on insert instead of lingering unretired.
+	gone atomic.Bool
 
 	// loadMu guards the registry-fed load digest; lastShed (unix nanos of
 	// the newest first-hand overload/drain rejection) demotes the host in
@@ -219,8 +223,9 @@ func NewEnrollerMulti(addrs []string, cfg EnrollerConfig) *Enroller {
 
 // NewEnrollerRegistry creates an enroller whose host set follows a registry
 // subscription for cfg.Script: hosts announced to the registry join the
-// candidate set, evicted or withdrawn hosts leave it (their pooled
-// connections are closed), and announced load digests feed the balancer.
+// candidate set, evicted or withdrawn hosts leave it (idle pooled
+// connections are closed; enrollments in flight keep theirs and drain
+// out), and announced load digests feed the balancer.
 // cfg.Balancer defaults to NewLeastLoaded. The registry is not closed by
 // Enroller.Close; it may back any number of enrollers.
 func NewEnrollerRegistry(reg registry.Registry, cfg EnrollerConfig) *Enroller {
@@ -332,6 +337,12 @@ func (e *Enroller) applyEndpoints(eps []registry.Endpoint) {
 	}
 	e.hosts = hosts
 	e.hostsMu.Unlock()
+	// Hosts that left the view shed their idle connections; connections
+	// with enrollments in flight are only retired — a draining host
+	// withdraws its announcement before waiting out in-flight work, so
+	// killing active streams here would abort exactly the performances the
+	// drain is protecting (and a transient gossip flap would do the same to
+	// a healthy host).
 	for _, hs := range old {
 		hostsRemoved.Inc()
 		hs.mu.Lock()
@@ -341,7 +352,7 @@ func (e *Enroller) applyEndpoints(eps []registry.Endpoint) {
 		for _, cc := range idle {
 			cc.close()
 		}
-		hs.closeMuxes()
+		hs.retireMuxes()
 	}
 }
 
@@ -404,7 +415,7 @@ func (e *Enroller) Close() error {
 		for _, cc := range idle {
 			cc.close()
 		}
-		hs.closeMuxes()
+		hs.retireMuxes()
 	}
 	return nil
 }
@@ -1045,7 +1056,7 @@ func (e *Enroller) conn(ctx context.Context, hs *hostState) (*clientConn, error)
 // on it, so a host-side close is noticed (and the heartbeat pump stopped)
 // the moment it happens rather than at the next checkout.
 func (e *Enroller) putIdle(hs *hostState, cc *clientConn) {
-	if cc.dead.Load() {
+	if cc.dead.Load() || hs.gone.Load() {
 		cc.close()
 		return
 	}

@@ -141,6 +141,61 @@ func TestEnrollerFollowsRegistryMembership(t *testing.T) {
 	}
 }
 
+func TestMembershipRemovalDrainsInFlightEnrollments(t *testing.T) {
+	// A draining host withdraws its announcement BEFORE waiting out its
+	// in-flight performances, so a membership removal must retire the
+	// host's pooled connections — not kill them: the enrollment already
+	// admitted there has to finish. (A gossip flap removing a healthy host
+	// relies on the same property.)
+	in := core.NewInstance(slotDef())
+	defer in.Close()
+	_, addr := startHost(t, in, remote.HostConfig{})
+	reg := registry.NewStatic()
+	defer reg.Close()
+	stop := reg.Announce(registry.Endpoint{Addr: addr, Scripts: []string{"slot"}}, nil)
+
+	enr := remote.NewEnrollerRegistry(reg, remote.EnrollerConfig{Script: "slot"})
+	defer enr.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	started := make(chan struct{})
+	gate := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		_, err := enr.Enroll(ctx, core.Enrollment{
+			PID:  "p1",
+			Role: ids.Role("only"),
+			Body: func(rc core.Ctx) error {
+				close(started)
+				<-gate
+				return nil
+			},
+		})
+		done <- err
+	}()
+	<-started
+
+	// The host leaves the registry view mid-performance.
+	stop()
+	waitCond(t, "host set to empty", func() bool { return len(enr.Hosts()) == 0 })
+	// Give the removal time to (wrongly) tear down the connection before
+	// the body is released.
+	time.Sleep(50 * time.Millisecond)
+
+	close(gate)
+	if err := <-done; err != nil {
+		t.Fatalf("in-flight enrollment killed by membership removal: %v", err)
+	}
+
+	// New work must not route to the departed host.
+	if _, err := enr.Enroll(ctx, core.Enrollment{
+		PID: "p2", Role: ids.Role("only"), Body: func(rc core.Ctx) error { return nil },
+	}); !errors.Is(err, remote.ErrNoHosts) {
+		t.Fatalf("enroll after removal: %v, want ErrNoHosts", err)
+	}
+}
+
 // countingTarget counts enrollment offers so performances can be attributed
 // to the host that admitted them.
 type countingTarget struct {

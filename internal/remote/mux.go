@@ -49,6 +49,7 @@ type muxConn struct {
 	streams  map[uint64]*muxStream
 	nextID   uint64
 	reserved int // slots claimed by enrollments that haven't opened yet
+	retired  bool
 	dead     bool
 	deadErr  error
 }
@@ -74,11 +75,12 @@ type opOutcome struct {
 	err error
 }
 
-// tryReserve claims a stream slot, or reports the connection full/dead.
+// tryReserve claims a stream slot, or reports the connection
+// full/retired/dead.
 func (mc *muxConn) tryReserve() bool {
 	mc.mu.Lock()
 	defer mc.mu.Unlock()
-	if mc.dead || len(mc.streams)+mc.reserved >= mc.maxStreams {
+	if mc.dead || mc.retired || len(mc.streams)+mc.reserved >= mc.maxStreams {
 		return false
 	}
 	mc.reserved++
@@ -108,12 +110,32 @@ func (mc *muxConn) openStream() (*muxStream, error) {
 }
 
 // closeStream removes a finished stream; late frames for it are dropped by
-// the reader.
+// the reader. A retired connection is torn down when its last stream
+// closes.
 func (mc *muxConn) closeStream(st *muxStream) {
 	mc.mu.Lock()
 	delete(mc.streams, st.id)
 	mc.c.SetWriteBatching(len(mc.streams) > 1)
+	reap := mc.retired && len(mc.streams)+mc.reserved == 0
 	mc.mu.Unlock()
+	if reap {
+		mc.fail(core.ErrClosed)
+	}
+}
+
+// retire drains the connection out: no new stream reservations are
+// accepted, and the connection is failed once its last stream closes. A
+// connection with no active streams fails immediately. This is the v2
+// counterpart of the v1 idle-only cleanup — enrollments in flight keep
+// their streams and finish (or fail) on their own.
+func (mc *muxConn) retire() {
+	mc.mu.Lock()
+	mc.retired = true
+	idle := len(mc.streams)+mc.reserved == 0
+	mc.mu.Unlock()
+	if idle {
+		mc.fail(core.ErrClosed)
+	}
 }
 
 // active reports live + reserved stream slots.
@@ -367,6 +389,11 @@ func (hs *hostState) addMux(mc *muxConn) {
 	hs.muxMu.Lock()
 	hs.muxes = append(hs.muxes, mc)
 	hs.muxMu.Unlock()
+	if hs.gone.Load() {
+		// Raced with retireMuxes: the host left the set (or the enroller
+		// closed) between the dial and the pool insert.
+		mc.retire()
+	}
 }
 
 func (hs *hostState) removeMux(mc *muxConn) {
@@ -381,13 +408,18 @@ func (hs *hostState) removeMux(mc *muxConn) {
 	hs.muxMu.Unlock()
 }
 
-// closeMuxes tears down every pooled multiplexed connection (Enroller.Close).
-func (hs *hostState) closeMuxes() {
+// retireMuxes drains every pooled multiplexed connection: idle ones are
+// failed immediately, ones with enrollments in flight are failed when
+// their last stream closes. Used when a host leaves the registry view and
+// by Enroller.Close — both promise that in-flight enrollments keep their
+// connections, mirroring the v1 path's idle-only cleanup.
+func (hs *hostState) retireMuxes() {
+	hs.gone.Store(true)
 	hs.muxMu.Lock()
 	muxes := append([]*muxConn(nil), hs.muxes...)
 	hs.muxMu.Unlock()
 	for _, mc := range muxes {
-		mc.fail(core.ErrClosed)
+		mc.retire()
 	}
 }
 
