@@ -52,6 +52,10 @@ func runChaosSoakFleet(t *testing.T, seed int64) {
 		// Admission-level overload bursts on top of the genuine cap sheds
 		// keep the balancer rerouting.
 		OverloadP: 0.05,
+		// Mid-op connection cuts ride the fleet too: every host opens a
+		// resume window, so the blips heal invisibly and the zero-abort
+		// contract below still holds.
+		NetCutP: 0.02,
 	})
 
 	const (
@@ -79,6 +83,7 @@ func runChaosSoakFleet(t *testing.T, seed int64) {
 		h := remote.NewHost(in, remote.HostConfig{
 			MaxEnrollments: capN,
 			RetryAfter:     5 * time.Millisecond,
+			ResumeWindow:   5 * time.Second,
 			Faults:         inj,
 		})
 		if err := h.Listen("127.0.0.1:0"); err != nil {
@@ -127,6 +132,9 @@ func runChaosSoakFleet(t *testing.T, seed int64) {
 	enr := remote.NewEnrollerRegistry(cg, remote.EnrollerConfig{
 		Script:   "slot",
 		Balancer: remote.NewLeastLoaded(),
+		// The client side carries the injector too: mid-op cuts are drawn at
+		// the enroller's op entry.
+		Faults: inj,
 		Retry: remote.RetryPolicy{
 			MaxAttempts: 10000,
 			BaseBackoff: time.Millisecond,
@@ -156,7 +164,14 @@ func runChaosSoakFleet(t *testing.T, seed int64) {
 				_, err := enr.Enroll(ctx, core.Enrollment{
 					PID:  ids.PID(fmt.Sprintf("C%d", c)),
 					Role: ids.Role("only"),
-					Body: func(rc core.Ctx) error { return nil },
+					// One wire op per enrollment gives the injector its mid-op
+					// cut point; the resumed session must answer it anyway.
+					Body: func(rc core.Ctx) error {
+						if !rc.Filled(ids.Role("only")) {
+							return errors.New("own role not filled")
+						}
+						return nil
+					},
 				})
 				cancel()
 				if err != nil {
@@ -203,6 +218,9 @@ func runChaosSoakFleet(t *testing.T, seed int64) {
 		t.Errorf("gossip faults never fired: drops=%d delays=%d dups=%d stales=%d (seed %d)",
 			drops, delays, dups, stales, seed)
 	}
-	t.Logf("seed %d: %d enrollments over %d hosts; gossip faults drops=%d delays=%d dups=%d stales=%d; injected overloads=%d",
-		seed, total, fleetN, drops, delays, dups, stales, inj.OverloadCount())
+	if inj.NetCutCount() == 0 {
+		t.Errorf("no mid-op connection cuts fired — churn harness not wired in (seed %d)", seed)
+	}
+	t.Logf("seed %d: %d enrollments over %d hosts; gossip faults drops=%d delays=%d dups=%d stales=%d; injected overloads=%d; mid-op cuts=%d",
+		seed, total, fleetN, drops, delays, dups, stales, inj.OverloadCount(), inj.NetCutCount())
 }

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -56,6 +57,9 @@ func runChaosSoakNet(t *testing.T, seed int64, dur time.Duration) {
 		// roughly half the stalled heartbeats look like a dead peer.
 		NetStallP:   0.02,
 		NetStallMax: 500 * time.Millisecond,
+		// Client-side mid-op cuts: with no resume window on these hosts they
+		// land on the same culprit-attributed abort path as the drops.
+		NetCutP: 0.01,
 	})
 
 	def := core.NewScript("chaotic_net").
@@ -204,9 +208,198 @@ func runChaosSoakNet(t *testing.T, seed int64, dur time.Duration) {
 	}
 
 	netDelays, netDrops, netStalls := inj.NetStats()
-	t.Logf("seed %d: %d enrollments, %d frame delays, %d dropped conns, %d heartbeat stalls, %d performances",
-		seed, attempts.Load(), netDelays, netDrops, netStalls, in.Performances())
-	if netDelays+netDrops+netStalls == 0 {
+	netCuts := inj.NetCutCount()
+	t.Logf("seed %d: %d enrollments, %d frame delays, %d dropped conns, %d heartbeat stalls, %d mid-op cuts, %d performances",
+		seed, attempts.Load(), netDelays, netDrops, netStalls, netCuts, in.Performances())
+	if netDelays+netDrops+netStalls+netCuts == 0 {
 		t.Error("network fault injector was never consulted — harness not wired in")
 	}
+}
+
+// TestChaosSoakNetResume is the tentpole acceptance soak: clients hammer a
+// v2 host whose resume window is open while the injector severs their live
+// connections mid-op at p=0.02. Every blip must be invisible — zero aborted
+// admitted performances, zero ErrConnLost — and the trace must conform with
+// no abort events at all.
+func TestChaosSoakNetResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak is not short")
+	}
+	runChaosSoakNetChurn(t, 20260807, soakDur(t), true)
+}
+
+// TestChaosSoakNetResumeOff is the counterfactual: the identical drive (same
+// seed, same cut probability) with the resume window disabled must reproduce
+// today's failure taxonomy — cuts surface as ErrConnLost on the cut client
+// and culprit-attributed *AbortError on its co-performer, and nothing
+// outside the pre-resumption error classes ever appears.
+func TestChaosSoakNetResumeOff(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak is not short")
+	}
+	runChaosSoakNetChurn(t, 20260807, soakDur(t), false)
+}
+
+func soakDur(t *testing.T) time.Duration {
+	dur := 5 * time.Second
+	if s := os.Getenv("SCRIPT_CHAOS_SOAK"); s != "" {
+		d, err := time.ParseDuration(s)
+		if err != nil {
+			t.Fatalf("SCRIPT_CHAOS_SOAK=%q: %v", s, err)
+		}
+		dur = d
+	}
+	return dur
+}
+
+func runChaosSoakNetChurn(t *testing.T, seed int64, dur time.Duration, resume bool) {
+	inj := chaos.New(chaos.Config{
+		Seed:        seed,
+		NetDelayP:   0.05,
+		NetDelayMax: 2 * time.Millisecond,
+		// The churn under test: sever the client's live connection at op
+		// entry, mid-performance.
+		NetCutP: 0.02,
+	})
+
+	def := core.NewScript("churn_net").
+		Role("a", func(rc core.Ctx) error { return errors.New("local body must not run") }).
+		Role("b", func(rc core.Ctx) error { return errors.New("local body must not run") }).
+		Initiation(core.DelayedInitiation).
+		Termination(core.DelayedTermination).
+		MustBuild()
+
+	var log trace.Log
+	in := core.NewInstance(def, core.WithTracer(&log))
+
+	cfg := remote.HostConfig{
+		HeartbeatTimeout: 250 * time.Millisecond,
+		WriteTimeout:     5 * time.Second,
+	}
+	if resume {
+		cfg.ResumeWindow = 5 * time.Second
+	}
+	h := remote.NewHost(in, cfg)
+	if err := h.Listen("127.0.0.1:0"); err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	go h.Serve()
+
+	enr := remote.NewEnroller(h.Addr().String(), remote.EnrollerConfig{
+		Script:            "churn_net",
+		HeartbeatInterval: 50 * time.Millisecond,
+		Faults:            inj,
+		// The breaker is disabled so the off-case keeps offering through the
+		// cut bursts instead of collapsing into fast-fail rejections — both
+		// arms then drive the identical schedule, which is what makes the
+		// zero-vs-nonzero abort comparison meaningful.
+		Breaker: remote.BreakerConfig{FailureThreshold: -1},
+	})
+	defer enr.Close()
+
+	const workers = 4 // per role
+	var attempts, resolved, connLost, aborted atomic.Uint64
+	stop := time.Now().Add(dur)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		for _, role := range []string{"a", "b"} {
+			w, role := w, role
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for time.Now().Before(stop) {
+					attempts.Add(1)
+					ectx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+					_, err := enr.Enroll(ectx, core.Enrollment{
+						PID:  ids.PID(fmt.Sprintf("%s%d", role, w)),
+						Role: ids.Role(role),
+						Body: func(rc core.Ctx) error {
+							if role == "a" {
+								return rc.Send(ids.Role("b"), 1)
+							}
+							_, err := rc.Recv(ids.Role("a"))
+							return err
+						},
+					})
+					cancel()
+					resolved.Add(1)
+					switch {
+					case err == nil:
+					case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+						// A straggler whose partner pool stopped: the offer was
+						// withdrawn before any performance started. Not an
+						// abort.
+					case errors.Is(err, remote.ErrConnLost):
+						connLost.Add(1)
+						if resume {
+							t.Errorf("ErrConnLost with the resume window open: %v", err)
+							return
+						}
+					case errors.Is(err, core.ErrPerformanceAborted):
+						aborted.Add(1)
+						if resume {
+							t.Errorf("admitted performance aborted with the resume window open: %v", err)
+							return
+						}
+						var ae *core.AbortError
+						if errors.As(err, &ae) && !strings.Contains(ae.Reason, "disconnected") {
+							t.Errorf("abort reason %q, want the disconnect attribution", ae.Reason)
+							return
+						}
+					default:
+						t.Errorf("unexpected enrollment error class (resume=%v): %v", resume, err)
+						return
+					}
+				}
+			}()
+		}
+	}
+
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(dur + 60*time.Second):
+		t.Fatalf("churn soak deadlocked (seed %d, resume=%v)", seed, resume)
+	}
+
+	dctx, dcancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer dcancel()
+	if err := h.Drain(dctx); err != nil {
+		t.Fatalf("final Drain = %v (seed %d, resume=%v)", err, seed, resume)
+	}
+	if got, want := resolved.Load(), attempts.Load(); got != want {
+		t.Fatalf("lost enrollments: %d attempted, %d resolved (seed %d)", want, got, seed)
+	}
+
+	for _, v := range conform.CheckSemantics(log.Events()) {
+		t.Errorf("semantics (seed %d, resume=%v): %s", seed, resume, v)
+	}
+	var traceAborts int
+	for _, e := range log.Events() {
+		if e.Kind == trace.KindAbort {
+			traceAborts++
+		}
+	}
+
+	cuts := inj.NetCutCount()
+	if cuts == 0 {
+		t.Errorf("no connection cuts were injected — churn harness not wired in (seed %d)", seed)
+	}
+	if resume {
+		if traceAborts != 0 {
+			t.Errorf("resumption-on soak recorded %d abort events, want 0 (seed %d)", traceAborts, seed)
+		}
+	} else {
+		// The counterfactual must show the cuts biting: the same schedule
+		// with no grace window produces client-visible connection losses.
+		if connLost.Load()+aborted.Load() == 0 {
+			t.Errorf("resumption-off soak saw no ErrConnLost/aborts under %d cuts (seed %d)", cuts, seed)
+		}
+	}
+	t.Logf("seed %d resume=%v: %d enrollments, %d cuts, %d conn-lost, %d aborted, %d abort trace events, %d performances",
+		seed, resume, attempts.Load(), cuts, connLost.Load(), aborted.Load(), traceAborts, in.Performances())
 }

@@ -75,6 +75,8 @@ func run(args []string, out io.Writer) error {
 	deadline := fs.Duration("deadline", 0, "per-performance deadline (0 disables)")
 	hbTimeout := fs.Duration("heartbeat-timeout", remote.DefaultHeartbeatTimeout,
 		"abort a performance whose enroller has been silent this long")
+	resumeWindow := fs.Duration("resume-window", 0,
+		"park a v2 conversation this long after a connection loss, awaiting RESUME (0 disables session resumption)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "how long a signal-triggered drain may take")
 	maxConns := fs.Int("max-conns", 0, "cap on concurrently-served connections (0 = unlimited)")
 	maxEnrollments := fs.Int("max-enrollments", 0, "cap on concurrently-admitted enrollments (0 = unlimited)")
@@ -135,6 +137,7 @@ func run(args []string, out io.Writer) error {
 
 	cfg := remote.HostConfig{
 		HeartbeatTimeout: *hbTimeout,
+		ResumeWindow:     *resumeWindow,
 		MaxConns:         *maxConns,
 		MaxEnrollments:   *maxEnrollments,
 		MaxPendingOffers: *maxPending,

@@ -71,6 +71,13 @@ type Config struct {
 	// vanished role.
 	NetDropP float64
 
+	// NetCutP is the probability, per client-side wire operation, that the
+	// enroller's live connection is severed mid-op — a transient network
+	// blip as the client sees it. With session resumption enabled the cut
+	// must be invisible (the op completes after a reconnect); without it the
+	// cut reproduces the abort taxonomy of a dropped connection.
+	NetCutP float64
+
 	// NetStallP is the probability that a client heartbeat stalls before
 	// sending, and NetStallMax the largest stall. Stalls beyond the host's
 	// heartbeat timeout are indistinguishable from a dead peer.
@@ -120,6 +127,7 @@ type Injector struct {
 	fastEvicts   atomic.Uint64
 	netDelays    atomic.Uint64
 	netDrops     atomic.Uint64
+	netCuts      atomic.Uint64
 	netStalls    atomic.Uint64
 	overloads    atomic.Uint64
 	gossipDrops  atomic.Uint64
@@ -236,6 +244,16 @@ func (j *Injector) DropConn() bool {
 	return hit
 }
 
+// CutConn implements remote.NetFaults: with probability NetCutP the
+// client's live connection is severed mid-operation.
+func (j *Injector) CutConn() bool {
+	hit := j.hit(j.cfg.NetCutP)
+	if hit {
+		j.netCuts.Add(1)
+	}
+	return hit
+}
+
 // StallHeartbeat implements remote.NetFaults: how long a client heartbeat
 // stalls before sending.
 func (j *Injector) StallHeartbeat() time.Duration {
@@ -325,6 +343,9 @@ func (j *Injector) GossipStats() (drops, delays, dups, stales uint64) {
 func (j *Injector) NetStats() (netDelays, netDrops, netStalls uint64) {
 	return j.netDelays.Load(), j.netDrops.Load(), j.netStalls.Load()
 }
+
+// NetCutCount reports how many mid-op connection cuts have been injected.
+func (j *Injector) NetCutCount() uint64 { return j.netCuts.Load() }
 
 // OverloadCount reports how many injected overload sheds have fired.
 func (j *Injector) OverloadCount() uint64 { return j.overloads.Load() }

@@ -115,10 +115,21 @@ const (
 	// internal/wire (handshakes negotiated at either end, by version)
 	WireConnsV1 = "wire_conns_v1_total"
 	WireConnsV2 = "wire_conns_v2_total"
+	// internal/wire session resumption: frames replayed after a reconnect,
+	// and frames the cumulative receipt count proved already delivered
+	// (pruned instead of retransmitted — the sender-side dedup).
+	WireFramesRetransmitted = "wire_frames_retransmitted_total"
+	WireFramesDeduped       = "wire_frames_deduped_total"
 	// internal/remote
 	RemoteShedConns       = "remote_shed_conns_total"
 	RemoteShedEnrollments = "remote_shed_enrollments_total"
 	BreakerTransitions    = "remote_breaker_transitions_total"
+	// internal/remote session resumption: sessions parked at connection
+	// loss, re-attached by a RESUME, and expired unresumed (grace window
+	// elapsed → the pre-resumption abort path).
+	SessionsParked  = "remote_sessions_parked_total"
+	SessionsResumed = "remote_sessions_resumed_total"
+	SessionsExpired = "remote_sessions_expired_total"
 	// internal/remote balancer: picks per strategy (BalancerPicksPrefix +
 	// the strategy name + "_total", e.g. remote_balancer_picks_least_loaded_total)
 	// plus the least-loaded strategy's all-digests-stale fallback.

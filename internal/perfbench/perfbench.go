@@ -1,5 +1,5 @@
 // Package perfbench defines the performance acceptance suite: a small set
-// of named measurements (E1–E11) runnable from cmd/scriptbench -json, so
+// of named measurements (E1–E12) runnable from cmd/scriptbench -json, so
 // regressions in the enrollment and communication hot paths are visible as
 // numbers in BENCH_E*.json rather than only as `go test -bench` output.
 //
@@ -24,6 +24,10 @@
 //	E11 fleet goodput scaling: the E8 saturation drive against 1, 2, and
 //	    4 registry-announced hosts through one registry-backed balanced
 //	    enroller; aggregate goodput must scale with the fleet
+//	E12 goodput under connection churn: single-role enrollments while a
+//	    deterministic schedule severs the live connection mid-op, with a
+//	    resume window vs with resumption off; the on-arm must complete
+//	    every enrollment, the off-arm reproduces the abort taxonomy
 //
 // Each Spec.Run executes under testing.Benchmark so iteration counts are
 // chosen the same way `go test -bench` chooses them. E5/E6 measure the
@@ -53,6 +57,7 @@ import (
 	script "github.com/scriptabs/goscript"
 	"github.com/scriptabs/goscript/internal/core"
 	"github.com/scriptabs/goscript/internal/ids"
+	"github.com/scriptabs/goscript/internal/metrics"
 	"github.com/scriptabs/goscript/internal/patterns"
 	"github.com/scriptabs/goscript/internal/registry"
 	"github.com/scriptabs/goscript/internal/remote"
@@ -107,6 +112,11 @@ type Result struct {
 	// largest fleet's per-completion cost; scaling_vs_single on each point
 	// is its aggregate goodput over the single-host point's.
 	Fleet []FleetPoint `json:"fleet,omitempty"`
+
+	// E12 only: the identical connection-churn drive run with session
+	// resumption on and off. The headline ns_per_op is the resumption-on
+	// arm's per-completion cost; the baseline is the resumption-off arm.
+	Churn []ChurnPoint `json:"churn,omitempty"`
 }
 
 // SaturationPoint is one E8 load point: LoadFactor × the host's admission
@@ -146,6 +156,26 @@ type FleetPoint struct {
 	Throughput      float64 `json:"throughput_per_sec"`
 	ScalingVsSingle float64 `json:"scaling_vs_single,omitempty"`
 	MinHostShare    float64 `json:"min_host_share"`
+}
+
+// ChurnPoint is one E12 arm: churnClients concurrent remote enrollers drive
+// single-role enrollments whose bodies each issue churnOpsPerBody wire ops,
+// while a deterministic fault schedule severs the live connection on every
+// churnCutEvery-th client op — the same schedule for both arms. With a
+// resume window open every cut heals invisibly (Failed must be 0); with
+// resumption off each cut kills the multiplexed connection and every
+// enrollment riding it, so Failed must be > 0. Throughput and p99 latency
+// cover completed enrollments only; FailureRatePct = Failed/Attempted.
+type ChurnPoint struct {
+	Resume         bool    `json:"resume"`
+	Attempted      uint64  `json:"attempted"`
+	Completed      uint64  `json:"completed"`
+	Failed         uint64  `json:"failed"`
+	Cuts           uint64  `json:"cuts"`
+	Resumed        uint64  `json:"sessions_resumed"`
+	Throughput     float64 `json:"throughput_per_sec"`
+	FailureRatePct float64 `json:"failure_rate_pct"`
+	P99LatencyMS   float64 `json:"p99_latency_ms"`
 }
 
 // SamplingPoint is one E10 cell: a core workload run untraced or with a
@@ -236,6 +266,12 @@ func Suite() []Spec {
 			Description: "the E8 saturation drive against 1/2/4 registry-announced hosts (admission cap 4 each, sleep-bound bodies) through a registry-backed round-robin enroller; per-point aggregate goodput and scaling vs the single-host point",
 			Enrollers:   fleetClients,
 		},
+		{
+			ID:          "E12",
+			Name:        "goodput-under-connection-churn",
+			Description: "remote single-role enrollments under a deterministic schedule of mid-op connection cuts (one per 64 client wire ops), with a 5s resume window vs with resumption off; per-arm goodput and enrollment failure rate, identical cut schedule in both arms",
+			Enrollers:   churnClients,
+		},
 	}
 	specs[0].Run = func() Result { return finish(specs[0], runStarBroadcast(64)) }
 	specs[1].Run = func() Result { return finish(specs[1], runSuccessive()) }
@@ -285,6 +321,7 @@ func Suite() []Spec {
 	}
 	specs[9].Run = func() Result { return runSamplingSuite(specs[9]) }
 	specs[10].Run = func() Result { return runFleetSuite(specs[10]) }
+	specs[11].Run = func() Result { return runChurnSuite(specs[11]) }
 	return specs
 }
 
@@ -842,6 +879,164 @@ func runFleetPoint(nHosts int) FleetPoint {
 		Throughput:   float64(completed.Load()) / fleetWindow.Seconds(),
 		MinHostShare: minShare,
 	}
+}
+
+// churnClients is E12's concurrent enroller population.
+const churnClients = 8
+
+// churnWindow is how long each E12 arm runs.
+const churnWindow = 400 * time.Millisecond
+
+// churnCutEvery severs the live connection on every Nth client wire op —
+// a deterministic schedule, identical for both arms, unlike the seeded
+// probabilistic chaos injector the soak tests use.
+const churnCutEvery = 64
+
+// churnOpsPerBody is how many wire ops each enrollment body issues; each
+// op is one consult of the cut schedule and, on the resumption-on arm,
+// one op the healed session must still answer correctly.
+const churnOpsPerBody = 4
+
+// churnFaults is a deterministic remote.NetFaults: no delays, stalls, or
+// overloads — only a connection cut on every churnCutEvery-th client op.
+type churnFaults struct {
+	ops  atomic.Uint64
+	cuts atomic.Uint64
+}
+
+func (f *churnFaults) FrameDelay() time.Duration     { return 0 }
+func (f *churnFaults) DropConn() bool                { return false }
+func (f *churnFaults) StallHeartbeat() time.Duration { return 0 }
+func (f *churnFaults) Overload() bool                { return false }
+func (f *churnFaults) CutConn() bool {
+	if f.ops.Add(1)%churnCutEvery == 0 {
+		f.cuts.Add(1)
+		return true
+	}
+	return false
+}
+
+// runChurnSuite is E12: the same fixed-duration churn drive run twice —
+// once with the host parking broken conversations for a 5s resume window,
+// once with resumption disabled — under an identical deterministic cut
+// schedule. The resumption-on arm's contract is zero failed enrollments
+// (every blip heals invisibly, mid-flight ops included); the off arm must
+// fail enrollments (each cut kills the multiplexed connection and all
+// work riding it), which is exactly today's abort taxonomy and the
+// counterfactual that proves the cuts are real. The headline ns_per_op is
+// the on-arm per-completion cost, the baseline the off arm's, so
+// delta_pct is what resumption costs (or buys back) in goodput under
+// churn.
+func runChurnSuite(s Spec) Result {
+	res := Result{
+		ID:          s.ID,
+		Name:        s.Name,
+		Description: s.Description,
+		Enrollers:   s.Enrollers,
+	}
+	on := runChurnPoint(true)
+	off := runChurnPoint(false)
+	res.Churn = []ChurnPoint{on, off}
+	res.Iterations = int(on.Completed)
+	if on.Throughput > 0 {
+		res.NsPerOp = 1e9 / on.Throughput
+	}
+	if off.Throughput > 0 {
+		res.BaselineNsPerOp = 1e9 / off.Throughput
+		res.DeltaPct = (res.BaselineNsPerOp - res.NsPerOp) / res.BaselineNsPerOp * 100
+	}
+	return res
+}
+
+func runChurnPoint(resume bool) ChurnPoint {
+	def := core.NewScript("slot").
+		Role("only", func(rc core.Ctx) error { return fmt.Errorf("local body must not run") }).
+		MustBuild()
+	in := core.NewInstance(def)
+	hcfg := remote.HostConfig{}
+	if resume {
+		hcfg.ResumeWindow = 5 * time.Second
+	}
+	h := remote.NewHost(in, hcfg)
+	if err := h.Listen("127.0.0.1:0"); err != nil {
+		panic(err)
+	}
+	go h.Serve()
+	faults := &churnFaults{}
+	enr := remote.NewEnroller(h.Addr().String(), remote.EnrollerConfig{
+		// Cuts are consulted at the client's op entry, so the enroller
+		// carries the schedule. No retry policy and no breaker: a failed
+		// enrollment is lost goodput in both arms, and the off arm's
+		// conn-lost bursts must not trip client-local fail-fasts that
+		// would distort the comparison.
+		Faults:  faults,
+		Breaker: remote.BreakerConfig{FailureThreshold: -1},
+	})
+
+	// Each body op is a query over the wire — a cut consult point on the
+	// way out and, when the cut fires, an in-flight op the resumed session
+	// must complete exactly once.
+	body := func(rc core.Ctx) error {
+		for i := 0; i < churnOpsPerBody; i++ {
+			rc.Filled(ids.Role("only"))
+		}
+		return nil
+	}
+	resumedBefore := metrics.Get(metrics.SessionsResumed).Load()
+	ctx := context.Background()
+	var attempted, completed, failed atomic.Uint64
+	samples := make([][]time.Duration, churnClients)
+	stop := time.Now().Add(churnWindow)
+	var wg sync.WaitGroup
+	for c := 0; c < churnClients; c++ {
+		pid := ids.PID(fmt.Sprintf("C%d", c))
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for time.Now().Before(stop) {
+				attempted.Add(1)
+				t0 := time.Now()
+				if _, err := enr.Enroll(ctx, core.Enrollment{PID: pid, Role: ids.Role("only"), Body: body}); err != nil {
+					failed.Add(1)
+					continue
+				}
+				completed.Add(1)
+				samples[c] = append(samples[c], time.Since(t0))
+			}
+		}(c)
+	}
+	wg.Wait()
+	enr.Close()
+	h.Close()
+	in.Close()
+
+	var all []time.Duration
+	for _, s := range samples {
+		all = append(all, s...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	var p99 time.Duration
+	if n := len(all); n > 0 {
+		i := n * 99 / 100
+		if i >= n {
+			i = n - 1
+		}
+		p99 = all[i]
+	}
+	pt := ChurnPoint{
+		Resume:       resume,
+		Attempted:    attempted.Load(),
+		Completed:    completed.Load(),
+		Failed:       failed.Load(),
+		Cuts:         faults.cuts.Load(),
+		Resumed:      metrics.Get(metrics.SessionsResumed).Load() - resumedBefore,
+		Throughput:   float64(completed.Load()) / churnWindow.Seconds(),
+		P99LatencyMS: float64(p99.Nanoseconds()) / 1e6,
+	}
+	if pt.Attempted > 0 {
+		pt.FailureRatePct = float64(pt.Failed) / float64(pt.Attempted) * 100
+	}
+	return pt
 }
 
 // samplingRate is E10's sampled fraction: production-shaped, low enough

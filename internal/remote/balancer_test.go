@@ -1,12 +1,14 @@
 package remote
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 	"time"
 
 	"github.com/scriptabs/goscript/internal/metrics"
 	"github.com/scriptabs/goscript/internal/registry"
+	"github.com/scriptabs/goscript/internal/wire"
 )
 
 // pickEnroller builds an enroller over fake addresses — pickHost never
@@ -120,6 +122,96 @@ func TestRoundRobinBalancerSpreads(t *testing.T) {
 			t.Fatalf("round-robin spread uneven: %v", counts)
 		}
 	}
+}
+
+// TestPickHostAllBreakersOpen pins the emptiest edge of the scan: with every
+// breaker cooling there is nothing to pick — no panic, nil result, and the
+// attempt surfaces as ErrCircuitOpen — until a cooldown elapses and exactly
+// one probe token is handed out.
+func TestPickHostAllBreakersOpen(t *testing.T) {
+	e := pickEnroller(NewLeastLoaded(), 1, "a:1", "b:1", "c:1")
+	now := time.Now()
+	for _, hs := range e.hosts {
+		for i := 0; i < DefaultFailureThreshold; i++ {
+			hs.brk.onFailure(now)
+		}
+	}
+	for attempt := 0; attempt < 4; attempt++ {
+		if hs := e.pickHost(now, attempt); hs != nil {
+			t.Fatalf("attempt %d picked %s with every breaker open", attempt, hs.addr)
+		}
+	}
+	if err := e.noHostErr(); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("noHostErr = %v, want ErrCircuitOpen", err)
+	}
+	later := now.Add(DefaultBreakerCooldown + time.Millisecond)
+	if hs := e.pickHost(later, 0); hs == nil {
+		t.Fatal("due half-open probe not claimed after cooldown")
+	}
+}
+
+// TestPickHostAllLoadDigestsStale drives pickHost (not just the Balancer)
+// with every host's load digest aged past StaleLoadAfter: the least-loaded
+// balancer must fall back to rotation — deterministically picking *some*
+// closed host — and account each fallback in
+// remote_stale_load_fallbacks_total.
+func TestPickHostAllLoadDigestsStale(t *testing.T) {
+	e := pickEnroller(NewLeastLoaded(), 1, "a:1", "b:1", "c:1")
+	e.cfg.StaleLoadAfter = time.Second
+	now := time.Now()
+	for _, hs := range e.hosts {
+		hs.loadMu.Lock()
+		hs.hasLoad = true
+		hs.load = registry.Load{PendingOffers: 1}
+		hs.loadAt = now.Add(-time.Hour)
+		hs.loadMu.Unlock()
+	}
+	before := metrics.Get(metrics.StaleLoadFallbacks).Load()
+	seen := map[string]bool{}
+	for attempt := 0; attempt < 6; attempt++ {
+		hs := e.pickHost(now, attempt)
+		if hs == nil {
+			t.Fatalf("attempt %d picked nothing with all-closed breakers", attempt)
+		}
+		seen[hs.addr] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("all-stale fallback never rotated: %v", seen)
+	}
+	if got := metrics.Get(metrics.StaleLoadFallbacks).Load(); got != before+6 {
+		t.Fatalf("stale fallback counter: got %d, want %d", got, before+6)
+	}
+}
+
+// TestTryReserveDetachedConversation pins the reservation rule a host
+// returning via RESUME depends on: a conversation detached mid-reconnect
+// refuses new enrollments (they dial fresh instead of queueing behind a
+// transport that may never come back), and becomes reservable again the
+// instant a resumed transport reattaches.
+func TestTryReserveDetachedConversation(t *testing.T) {
+	mc := &muxConn{
+		maxStreams: 4,
+		streams:    map[uint64]*muxStream{},
+		stop:       make(chan struct{}),
+	}
+	if mc.tryReserve() {
+		t.Fatal("detached conversation accepted a reservation")
+	}
+	mc.c = wire.NewConn(nil) // reattached (transport identity is all that matters here)
+	if !mc.tryReserve() {
+		t.Fatal("reattached conversation refused a reservation")
+	}
+	mc.mu.Lock()
+	mc.c = nil // detached again mid-scan
+	mc.mu.Unlock()
+	if mc.tryReserve() {
+		t.Fatal("re-detached conversation accepted a reservation")
+	}
+	mc.mu.Lock()
+	if mc.reserved != 1 {
+		t.Fatalf("reserved = %d, want 1", mc.reserved)
+	}
+	mc.mu.Unlock()
 }
 
 func freshView(addr string, l registry.Load) HostView {

@@ -965,6 +965,7 @@ await:
 		ParamBag: core.ParamBag{In: enr.Args},
 		ctx:      ctx,
 		cc:       cc,
+		faults:   e.cfg.Faults,
 		role:     role,
 		pid:      enr.PID,
 		perf:     ack.Performance,
@@ -1078,43 +1079,66 @@ func (e *Enroller) putIdle(hs *hostState, cc *clientConn) {
 // heartbeat pump. The version is pinned to 1: pooled lock-step connections
 // must never negotiate v2 (the v2 pool is hostState.muxes).
 func (e *Enroller) dial(ctx context.Context, addr string) (*clientConn, error) {
-	c, err := e.dialRaw(ctx, addr, 1)
+	c, ack, err := e.dialRaw(ctx, addr, 1)
 	if err != nil {
 		return nil, err
 	}
 	cc := &clientConn{c: c, stop: make(chan struct{})}
-	go cc.heartbeat(e.cfg.HeartbeatInterval, e.cfg.Faults)
+	go cc.heartbeat(effectiveHeartbeat(e.cfg.HeartbeatInterval, ack.HeartbeatTimeoutMS), e.cfg.Faults)
 	return cc, nil
 }
 
+// effectiveHeartbeat guards against the classic config footgun: a client
+// heartbeat interval at or above the host's silence bound makes every
+// healthy idle connection look severed. The host advertises its timeout in
+// the handshake (0 = host predates the advert, negative = timeout
+// disabled); a too-slow interval is clamped to a third of it, so one
+// lost-in-transit heartbeat never costs the connection.
+func effectiveHeartbeat(interval time.Duration, hostTimeoutMS int64) time.Duration {
+	if hostTimeoutMS <= 0 {
+		return interval
+	}
+	timeout := time.Duration(hostTimeoutMS) * time.Millisecond
+	if interval < timeout {
+		return interval
+	}
+	if clamped := timeout / 3; clamped > 0 {
+		return clamped
+	}
+	return time.Millisecond
+}
+
 // dialRaw establishes and handshakes one connection, negotiating up to
-// maxVer. Failures wrap ErrDialFailed — except an overload rejection of
-// the handshake itself (the host's connection cap), which surfaces as the
-// *core.OverloadError it is.
-func (e *Enroller) dialRaw(ctx context.Context, addr string, maxVer int) (*wire.Conn, error) {
+// maxVer; v2-capable dials ask for session resumption (granted in the ack
+// only when the host has a resume window configured). Failures wrap
+// ErrDialFailed — except an overload rejection of the handshake itself
+// (the host's connection cap), which surfaces as the *core.OverloadError
+// it is.
+func (e *Enroller) dialRaw(ctx context.Context, addr string, maxVer int) (*wire.Conn, wire.HelloAck, error) {
 	d := net.Dialer{Timeout: e.cfg.DialTimeout}
 	nc, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		if cerr := ctx.Err(); cerr != nil {
-			return nil, cerr
+			return nil, wire.HelloAck{}, cerr
 		}
-		return nil, fmt.Errorf("%w: %s: %v", ErrDialFailed, addr, err)
+		return nil, wire.HelloAck{}, fmt.Errorf("%w: %s: %v", ErrDialFailed, addr, err)
 	}
 	c := wire.NewConn(nc)
 	if e.cfg.Faults != nil {
 		c.SetFrameDelay(e.cfg.Faults.FrameDelay)
 	}
-	if _, err := wire.ClientHandshakeV(c, e.cfg.Script, maxVer); err != nil {
+	ack, err := wire.ClientHandshakeResume(c, e.cfg.Script, maxVer, maxVer >= 2)
+	if err != nil {
 		c.Close()
 		if errors.Is(err, core.ErrOverloaded) {
-			return nil, err
+			return nil, wire.HelloAck{}, err
 		}
 		if cerr := ctx.Err(); cerr != nil {
-			return nil, cerr
+			return nil, wire.HelloAck{}, cerr
 		}
-		return nil, fmt.Errorf("%w: %s: %v", ErrDialFailed, addr, err)
+		return nil, wire.HelloAck{}, fmt.Errorf("%w: %s: %v", ErrDialFailed, addr, err)
 	}
-	return c, nil
+	return c, ack, nil
 }
 
 // clientConn is one pooled connection with its heartbeat pump and, while
@@ -1217,12 +1241,13 @@ func (cc *clientConn) heartbeat(interval time.Duration, faults NetFaults) {
 // stay local (they cross the wire at ENROLL and BODY-DONE).
 type remoteCtx struct {
 	core.ParamBag
-	ctx  context.Context
-	cc   *clientConn // v1 lock-step transport (nil on v2)
-	st   *muxStream  // v2 pipelined stream (nil on v1)
-	role ids.RoleRef
-	pid  ids.PID
-	perf int
+	ctx    context.Context
+	cc     *clientConn // v1 lock-step transport (nil on v2)
+	st     *muxStream  // v2 pipelined stream (nil on v1)
+	faults NetFaults   // v1 only: chaos cut injection (v2 consults the mux)
+	role   ids.RoleRef
+	pid    ids.PID
+	perf   int
 	// abortErr, once set, fails every subsequent operation locally: the
 	// host told us (via ABORT or an operation result) that the performance
 	// was aborted. Mirrors the local semantics — the body keeps running,
@@ -1288,6 +1313,11 @@ func (r *remoteCtx) op(t wire.MsgType, req any) (wire.OpResult, error) {
 	}
 	if r.st != nil {
 		return r.opMux(t, req)
+	}
+	if r.faults != nil && r.faults.CutConn() {
+		// Injected client-side blip. v1 has no resumption, so the cut must
+		// surface as today's ErrConnLost abort taxonomy.
+		r.cc.close()
 	}
 	if err := r.cc.c.WriteMsg(t, req); err != nil {
 		return wire.OpResult{}, r.netErr(err)

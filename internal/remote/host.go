@@ -21,6 +21,9 @@ import (
 var (
 	shedConnsTotal   = metrics.Get(metrics.RemoteShedConns)
 	shedEnrollsTotal = metrics.Get(metrics.RemoteShedEnrollments)
+	sessionsParked   = metrics.Get(metrics.SessionsParked)
+	sessionsResumed  = metrics.Get(metrics.SessionsResumed)
+	sessionsExpired  = metrics.Get(metrics.SessionsExpired)
 )
 
 // HostConfig configures a Host.
@@ -62,6 +65,19 @@ type HostConfig struct {
 	// fallback path.
 	MaxProtocolVersion int
 
+	// ResumeWindow, when positive, enables session resumption on v2
+	// connections: a connection that dies with live streams parks them for
+	// this grace window instead of aborting their performances, and a
+	// client redialing with the session token within the window re-attaches
+	// invisibly (both sides replay unacked frames). 0 disables — every
+	// connection loss aborts exactly as before resumption existed.
+	ResumeWindow time.Duration
+	// ResumeBufBytes caps each resumable session's unacked retransmit
+	// backlog (0 = wire.DefaultResumeBufBytes). A session over the cap is
+	// marked unresumable and degrades to the abort path at the next
+	// connection loss rather than buffering without bound.
+	ResumeBufBytes int
+
 	// Faults, when non-nil, injects network faults (chaos testing).
 	Faults NetFaults
 	// Logf, when non-nil, receives connection-level diagnostics.
@@ -99,6 +115,11 @@ type Host struct {
 	conns    map[*wire.Conn]struct{}
 	closed   bool
 	draining bool // set by Drain under mu; new ENROLLs answer DRAIN at once
+
+	// sessions indexes every live resumable v2 session by its token —
+	// attached and parked alike, so a RESUME can adopt a session even when
+	// the client noticed the break before the host did. Guarded by mu.
+	sessions map[string]*hostSession
 
 	// pendingOf is the target's pending-offer counter, nil when the target
 	// does not report one (MaxPendingOffers is then inert).
@@ -138,6 +159,9 @@ type HostStats struct {
 	// by negotiated wire protocol version.
 	ConnsV1 uint64
 	ConnsV2 uint64
+	// Sessions is the number of resumable v2 sessions currently registered,
+	// attached and parked alike.
+	Sessions int
 }
 
 // Stats returns a snapshot of the host's counters. Each field is read
@@ -148,9 +172,11 @@ type HostStats struct {
 func (h *Host) Stats() HostStats {
 	h.mu.Lock()
 	conns := len(h.conns)
+	sessions := len(h.sessions)
 	h.mu.Unlock()
 	return HostStats{
 		Conns:           conns,
+		Sessions:        sessions,
 		Enrolling:       int(h.enrolling.Load()),
 		ShedConns:       h.shedConns.Load(),
 		ShedEnrollments: h.shedEnrolls.Load(),
@@ -170,12 +196,13 @@ func NewHost(target Target, cfg HostConfig) *Host {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	h := &Host{
-		target:  target,
-		script:  target.Definition().Name(),
-		cfg:     cfg,
-		baseCtx: ctx,
-		cancel:  cancel,
-		conns:   make(map[*wire.Conn]struct{}),
+		target:   target,
+		script:   target.Definition().Name(),
+		cfg:      cfg,
+		baseCtx:  ctx,
+		cancel:   cancel,
+		conns:    make(map[*wire.Conn]struct{}),
+		sessions: make(map[string]*hostSession),
 	}
 	h.pendingOf, _ = target.(pendingOffersReporter)
 	return h
@@ -303,8 +330,26 @@ func (h *Host) Close() error {
 	for _, c := range conns {
 		c.Close()
 	}
+	// Parked sessions have no connection (and so no serveConn goroutine) to
+	// notice the shutdown: tear them down explicitly, reclaiming their
+	// performances through the same disconnect path a conn death uses.
+	h.mu.Lock()
+	sessions := make([]*hostSession, 0, len(h.sessions))
+	for _, s := range h.sessions {
+		sessions = append(sessions, s)
+	}
+	h.mu.Unlock()
+	for _, s := range sessions {
+		s.teardown()
+	}
 	h.connWG.Wait()
 	return nil
+}
+
+func (h *Host) isClosed() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.closed
 }
 
 func (h *Host) closeListener() {
@@ -417,13 +462,29 @@ func (h *Host) serveConn(nc net.Conn) {
 	if h.cfg.Faults != nil {
 		c.SetFrameDelay(h.cfg.Faults.FrameDelay)
 	}
-	if err := wire.ServerHandshakeV(c, h.script, h.maxProto()); err != nil {
+	// The handshake advertises the host's heartbeat timeout (so a client
+	// with a slower pump can tighten it below the host's silence bound) and,
+	// when resumption is enabled and the client asked for it, mints a
+	// session token the client presents in a later RESUME. v1 clients and
+	// v2 clients that did not set Hello.Resume see neither field and keep
+	// exact pre-resumption semantics.
+	var resumeToken string
+	if _, err := wire.ServerHandshakeVExt(c, h.script, h.maxProto(), func(hl wire.Hello, ack *wire.HelloAck) {
+		ack.HeartbeatTimeoutMS = h.cfg.HeartbeatTimeout.Milliseconds()
+		if ack.Version >= 2 && hl.Resume && h.cfg.ResumeWindow > 0 {
+			resumeToken = mintSessionToken()
+			if resumeToken != "" {
+				ack.ResumeToken = resumeToken
+				ack.ResumeWindowMS = h.cfg.ResumeWindow.Milliseconds()
+			}
+		}
+	}); err != nil {
 		h.logf("remote: %s: handshake: %v", c.RemoteAddr(), err)
 		return
 	}
 	if c.Version() >= 2 {
 		h.connsV2.Add(1)
-		h.serveConnV2(c)
+		h.serveConnV2(c, resumeToken)
 		return
 	}
 	h.connsV1.Add(1)
@@ -631,7 +692,8 @@ func decodeOpV1(fr frame) hostOp {
 // On a v2 connection it writes stream-addressed frames (streamID) and
 // echoes each op's sequence ID on its OP-RESULT.
 type bridge struct {
-	conn     *wire.Conn
+	conn     *wire.Conn  // v1 only: the lock-step connection
+	fw       frameWriter // v2 only: the session (resumable) or bare conn
 	opCh     chan hostOp
 	quit     chan struct{}
 	v2       bool
@@ -645,11 +707,18 @@ type bridge struct {
 	finished bool
 }
 
+// frameWriter is where a v2 bridge's frames go: the bare connection, or a
+// wire.Session that retains them for replay across reconnects — in which
+// case a transient transport loss never surfaces as a write error here.
+type frameWriter interface {
+	WriteFrame(t wire.MsgType, stream, seq uint64, m any) error
+}
+
 // write sends one frame to the bridge's enroller with the connection's
 // negotiated codec.
 func (b *bridge) write(t wire.MsgType, seq uint64, m any) error {
 	if b.v2 {
-		return b.conn.WriteFrame(t, b.streamID, seq, m)
+		return b.fw.WriteFrame(t, b.streamID, seq, m)
 	}
 	return b.conn.WriteMsg(t, m)
 }

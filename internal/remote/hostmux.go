@@ -2,6 +2,8 @@ package remote
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"sync"
@@ -13,12 +15,19 @@ import (
 	"github.com/scriptabs/goscript/internal/wire"
 )
 
-// This file is the host side of SCRW v2 connection multiplexing: one
-// connection carries many concurrent enrollments, each on its own stream
-// ID. The connection loop owns the read side and routes decoded frames to
-// per-stream goroutines; writes interleave on the shared connection under
-// wire.Conn's write lock. Compare serveConn's v1 path in host.go, where one
-// connection serves exactly one enrollment conversation at a time.
+// This file is the host side of SCRW v2 connection multiplexing and session
+// resumption: one connection carries many concurrent enrollments, each on
+// its own stream ID, and — when HostConfig.ResumeWindow is set — the
+// conversation survives the connection. The per-conversation state lives in
+// a hostSession, which outlives any one transport: a connection death with
+// live streams *parks* the session for the grace window instead of aborting
+// its performances, and a client redialing with the session token within
+// the window re-attaches via a RESUME/RESUME-ACK exchange that replays the
+// frames the blip swallowed. With resumption off (the default) a session
+// dies with its only connection, which is exactly the pre-resumption
+// behavior. Compare serveConn's v1 path in host.go, where one connection
+// serves exactly one enrollment conversation at a time and every loss is an
+// abort.
 
 // streamOpBacklog bounds undrained ops buffered per stream. The client
 // pipelines ops without awaiting results, so the backlog is deeper than
@@ -27,7 +36,7 @@ import (
 // garbage.)
 const streamOpBacklog = 16
 
-// hostStream is the connection loop's handle on one in-flight enrollment.
+// hostStream is the session's handle on one in-flight enrollment.
 type hostStream struct {
 	b   *bridge
 	ctx context.Context
@@ -36,51 +45,302 @@ type hostStream struct {
 	cancel context.CancelFunc
 }
 
-// streamTask is one enrollment handed to a connection's stream workers.
+// streamTask is one enrollment handed to a session's stream workers.
 type streamTask struct {
 	stream uint64
 	st     *hostStream
+	remote string
 	m      *wire.Enroll
 }
 
-// serveConnV2 serves one v2 multiplexed connection until it dies. The loop
-// is the single reader; stream workers write their own frames.
-//
-// Enrollments run on a small pool of per-connection worker goroutines that
-// grows to the connection's concurrency high-water mark: a worker is
-// spawned only when no idle one is ready to take the task, and workers
-// are reused across enrollments so their (deep: core engine + codec)
-// stacks are grown once, not per enrollment.
-func (h *Host) serveConnV2(c *wire.Conn) {
-	var (
-		smu     sync.Mutex
-		streams = make(map[uint64]*hostStream)
-		wg      sync.WaitGroup
-		tasks   = make(chan streamTask)
-	)
-	work := func(t streamTask) {
-		h.activeStreams.Add(1)
-		h.serveStream(t.st.ctx, c, t.stream, t.st, t.m)
-		h.activeStreams.Add(-1)
-		smu.Lock()
-		delete(streams, t.stream)
-		c.SetWriteBatching(len(streams) > 1)
-		smu.Unlock()
-		t.st.cancel()
+// hostSession owns the server side of one v2 conversation across however
+// many transport connections it takes to finish it. Its lifecycle:
+// attached (cur serves it) → broken → parked (resumable, grace timer
+// running) or torn down; a RESUME within the grace window re-attaches it.
+// Sessions whose handshake did not negotiate resumption (token == "") skip
+// the parked state entirely: their first break is their teardown.
+type hostSession struct {
+	h     *Host
+	token string        // "" when resumption was not negotiated
+	sess  *wire.Session // nil iff token == ""
+
+	smu     sync.Mutex
+	cur     *wire.Conn // connection currently serving; nil while parked
+	streams map[uint64]*hostStream
+	byed    bool        // client sent BYE: never park again
+	done    bool        // torn down
+	timer   *time.Timer // grace timer while parked
+
+	// Enrollments run on a small pool of stream-worker goroutines that
+	// grows to the session's concurrency high-water mark: a worker is
+	// spawned only when no idle one is ready to take the task, and workers
+	// are reused across enrollments so their (deep: core engine + codec)
+	// stacks are grown once, not per enrollment.
+	wg    sync.WaitGroup
+	tasks chan streamTask
+}
+
+func newHostSession(h *Host, c *wire.Conn, token string) *hostSession {
+	s := &hostSession{
+		h:       h,
+		token:   token,
+		cur:     c,
+		streams: make(map[uint64]*hostStream),
+		tasks:   make(chan streamTask),
 	}
-	// Conn death (read error, heartbeat silence, protocol violation): every
-	// live stream lost its enroller — reclaim performances exactly like a
-	// v1 disconnect, then wait out the stream workers.
-	defer func() {
-		c.Close()
-		close(tasks)
-		smu.Lock()
-		for _, st := range streams {
-			st.b.disconnect("remote enroller disconnected")
-			st.cancel()
+	if token != "" {
+		s.sess = wire.NewSession(c, token, h.cfg.ResumeBufBytes)
+	}
+	return s
+}
+
+// writer is where this session's stream frames go: the resumable session
+// (stable across reconnects) or, when resumption was not negotiated, the
+// conversation's only connection.
+func (s *hostSession) writer() frameWriter {
+	if s.sess != nil {
+		return s.sess
+	}
+	return s.cur
+}
+
+// mintSessionToken returns a fresh unguessable session token, or "" if the
+// system's entropy source fails (in which case resumption is silently not
+// offered on this connection).
+func mintSessionToken() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return ""
+	}
+	return hex.EncodeToString(b[:])
+}
+
+func (h *Host) registerSession(s *hostSession) {
+	h.mu.Lock()
+	h.sessions[s.token] = s
+	h.mu.Unlock()
+}
+
+func (h *Host) unregisterSession(s *hostSession) {
+	h.mu.Lock()
+	if h.sessions[s.token] == s {
+		delete(h.sessions, s.token)
+	}
+	h.mu.Unlock()
+}
+
+// serveConnV2 serves one v2 multiplexed connection until it dies. The first
+// frame decides what the connection is: a RESUME re-attaches an existing
+// session (parked, or live on a connection whose death the client noticed
+// first); anything else starts a fresh session with that frame as its first
+// traffic.
+func (h *Host) serveConnV2(c *wire.Conn, token string) {
+	t, stream, seq, m, err := c.ReadFrame()
+	if err != nil {
+		return
+	}
+	if t == wire.MsgResume {
+		s := h.adoptSession(c, m.(*wire.Resume))
+		if s == nil {
+			return
 		}
-		smu.Unlock()
-		wg.Wait()
+		h.runConnV2(s, c, nil)
+		return
+	}
+	s := newHostSession(h, c, token)
+	if token != "" {
+		h.registerSession(s)
+	}
+	h.runConnV2(s, c, &preRead{t: t, stream: stream, seq: seq, m: m})
+}
+
+// adoptSession re-attaches the session named by a RESUME to a freshly
+// handshaken connection: RESUME-ACK (carrying our receipt count, the
+// client's prune+replay instruction) goes out first, then the unacked
+// suffix of our own ring. A draining host adopts too — drain honors parked
+// work; only *new* enrollments on the resumed connection answer DRAIN.
+// Refusals (unknown/expired token, unresumable ring) are answered with a
+// protocol error so the client fails over to its terminal path at once.
+func (h *Host) adoptSession(c *wire.Conn, r *wire.Resume) *hostSession {
+	refuse := func(msg string) {
+		h.logf("remote: %s: refusing RESUME: %s", c.RemoteAddr(), msg)
+		_ = c.WriteFrame(wire.MsgError, 0, 0, wire.ProtoError{Msg: "RESUME refused: " + msg})
+	}
+	h.mu.Lock()
+	s := h.sessions[r.Token]
+	h.mu.Unlock()
+	if s == nil {
+		refuse("unknown or expired session")
+		return nil
+	}
+	if !s.adopt(c, r, refuse) {
+		return nil
+	}
+	return s
+}
+
+func (s *hostSession) adopt(c *wire.Conn, r *wire.Resume, refuse func(string)) bool {
+	s.smu.Lock()
+	if s.done {
+		s.smu.Unlock()
+		refuse("session already torn down")
+		return false
+	}
+	if old := s.cur; old != nil {
+		// The client noticed the break before we did. Supersede: closing
+		// the old connection fails its read loop, which finds it is no
+		// longer current and leaves the session alone.
+		s.sess.Detach()
+		old.Close()
+	}
+	if s.timer != nil {
+		s.timer.Stop()
+		s.timer = nil
+	}
+	s.cur = c
+	n := len(s.streams)
+	s.smu.Unlock()
+
+	// RESUME-ACK strictly before the replayed suffix (both from this
+	// goroutine, through the conn's ordered writer): the enroller reads the
+	// ack synchronously before releasing its own writers onto the wire.
+	if err := c.WriteFrame(wire.MsgResumeAck, 0, 0, wire.ResumeAck{RecvCount: s.sess.RecvCount()}); err != nil {
+		s.connBroken(c) // fresh transport died instantly: park again
+		return false
+	}
+	if err := s.sess.Resume(c, r.RecvCount); err != nil {
+		if errors.Is(err, wire.ErrSessionDoomed) || errors.Is(err, wire.ErrResumeInvalid) {
+			// Exactly-once replay is impossible: refuse and degrade to the
+			// abort path, which is the bounded-memory contract.
+			s.smu.Lock()
+			s.cur = nil
+			s.smu.Unlock()
+			refuse(err.Error())
+			s.teardown()
+			return false
+		}
+		s.connBroken(c) // transport error mid-replay: park again
+		return false
+	}
+	sessionsResumed.Inc()
+	s.h.logf("remote: %s: session resumed (%d streams live)", c.RemoteAddr(), n)
+	return true
+}
+
+// connBroken is the read loop's exit path for a transport failure on c. If
+// the session is still resumable — resumption negotiated, grace window
+// configured, live streams worth protecting, ring intact, no BYE, host not
+// closing — it parks for the grace window; otherwise it tears down, which
+// reproduces the pre-resumption abort semantics exactly.
+func (s *hostSession) connBroken(c *wire.Conn) {
+	s.smu.Lock()
+	if s.done || s.cur != c {
+		// Torn down already, or superseded by a RESUME on a newer
+		// connection: this transport's death is old news.
+		s.smu.Unlock()
+		return
+	}
+	s.cur = nil
+	window := s.h.cfg.ResumeWindow
+	parkable := s.sess != nil && window > 0 && !s.byed &&
+		len(s.streams) > 0 && !s.sess.Doomed() && !s.h.isClosed()
+	if !parkable {
+		s.smu.Unlock()
+		s.teardown()
+		return
+	}
+	s.sess.Detach()
+	s.timer = time.AfterFunc(window, s.expire)
+	n := len(s.streams)
+	s.smu.Unlock()
+	sessionsParked.Inc()
+	s.h.logf("remote: session parked: %d streams live, %s grace", n, window)
+}
+
+// expire fires when the grace window elapses with the session still parked:
+// the transport failure hardens into a session failure and every live
+// stream is reclaimed through the same path a plain disconnect uses.
+func (s *hostSession) expire() {
+	s.smu.Lock()
+	if s.done || s.cur != nil {
+		s.smu.Unlock()
+		return
+	}
+	s.smu.Unlock()
+	sessionsExpired.Inc()
+	s.h.logf("remote: parked session expired after %s", s.h.cfg.ResumeWindow)
+	s.teardown()
+}
+
+// teardown ends the session for good: every live stream lost its enroller —
+// reclaim performances exactly like a v1 disconnect, then wait out the
+// stream workers. Idempotent; safe from any goroutine.
+func (s *hostSession) teardown() {
+	s.smu.Lock()
+	if s.done {
+		s.smu.Unlock()
+		return
+	}
+	s.done = true
+	if s.timer != nil {
+		s.timer.Stop()
+		s.timer = nil
+	}
+	cur := s.cur
+	s.cur = nil
+	streams := make([]*hostStream, 0, len(s.streams))
+	for _, st := range s.streams {
+		streams = append(streams, st)
+	}
+	close(s.tasks)
+	s.smu.Unlock()
+	if s.sess != nil {
+		s.sess.Detach()
+		s.h.unregisterSession(s)
+	}
+	if cur != nil {
+		cur.Close()
+	}
+	for _, st := range streams {
+		st.b.disconnect("remote enroller disconnected")
+		st.cancel()
+	}
+	s.wg.Wait()
+}
+
+// work runs one enrollment to completion on a stream-worker goroutine.
+func (s *hostSession) work(t streamTask) {
+	s.h.activeStreams.Add(1)
+	s.h.serveStream(t.st.ctx, t.remote, t.stream, t.st, t.m)
+	s.h.activeStreams.Add(-1)
+	s.smu.Lock()
+	delete(s.streams, t.stream)
+	if s.cur != nil {
+		s.cur.SetWriteBatching(len(s.streams) > 1)
+	}
+	s.smu.Unlock()
+	t.st.cancel()
+}
+
+// preRead carries serveConnV2's already-read first frame into the loop.
+type preRead struct {
+	t           wire.MsgType
+	stream, seq uint64
+	m           any
+}
+
+// runConnV2 runs the read loop binding one transport connection to its
+// session. It returns when the transport is unusable; the deferred exit
+// routes to park-or-teardown for transport failures and straight to
+// teardown for protocol violations (a violating client is not a blip).
+func (h *Host) runConnV2(s *hostSession, c *wire.Conn, first *preRead) {
+	fatal := false
+	defer func() {
+		if fatal {
+			s.teardown()
+		} else {
+			s.connBroken(c)
+		}
 	}()
 
 	violate := func(format string, args ...any) {
@@ -89,34 +349,47 @@ func (h *Host) serveConnV2(c *wire.Conn) {
 		_ = c.WriteFrame(wire.MsgError, 0, 0, wire.ProtoError{Msg: msg})
 	}
 
-	for {
-		t, stream, seq, m, err := c.ReadFrame()
-		if err != nil {
-			return
-		}
+	handle := func(t wire.MsgType, stream, seq uint64, m any) bool {
 		if t == wire.MsgHeartbeat {
-			continue
+			return true
 		}
 		if h.cfg.Faults != nil && h.cfg.Faults.DropConn() {
-			return
+			return false
+		}
+		if stream != 0 && s.sess != nil {
+			// Every stream frame counts toward the cumulative receipt state
+			// the resume exchange reconciles (and, on cadence, acks).
+			s.sess.MaybeAck()
 		}
 		switch t {
+		case wire.MsgAck:
+			if s.sess == nil {
+				fatal = true
+				violate("ACK without a resumable session")
+				return false
+			}
+			s.sess.PeerAck(m.(*wire.Ack).Count)
+		case wire.MsgBye:
+			// The client is done with the session for good (orderly close):
+			// free parked-state eligibility now rather than holding the
+			// grace window open for a peer that will never return.
+			s.smu.Lock()
+			s.byed = true
+			s.smu.Unlock()
+		case wire.MsgResume:
+			fatal = true
+			violate("RESUME after session establishment")
+			return false
 		case wire.MsgEnroll:
 			if stream == 0 {
+				fatal = true
 				violate("ENROLL on reserved stream 0")
-				return
-			}
-			smu.Lock()
-			_, exists := streams[stream]
-			smu.Unlock()
-			if exists {
-				violate("ENROLL reuses live stream %d", stream)
-				return
+				return false
 			}
 			ctx, cancel := context.WithCancel(h.baseCtx)
 			st := &hostStream{
 				b: &bridge{
-					conn:     c,
+					fw:       s.writer(),
 					opCh:     make(chan hostOp, streamOpBacklog),
 					quit:     make(chan struct{}),
 					v2:       true,
@@ -125,53 +398,82 @@ func (h *Host) serveConnV2(c *wire.Conn) {
 				ctx:    ctx,
 				cancel: cancel,
 			}
-			smu.Lock()
-			streams[stream] = st
-			c.SetWriteBatching(len(streams) > 1)
-			smu.Unlock()
-			task := streamTask{stream: stream, st: st, m: m.(*wire.Enroll)}
+			task := streamTask{stream: stream, st: st, remote: fmt.Sprint(c.RemoteAddr()), m: m.(*wire.Enroll)}
+			s.smu.Lock()
+			if s.done {
+				// Host shutdown raced the enroll; the conn is closing.
+				s.smu.Unlock()
+				cancel()
+				return false
+			}
+			if _, exists := s.streams[stream]; exists {
+				s.smu.Unlock()
+				cancel()
+				fatal = true
+				violate("ENROLL reuses live stream %d", stream)
+				return false
+			}
+			s.streams[stream] = st
+			c.SetWriteBatching(len(s.streams) > 1)
 			select {
-			case tasks <- task:
+			case s.tasks <- task:
 				// An idle worker took it.
 			default:
-				wg.Add(1)
+				s.wg.Add(1)
 				go func() {
-					defer wg.Done()
-					work(task)
-					for t := range tasks {
-						work(t)
+					defer s.wg.Done()
+					s.work(task)
+					for t := range s.tasks {
+						s.work(t)
 					}
 				}()
 			}
+			s.smu.Unlock()
 		case wire.MsgCancel:
 			// The enroller withdrew this enrollment (its context ended). A
 			// missing stream is the benign race with COMPLETE, not an error.
-			smu.Lock()
-			st := streams[stream]
-			smu.Unlock()
+			s.smu.Lock()
+			st := s.streams[stream]
+			s.smu.Unlock()
 			if st != nil {
 				st.b.disconnect("enrollment canceled by enroller")
 				st.cancel()
 			}
 		case wire.MsgSend, wire.MsgSendAll, wire.MsgRecv, wire.MsgRecvAny,
 			wire.MsgSelect, wire.MsgQuery, wire.MsgBodyDone:
-			smu.Lock()
-			st := streams[stream]
-			smu.Unlock()
+			s.smu.Lock()
+			st := s.streams[stream]
+			s.smu.Unlock()
 			if st == nil {
 				// Raced with the stream's terminal frame (cancel, abort):
 				// drop, the enrollment already has its outcome.
-				continue
+				return true
 			}
 			select {
 			case st.b.opCh <- hostOp{typ: t, seq: seq, m: m}:
 			default:
 				st.b.disconnect("protocol violation: operation flood")
+				fatal = true
 				violate("operation flood on stream %d", stream)
-				return
+				return false
 			}
 		default:
+			fatal = true
 			violate("unexpected %s", t)
+			return false
+		}
+		return true
+	}
+
+	if first != nil && !handle(first.t, first.stream, first.seq, first.m) {
+		return
+	}
+	for {
+		t, stream, seq, m, err := c.ReadFrame()
+		if err != nil {
+			return
+		}
+		if !handle(t, stream, seq, m) {
 			return
 		}
 	}
@@ -180,24 +482,26 @@ func (h *Host) serveConnV2(c *wire.Conn) {
 // serveStream runs one enrollment conversation on its stream: admission,
 // target enrollment (the bridge body relays ops meanwhile), terminal
 // COMPLETE/DRAIN. It is handleEnroll's multiplexed sibling; disconnect
-// detection lives with the connection loop instead of a frames select.
-func (h *Host) serveStream(ctx context.Context, c *wire.Conn, stream uint64, st *hostStream, m *wire.Enroll) {
+// detection lives with the session instead of a frames select. All frames
+// go through the stream's bridge writer, so they survive reconnects on a
+// resumable session.
+func (h *Host) serveStream(ctx context.Context, remote string, stream uint64, st *hostStream, m *wire.Enroll) {
 	role, err := wire.DecodeRoleRef(m.Role)
 	if err != nil {
-		h.completeV2(c, stream, ids.RoleRef{}, core.Result{}, fmt.Errorf("%w: %s", core.ErrUnknownRole, m.Role))
+		h.completeV2(st.b.fw, stream, ids.RoleRef{}, core.Result{}, fmt.Errorf("%w: %s", core.ErrUnknownRole, m.Role))
 		return
 	}
 	switch verdict, reason := h.admitEnroll(); verdict {
 	case enrollClosed:
 		return
 	case enrollDrain:
-		_ = c.WriteFrame(wire.MsgDrain, stream, 0, wire.Drain{})
+		_ = st.b.fw.WriteFrame(wire.MsgDrain, stream, 0, wire.Drain{})
 		return
 	case enrollShed:
 		h.shedEnrolls.Add(1)
 		shedEnrollsTotal.Inc()
-		h.logf("remote: %s: shedding ENROLL for %s: %s", c.RemoteAddr(), role, reason)
-		h.completeV2(c, stream, role, core.Result{}, &core.OverloadError{
+		h.logf("remote: %s: shedding ENROLL for %s: %s", remote, role, reason)
+		h.completeV2(st.b.fw, stream, role, core.Result{}, &core.OverloadError{
 			Script:     h.script,
 			RetryAfter: h.retryAfterHint(),
 			Reason:     reason,
@@ -209,7 +513,7 @@ func (h *Host) serveStream(ctx context.Context, c *wire.Conn, stream uint64, st 
 
 	with, err := wire.DecodeWith(m.With)
 	if err != nil {
-		h.completeV2(c, stream, role, core.Result{}, err)
+		h.completeV2(st.b.fw, stream, role, core.Result{}, err)
 		return
 	}
 	e := core.Enrollment{
@@ -226,15 +530,16 @@ func (h *Host) serveStream(ctx context.Context, c *wire.Conn, stream uint64, st 
 	// untraced call rather than an error.
 	e.TraceID, _ = trace.ParseTraceID(m.TraceID)
 	res, err := h.target.Enroll(ctx, e)
-	h.completeV2(c, stream, role, res, err)
+	h.completeV2(st.b.fw, stream, role, res, err)
 }
 
 // completeV2 reports an enrollment's outcome on its stream. A write
-// failure means the connection died; the connection loop notices on its
-// next read.
-func (h *Host) completeV2(c *wire.Conn, stream uint64, role ids.RoleRef, res core.Result, err error) {
+// failure means the connection died; the session's read loop notices on
+// its next read (and on a resumable session the frame is retained and
+// replayed, so the outcome is never lost to a blip).
+func (h *Host) completeV2(fw frameWriter, stream uint64, role ids.RoleRef, res core.Result, err error) {
 	if errors.Is(err, core.ErrDraining) {
-		_ = c.WriteFrame(wire.MsgDrain, stream, 0, wire.Drain{})
+		_ = fw.WriteFrame(wire.MsgDrain, stream, 0, wire.Drain{})
 		return
 	}
 	msg := wire.Complete{
@@ -246,5 +551,5 @@ func (h *Host) completeV2(c *wire.Conn, stream uint64, role ids.RoleRef, res cor
 	if res.Role.Name != "" {
 		msg.Role = res.Role.String()
 	}
-	_ = c.WriteFrame(wire.MsgComplete, stream, 0, msg)
+	_ = fw.WriteFrame(wire.MsgComplete, stream, 0, msg)
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"time"
 
@@ -34,16 +35,30 @@ type streamEvent struct {
 	err error
 }
 
-// muxConn is one v2 connection shared by up to maxStreams concurrent
+// muxConn is one v2 *conversation* shared by up to maxStreams concurrent
 // enrollments. A dedicated reader goroutine demuxes frames to streams; the
-// heartbeat pump is shared by all of them.
+// heartbeat pump is shared by all of them. Without resumption (sess nil)
+// the conversation is bound to one transport connection and dies with it.
+// With resumption, the transport is replaceable: a connection loss detaches
+// it, a reconnect goroutine redials with jittered backoff inside the host's
+// advertised resume window, and a RESUME/RESUME-ACK exchange splices the
+// fresh connection in with both sides replaying what the blip swallowed —
+// the streams riding the conversation never notice.
 type muxConn struct {
-	c    *wire.Conn
+	c    *wire.Conn // current transport; nil while detached (resumable only)
 	hs   *hostState
 	stop chan struct{}
 	once sync.Once
 
 	maxStreams int
+
+	// Resumption state, fixed at creation: nil sess means the handshake did
+	// not negotiate resumption and every transport failure is fatal, exactly
+	// the pre-resumption behavior.
+	sess         *wire.Session
+	resumeWindow time.Duration
+	redial       func(ctx context.Context) (*wire.Conn, error)
+	faults       NetFaults
 
 	mu       sync.Mutex
 	streams  map[uint64]*muxStream
@@ -52,6 +67,34 @@ type muxConn struct {
 	retired  bool
 	dead     bool
 	deadErr  error
+}
+
+// write sends one stream frame on the conversation: through the session
+// (which retains it for replay and swallows transport errors — the reader
+// drives recovery) when resumable, else straight onto the connection.
+func (mc *muxConn) write(t wire.MsgType, stream, seq uint64, m any) error {
+	if mc.sess != nil {
+		return mc.sess.WriteFrame(t, stream, seq, m)
+	}
+	mc.mu.Lock()
+	c := mc.c
+	mc.mu.Unlock()
+	if c == nil {
+		return ErrConnLost
+	}
+	return c.WriteFrame(t, stream, seq, m)
+}
+
+// cut severs the current transport out from under the conversation without
+// telling anyone — the chaos harness's client-side blip. The read loop
+// discovers the break and drives resume (resumable) or teardown (not).
+func (mc *muxConn) cut() {
+	mc.mu.Lock()
+	c := mc.c
+	mc.mu.Unlock()
+	if c != nil {
+		c.Close()
+	}
 }
 
 // muxStream is one enrollment's lane on a muxConn: its op-pipelining state
@@ -76,11 +119,13 @@ type opOutcome struct {
 }
 
 // tryReserve claims a stream slot, or reports the connection
-// full/retired/dead.
+// full/retired/dead. A detached conversation (mid-reconnect) refuses new
+// enrollments too: they are better served by a fresh dial than by queueing
+// behind a transport that may never come back.
 func (mc *muxConn) tryReserve() bool {
 	mc.mu.Lock()
 	defer mc.mu.Unlock()
-	if mc.dead || mc.retired || len(mc.streams)+mc.reserved >= mc.maxStreams {
+	if mc.dead || mc.retired || mc.c == nil || len(mc.streams)+mc.reserved >= mc.maxStreams {
 		return false
 	}
 	mc.reserved++
@@ -105,7 +150,9 @@ func (mc *muxConn) openStream() (*muxStream, error) {
 		pending: make(map[uint64]chan opOutcome),
 	}
 	mc.streams[st.id] = st
-	mc.c.SetWriteBatching(len(mc.streams) > 1)
+	if mc.c != nil {
+		mc.c.SetWriteBatching(len(mc.streams) > 1)
+	}
 	return st, nil
 }
 
@@ -115,7 +162,9 @@ func (mc *muxConn) openStream() (*muxStream, error) {
 func (mc *muxConn) closeStream(st *muxStream) {
 	mc.mu.Lock()
 	delete(mc.streams, st.id)
-	mc.c.SetWriteBatching(len(mc.streams) > 1)
+	if mc.c != nil {
+		mc.c.SetWriteBatching(len(mc.streams) > 1)
+	}
 	reap := mc.retired && len(mc.streams)+mc.reserved == 0
 	mc.mu.Unlock()
 	if reap {
@@ -145,21 +194,34 @@ func (mc *muxConn) active() int {
 	return len(mc.streams) + mc.reserved
 }
 
-// fail tears the connection down: every stream's pending ops and event
-// loops learn the error, the heartbeat stops, and the pool forgets the
-// connection. Idempotent.
+// fail tears the conversation down for good: every stream's pending ops and
+// event loops learn the error, the heartbeat stops, and the pool forgets
+// the connection. On a resumable conversation a BYE goes out first (best
+// effort) so the host frees its parked/live session state immediately
+// instead of holding the grace window open for a peer that will never
+// return. Idempotent.
 func (mc *muxConn) fail(err error) {
 	mc.once.Do(func() {
 		mc.mu.Lock()
 		mc.dead = true
 		mc.deadErr = err
+		c := mc.c
+		mc.c = nil
 		streams := make([]*muxStream, 0, len(mc.streams))
 		for _, st := range mc.streams {
 			streams = append(streams, st)
 		}
 		mc.mu.Unlock()
 		close(mc.stop)
-		mc.c.Close()
+		if mc.sess != nil {
+			mc.sess.Detach()
+			if c != nil {
+				_ = c.WriteFrame(wire.MsgBye, 0, 0, wire.Bye{})
+			}
+		}
+		if c != nil {
+			c.Close()
+		}
 		mc.hs.removeMux(mc)
 		for _, st := range streams {
 			st.fatal(err)
@@ -167,24 +229,166 @@ func (mc *muxConn) fail(err error) {
 	})
 }
 
-// readLoop is the connection's single reader: it demuxes every inbound
-// frame to its stream until the connection dies.
-func (mc *muxConn) readLoop() {
-	for {
-		t, stream, seq, m, err := mc.c.ReadFrame()
-		if err != nil {
-			mc.fail(fmt.Errorf("%w: %v", ErrConnLost, err))
+// lost is the exit path for a transport failure on c: fatal without
+// resumption; with it, detach and hand off to the reconnect goroutine —
+// the streams stay up, their pending ops keep waiting, and the blip either
+// heals inside the resume window or hardens into err. Duplicate reports
+// for the same (or an already-replaced) transport are ignored.
+func (mc *muxConn) lost(c *wire.Conn, err error) {
+	if mc.sess == nil {
+		mc.fail(err)
+		return
+	}
+	mc.mu.Lock()
+	if mc.dead || mc.c != c {
+		mc.mu.Unlock()
+		return
+	}
+	mc.c = nil
+	idle := len(mc.streams)+mc.reserved == 0
+	retired := mc.retired
+	doomed := mc.sess.Doomed()
+	mc.mu.Unlock()
+	mc.sess.Detach()
+	c.Close()
+	if idle || retired || doomed {
+		// Nothing worth reconnecting for (or the ring overflowed — replay
+		// can no longer be exactly-once): degrade to the abort path.
+		mc.fail(err)
+		return
+	}
+	go mc.reconnect(err)
+}
+
+// reconnect redials with jittered backoff inside the host's resume window
+// and splices the session onto the fresh transport. If the window closes,
+// the enroller shut down, or the host refuses the RESUME, the transport
+// failure hardens into a session failure: fail(origErr), which is exactly
+// the pre-resumption outcome for the blip.
+func (mc *muxConn) reconnect(origErr error) {
+	deadline := time.Now().Add(mc.resumeWindow)
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	const baseBackoff = 5 * time.Millisecond
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			w := baseBackoff << min(attempt, 6) // capped at 320ms
+			d := time.Duration(rng.Int63n(int64(w))) + 1
+			select {
+			case <-mc.stop:
+				return
+			case <-time.After(d):
+			}
+		}
+		if time.Now().After(deadline) {
+			mc.fail(origErr)
 			return
 		}
-		if stream == 0 {
-			// Connection-level frame. The only one the protocol defines is
-			// ERROR before the host severs the connection.
-			if t == wire.MsgError {
-				pe := m.(*wire.ProtoError)
-				mc.fail(fmt.Errorf("script/remote: host error: %s", pe.Msg))
+		ctx, cancel := context.WithDeadline(context.Background(), deadline)
+		c, err := mc.redial(ctx)
+		cancel()
+		if err != nil {
+			if errors.Is(err, core.ErrClosed) {
+				// Enroller closed mid-redial: terminal, and no dial goroutine
+				// left behind.
+				mc.fail(origErr)
 				return
 			}
 			continue
+		}
+		if done := mc.resume(c, origErr); done {
+			return
+		}
+		c.Close()
+	}
+}
+
+// resume runs the RESUME/RESUME-ACK exchange on a freshly handshaken
+// connection and attaches it. done=false means a transport-level failure
+// worth retrying on yet another connection; terminal outcomes (refusal,
+// unsatisfiable receipt state, success) return true.
+func (mc *muxConn) resume(c *wire.Conn, origErr error) (done bool) {
+	if c.Version() < 2 {
+		// The host's protocol ceiling changed under us (restart with a new
+		// config): the session cannot continue.
+		mc.fail(origErr)
+		return true
+	}
+	if err := c.WriteFrame(wire.MsgResume, 0, 0, wire.Resume{
+		Token:     mc.sess.Token(),
+		RecvCount: mc.sess.RecvCount(),
+	}); err != nil {
+		return false
+	}
+	// The ack must be the first frame back; bound the wait so a hung host
+	// does not pin the reconnect goroutine past the window.
+	c.SetReadTimeout(mc.resumeWindow)
+	t, _, _, m, err := c.ReadFrame()
+	if err != nil {
+		return false
+	}
+	c.SetReadTimeout(0)
+	switch t {
+	case wire.MsgError:
+		// The host refused: session unknown (restart), expired, or torn
+		// down. Terminal — surface the original break.
+		pe := m.(*wire.ProtoError)
+		mc.fail(fmt.Errorf("%w: %s (after: %v)", ErrConnLost, pe.Msg, origErr))
+		return true
+	case wire.MsgResumeAck:
+	default:
+		return false
+	}
+	if err := mc.sess.Resume(c, m.(*wire.ResumeAck).RecvCount); err != nil {
+		if errors.Is(err, wire.ErrSessionDoomed) || errors.Is(err, wire.ErrResumeInvalid) {
+			mc.fail(origErr)
+			return true
+		}
+		return false // fresh transport died mid-replay; try again
+	}
+	mc.mu.Lock()
+	if mc.dead {
+		mc.mu.Unlock()
+		mc.sess.Detach()
+		c.Close()
+		return true
+	}
+	mc.c = c
+	c.SetWriteBatching(len(mc.streams) > 1)
+	mc.mu.Unlock()
+	go mc.readLoop(c)
+	return true
+}
+
+// readLoop is one transport's single reader: it demuxes every inbound
+// frame to its stream until the transport dies. A resumable conversation
+// starts a fresh readLoop per transport.
+func (mc *muxConn) readLoop(c *wire.Conn) {
+	for {
+		t, stream, seq, m, err := c.ReadFrame()
+		if err != nil {
+			mc.lost(c, fmt.Errorf("%w: %v", ErrConnLost, err))
+			return
+		}
+		if stream == 0 {
+			switch t {
+			case wire.MsgError:
+				// The host names a protocol violation before severing: fatal
+				// even with resumption — a violating conversation is not a
+				// blip, and the host has already torn its side down.
+				pe := m.(*wire.ProtoError)
+				mc.fail(fmt.Errorf("script/remote: host error: %s", pe.Msg))
+				return
+			case wire.MsgAck:
+				if mc.sess != nil {
+					mc.sess.PeerAck(m.(*wire.Ack).Count)
+				}
+			}
+			continue
+		}
+		if mc.sess != nil {
+			// Count (and on cadence ack) every stream frame received: this
+			// is the receipt state a resume exchange reconciles.
+			mc.sess.MaybeAck()
 		}
 		mc.mu.Lock()
 		st := mc.streams[stream]
@@ -196,8 +400,8 @@ func (mc *muxConn) readLoop() {
 	}
 }
 
-// heartbeat is the connection's shared liveness pump — one per connection,
-// however many enrollments share it.
+// heartbeat is the conversation's shared liveness pump — one per
+// conversation (not per transport), however many enrollments share it.
 func (mc *muxConn) heartbeat(interval time.Duration, faults NetFaults) {
 	t := time.NewTicker(interval)
 	defer t.Stop()
@@ -215,9 +419,17 @@ func (mc *muxConn) heartbeat(interval time.Duration, faults NetFaults) {
 					}
 				}
 			}
-			if mc.c.WriteFrame(wire.MsgHeartbeat, 0, 0, wire.Heartbeat{}) != nil {
-				mc.fail(fmt.Errorf("%w: heartbeat write failed", ErrConnLost))
-				return
+			mc.mu.Lock()
+			c := mc.c
+			mc.mu.Unlock()
+			if c == nil {
+				continue // detached; the reconnect goroutine is on it
+			}
+			if c.WriteFrame(wire.MsgHeartbeat, 0, 0, wire.Heartbeat{}) != nil {
+				mc.lost(c, fmt.Errorf("%w: heartbeat write failed", ErrConnLost))
+				if mc.sess == nil {
+					return
+				}
 			}
 		}
 	}
@@ -316,6 +528,13 @@ func (st *muxStream) abortError() error {
 // arrival order. ctx ending abandons the wait (the frame, if delivered,
 // is answered into a discarded channel).
 func (st *muxStream) op(ctx context.Context, t wire.MsgType, req any) (wire.OpResult, error) {
+	if f := st.mc.faults; f != nil && f.CutConn() {
+		// Injected client-side blip: sever the transport mid-op, telling no
+		// one. The read loop discovers the break; with resumption this op
+		// must still complete exactly once, without it the enrollment fails
+		// with today's taxonomy.
+		st.mc.cut()
+	}
 	st.mu.Lock()
 	if st.failed != nil {
 		err := st.failed
@@ -328,7 +547,7 @@ func (st *muxStream) op(ctx context.Context, t wire.MsgType, req any) (wire.OpRe
 	st.pending[seq] = ch
 	st.mu.Unlock()
 
-	if err := st.mc.c.WriteFrame(t, st.id, seq, req); err != nil {
+	if err := st.mc.write(t, st.id, seq, req); err != nil {
 		st.mu.Lock()
 		delete(st.pending, seq)
 		st.mu.Unlock()
@@ -446,17 +665,18 @@ func (e *Enroller) muxEnroll(ctx context.Context, hs *hostState, enr core.Enroll
 		res, err := e.enrollMux(ctx, mc, enr)
 		return res, err, true, nil
 	}
-	c, err := e.dialRaw(ctx, hs.addr, e.maxProto())
+	c, ack, err := e.dialRaw(ctx, hs.addr, e.maxProto())
 	if err != nil {
 		hs.dialMu.Unlock()
 		return core.Result{}, err, true, nil
 	}
+	hb := effectiveHeartbeat(e.cfg.HeartbeatInterval, ack.HeartbeatTimeoutMS)
 	if c.Version() < 2 {
 		// v1 host: remember, and hand the connection to the v1 path.
 		hs.proto.Store(1)
 		hs.dialMu.Unlock()
 		cc := &clientConn{c: c, stop: make(chan struct{})}
-		go cc.heartbeat(e.cfg.HeartbeatInterval, e.cfg.Faults)
+		go cc.heartbeat(hb, e.cfg.Faults)
 		return core.Result{}, nil, false, cc
 	}
 	hs.proto.Store(2)
@@ -466,12 +686,31 @@ func (e *Enroller) muxEnroll(ctx context.Context, hs *hostState, enr core.Enroll
 		stop:       make(chan struct{}),
 		maxStreams: e.maxStreams(),
 		streams:    make(map[uint64]*muxStream),
+		faults:     e.cfg.Faults,
+	}
+	if ack.ResumeToken != "" && ack.ResumeWindowMS > 0 {
+		// The host granted resumption: wrap the transport in a session and
+		// arm the redial path. The closure re-checks the enroller's closed
+		// flag so a Close racing a reconnect terminates the redial loop
+		// instead of leaking it (and the host's parked session with it).
+		mc.sess = wire.NewSession(c, ack.ResumeToken, 0)
+		mc.resumeWindow = time.Duration(ack.ResumeWindowMS) * time.Millisecond
+		mc.redial = func(rctx context.Context) (*wire.Conn, error) {
+			e.mu.Lock()
+			closed := e.closed
+			e.mu.Unlock()
+			if closed {
+				return nil, core.ErrClosed
+			}
+			rc, _, rerr := e.dialRaw(rctx, hs.addr, e.maxProto())
+			return rc, rerr
+		}
 	}
 	mc.reserved++ // the dialing enrollment's own slot
 	hs.addMux(mc)
 	hs.dialMu.Unlock()
-	go mc.readLoop()
-	go mc.heartbeat(e.cfg.HeartbeatInterval, e.cfg.Faults)
+	go mc.readLoop(c)
+	go mc.heartbeat(hb, e.cfg.Faults)
 	res, err = e.enrollMux(ctx, mc, enr)
 	return res, err, true, nil
 }
@@ -521,7 +760,7 @@ func (e *Enroller) enrollOnceV2(ctx context.Context, mc *muxConn, enr core.Enrol
 	if !enr.Deadline.IsZero() {
 		msg.DeadlineMS = enr.Deadline.UnixMilli()
 	}
-	if err := mc.c.WriteFrame(wire.MsgEnroll, st.id, 0, msg); err != nil {
+	if err := mc.write(wire.MsgEnroll, st.id, 0, msg); err != nil {
 		mc.fail(fmt.Errorf("%w: %v", ErrConnLost, err))
 		return core.Result{}, wrapErr(err)
 	}
@@ -535,7 +774,7 @@ func (e *Enroller) enrollOnceV2(ctx context.Context, mc *muxConn, enr core.Enrol
 	go func() {
 		select {
 		case <-ctx.Done():
-			_ = mc.c.WriteFrame(wire.MsgCancel, st.id, 0, wire.Cancel{})
+			_ = mc.write(wire.MsgCancel, st.id, 0, wire.Cancel{})
 		case <-watchDone:
 		}
 	}()
@@ -586,7 +825,7 @@ await:
 	rctx.trace(trace.Event{Kind: trace.KindStart})
 	bodyErr := runClientBody(enr.Body, rctx)
 	rctx.trace(trace.Event{Kind: trace.KindFinish})
-	if err := mc.c.WriteFrame(wire.MsgBodyDone, st.id, 0, wire.BodyDone{
+	if err := mc.write(wire.MsgBodyDone, st.id, 0, wire.BodyDone{
 		Results: rctx.Out,
 		Err:     wire.EncodeError(bodyErr),
 	}); err != nil {

@@ -67,6 +67,13 @@ type NetFaults interface {
 	// burst. Shedding is admission-only, so the fault can never abort
 	// in-flight work.
 	Overload() bool
+	// CutConn reports whether to sever the client's live connection now,
+	// mid-operation — a transient network blip as seen from the enroller's
+	// side. Unlike DropConn (consulted by the host's read loop), the cut
+	// happens under in-flight client work, which is exactly what session
+	// resumption exists to survive: with a resume window the blip must be
+	// invisible; without one it must reproduce today's abort taxonomy.
+	CutConn() bool
 }
 
 // ErrConnLost reports a remote enrollment cut short because the connection

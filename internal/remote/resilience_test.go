@@ -511,6 +511,7 @@ type shedOnce struct{ fired atomic.Bool }
 func (s *shedOnce) FrameDelay() time.Duration     { return 0 }
 func (s *shedOnce) DropConn() bool                { return false }
 func (s *shedOnce) StallHeartbeat() time.Duration { return 0 }
+func (s *shedOnce) CutConn() bool                 { return false }
 func (s *shedOnce) Overload() bool                { return s.fired.CompareAndSwap(false, true) }
 
 // TestRetryHonorsRetryAfterHint checks that the client's backoff before a

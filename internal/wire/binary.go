@@ -248,6 +248,14 @@ func appendBody(b []byte, t MsgType, m any) ([]byte, error) {
 		return b, nil
 	case *Cancel:
 		return b, nil
+	case *Resume:
+		return appendBody(b, t, *m)
+	case *ResumeAck:
+		return appendBody(b, t, *m)
+	case *Ack:
+		return appendBody(b, t, *m)
+	case *Bye:
+		return b, nil
 	case *ProtoError:
 		return appendBody(b, t, *m)
 	case OfferAck:
@@ -326,8 +334,15 @@ func appendBody(b []byte, t MsgType, m any) ([]byte, error) {
 		b = binary.AppendUvarint(b, uint64(m.Performance))
 		b = appendString(b, m.Culprit)
 		return appendString(b, m.Reason), nil
-	case Drain, Heartbeat, Cancel:
+	case Drain, Heartbeat, Cancel, Bye:
 		return b, nil
+	case Resume:
+		b = appendString(b, m.Token)
+		return binary.AppendUvarint(b, m.RecvCount), nil
+	case ResumeAck:
+		return binary.AppendUvarint(b, m.RecvCount), nil
+	case Ack:
+		return binary.AppendUvarint(b, m.Count), nil
 	case ProtoError:
 		return appendString(b, m.Msg), nil
 	default:
@@ -705,6 +720,14 @@ func parseJSONPayload(t MsgType, payload []byte) (any, error) {
 		m = &Drain{}
 	case MsgHeartbeat:
 		m = &Heartbeat{}
+	case MsgResume:
+		m = &Resume{}
+	case MsgResumeAck:
+		m = &ResumeAck{}
+	case MsgAck:
+		m = &Ack{}
+	case MsgBye:
+		m = &Bye{}
 	case MsgError:
 		m = &ProtoError{}
 	case MsgOverloaded:
@@ -893,6 +916,32 @@ func parseBody(c *cursor, t MsgType) (any, error) {
 		return &Heartbeat{}, nil
 	case MsgCancel:
 		return &Cancel{}, nil
+	case MsgResume:
+		m := &Resume{}
+		var err error
+		if m.Token, err = c.string(); err != nil {
+			return nil, err
+		}
+		if m.RecvCount, err = c.uvarint(); err != nil {
+			return nil, err
+		}
+		return m, nil
+	case MsgResumeAck:
+		m := &ResumeAck{}
+		var err error
+		if m.RecvCount, err = c.uvarint(); err != nil {
+			return nil, err
+		}
+		return m, nil
+	case MsgAck:
+		m := &Ack{}
+		var err error
+		if m.Count, err = c.uvarint(); err != nil {
+			return nil, err
+		}
+		return m, nil
+	case MsgBye:
+		return &Bye{}, nil
 	case MsgError:
 		m := &ProtoError{}
 		var err error

@@ -377,6 +377,10 @@ func FuzzParsePayload(f *testing.F) {
 		{MsgDrain, Drain{}},
 		{MsgHeartbeat, Heartbeat{}},
 		{MsgCancel, Cancel{}},
+		{MsgResume, Resume{Token: "74a1b2c3d4e5f607", RecvCount: 42}},
+		{MsgResumeAck, ResumeAck{RecvCount: 17}},
+		{MsgAck, Ack{Count: 128}},
+		{MsgBye, Bye{}},
 		{MsgError, ProtoError{Msg: "m"}},
 	}
 	for _, s := range seedMsgs {

@@ -124,6 +124,13 @@ const (
 	// by severing the connection, but a v2 connection is shared by other
 	// streams and must stay up.
 	MsgCancel
+	// Session-resumption vocabulary (v2 only, negotiated in the handshake —
+	// see Hello.Resume / HelloAck.ResumeToken). All four ride stream 0 and
+	// are therefore outside the resumable-frame count (see Session).
+	MsgResume    // client→host on a redialed conn: re-attach a parked session
+	MsgResumeAck // host→client: session re-attached, replay follows
+	MsgAck       // either direction: cumulative receipt ack, prunes the ring
+	MsgBye       // client→host: deliberate teardown, free parked state now
 )
 
 // String returns the protocol name of the message type.
@@ -167,6 +174,14 @@ func (t MsgType) String() string {
 		return "OVERLOADED"
 	case MsgCancel:
 		return "CANCEL"
+	case MsgResume:
+		return "RESUME"
+	case MsgResumeAck:
+		return "RESUME-ACK"
+	case MsgAck:
+		return "ACK"
+	case MsgBye:
+		return "BYE"
 	default:
 		return fmt.Sprintf("msg(%d)", uint8(t))
 	}
@@ -186,12 +201,31 @@ type Hello struct {
 	// Script, when non-empty, is the script name the client expects; the
 	// host rejects the handshake if it serves a different script.
 	Script string `json:"script,omitempty"`
+	// Resume advertises that the client can resume a parked session after a
+	// transient connection loss (v2 clients only). Hosts that predate
+	// resumption ignore the field; hosts with resumption disabled leave
+	// HelloAck.ResumeToken empty — either way both sides keep the exact
+	// pre-resumption abort semantics.
+	Resume bool `json:"resume,omitempty"`
 }
 
 // HelloAck is the host's handshake reply.
 type HelloAck struct {
 	Version int    `json:"version"`
 	Script  string `json:"script"`
+	// HeartbeatTimeoutMS advertises the host's heartbeat timeout so the
+	// client can clamp its heartbeat interval below it — a client configured
+	// with HeartbeatInterval >= the host's timeout would otherwise make
+	// every healthy idle connection look severed. 0 (or an old host) means
+	// "not advertised"; negative means the host disabled the timeout.
+	HeartbeatTimeoutMS int64 `json:"heartbeat_timeout_ms,omitempty"`
+	// ResumeToken, when non-empty, is the host-minted session token the
+	// client may present in a RESUME frame after a connection loss, within
+	// ResumeWindowMS of the host noticing the break. Empty when the host has
+	// resumption disabled, the connection is v1, or the client did not
+	// advertise Hello.Resume.
+	ResumeToken    string `json:"resume_token,omitempty"`
+	ResumeWindowMS int64  `json:"resume_window_ms,omitempty"`
 }
 
 // Enroll is the client's offer to play a role.
@@ -319,6 +353,38 @@ type Heartbeat struct{}
 // the stream's terminal frame — COMPLETE carrying the withdrawal outcome —
 // and the connection stays usable for its other streams.
 type Cancel struct{}
+
+// Resume is the first frame a client sends on a redialed connection (after
+// the ordinary handshake) to re-attach a session the host parked when the
+// previous connection broke. RecvCount is the client's cumulative count of
+// session frames (stream != 0) received so far; the host replays exactly
+// the unacked suffix beyond it, so every frame lost in the blip arrives
+// exactly once (TCP orders each direction, so a cumulative count per
+// direction is a complete receipt state — no per-frame dedup needed).
+type Resume struct {
+	Token     string `json:"token"`
+	RecvCount uint64 `json:"recv_count"`
+}
+
+// ResumeAck accepts a RESUME: the host's own cumulative receipt count, which
+// the client uses to replay its unacked suffix. A refused RESUME is answered
+// with MsgError instead and the connection closed.
+type ResumeAck struct {
+	RecvCount uint64 `json:"recv_count"`
+}
+
+// Ack carries a cumulative receipt count (session frames, stream != 0) so
+// the peer can prune its retransmit ring. Sent periodically by both sides
+// of a resumable connection; rides stream 0 and is itself uncounted.
+type Ack struct {
+	Count uint64 `json:"count"`
+}
+
+// Bye announces a deliberate client teardown on a resumable connection: the
+// host frees parked/parkable session state immediately instead of holding
+// it for the grace window. Best-effort — a client that dies without BYE
+// just costs the host one grace window.
+type Bye struct{}
 
 // ProtoError reports a protocol violation; the sender closes the connection
 // after it.
@@ -897,13 +963,21 @@ func (c *Conn) reject(msg string) error {
 // MaxVersion field and acks v1 — the compatible fallback. maxVersion is
 // clamped to [Version, MaxVersion].
 func ClientHandshakeV(c *Conn, script string, maxVersion int) (HelloAck, error) {
+	return ClientHandshakeResume(c, script, maxVersion, false)
+}
+
+// ClientHandshakeResume is ClientHandshakeV with the session-resumption
+// capability advertised when resume is true. A host that supports it (and
+// negotiates v2) mints a session token into the returned HelloAck; every
+// other host ignores the flag.
+func ClientHandshakeResume(c *Conn, script string, maxVersion int, resume bool) (HelloAck, error) {
 	if maxVersion > MaxVersion {
 		maxVersion = MaxVersion
 	}
 	if maxVersion < Version {
 		maxVersion = Version
 	}
-	if err := c.WriteMsg(MsgHello, Hello{Magic: Magic, Version: Version, MaxVersion: maxVersion, Script: script}); err != nil {
+	if err := c.WriteMsg(MsgHello, Hello{Magic: Magic, Version: Version, MaxVersion: maxVersion, Script: script, Resume: resume}); err != nil {
 		return HelloAck{}, err
 	}
 	t, payload, err := c.ReadMsg()
@@ -943,6 +1017,17 @@ func ClientHandshakeV(c *Conn, script string, maxVersion int) (HelloAck, error) 
 // to [Version, MaxVersion]) and recording it on the connection. Clients
 // that don't advertise MaxVersion — every pre-v2 client — negotiate v1.
 func ServerHandshakeV(c *Conn, script string, maxVersion int) error {
+	_, err := ServerHandshakeVExt(c, script, maxVersion, nil)
+	return err
+}
+
+// ServerHandshakeVExt is ServerHandshakeV with host-side HELLO-ACK
+// decoration: after version negotiation succeeds, decorate (when non-nil)
+// may add optional fields — a resume token, the heartbeat-timeout advert —
+// to the outgoing ack based on the client's Hello and the negotiated
+// version (already recorded in ack.Version). The client's Hello is returned
+// so the host can key behavior off its capability flags.
+func ServerHandshakeVExt(c *Conn, script string, maxVersion int, decorate func(h Hello, ack *HelloAck)) (Hello, error) {
 	if maxVersion > MaxVersion {
 		maxVersion = MaxVersion
 	}
@@ -951,38 +1036,42 @@ func ServerHandshakeV(c *Conn, script string, maxVersion int) error {
 	}
 	t, payload, err := c.ReadMsg()
 	if err != nil {
-		return err
+		return Hello{}, err
 	}
 	if t != MsgHello {
-		return c.reject(fmt.Sprintf("expected HELLO, got %s", t))
+		return Hello{}, c.reject(fmt.Sprintf("expected HELLO, got %s", t))
 	}
 	var h Hello
 	if err := Decode(payload, &h); err != nil {
-		return c.reject("malformed HELLO")
+		return Hello{}, c.reject("malformed HELLO")
 	}
 	if h.Magic != Magic {
-		return c.reject("bad magic")
+		return Hello{}, c.reject("bad magic")
 	}
 	clientMax := h.MaxVersion
 	if clientMax < h.Version {
 		clientMax = h.Version
 	}
 	if h.Version > maxVersion || clientMax < Version {
-		return c.reject(fmt.Sprintf("host speaks protocol v%d..v%d, client v%d..v%d", Version, maxVersion, h.Version, clientMax))
+		return Hello{}, c.reject(fmt.Sprintf("host speaks protocol v%d..v%d, client v%d..v%d", Version, maxVersion, h.Version, clientMax))
 	}
 	if h.Script != "" && h.Script != script {
-		return c.reject(fmt.Sprintf("host serves script %q, client wants %q", script, h.Script))
+		return Hello{}, c.reject(fmt.Sprintf("host serves script %q, client wants %q", script, h.Script))
 	}
 	ver := clientMax
 	if ver > maxVersion {
 		ver = maxVersion
 	}
-	if err := c.WriteMsg(MsgHelloAck, HelloAck{Version: ver, Script: script}); err != nil {
-		return err
+	ack := HelloAck{Version: ver, Script: script}
+	if decorate != nil {
+		decorate(h, &ack)
+	}
+	if err := c.WriteMsg(MsgHelloAck, ack); err != nil {
+		return Hello{}, err
 	}
 	c.version = ver
 	countConn(ver)
-	return nil
+	return h, nil
 }
 
 // EncodeRoleRef renders a role reference for the wire.
